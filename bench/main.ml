@@ -1,0 +1,167 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (section 3), the ablations from DESIGN.md section 7, and a set
+   of Bechamel microbenchmarks of the simulator substrate.
+
+   Usage:
+     dune exec bench/main.exe                 -- everything
+     dune exec bench/main.exe -- --quick      -- scaled-down runs
+     dune exec bench/main.exe -- --only fig4,table5
+     dune exec bench/main.exe -- --csv out    -- also write CSV files
+     dune exec bench/main.exe -- --list
+     dune exec bench/main.exe -- --no-substrate *)
+
+module Figures = Cni_experiments.Figures
+module Ablations = Cni_experiments.Ablations
+module Report = Cni_experiments.Report
+
+let experiments = Figures.all @ Ablations.all
+
+(* ------------------------------------------------------------------ *)
+(* Substrate microbenchmarks (Bechamel)                                *)
+(* ------------------------------------------------------------------ *)
+
+let substrate_tests () =
+  let open Bechamel in
+  let engine_events =
+    Test.make ~name:"engine: 10k timer events"
+      (Staged.stage (fun () ->
+           let eng = Cni_engine.Engine.create () in
+           for i = 1 to 10_000 do
+             Cni_engine.Engine.at eng (Cni_engine.Time.ns i) (fun () -> ())
+           done;
+           Cni_engine.Engine.run eng))
+  in
+  let heap_ops =
+    Test.make ~name:"heap: 10k push+pop"
+      (Staged.stage (fun () ->
+           let h = Cni_engine.Heap.create () in
+           for i = 1 to 10_000 do
+             Cni_engine.Heap.add h ~key:(i * 7 mod 1000) ~seq:i i
+           done;
+           while not (Cni_engine.Heap.is_empty h) do
+             ignore (Cni_engine.Heap.pop_min h)
+           done))
+  in
+  let cache_access =
+    let cache = Cni_machine.Cache.create Cni_machine.Params.default in
+    Test.make ~name:"cache: 10k line accesses"
+      (Staged.stage (fun () ->
+           for i = 0 to 9_999 do
+             ignore (Cni_machine.Cache.access_line cache ~addr:(i * 32 * 7) ~write:(i land 1 = 0))
+           done))
+  in
+  let classifier =
+    let cls = Cni_pathfinder.Classifier.create () in
+    for chan = 0 to 63 do
+      ignore (Cni_pathfinder.Classifier.add cls (Cni_nic.Wire.pattern_channel ~channel:chan) chan)
+    done;
+    let hdr =
+      Cni_nic.Wire.encode
+        {
+          Cni_nic.Wire.kind = 1;
+          cacheable = false;
+          has_data = false;
+          src = 0;
+          channel = 42;
+          obj = 0;
+          aux = 0;
+        }
+    in
+    Test.make ~name:"pathfinder: 1k classifications vs 64 patterns"
+      (Staged.stage (fun () ->
+           for _ = 1 to 1000 do
+             ignore (Cni_pathfinder.Classifier.classify cls hdr)
+           done))
+  in
+  let aal5 =
+    let frame = Bytes.make 2048 'x' in
+    Test.make ~name:"aal5: segment+reassemble 2KB"
+      (Staged.stage (fun () ->
+           let cells = Cni_atm.Aal5.segment ~vpi:0 ~vci:7 frame in
+           let r = Cni_atm.Aal5.Reassembler.create () in
+           List.iter (fun c -> ignore (Cni_atm.Aal5.Reassembler.push r c)) cells))
+  in
+  let diff =
+    let twin = Bytes.make 2048 '\000' in
+    let current = Bytes.copy twin in
+    for w = 0 to 255 do
+      if w mod 3 = 0 then Bytes.set_int64_ne current (w * 8) (Int64.of_int w)
+    done;
+    Test.make ~name:"dsm: diff create+apply 2KB page"
+      (Staged.stage (fun () ->
+           let d = Cni_dsm.Diff.create ~twin ~current in
+           let target = Bytes.copy twin in
+           Cni_dsm.Diff.apply d target))
+  in
+  [ engine_events; heap_ops; cache_access; classifier; aal5; diff ]
+
+let run_substrate () =
+  let open Bechamel in
+  print_endline "== substrate microbenchmarks (Bechamel, wall-clock of the simulator itself) ==";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let stats = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "  %-48s %14.1f ns/run\n%!" name est
+          | _ -> Printf.printf "  %-48s (no estimate)\n%!" name)
+        stats)
+    (substrate_tests ());
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let only = ref [] in
+  let csv_dir = ref None in
+  let list_only = ref false in
+  let substrate = ref true in
+  let args =
+    [
+      ("--quick", Arg.Set Figures.quick, "scale runs down (shapes preserved)");
+      ( "--only",
+        Arg.String (fun s -> only := String.split_on_char ',' s),
+        "comma-separated experiment ids" );
+      ("--csv", Arg.String (fun d -> csv_dir := Some d), "also write CSV files to this directory");
+      ("--list", Arg.Set list_only, "list experiment ids and exit");
+      ("--no-substrate", Arg.Clear substrate, "skip the Bechamel substrate microbenchmarks");
+    ]
+  in
+  Arg.parse args (fun a -> raise (Arg.Bad ("unknown argument " ^ a))) "bench/main.exe [options]";
+  if !list_only then begin
+    List.iter (fun (id, _) -> print_endline id) experiments;
+    exit 0
+  end;
+  let selected =
+    match !only with
+    | [] -> experiments
+    | ids ->
+        List.iter
+          (fun id ->
+            if not (List.mem_assoc id experiments) then begin
+              Printf.eprintf "unknown experiment id %S (use --list)\n" id;
+              exit 2
+            end)
+          ids;
+        List.filter (fun (id, _) -> List.mem id ids) experiments
+  in
+  Printf.printf "CNI reproduction bench harness (%d experiment(s)%s)\n\n" (List.length selected)
+    (if !Figures.quick then ", quick mode" else "");
+  let t_start = Unix.gettimeofday () in
+  List.iter
+    (fun (id, f) ->
+      let t0 = Unix.gettimeofday () in
+      let report = f () in
+      Report.print report;
+      Option.iter (fun dir -> Report.write_csv ~dir report) !csv_dir;
+      Printf.printf "  [%s finished in %.1fs]\n\n%!" id (Unix.gettimeofday () -. t0))
+    selected;
+  if !substrate && !only = [] then run_substrate ();
+  Printf.printf "total bench time: %.1fs\n" (Unix.gettimeofday () -. t_start)

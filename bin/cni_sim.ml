@@ -1,0 +1,183 @@
+(* cni_sim: command-line front end to the simulator.
+
+   Examples:
+     cni_sim params
+     cni_sim run --app jacobi --n 256 --procs 8
+     cni_sim run --app cholesky --matrix bcsstk14 --procs 8 --nic standard
+     cni_sim run --app water --molecules 216 --procs 16 --mc-kb 64
+     cni_sim latency --bytes 4096 *)
+
+module Time = Cni_engine.Time
+module Params = Cni_machine.Params
+module Jacobi = Cni_apps.Jacobi
+module Water = Cni_apps.Water
+module Cholesky = Cni_apps.Cholesky
+module Sparse = Cni_apps.Sparse
+module Runner = Cni_experiments.Runner
+module Microbench = Cni_experiments.Microbench
+module Report = Cni_experiments.Report
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Common options                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let nic_kind =
+  let conv_nic = Arg.enum [ ("cni", `Cni_k); ("osiris", `Osiris_k); ("standard", `Standard_k) ] in
+  Arg.(value & opt conv_nic `Cni_k & info [ "nic" ] ~doc:"Network interface: $(b,cni), $(b,osiris) or $(b,standard).")
+
+let procs = Arg.(value & opt int 8 & info [ "p"; "procs" ] ~doc:"Number of workstation nodes.")
+let page_bytes = Arg.(value & opt int 2048 & info [ "page-bytes" ] ~doc:"Shared page size.")
+let mc_kb = Arg.(value & opt int 32 & info [ "mc-kb" ] ~doc:"Message Cache size in KB (0 disables).")
+let no_aih = Arg.(value & flag & info [ "no-aih" ] ~doc:"Run protocol handlers on the host.")
+
+let unrestricted =
+  Arg.(value & flag & info [ "unrestricted-cells" ] ~doc:"Mythical ATM with unlimited cell size (Table 5).")
+
+let make_params ~page ~cells =
+  let p = { Params.default with Params.page_bytes = page } in
+  if cells then { p with Params.cell_payload_bytes = 1 lsl 26 } else p
+
+let make_kind nic ~mc_kb ~no_aih =
+  match nic with
+  | `Standard_k -> Runner.standard
+  | `Osiris_k -> Runner.osiris
+  | `Cni_k -> Runner.cni ~mc_bytes:(mc_kb * 1024) ~aih:(not no_aih) ()
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let app_conv = Arg.enum [ ("jacobi", `Jacobi); ("water", `Water); ("cholesky", `Cholesky) ]
+let app_arg = Arg.(value & opt app_conv `Jacobi & info [ "app" ] ~doc:"jacobi, water or cholesky.")
+let n = Arg.(value & opt int 256 & info [ "size" ] ~doc:"Jacobi matrix dimension (n).")
+let iterations = Arg.(value & opt int 16 & info [ "iterations" ] ~doc:"Jacobi iterations.")
+let molecules = Arg.(value & opt int 216 & info [ "molecules" ] ~doc:"Water molecules.")
+
+let matrix_conv =
+  Arg.enum [ ("bcsstk14", `B14); ("bcsstk15", `B15); ("small", `Small) ]
+
+let matrix =
+  Arg.(value & opt matrix_conv `B14 & info [ "matrix" ] ~doc:"Cholesky input (bcsstk14-like, bcsstk15-like or small).")
+
+let run_cmd =
+  let doc = "Run a benchmark application on a simulated cluster." in
+  let run app nic procs page mc_kb no_aih cells n iterations molecules matrix =
+    let params = make_params ~page ~cells in
+    let kind = make_kind nic ~mc_kb ~no_aih in
+    let application cluster lrcs =
+      match app with
+      | `Jacobi ->
+          ignore (Jacobi.run cluster lrcs { Jacobi.default_config with Jacobi.n; iterations })
+      | `Water ->
+          ignore (Water.run cluster lrcs { Water.default_config with Water.molecules })
+      | `Cholesky ->
+          let a =
+            match matrix with
+            | `B14 -> Cholesky.bcsstk14_like ()
+            | `B15 -> Cholesky.bcsstk15_like ()
+            | `Small -> Sparse.stiffness_like ~n:300 ~dofs:3 ~seed:1
+          in
+          ignore (Cholesky.run cluster lrcs (Cholesky.default_config a))
+    in
+    let r = Runner.run ~params ~kind ~procs application in
+    Printf.printf "elapsed            %s  (%.3f x 10^9 CPU cycles)\n"
+      (Format.asprintf "%a" Time.pp r.Runner.elapsed)
+      (r.Runner.elapsed_cycles /. 1e9);
+    Printf.printf "computation        %s\n" (Format.asprintf "%a" Time.pp r.Runner.computation);
+    Printf.printf "synch overhead     %s\n" (Format.asprintf "%a" Time.pp r.Runner.synch_overhead);
+    Printf.printf "synch delay        %s\n" (Format.asprintf "%a" Time.pp r.Runner.synch_delay);
+    Printf.printf "network packets    %d (%d wire bytes)\n" r.Runner.packets r.Runner.wire_bytes;
+    Printf.printf "cache hit ratio    %.1f%%\n" r.Runner.hit_ratio;
+    if r.Runner.message_mix <> [] then begin
+      Printf.printf "protocol traffic  ";
+      List.iter (fun (k, n) -> Printf.printf " %s=%d" k n) r.Runner.message_mix;
+      print_newline ()
+    end
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ app_arg $ nic_kind $ procs $ page_bytes $ mc_kb $ no_aih $ unrestricted $ n
+      $ iterations $ molecules $ matrix)
+
+(* ------------------------------------------------------------------ *)
+(* sweep                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_cmd =
+  let doc = "Sweep processor counts for one application, both interfaces." in
+  let run app page mc_kb no_aih cells n iterations molecules matrix =
+    let params = make_params ~page ~cells in
+    let application cluster lrcs =
+      match app with
+      | `Jacobi ->
+          ignore (Jacobi.run cluster lrcs { Jacobi.default_config with Jacobi.n; iterations })
+      | `Water -> ignore (Water.run cluster lrcs { Water.default_config with Water.molecules })
+      | `Cholesky ->
+          let a =
+            match matrix with
+            | `B14 -> Cholesky.bcsstk14_like ()
+            | `B15 -> Cholesky.bcsstk15_like ()
+            | `Small -> Sparse.stiffness_like ~n:300 ~dofs:3 ~seed:1
+          in
+          ignore (Cholesky.run cluster lrcs (Cholesky.default_config a))
+    in
+    Printf.printf "%5s  %12s  %12s  %8s  %8s  %6s\n" "procs" "cni" "standard" "sp-cni"
+      "sp-std" "hit-%";
+    let t1c = ref 1.0 and t1s = ref 1.0 in
+    List.iter
+      (fun procs ->
+        let kc = make_kind `Cni_k ~mc_kb ~no_aih in
+        let rc = Runner.run ~params ~kind:kc ~procs application in
+        let rs = Runner.run ~params ~kind:Runner.standard ~procs application in
+        let tc = Time.to_s_float rc.Runner.elapsed and ts = Time.to_s_float rs.Runner.elapsed in
+        if procs = 1 then begin
+          t1c := tc;
+          t1s := ts
+        end;
+        Printf.printf "%5d  %12s  %12s  %8.2f  %8.2f  %6.1f\n%!" procs
+          (Format.asprintf "%a" Time.pp rc.Runner.elapsed)
+          (Format.asprintf "%a" Time.pp rs.Runner.elapsed)
+          (!t1c /. tc) (!t1s /. ts) rc.Runner.hit_ratio)
+      [ 1; 2; 4; 8; 16; 32 ]
+  in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(
+      const run $ app_arg $ page_bytes $ mc_kb $ no_aih $ unrestricted $ n $ iterations
+      $ molecules $ matrix)
+
+(* ------------------------------------------------------------------ *)
+(* latency                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let latency_cmd =
+  let doc = "One-way node-to-node latency (Figure 14 microbenchmark)." in
+  let bytes = Arg.(value & opt int 4096 & info [ "bytes" ] ~doc:"Message size.") in
+  let run nic bytes page mc_kb cells =
+    let params = make_params ~page ~cells in
+    let kind =
+      match nic with
+      | `Standard_k -> Runner.standard
+      | `Osiris_k -> Runner.osiris
+      | `Cni_k -> Runner.cni ~mc_bytes:(mc_kb * 1024) ~aih:false ()
+    in
+    let t = Microbench.latency ~params ~kind ~bytes () in
+    Printf.printf "%d bytes: %s one-way (second send of a warm buffer)\n" bytes
+      (Format.asprintf "%a" Time.pp t)
+  in
+  Cmd.v (Cmd.info "latency" ~doc)
+    Term.(const run $ nic_kind $ bytes $ page_bytes $ mc_kb $ unrestricted)
+
+(* ------------------------------------------------------------------ *)
+(* params                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let params_cmd =
+  let doc = "Print the simulation parameters (paper Table 1)." in
+  let run () = Report.print (Cni_experiments.Figures.table1 ()) in
+  Cmd.v (Cmd.info "params" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc = "CNI cluster network interface simulator (HPDC'96 reproduction)" in
+  let info = Cmd.info "cni_sim" ~doc ~version:"1.0.0" in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; latency_cmd; params_cmd ]))

@@ -1,0 +1,67 @@
+(* Distributed shared memory over the CNI: a lock-protected accumulator page
+   migrating around a 4-node cluster, showing the LRC protocol machinery
+   (twins, write notices, page migration) and the Message Cache's transmit
+   and receive caching at work.
+
+   Run with:  dune exec examples/page_migration.exe *)
+
+module Time = Cni_engine.Time
+module Nic = Cni_nic.Nic
+module Cluster = Cni_cluster.Cluster
+module Node = Cni_cluster.Node
+module Space = Cni_dsm.Space
+module Lrc = Cni_dsm.Lrc
+module Shmem = Cni_dsm.Shmem
+
+let rounds = 8
+
+let run ~kind =
+  let nodes = 4 in
+  let cluster = Cluster.create ~nic_kind:kind ~nodes () in
+  let space = Space.create ~nprocs:nodes ~page_bytes:(Cluster.params cluster).page_bytes in
+  let lrcs = Lrc.install cluster space () in
+  (* one page worth of shared accumulators *)
+  let acc = Shmem.Farray.create space ~len:256 in
+  Cluster.run_app cluster (fun node ->
+      let me = Node.id node in
+      let lrc = lrcs.(me) in
+      if me = 0 then Shmem.Farray.init_local lrc acc ~lo:0 ~len:256 (fun _ -> 0.0);
+      Lrc.barrier lrc ~id:0;
+      for round = 1 to rounds do
+        (* whoever holds the lock rewrites the whole page: the page (and the
+           lock) migrate from releaser to acquirer, round-robin *)
+        Lrc.acquire lrc ~lock:1;
+        Shmem.Farray.read_range lrc acc ~lo:0 ~len:256;
+        Shmem.Farray.write_range lrc acc ~lo:0 ~len:256;
+        for i = 0 to 255 do
+          Shmem.Farray.set acc i (Shmem.Farray.get acc i +. float_of_int (me + round))
+        done;
+        Node.work node 20_000;
+        Lrc.release lrc ~lock:1;
+        Node.work node 50_000
+      done;
+      Lrc.barrier lrc ~id:0);
+  (cluster, lrcs, Shmem.Farray.get acc 0)
+
+let () =
+  Printf.printf "Page migration demo: %d rounds of lock-protected page updates on 4 nodes.\n\n"
+    rounds;
+  List.iter
+    (fun (name, kind) ->
+      let cluster, lrcs, v = run ~kind in
+      let st = Array.map Lrc.stats lrcs in
+      let sum f = Array.fold_left (fun a s -> a + f s) 0 st in
+      Printf.printf "%-10s elapsed=%-12s final=%g\n" name
+        (Format.asprintf "%a" Time.pp (Cluster.elapsed cluster))
+        v;
+      Printf.printf "           page fetches=%d  diff fetches=%d  twins=%d  remote acquires=%d\n"
+        (sum (fun s -> s.Lrc.page_fetches))
+        (sum (fun s -> s.Lrc.diff_fetches))
+        (sum (fun s -> s.Lrc.twins))
+        (sum (fun s -> s.Lrc.remote_acquires));
+      Printf.printf "           network cache hit ratio=%.1f%%\n\n"
+        (Cluster.network_cache_hit_ratio cluster))
+    [ ("CNI", `Cni Nic.default_cni_options); ("standard", `Standard) ];
+  print_endline "The fully rewritten page travels whole (migratory transfer); on the CNI the";
+  print_endline "serving board finds it in the Message Cache — receive caching bound it when";
+  print_endline "the page arrived, and snooped write-backs kept it consistent."

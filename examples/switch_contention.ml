@@ -1,0 +1,34 @@
+(* The banyan switch model: self-routing and internal blocking.
+
+   Run with:  dune exec examples/switch_contention.exe *)
+
+module Switch = Cni_atm.Switch
+module Rng = Cni_engine.Rng
+
+let () =
+  let sw = Switch.create ~ports:32 in
+  Printf.printf "32-port banyan (omega) switch: %d stages of 2x2 elements.\n\n"
+    (Switch.stages sw);
+  let r = Switch.route sw ~src:5 ~dst:19 in
+  Printf.printf "route 5 -> 19 passes wires: %s\n"
+    (String.concat " -> " (Array.to_list (Array.map string_of_int r)));
+  Printf.printf "routes (5->19) and (1->18) conflict: %b\n"
+    (Switch.conflict sw (5, 19) (1, 18));
+  Printf.printf "routes (5->19) and (0->3)  conflict: %b\n\n"
+    (Switch.conflict sw (5, 19) (0, 3));
+  (* how often does a random permutation block internally? This is why the
+     fabric model charges output-port contention: banyan networks are not
+     non-blocking. *)
+  let rng = Rng.create ~seed:42 in
+  let trials = 200 in
+  let total = ref 0 in
+  for _ = 1 to trials do
+    let perm = Array.init 32 (fun i -> i) in
+    Rng.shuffle rng perm;
+    total := !total + Switch.conflicts_in_permutation sw perm
+  done;
+  Printf.printf "random full permutations: %.1f conflicting pairs on average (of %d pairs)\n"
+    (float_of_int !total /. float_of_int trials)
+    (32 * 31 / 2);
+  print_endline "identity permutation conflicts: 0 (straight-through routes are disjoint)";
+  assert (Switch.conflicts_in_permutation sw (Array.init 32 (fun i -> i)) = 0)

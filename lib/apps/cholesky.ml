@@ -1,0 +1,341 @@
+module Cluster = Cni_cluster.Cluster
+module Node = Cni_cluster.Node
+module Lrc = Cni_dsm.Lrc
+module Shmem = Cni_dsm.Shmem
+
+type config = { matrix : Sparse.t; cycles_per_flop : int; poll_backoff_cycles : int }
+
+let default_config matrix = { matrix; cycles_per_flop = 150; poll_backoff_cycles = 2000 }
+
+(* The paper's Harwell-Boeing inputs, substituted by deterministic
+   stiffness-style generators with matched order (DESIGN.md section 5). *)
+let bcsstk14_like () = Sparse.stiffness_like ~n:1806 ~dofs:3 ~seed:14
+let bcsstk15_like () = Sparse.stiffness_like ~n:3948 ~dofs:3 ~seed:15
+
+type result = {
+  checksum : float;
+  supernodes : int;
+  fill_nnz : int;
+  flops : int;
+  values : float array;  (* the factored L values (validation) *)
+}
+
+(* lock id space *)
+let bag_lock = 1
+let snode_lock s = 1000 + s
+
+(* ------------------------------------------------------------------ *)
+(* Static structure (computed identically on every node, read-only)    *)
+(* ------------------------------------------------------------------ *)
+
+type plan = {
+  l : Sparse.t;  (* pattern of L, values zeroed *)
+  starts : int array;  (* supernode starts, plus a sentinel n at the end *)
+  nsuper : int;
+  snode_of : int array;  (* column -> supernode *)
+  targets : int array array;  (* supernode -> later supernodes it updates *)
+  nmod0 : int array;  (* supernode -> number of contributing supernodes *)
+}
+
+let build_plan a =
+  let l = Sparse.symbolic a in
+  let starts0 = Sparse.supernodes l in
+  let nsuper = Array.length starts0 in
+  let starts = Array.append starts0 [| l.Sparse.n |] in
+  let snode_of = Array.make l.Sparse.n 0 in
+  for s = 0 to nsuper - 1 do
+    for j = starts.(s) to starts.(s + 1) - 1 do
+      snode_of.(j) <- s
+    done
+  done;
+  let targets = Array.make nsuper [||] in
+  let nmod0 = Array.make nsuper 0 in
+  let seen = Array.make nsuper (-1) in
+  for s = 0 to nsuper - 1 do
+    let acc = ref [] in
+    for j = starts.(s) to starts.(s + 1) - 1 do
+      for p = l.Sparse.colptr.(j) to l.Sparse.colptr.(j + 1) - 1 do
+        let i = l.Sparse.rowidx.(p) in
+        if i >= starts.(s + 1) then begin
+          let st = snode_of.(i) in
+          if seen.(st) <> s then begin
+            seen.(st) <- s;
+            acc := st :: !acc
+          end
+        end
+      done
+    done;
+    let arr = Array.of_list !acc in
+    Array.sort compare arr;
+    targets.(s) <- arr;
+    Array.iter (fun st -> nmod0.(st) <- nmod0.(st) + 1) arr
+  done;
+  { l; starts; nsuper; snode_of; targets; nmod0 }
+
+(* position of row [i] in column [j] of L, or -1 *)
+let find_pos l j i =
+  let lo = ref l.Sparse.colptr.(j) and hi = ref (l.Sparse.colptr.(j + 1) - 1) in
+  let res = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let r = l.Sparse.rowidx.(mid) in
+    if r = i then begin
+      res := mid;
+      lo := !hi + 1
+    end
+    else if r < i then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !res
+
+(* ------------------------------------------------------------------ *)
+(* Numeric kernels over a value accessor                               *)
+(* ------------------------------------------------------------------ *)
+
+(* [get]/[set] index into the values of L. [map] is a row -> position scatter
+   for the single column named by [cur] (-1 = none); there is exactly one
+   scattered column at a time, so a stale entry can never be read. Returns
+   flops. *)
+let cmod_column l ~get ~set ~map ~cur ~j ~k =
+  (* update column k with column j (j < k, k in Struct(j)) *)
+  let pkj = find_pos l j k in
+  if pkj < 0 then 0
+  else begin
+    if !cur <> k then begin
+      for q = l.Sparse.colptr.(k) to l.Sparse.colptr.(k + 1) - 1 do
+        map.(l.Sparse.rowidx.(q)) <- q
+      done;
+      cur := k
+    end;
+    let fkj = get pkj in
+    let stop = l.Sparse.colptr.(j + 1) - 1 in
+    for p = pkj to stop do
+      let i = l.Sparse.rowidx.(p) in
+      let q = map.(i) in
+      set q (get q -. (get p *. fkj))
+    done;
+    2 * (stop - pkj + 1)
+  end
+
+let cdiv_supernode plan ~get ~set ~map ~cur ~s =
+  let l = plan.l in
+  let flops = ref 0 in
+  for j = plan.starts.(s) to plan.starts.(s + 1) - 1 do
+    (* internal left-looking updates from the supernode's earlier columns *)
+    for jj = plan.starts.(s) to j - 1 do
+      flops := !flops + cmod_column l ~get ~set ~map ~cur ~j:jj ~k:j
+    done;
+    let pj = l.Sparse.colptr.(j) in
+    let d = sqrt (get pj) in
+    set pj d;
+    for p = pj + 1 to l.Sparse.colptr.(j + 1) - 1 do
+      set p (get p /. d)
+    done;
+    flops := !flops + (2 * (l.Sparse.colptr.(j + 1) - pj))
+  done;
+  !flops
+
+let cmod_supernode plan ~get ~set ~map ~cur ~s ~st =
+  let l = plan.l in
+  let flops = ref 0 in
+  for k = plan.starts.(st) to plan.starts.(st + 1) - 1 do
+    for j = plan.starts.(s) to plan.starts.(s + 1) - 1 do
+      flops := !flops + cmod_column l ~get ~set ~map ~cur ~j ~k
+    done
+  done;
+  !flops
+
+(* ------------------------------------------------------------------ *)
+(* Sequential reference                                                *)
+(* ------------------------------------------------------------------ *)
+
+let reference_factor a =
+  let plan = build_plan a in
+  let l = plan.l in
+  let values = Array.make (Sparse.nnz l) 0.0 in
+  (* scatter A into the L pattern *)
+  for j = 0 to a.Sparse.n - 1 do
+    for p = a.Sparse.colptr.(j) to a.Sparse.colptr.(j + 1) - 1 do
+      let q = find_pos l j a.Sparse.rowidx.(p) in
+      values.(q) <- a.Sparse.values.(p)
+    done
+  done;
+  let get p = values.(p) and set p v = values.(p) <- v in
+  let map = Array.make l.Sparse.n 0 and cur = ref (-1) in
+  for s = 0 to plan.nsuper - 1 do
+    ignore (cdiv_supernode plan ~get ~set ~map ~cur ~s);
+    Array.iter
+      (fun st -> ignore (cmod_supernode plan ~get ~set ~map ~cur ~s ~st))
+      plan.targets.(s)
+  done;
+  values
+
+(* ------------------------------------------------------------------ *)
+(* Parallel run                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* shared bag layout in an Iarray: [0] head, [1] tail, [2] ndone, tasks
+   from slot 3 *)
+let bag_head = 0
+
+and bag_tail = 1
+
+and bag_ndone = 2
+
+and bag_slots = 3
+
+let run cluster lrcs config =
+  let a = config.matrix in
+  let procs = Cluster.size cluster in
+  let space = Lrc.space lrcs.(0) in
+  let plan = build_plan a in
+  let l = plan.l in
+  let n = l.Sparse.n in
+  let lnnz = Sparse.nnz l in
+  let values = Shmem.Farray.create space ~len:lnnz in
+  let nmod = Shmem.Iarray.create space ~len:plan.nsuper in
+  let bag = Shmem.Iarray.create space ~len:(bag_slots + plan.nsuper) in
+  let flops_per_proc = Array.make procs 0 in
+  let checksum = ref 0.0 in
+  (* every supernode must be factorized exactly once *)
+  let processed = Array.make plan.nsuper 0 in
+  Cluster.run_app cluster (fun node ->
+      let me = Node.id node in
+      let lrc = lrcs.(me) in
+      (* first-touch distribution: supernode s initialised by proc s mod P *)
+      for s = 0 to plan.nsuper - 1 do
+        if s mod procs = me then begin
+          let vlo = l.Sparse.colptr.(plan.starts.(s)) in
+          let vhi = l.Sparse.colptr.(plan.starts.(s + 1)) in
+          Shmem.Farray.init_local lrc values ~lo:vlo ~len:(vhi - vlo) (fun _ -> 0.0);
+          for j = plan.starts.(s) to plan.starts.(s + 1) - 1 do
+            for p = a.Sparse.colptr.(j) to a.Sparse.colptr.(j + 1) - 1 do
+              let q = find_pos l j a.Sparse.rowidx.(p) in
+              Shmem.Farray.set values q a.Sparse.values.(p)
+            done
+          done;
+          Shmem.Iarray.init_local lrc nmod ~lo:s ~len:1 (fun s -> plan.nmod0.(s))
+        end
+      done;
+      if me = 0 then begin
+        (* seed the bag with the leaves *)
+        Shmem.Iarray.init_local lrc bag ~lo:0 ~len:(bag_slots + plan.nsuper) (fun _ -> 0);
+        let tail = ref 0 in
+        for s = 0 to plan.nsuper - 1 do
+          if plan.nmod0.(s) = 0 then begin
+            Shmem.Iarray.set bag (bag_slots + !tail) s;
+            incr tail
+          end
+        done;
+        Shmem.Iarray.set bag bag_tail !tail
+      end;
+      Lrc.barrier lrc ~id:0;
+      let map = Array.make n 0 and cur = ref (-1) in
+      let get p = Shmem.Farray.get values p and set p v = Shmem.Farray.set values p v in
+      let my_flops = ref 0 in
+      (* value range of a supernode (contiguous in CSC order) *)
+      let range s =
+        let vlo = l.Sparse.colptr.(plan.starts.(s)) in
+        (vlo, l.Sparse.colptr.(plan.starts.(s + 1)) - vlo)
+      in
+      let pop () =
+        Lrc.acquire lrc ~lock:bag_lock;
+        Shmem.Iarray.read_range lrc bag ~lo:0 ~len:bag_slots;
+        let head = Shmem.Iarray.get bag bag_head and tail = Shmem.Iarray.get bag bag_tail in
+        let task =
+          if head < tail then begin
+            Shmem.Iarray.read_range lrc bag ~lo:(bag_slots + head) ~len:1;
+            let s = Shmem.Iarray.get bag (bag_slots + head) in
+            Shmem.Iarray.write_range lrc bag ~lo:bag_head ~len:1;
+            Shmem.Iarray.set bag bag_head (head + 1);
+            Some s
+          end
+          else None
+        in
+        let done_count = Shmem.Iarray.get bag bag_ndone in
+        Node.work node 50;
+        Lrc.release lrc ~lock:bag_lock;
+        (task, done_count)
+      in
+      let push s =
+        Lrc.acquire lrc ~lock:bag_lock;
+        Shmem.Iarray.read_range lrc bag ~lo:bag_tail ~len:1;
+        let tail = Shmem.Iarray.get bag bag_tail in
+        Shmem.Iarray.write_range lrc bag ~lo:(bag_slots + tail) ~len:1;
+        Shmem.Iarray.set bag (bag_slots + tail) s;
+        Shmem.Iarray.write_range lrc bag ~lo:bag_tail ~len:1;
+        Shmem.Iarray.set bag bag_tail (tail + 1);
+        Node.work node 50;
+        Lrc.release lrc ~lock:bag_lock
+      in
+      let mark_done () =
+        Lrc.acquire lrc ~lock:bag_lock;
+        Shmem.Iarray.read_range lrc bag ~lo:bag_ndone ~len:1;
+        Shmem.Iarray.write_range lrc bag ~lo:bag_ndone ~len:1;
+        Shmem.Iarray.set bag bag_ndone (Shmem.Iarray.get bag bag_ndone + 1);
+        Node.work node 30;
+        Lrc.release lrc ~lock:bag_lock
+      in
+      let process s =
+        processed.(s) <- processed.(s) + 1;
+        if processed.(s) > 1 then
+          failwith (Printf.sprintf "Cholesky: supernode %d processed %d times" s processed.(s));
+        (* the supernode has received every external update: factorize it *)
+        Lrc.acquire lrc ~lock:(snode_lock s);
+        let vlo, vlen = range s in
+        Shmem.Farray.read_range lrc values ~lo:vlo ~len:vlen;
+        Shmem.Farray.write_range lrc values ~lo:vlo ~len:vlen;
+        let f = cdiv_supernode plan ~get ~set ~map ~cur ~s in
+        Node.work node (f * config.cycles_per_flop);
+        my_flops := !my_flops + f;
+        Lrc.release lrc ~lock:(snode_lock s);
+        (* propagate to the later supernodes this one touches *)
+        Array.iter
+          (fun st ->
+            Lrc.acquire lrc ~lock:(snode_lock st);
+            let tlo, tlen = range st in
+            Shmem.Farray.read_range lrc values ~lo:vlo ~len:vlen;
+            Shmem.Farray.read_range lrc values ~lo:tlo ~len:tlen;
+            Shmem.Farray.write_range lrc values ~lo:tlo ~len:tlen;
+            let f = cmod_supernode plan ~get ~set ~map ~cur ~s ~st in
+            Node.work node (f * config.cycles_per_flop);
+            my_flops := !my_flops + f;
+            Shmem.Iarray.read_range lrc nmod ~lo:st ~len:1;
+            Shmem.Iarray.write_range lrc nmod ~lo:st ~len:1;
+            let remaining = Shmem.Iarray.get nmod st - 1 in
+            Shmem.Iarray.set nmod st remaining;
+            if remaining = 0 then push st;
+            Lrc.release lrc ~lock:(snode_lock st))
+          plan.targets.(s);
+        mark_done ()
+      in
+      let backoff = ref config.poll_backoff_cycles in
+      let finished = ref false in
+      while not !finished do
+        match pop () with
+        | Some s, _ ->
+            backoff := config.poll_backoff_cycles;
+            process s
+        | None, done_count ->
+            if done_count >= plan.nsuper then finished := true
+            else begin
+              Node.work node !backoff;
+              backoff := min (!backoff * 2) (config.poll_backoff_cycles * 16)
+            end
+      done;
+      Lrc.barrier lrc ~id:1;
+      flops_per_proc.(me) <- !my_flops;
+      if me = 0 then begin
+        let s = ref 0.0 in
+        for p = 0 to lnnz - 1 do
+          s := !s +. abs_float (Shmem.Farray.get values p)
+        done;
+        checksum := !s
+      end);
+  {
+    checksum = !checksum;
+    supernodes = plan.nsuper;
+    fill_nnz = lnnz;
+    flops = Array.fold_left ( + ) 0 flops_per_proc;
+    values = Array.init lnnz (fun p -> Shmem.Farray.get values p);
+  }

@@ -1,0 +1,38 @@
+(** Parallel sparse Cholesky factorization (SPLASH): the paper's fine-grained
+    benchmark.
+
+    Right-looking supernodal factorization over distributed shared memory:
+    processors draw ready supernodes from a shared {e bag of tasks}; a drawn
+    supernode is factorized (cdiv) and its updates are applied to each later
+    supernode it touches under that supernode's {e column lock}; a target
+    whose last expected update has arrived is pushed into the bag. Factor
+    pages migrate from releaser to acquirer, which is why receive caching
+    helps this application the most, and one page holds many columns, so
+    there is heavy concurrent write sharing (section 3.1). *)
+
+type config = {
+  matrix : Sparse.t;  (** lower-triangular SPD input *)
+  cycles_per_flop : int;
+  poll_backoff_cycles : int;  (** idle-worker poll spacing *)
+}
+
+val default_config : Sparse.t -> config
+
+(** The paper's input matrices, substituted per DESIGN.md section 5. *)
+val bcsstk14_like : unit -> Sparse.t
+
+val bcsstk15_like : unit -> Sparse.t
+
+type result = {
+  checksum : float;  (** sum of |L| entries *)
+  supernodes : int;
+  fill_nnz : int;
+  flops : int;
+  values : float array;  (** the factored L values, for validation *)
+}
+
+val run : Cni_dsm.Protocol.msg Cni_cluster.Cluster.t -> Cni_dsm.Lrc.t array -> config -> result
+
+(** Sequential reference factorization of the same structure (tests &
+    speedup baselines that avoid simulating): returns the L values array. *)
+val reference_factor : Sparse.t -> float array

@@ -1,0 +1,30 @@
+(** Jacobi iterative relaxation (section 3.1): the paper's coarse-grained
+    benchmark.
+
+    An n x n grid is strip-partitioned by rows; each point is recomputed from
+    its four neighbours. There are two synchronisation points per iteration
+    (after computing into the new plane, and after the planes are swapped),
+    so the only steady-state communication is the boundary rows invalidated
+    at each barrier — which is why the Message Cache's hit ratio is very high
+    for this application. *)
+
+type config = {
+  n : int;  (** matrix dimension (128 / 256 / 512 / 1024 in the paper) *)
+  iterations : int;
+  cycles_per_point : int;  (** CPU cost of one 4-point stencil update *)
+  warmup_iterations : int;
+      (** statistics (network cache hit ratio) reset after this many
+          iterations so a short run reports the steady-state ratio the
+          paper's long runs measure; timing is unaffected *)
+}
+
+val default_config : config
+
+type result = {
+  checksum : float;  (** sum of the final plane (validation) *)
+  iterations_done : int;
+}
+
+(** [run cluster lrcs config] executes the application on every node of the
+    cluster (must be called before any other [run_app] on this cluster). *)
+val run : Cni_dsm.Protocol.msg Cni_cluster.Cluster.t -> Cni_dsm.Lrc.t array -> config -> result

@@ -1,0 +1,9 @@
+let range ~items ~procs ~me =
+  let base = items / procs and extra = items mod procs in
+  let lo = (me * base) + min me extra in
+  let hi = lo + base + if me < extra then 1 else 0 in
+  (lo, hi)
+
+let count ~items ~procs ~me =
+  let lo, hi = range ~items ~procs ~me in
+  hi - lo

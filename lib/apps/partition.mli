@@ -1,0 +1,8 @@
+(** Block partitioning helpers shared by the applications. *)
+
+(** [range ~items ~procs ~me] is the [(lo, hi_exclusive)] block of [me]
+    (0-based); blocks differ in size by at most one item. *)
+val range : items:int -> procs:int -> me:int -> int * int
+
+(** Number of items of [me]'s block. *)
+val count : items:int -> procs:int -> me:int -> int

@@ -1,0 +1,337 @@
+type t = { n : int; colptr : int array; rowidx : int array; values : float array }
+
+let nnz t = t.colptr.(t.n)
+
+let validate t =
+  if Array.length t.colptr <> t.n + 1 then invalid_arg "Sparse: colptr length";
+  if t.colptr.(0) <> 0 then invalid_arg "Sparse: colptr.(0)";
+  for j = 0 to t.n - 1 do
+    if t.colptr.(j + 1) < t.colptr.(j) then invalid_arg "Sparse: colptr not monotone";
+    if t.colptr.(j + 1) = t.colptr.(j) then invalid_arg "Sparse: empty column";
+    if t.rowidx.(t.colptr.(j)) <> j then invalid_arg "Sparse: diagonal not first";
+    for p = t.colptr.(j) + 1 to t.colptr.(j + 1) - 1 do
+      if t.rowidx.(p) <= t.rowidx.(p - 1) then invalid_arg "Sparse: rows not increasing";
+      if t.rowidx.(p) >= t.n then invalid_arg "Sparse: row out of range"
+    done
+  done;
+  if Array.length t.rowidx < nnz t || Array.length t.values < nnz t then
+    invalid_arg "Sparse: short arrays"
+
+(* ------------------------------------------------------------------ *)
+(* Generator                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let stiffness_like ~n ~dofs ~seed =
+  if n < 1 || dofs < 1 then invalid_arg "Sparse.stiffness_like";
+  let nodes = (n + dofs - 1) / dofs in
+  let g = int_of_float (ceil (sqrt (float_of_int nodes))) in
+  let node_of u = u / dofs in
+  let coords nd = (nd / g, nd mod g) in
+  (* deterministic small hash for values *)
+  let h i j = float_of_int (1 + (((i * 2654435761) + (j * 40503) + seed) land 7)) *. -0.05 in
+  let rowsum = Array.make n 0.0 in
+  (* collect strictly-lower entries per column *)
+  let cols = Array.make n [] in
+  let add_entry i j =
+    (* i > j *)
+    let v = h i j in
+    cols.(j) <- (i, v) :: cols.(j);
+    rowsum.(i) <- rowsum.(i) +. abs_float v;
+    rowsum.(j) <- rowsum.(j) +. abs_float v
+  in
+  for j = 0 to n - 1 do
+    let nj = node_of j in
+    let r, c = coords nj in
+    (* couple to the same node's later dofs and the 8 neighbour nodes *)
+    for dr = 0 to 1 do
+      for dc = -1 to 1 do
+        if not (dr = 0 && dc < 0) then begin
+          let r' = r + dr and c' = c + dc in
+          if r' >= 0 && r' < g && c' >= 0 && c' < g then begin
+            let nd' = (r' * g) + c' in
+            if nd' >= nj then
+              for d = 0 to dofs - 1 do
+                let i = (nd' * dofs) + d in
+                if i > j && i < n then add_entry i j
+              done
+          end
+        end
+      done
+    done
+  done;
+  let counts = Array.map List.length cols in
+  let colptr = Array.make (n + 1) 0 in
+  for j = 0 to n - 1 do
+    colptr.(j + 1) <- colptr.(j) + 1 + counts.(j)
+  done;
+  let total = colptr.(n) in
+  let rowidx = Array.make total 0 in
+  let values = Array.make total 0.0 in
+  for j = 0 to n - 1 do
+    let p = colptr.(j) in
+    rowidx.(p) <- j;
+    values.(p) <- rowsum.(j) +. 1.0;
+    let sorted = List.sort (fun (a, _) (b, _) -> compare a b) cols.(j) in
+    List.iteri
+      (fun k (i, v) ->
+        rowidx.(p + 1 + k) <- i;
+        values.(p + 1 + k) <- v)
+      sorted
+  done;
+  let t = { n; colptr; rowidx; values } in
+  validate t;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Elimination tree (Liu's algorithm with path compression)            *)
+(* ------------------------------------------------------------------ *)
+
+let etree t =
+  let n = t.n in
+  let parent = Array.make n (-1) in
+  let ancestor = Array.make n (-1) in
+  (* entries (i, k) with k < i are exactly the strictly-lower entries of
+     column k; walk them grouped by row i in increasing i *)
+  let rows = Array.make n [] in
+  for k = 0 to n - 1 do
+    for p = t.colptr.(k) + 1 to t.colptr.(k + 1) - 1 do
+      let i = t.rowidx.(p) in
+      rows.(i) <- k :: rows.(i)
+    done
+  done;
+  for i = 0 to n - 1 do
+    List.iter
+      (fun k ->
+        let r = ref k in
+        let continue = ref true in
+        while !continue do
+          if ancestor.(!r) = -1 || ancestor.(!r) = i then continue := false
+          else begin
+            let next = ancestor.(!r) in
+            ancestor.(!r) <- i;
+            r := next
+          end
+        done;
+        if ancestor.(!r) = -1 then begin
+          ancestor.(!r) <- i;
+          parent.(!r) <- i
+        end)
+      rows.(i)
+  done;
+  parent
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic factorization                                              *)
+(* ------------------------------------------------------------------ *)
+
+let symbolic t =
+  let n = t.n in
+  let parent = etree t in
+  let children = Array.make n [] in
+  for j = n - 1 downto 0 do
+    if parent.(j) >= 0 then children.(parent.(j)) <- j :: children.(parent.(j))
+  done;
+  let marker = Array.make n (-1) in
+  let patterns = Array.make n [||] in
+  for j = 0 to n - 1 do
+    (* Struct(L_j) = Struct(A_j) U (union over children c of Struct(L_c) \ {c}) *)
+    marker.(j) <- j;
+    let acc = ref [ j ] in
+    let count = ref 1 in
+    let visit i =
+      if i > j && marker.(i) <> j then begin
+        marker.(i) <- j;
+        acc := i :: !acc;
+        incr count
+      end
+    in
+    for p = t.colptr.(j) + 1 to t.colptr.(j + 1) - 1 do
+      visit t.rowidx.(p)
+    done;
+    List.iter (fun c -> Array.iter visit patterns.(c)) children.(j);
+    let arr = Array.of_list !acc in
+    Array.sort compare arr;
+    patterns.(j) <- arr
+  done;
+  let colptr = Array.make (n + 1) 0 in
+  for j = 0 to n - 1 do
+    colptr.(j + 1) <- colptr.(j) + Array.length patterns.(j)
+  done;
+  let total = colptr.(n) in
+  let rowidx = Array.make total 0 in
+  let values = Array.make total 0.0 in
+  for j = 0 to n - 1 do
+    Array.blit patterns.(j) 0 rowidx colptr.(j) (Array.length patterns.(j))
+  done;
+  let l = { n; colptr; rowidx; values } in
+  validate l;
+  l
+
+(* ------------------------------------------------------------------ *)
+(* Supernodes                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let supernodes l =
+  let n = l.n in
+  let parent = etree l in
+  let nchildren = Array.make n 0 in
+  Array.iter (fun p -> if p >= 0 then nchildren.(p) <- nchildren.(p) + 1) parent;
+  let col_len j = l.colptr.(j + 1) - l.colptr.(j) in
+  let starts = ref [ 0 ] in
+  for j = 1 to n - 1 do
+    let fused =
+      parent.(j - 1) = j && nchildren.(j) = 1 && col_len (j - 1) = col_len j + 1
+    in
+    if not fused then starts := j :: !starts
+  done;
+  Array.of_list (List.rev !starts)
+
+(* ------------------------------------------------------------------ *)
+(* Dense views (tests)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let to_dense t =
+  let d = Array.make_matrix t.n t.n 0.0 in
+  for j = 0 to t.n - 1 do
+    for p = t.colptr.(j) to t.colptr.(j + 1) - 1 do
+      d.(t.rowidx.(p)).(j) <- t.values.(p)
+    done
+  done;
+  d
+
+let to_dense_symmetric t =
+  let d = to_dense t in
+  for i = 0 to t.n - 1 do
+    for j = 0 to i - 1 do
+      d.(j).(i) <- d.(i).(j)
+    done
+  done;
+  d
+
+(* ------------------------------------------------------------------ *)
+(* Orderings                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let bandwidth t =
+  let bw = ref 0 in
+  for j = 0 to t.n - 1 do
+    for p = t.colptr.(j) to t.colptr.(j + 1) - 1 do
+      if t.rowidx.(p) - j > !bw then bw := t.rowidx.(p) - j
+    done
+  done;
+  !bw
+
+(* adjacency lists of the symmetric pattern, diagonal excluded *)
+let adjacency t =
+  let adj = Array.make t.n [] in
+  for j = 0 to t.n - 1 do
+    for p = t.colptr.(j) + 1 to t.colptr.(j + 1) - 1 do
+      let i = t.rowidx.(p) in
+      adj.(i) <- j :: adj.(i);
+      adj.(j) <- i :: adj.(j)
+    done
+  done;
+  adj
+
+let permute t ~perm =
+  if Array.length perm <> t.n then invalid_arg "Sparse.permute: wrong length";
+  let inv = Array.make t.n (-1) in
+  Array.iteri
+    (fun new_i old_i ->
+      if old_i < 0 || old_i >= t.n || inv.(old_i) <> -1 then
+        invalid_arg "Sparse.permute: not a permutation";
+      inv.(old_i) <- new_i)
+    perm;
+  (* collect entries under the new labels, kept in the lower triangle *)
+  let cols = Array.make t.n [] in
+  let diag = Array.make t.n 0.0 in
+  for j = 0 to t.n - 1 do
+    for p = t.colptr.(j) to t.colptr.(j + 1) - 1 do
+      let i = t.rowidx.(p) and v = t.values.(p) in
+      let ni = inv.(i) and nj = inv.(j) in
+      if ni = nj then diag.(ni) <- v
+      else begin
+        let r = Stdlib.max ni nj and c = Stdlib.min ni nj in
+        cols.(c) <- (r, v) :: cols.(c)
+      end
+    done
+  done;
+  let colptr = Array.make (t.n + 1) 0 in
+  for j = 0 to t.n - 1 do
+    colptr.(j + 1) <- colptr.(j) + 1 + List.length cols.(j)
+  done;
+  let rowidx = Array.make colptr.(t.n) 0 in
+  let values = Array.make colptr.(t.n) 0.0 in
+  for j = 0 to t.n - 1 do
+    let p = colptr.(j) in
+    rowidx.(p) <- j;
+    values.(p) <- diag.(j);
+    let sorted = List.sort (fun (a, _) (b, _) -> compare a b) cols.(j) in
+    List.iteri
+      (fun k (i, v) ->
+        rowidx.(p + 1 + k) <- i;
+        values.(p + 1 + k) <- v)
+      sorted
+  done;
+  let t' = { n = t.n; colptr; rowidx; values } in
+  validate t';
+  t'
+
+let rcm t =
+  let adj = adjacency t in
+  let adj = Array.map (List.sort_uniq compare) adj in
+  let degree = Array.map List.length adj in
+  let visited = Array.make t.n false in
+  let order = ref [] in
+  let count = ref 0 in
+  (* BFS from [root] in increasing-degree neighbour order; optionally record
+     the visitation; returns the distance labelling *)
+  let bfs ~record root =
+    let dist = Array.make t.n (-1) in
+    let q = Queue.create () in
+    dist.(root) <- 0;
+    Queue.add root q;
+    while not (Queue.is_empty q) do
+      let v = Queue.take q in
+      if record then begin
+        order := v :: !order;
+        visited.(v) <- true;
+        incr count
+      end;
+      let neighbours = List.sort (fun a b -> compare degree.(a) degree.(b)) adj.(v) in
+      List.iter
+        (fun u ->
+          if dist.(u) = -1 && not visited.(u) then begin
+            dist.(u) <- dist.(v) + 1;
+            Queue.add u q
+          end)
+        neighbours
+    done;
+    dist
+  in
+  (* pseudo-peripheral vertex: the minimum-degree vertex of the farthest BFS
+     level, iterated twice (the George-Liu heuristic) *)
+  let farthest dist =
+    let maxd = Array.fold_left Stdlib.max 0 dist in
+    let best = ref (-1) in
+    Array.iteri
+      (fun v d ->
+        if d = maxd && (!best = -1 || degree.(v) < degree.(!best)) then best := v)
+      dist;
+    !best
+  in
+  let peripheral root =
+    let r1 = farthest (bfs ~record:false root) in
+    farthest (bfs ~record:false r1)
+  in
+  (* cover all components *)
+  let start = ref 0 in
+  while !count < t.n do
+    while !start < t.n && visited.(!start) do
+      incr start
+    done;
+    if !start < t.n then ignore (bfs ~record:true (peripheral !start))
+  done;
+  (* Cuthill-McKee order was collected newest-first in [order]; reading the
+     list front-to-back therefore yields the REVERSE Cuthill-McKee order *)
+  Array.of_list !order

@@ -1,0 +1,69 @@
+(** Sparse symmetric positive-definite matrices and symbolic Cholesky
+    factorization — the substrate for the paper's Cholesky benchmark.
+
+    The paper uses Harwell-Boeing structural-stiffness matrices (bcsstk14,
+    n=1806; bcsstk15, n=3948). Those files are not available offline, so
+    {!stiffness_like} generates deterministic matrices with the same shape
+    class: a d-dof finite-element mesh on a g x g grid, giving the banded,
+    blocky lower-triangular pattern (and therefore the supernode structure
+    and page-migration behaviour) that drives the experiment. See DESIGN.md
+    section 5. *)
+
+(** Compressed sparse column, lower triangle including the diagonal. Row
+    indices within a column are strictly increasing; the diagonal entry is
+    first. *)
+type t = {
+  n : int;
+  colptr : int array;  (** length n+1 *)
+  rowidx : int array;
+  values : float array;
+}
+
+val nnz : t -> int
+
+(** @raise Invalid_argument if the structure is malformed (bad colptr,
+    unsorted or out-of-range rows, missing diagonal). *)
+val validate : t -> unit
+
+(** [stiffness_like ~n ~dofs ~seed] builds an SPD matrix of order exactly
+    [n]: mesh nodes with [dofs] unknowns each on a square grid, coupled to
+    their 8 grid neighbours, diagonally dominant values. *)
+val stiffness_like : n:int -> dofs:int -> seed:int -> t
+
+(** Elimination tree of the Cholesky factor ([-1] = root). *)
+val etree : t -> int array
+
+(** Symbolic factorization: the pattern of L (values zeroed), including
+    fill-in. *)
+val symbolic : t -> t
+
+(** Fundamental supernodes of L: [starts] is the first column of each
+    supernode, ascending, always beginning with 0; a supernode is a maximal
+    run of consecutive columns with identical below-diagonal pattern (up to
+    shift) and parent links. *)
+val supernodes : t -> int array
+
+(** Dense lower-triangular copy (tests only; quadratic memory). *)
+val to_dense : t -> float array array
+
+(** Dense symmetric matrix A = L_pattern with mirrored values (tests). *)
+val to_dense_symmetric : t -> float array array
+
+(** {2 Orderings}
+
+    Fill-in depends on the elimination order; these are the standard tools a
+    sparse Cholesky system ships with. *)
+
+(** Half bandwidth: max over entries of [i - j]. *)
+val bandwidth : t -> int
+
+(** [permute t ~perm] applies the symmetric permutation [perm] ([perm.(new_i)
+    = old_i]) to rows and columns, returning a valid lower-triangular CSC.
+    @raise Invalid_argument if [perm] is not a permutation of [0..n-1]. *)
+val permute : t -> perm:int array -> t
+
+(** Reverse Cuthill-McKee ordering: a bandwidth-reducing permutation computed
+    by breadth-first search from a pseudo-peripheral vertex, neighbours taken
+    in increasing-degree order, then reversed. Returns [perm] with
+    [perm.(new_i) = old_i]. *)
+val rcm : t -> int array

@@ -1,0 +1,144 @@
+module Cluster = Cni_cluster.Cluster
+module Node = Cni_cluster.Node
+module Lrc = Cni_dsm.Lrc
+module Shmem = Cni_dsm.Shmem
+
+type config = {
+  molecules : int;
+  steps : int;
+  cycles_per_pair : int;
+  cycles_per_update : int;
+  doubles_per_molecule : int;
+}
+
+let default_config =
+  {
+    molecules = 64;
+    steps = 2;
+    cycles_per_pair = 30_000;
+    cycles_per_update = 4_000;
+    doubles_per_molecule = 56;
+  }
+
+type result = { checksum : float; steps_done : int }
+
+(* lock id space: molecule locks start here *)
+let molecule_lock m = 100 + m
+
+(* record layout: [0..2] position, [3..5] velocity, [6..8] force, the rest
+   is the owner's predictor-corrector state *)
+let pos_off = 0
+
+and vel_off = 3
+
+and force_off = 6
+
+(* deterministic initial positions on a jittered cubic lattice *)
+let initial_pos n m axis =
+  let side = int_of_float (ceil (float_of_int n ** (1. /. 3.))) in
+  let c =
+    match axis with
+    | 0 -> m mod side
+    | 1 -> m / side mod side
+    | _ -> m / (side * side)
+  in
+  (float_of_int c *. 2.5) +. (0.3 *. sin (float_of_int ((m * 37) + (axis * 11))))
+
+(* a short-range pair force: smooth, deterministic, cheap to evaluate *)
+let pair_force dx dy dz =
+  let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) +. 0.01 in
+  let inv = 1.0 /. r2 in
+  let mag = (inv *. inv) -. (0.001 *. inv) in
+  (mag *. dx, mag *. dy, mag *. dz)
+
+let run cluster lrcs config =
+  let { molecules = n; steps; cycles_per_pair; cycles_per_update; doubles_per_molecule = w } =
+    config
+  in
+  if w < 9 then invalid_arg "Water.run: doubles_per_molecule must be >= 9";
+  let procs = Cluster.size cluster in
+  let space = Lrc.space lrcs.(0) in
+  (* one wide record per molecule: this is what pages, migrates and falsely
+     shares (several molecules per 2 KB page) *)
+  let state = Shmem.Farray.create space ~len:(n * w) in
+  let base m = m * w in
+  let checksum = ref 0.0 in
+  Cluster.run_app cluster (fun node ->
+      let me = Node.id node in
+      let lrc = lrcs.(me) in
+      let lo, hi = Partition.range ~items:n ~procs ~me in
+      Shmem.Farray.init_local lrc state ~lo:(base lo) ~len:((hi - lo) * w) (fun k ->
+          let m = k / w and off = k mod w in
+          if off < 3 then initial_pos n m off else 0.0);
+      (* private accumulation buffer (the paper's deferred updates) *)
+      let local = Array.make (3 * n) 0.0 in
+      Lrc.barrier lrc ~id:0;
+      for _step = 1 to steps do
+        (* phase 1: pairwise forces; everyone reads every molecule record *)
+        Array.fill local 0 (3 * n) 0.0;
+        Shmem.Farray.read_range lrc state ~lo:0 ~len:(n * w);
+        let px m c = Shmem.Farray.get state (base m + pos_off + c) in
+        for i = lo to hi - 1 do
+          for j = i + 1 to n - 1 do
+            let dx = px i 0 -. px j 0
+            and dy = px i 1 -. px j 1
+            and dz = px i 2 -. px j 2 in
+            let fx, fy, fz = pair_force dx dy dz in
+            local.(3 * i) <- local.(3 * i) +. fx;
+            local.((3 * i) + 1) <- local.((3 * i) + 1) +. fy;
+            local.((3 * i) + 2) <- local.((3 * i) + 2) +. fz;
+            local.(3 * j) <- local.(3 * j) -. fx;
+            local.((3 * j) + 1) <- local.((3 * j) + 1) -. fy;
+            local.((3 * j) + 2) <- local.((3 * j) + 2) -. fz
+          done;
+          Node.work node ((n - i - 1) * cycles_per_pair)
+        done;
+        (* phase 2: apply the deferred updates under per-molecule locks *)
+        for m = 0 to n - 1 do
+          if local.(3 * m) <> 0.0 || local.((3 * m) + 1) <> 0.0 || local.((3 * m) + 2) <> 0.0
+          then begin
+            Lrc.acquire lrc ~lock:(molecule_lock m);
+            Shmem.Farray.read_range lrc state ~lo:(base m + force_off) ~len:3;
+            Shmem.Farray.write_range lrc state ~lo:(base m + force_off) ~len:3;
+            for c = 0 to 2 do
+              let k = base m + force_off + c in
+              Shmem.Farray.set state k (Shmem.Farray.get state k +. local.((3 * m) + c))
+            done;
+            Node.work node cycles_per_update;
+            Lrc.release lrc ~lock:(molecule_lock m)
+          end
+        done;
+        Lrc.barrier lrc ~id:0;
+        (* phase 3: owners integrate their molecules (the whole record is
+           rewritten: positions, velocities and the predictor state) *)
+        Shmem.Farray.read_range lrc state ~lo:(base lo) ~len:((hi - lo) * w);
+        Shmem.Farray.write_range lrc state ~lo:(base lo) ~len:((hi - lo) * w);
+        for m = lo to hi - 1 do
+          let dt = 0.001 in
+          for c = 0 to 2 do
+            let p = base m + pos_off + c
+            and v = base m + vel_off + c
+            and f = base m + force_off + c in
+            Shmem.Farray.set state v (Shmem.Farray.get state v +. (dt *. Shmem.Farray.get state f));
+            Shmem.Farray.set state p (Shmem.Farray.get state p +. (dt *. Shmem.Farray.get state v));
+            Shmem.Farray.set state f 0.0
+          done;
+          (* refresh the predictor-corrector scratch *)
+          for off = 9 to w - 1 do
+            let k = (base m) + off in
+            Shmem.Farray.set state k (Shmem.Farray.get state (base m + (off mod 3)) *. 0.5)
+          done
+        done;
+        Node.work node ((hi - lo) * cycles_per_update);
+        Lrc.barrier lrc ~id:1
+      done;
+      if me = 0 then begin
+        let s = ref 0.0 in
+        for m = 0 to n - 1 do
+          for c = 0 to 2 do
+            s := !s +. Shmem.Farray.get state (base m + pos_off + c)
+          done
+        done;
+        checksum := !s
+      end);
+  { checksum = !checksum; steps_done = steps }

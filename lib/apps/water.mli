@@ -1,0 +1,29 @@
+(** Water (SPLASH): the paper's medium-grained benchmark.
+
+    N molecules; every step computes intra- and inter-molecular forces
+    (O(N^2/2) pairwise interactions, each proc owning a block of molecules),
+    then updates the molecular parameters. As in the paper (following Cox et
+    al.), updates are postponed to the end of the iteration: each processor
+    accumulates its pairwise contributions privately and then adds them to
+    the shared force array under one lock per molecule; barriers separate the
+    phases. Positions are read by everyone and rewritten by their owners each
+    step, so the network cache hit ratio is sensitive to the number of
+    processors (the sharing pattern is much richer than Jacobi's). *)
+
+type config = {
+  molecules : int;  (** 64 / 216 / 343 in the paper *)
+  steps : int;  (** 2 in the paper *)
+  cycles_per_pair : int;  (** CPU cost of one pairwise interaction *)
+  cycles_per_update : int;  (** CPU cost of integrating one molecule *)
+  doubles_per_molecule : int;
+      (** width of a molecule record. SPLASH Water keeps predictor-corrector
+          state per atom (tens of doubles per molecule); the record width
+          drives page traffic and the false sharing of figure 9. Must be at
+          least 9 (position, velocity, force). *)
+}
+
+val default_config : config
+
+type result = { checksum : float (* sum of final positions *); steps_done : int }
+
+val run : Cni_dsm.Protocol.msg Cni_cluster.Cluster.t -> Cni_dsm.Lrc.t array -> config -> result

@@ -1,0 +1,47 @@
+exception Reassembly_error of string
+
+let trailer_bytes = 8
+
+let cell_count len =
+  let total = len + trailer_bytes in
+  max 1 ((total + Cell.payload_bytes - 1) / Cell.payload_bytes)
+
+let segment ~vpi ~vci frame =
+  let len = Bytes.length frame in
+  let ncells = cell_count len in
+  let padded = Bytes.make (ncells * Cell.payload_bytes) '\000' in
+  Bytes.blit frame 0 padded 0 len;
+  (* trailer: [len:4][crc:4] over payload+padding *)
+  let trailer_pos = Bytes.length padded - trailer_bytes in
+  Bytes.set_int32_be padded trailer_pos (Int32.of_int len);
+  let crc = Crc32.digest padded ~pos:0 ~len:(trailer_pos + 4) in
+  Bytes.set_int32_be padded (trailer_pos + 4) crc;
+  List.init ncells (fun i ->
+      let payload = Bytes.sub padded (i * Cell.payload_bytes) Cell.payload_bytes in
+      Cell.make ~vpi ~vci ~last:(i = ncells - 1) payload)
+
+module Reassembler = struct
+  type t = { mutable cells : Bytes.t list (* reversed *); mutable count : int }
+
+  let create () = { cells = []; count = 0 }
+  let pending_cells t = t.count
+
+  let push t (cell : Cell.t) =
+    t.cells <- cell.payload :: t.cells;
+    t.count <- t.count + 1;
+    if not cell.header.last then None
+    else begin
+      let padded = Bytes.concat Bytes.empty (List.rev t.cells) in
+      t.cells <- [];
+      t.count <- 0;
+      let total = Bytes.length padded in
+      if total < trailer_bytes then raise (Reassembly_error "frame shorter than trailer");
+      let trailer_pos = total - trailer_bytes in
+      let len = Int32.to_int (Bytes.get_int32_be padded trailer_pos) in
+      if len < 0 || len > trailer_pos then raise (Reassembly_error "bad length field");
+      let crc_stored = Bytes.get_int32_be padded (trailer_pos + 4) in
+      let crc = Crc32.digest padded ~pos:0 ~len:(trailer_pos + 4) in
+      if crc <> crc_stored then raise (Reassembly_error "CRC mismatch");
+      Some (Bytes.sub padded 0 len)
+    end
+end

@@ -1,0 +1,31 @@
+(** AAL5-style segmentation and reassembly.
+
+    A frame is padded so that payload + 8-byte trailer fills a whole number
+    of 48-byte cells; the trailer carries the original length and a CRC-32
+    over payload+padding. The final cell is marked with the "last" PTI bit.
+    This is the fragmentation/reassembly overhead the paper blames for the
+    residual communication cost (section 3.4 / Table 5). *)
+
+exception Reassembly_error of string
+
+(** [segment ~vpi ~vci frame] splits a frame into cells (at least one). *)
+val segment : vpi:int -> vci:int -> Bytes.t -> Cell.t list
+
+(** Incremental reassembler for one virtual circuit. *)
+module Reassembler : sig
+  type t
+
+  val create : unit -> t
+
+  (** [push t cell] adds a cell; returns [Some frame] when the cell completes
+      a frame (CRC and length verified).
+      @raise Reassembly_error on a bad CRC or inconsistent length. *)
+  val push : t -> Cell.t -> Bytes.t option
+
+  (** Cells buffered for the in-progress frame. *)
+  val pending_cells : t -> int
+end
+
+(** [cell_count bytes] is the number of cells a [bytes]-long frame needs
+    (payload + 8-byte trailer, 48-byte cells). *)
+val cell_count : int -> int

@@ -1,0 +1,36 @@
+type header = { vpi : int; vci : int; last : bool; clp : bool }
+type t = { header : header; payload : Bytes.t }
+
+let header_bytes = 5
+let payload_bytes = 48
+let total_bytes = header_bytes + payload_bytes
+
+let make ~vpi ~vci ~last ?(clp = false) payload =
+  if Bytes.length payload <> payload_bytes then
+    invalid_arg "Cell.make: payload must be exactly 48 bytes";
+  if vpi < 0 || vpi > 0xff then invalid_arg "Cell.make: vpi out of range";
+  if vci < 0 || vci > 0xffff then invalid_arg "Cell.make: vci out of range";
+  { header = { vpi; vci; last; clp }; payload }
+
+(* Header layout (UNI, simplified): GFC/VPI byte, VPI/VCI nibbles packed as
+   vpi:8, vci:16, then PTI(3)/CLP(1) in byte 3's low nibble, HEC placeholder. *)
+let encode t =
+  let b = Bytes.create total_bytes in
+  let h = t.header in
+  Bytes.set_uint8 b 0 h.vpi;
+  Bytes.set_uint16_be b 1 h.vci;
+  let pti = if h.last then 1 else 0 in
+  Bytes.set_uint8 b 3 ((pti lsl 1) lor if h.clp then 1 else 0);
+  Bytes.set_uint8 b 4 0 (* HEC placeholder *);
+  Bytes.blit t.payload 0 b header_bytes payload_bytes;
+  b
+
+let decode b =
+  if Bytes.length b <> total_bytes then invalid_arg "Cell.decode: need 53 bytes";
+  let vpi = Bytes.get_uint8 b 0 in
+  let vci = Bytes.get_uint16_be b 1 in
+  let flags = Bytes.get_uint8 b 3 in
+  let last = flags land 2 <> 0 in
+  let clp = flags land 1 <> 0 in
+  let payload = Bytes.sub b header_bytes payload_bytes in
+  { header = { vpi; vci; last; clp }; payload }

@@ -1,0 +1,32 @@
+(** ATM cell representation and wire format.
+
+    A standard ATM cell is 53 bytes: a 5-byte header (VPI/VCI, payload type,
+    CLP; we omit HEC computation and store a placeholder byte) and a 48-byte
+    payload. The payload-type "last cell" bit is used by AAL5 to delimit
+    frames, exactly the property PATHFINDER relies on to recognise the final
+    fragment of a packet. *)
+
+type header = {
+  vpi : int;  (** 8 bits used *)
+  vci : int;  (** 16 bits *)
+  last : bool;  (** AAL5 end-of-frame (PTI bit 0) *)
+  clp : bool;  (** cell loss priority *)
+}
+
+type t = { header : header; payload : Bytes.t (** exactly [payload_bytes] long *) }
+
+val header_bytes : int (** 5 *)
+
+val payload_bytes : int (** 48 *)
+
+val total_bytes : int (** 53 *)
+
+val make : vpi:int -> vci:int -> last:bool -> ?clp:bool -> Bytes.t -> t
+(** @raise Invalid_argument if the payload is not exactly 48 bytes or a header
+    field is out of range. *)
+
+(** 53-byte wire encoding. *)
+val encode : t -> Bytes.t
+
+(** @raise Invalid_argument on a buffer that is not 53 bytes. *)
+val decode : Bytes.t -> t

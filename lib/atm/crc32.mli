@@ -1,0 +1,10 @@
+(** CRC-32 (IEEE 802.3 polynomial), used by the AAL5 trailer. *)
+
+val digest : Bytes.t -> pos:int -> len:int -> int32
+
+(** [update crc b ~pos ~len] continues a running CRC (start from
+    [init]). *)
+val init : int32
+
+val update : int32 -> Bytes.t -> pos:int -> len:int -> int32
+val finish : int32 -> int32

@@ -1,0 +1,102 @@
+module Params = Cni_machine.Params
+
+module Engine = Cni_engine.Engine
+module Time = Cni_engine.Time
+module Sync = Cni_engine.Sync
+
+type 'a packet = {
+  src : int;
+  dst : int;
+  vci : int;
+  header : Bytes.t;
+  body_bytes : int;
+  payload : 'a;
+}
+
+type stats = { packets : int; cells : int; wire_bytes : int; dropped : int }
+
+type 'a t = {
+  eng : Engine.t;
+  p : Params.t;
+  n : int;
+  egress : Sync.Semaphore.t array;
+  mutable ingress_free : Time.t array;
+  receivers : ('a packet -> unit) array;
+  mutable s_packets : int;
+  mutable s_cells : int;
+  mutable s_wire_bytes : int;
+  mutable s_dropped : int;
+}
+
+let frame_bytes pkt = Bytes.length pkt.header + pkt.body_bytes
+
+let packet_cells p pkt = Params.cells_for p ~bytes:(frame_bytes pkt + 8)
+
+let wire_bytes p pkt =
+  let total = frame_bytes pkt in
+  let cells = Params.cells_for p ~bytes:(total + 8) in
+  if cells = 1 then total + 8 + p.Params.cell_header_bytes
+  else cells * (p.Params.cell_payload_bytes + p.Params.cell_header_bytes)
+
+let serialize_time p ~wire = Params.wire_time p ~bytes:wire
+
+let min_latency p ~bytes =
+  let cells = Params.cells_for p ~bytes:(bytes + 8) in
+  let wire =
+    if cells = 1 then bytes + 8 + p.Params.cell_header_bytes
+    else cells * (p.Params.cell_payload_bytes + p.Params.cell_header_bytes)
+  in
+  Time.(serialize_time p ~wire + p.Params.switch_latency + (p.Params.link_latency * 2))
+
+let create eng p ~nodes =
+  if nodes < 1 then invalid_arg "Fabric.create: need at least one node";
+  let t =
+    {
+      eng;
+      p;
+      n = nodes;
+      egress = Array.init nodes (fun _ -> Sync.Semaphore.create 1);
+      ingress_free = Array.make nodes Time.zero;
+      receivers = Array.make nodes (fun _ -> ());
+      s_packets = 0;
+      s_cells = 0;
+      s_wire_bytes = 0;
+      s_dropped = 0;
+    }
+  in
+  for i = 0 to nodes - 1 do
+    t.receivers.(i) <- (fun _ -> t.s_dropped <- t.s_dropped + 1)
+  done;
+  t
+
+let nodes t = t.n
+let params t = t.p
+let set_receiver t ~node f = t.receivers.(node) <- f
+
+let send t pkt =
+  if pkt.src < 0 || pkt.src >= t.n then invalid_arg "Fabric.send: src out of range";
+  if pkt.dst < 0 || pkt.dst >= t.n then invalid_arg "Fabric.send: dst out of range";
+  if pkt.src = pkt.dst then invalid_arg "Fabric.send: src = dst";
+  let cells = packet_cells t.p pkt in
+  let wire = wire_bytes t.p pkt in
+  t.s_packets <- t.s_packets + 1;
+  t.s_cells <- t.s_cells + cells;
+  t.s_wire_bytes <- t.s_wire_bytes + wire;
+  let ser = serialize_time t.p ~wire in
+  Engine.spawn t.eng ~name:"fabric-send" (fun () ->
+      Sync.Semaphore.acquire t.egress.(pkt.src);
+      Engine.delay ser;
+      Sync.Semaphore.release t.egress.(pkt.src);
+      (* last bit has left the source; it reaches the destination after the
+         switch and two links. Cut-through reception: the ingress port was
+         receiving while we were serialising, unless it was busy. *)
+      let now = Engine.now t.eng in
+      let eta = Time.(now + t.p.Params.switch_latency + (t.p.Params.link_latency * 2)) in
+      let start_recv = Time.max Time.(eta - ser) t.ingress_free.(pkt.dst) in
+      let finish = Time.(start_recv + ser) in
+      t.ingress_free.(pkt.dst) <- finish;
+      Engine.delay Time.(finish - now);
+      t.receivers.(pkt.dst) pkt)
+
+let stats t =
+  { packets = t.s_packets; cells = t.s_cells; wire_bytes = t.s_wire_bytes; dropped = t.s_dropped }

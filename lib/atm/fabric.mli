@@ -1,0 +1,57 @@
+(** The cluster interconnect: [nodes] hosts attached to one banyan ATM
+    switch.
+
+    A packet carries real header bytes (the part PATHFINDER classifies, i.e.
+    the contents of the first cell) plus an accounted body size and an
+    arbitrary simulated payload. Timing per packet:
+
+    - the source's egress link is held for the wire serialisation time of all
+      its cells (53 bytes each, or unpadded for the Table 5 unrestricted-cell
+      variant);
+    - the switch adds its traversal latency, each link its propagation delay;
+    - the destination's ingress port receives cut-through: reception overlaps
+      serialisation unless the port is busy with another packet, in which
+      case the packet queues (in arrival order).
+
+    Per-cell processing cost on the NIC processors (SAR) is charged by the
+    NIC models, not here. *)
+
+type 'a packet = {
+  src : int;
+  dst : int;
+  vci : int;
+  header : Bytes.t;  (** classifiable prefix; travels in the first cell(s) *)
+  body_bytes : int;  (** additional payload bytes, accounted but not materialised *)
+  payload : 'a;  (** simulated content delivered to the receiver *)
+}
+
+type 'a t
+
+val create : Cni_engine.Engine.t -> Cni_machine.Params.t -> nodes:int -> 'a t
+val nodes : 'a t -> int
+val params : 'a t -> Cni_machine.Params.t
+
+(** Replace the delivery callback for a node (default: drop + count). The
+    callback runs inside a fabric fiber; it may block. *)
+val set_receiver : 'a t -> node:int -> ('a packet -> unit) -> unit
+
+(** Inject a packet; may be called from any event context.
+    @raise Invalid_argument on out-of-range src/dst or src = dst. *)
+val send : 'a t -> 'a packet -> unit
+
+(** Total frame size (header + body) in bytes. *)
+val frame_bytes : 'a packet -> int
+
+(** Number of ATM cells the packet occupies (AAL5 trailer included). *)
+val packet_cells : Cni_machine.Params.t -> 'a packet -> int
+
+(** Bytes on the wire including per-cell headers and padding. *)
+val wire_bytes : Cni_machine.Params.t -> 'a packet -> int
+
+(** Uncontended last-bit network delay for a frame of [bytes]:
+    serialisation + switch latency + two link propagations. *)
+val min_latency : Cni_machine.Params.t -> bytes:int -> Cni_engine.Time.t
+
+type stats = { packets : int; cells : int; wire_bytes : int; dropped : int }
+
+val stats : 'a t -> stats

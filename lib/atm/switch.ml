@@ -1,0 +1,40 @@
+type t = { ports : int; stages : int }
+
+let is_power_of_two n = n >= 2 && n land (n - 1) = 0
+
+let create ~ports =
+  if not (is_power_of_two ports) then invalid_arg "Switch.create: ports must be a power of two >= 2";
+  let rec log2 n = if n = 1 then 0 else 1 + log2 (n / 2) in
+  { ports; stages = log2 ports }
+
+let ports t = t.ports
+let stages t = t.stages
+
+let route t ~src ~dst =
+  if src < 0 || src >= t.ports then invalid_arg "Switch.route: src out of range";
+  if dst < 0 || dst >= t.ports then invalid_arg "Switch.route: dst out of range";
+  let k = t.stages in
+  let mask = t.ports - 1 in
+  let w = ref src in
+  Array.init k (fun s ->
+      (* perfect shuffle then exchange on destination bit (k-1-s) *)
+      let shuffled = ((!w lsl 1) lor (!w lsr (k - 1))) land mask in
+      let bit = (dst lsr (k - 1 - s)) land 1 in
+      w := shuffled land lnot 1 lor bit;
+      !w)
+
+let conflict t (s1, d1) (s2, d2) =
+  let r1 = route t ~src:s1 ~dst:d1 and r2 = route t ~src:s2 ~dst:d2 in
+  let n = Array.length r1 in
+  let rec go i = if i >= n then false else if r1.(i) = r2.(i) then true else go (i + 1) in
+  go 0
+
+let conflicts_in_permutation t perm =
+  let n = Array.length perm in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if conflict t (i, perm.(i)) (j, perm.(j)) then incr count
+    done
+  done;
+  !count

@@ -1,0 +1,79 @@
+module Engine = Cni_engine.Engine
+module Time = Cni_engine.Time
+module Params = Cni_machine.Params
+module Fabric = Cni_atm.Fabric
+module Nic = Cni_nic.Nic
+
+type nic_kind = [ `Cni of Nic.cni_options | `Osiris of Nic.osiris_options | `Standard ]
+
+type 'a t = {
+  eng : Engine.t;
+  p : Params.t;
+  fabric : 'a Fabric.t;
+  nodes : 'a Node.t array;
+  kind : nic_kind;
+  mutable ran : bool;
+}
+
+let create ?(params = Params.default) ~nic_kind ~nodes () =
+  if nodes < 1 then invalid_arg "Cluster.create: need at least one node";
+  let eng = Engine.create () in
+  let fabric = Fabric.create eng params ~nodes in
+  let node_arr =
+    Array.init nodes (fun id -> Node.create eng params fabric ~id ~nic_kind)
+  in
+  { eng; p = params; fabric; nodes = node_arr; kind = nic_kind; ran = false }
+
+let engine t = t.eng
+let params t = t.p
+let fabric t = t.fabric
+let size t = Array.length t.nodes
+let node t i = t.nodes.(i)
+let nodes t = t.nodes
+let is_cni t = match t.kind with `Cni _ -> true | `Osiris _ | `Standard -> false
+
+let run_app t f =
+  Array.iter
+    (fun n ->
+      Engine.spawn t.eng ~name:(Printf.sprintf "app-%d" (Node.id n)) (fun () ->
+          f n;
+          Node.finish n))
+    t.nodes;
+  Engine.run t.eng;
+  t.ran <- true;
+  let stuck =
+    Array.fold_left
+      (fun acc n -> if Node.finished n then acc else Node.id n :: acc)
+      [] t.nodes
+  in
+  if stuck <> [] then
+    failwith
+      (Printf.sprintf "Cluster.run_app: deadlock — application fibers of node(s) %s never finished"
+         (String.concat ", " (List.rev_map string_of_int stuck)))
+
+let elapsed t =
+  Array.fold_left (fun acc n -> Time.max acc (Node.report n).Node.finish_time) Time.zero t.nodes
+
+let network_cache_hit_ratio t =
+  let sum =
+    Array.fold_left (fun acc n -> acc +. Nic.network_cache_hit_ratio (Node.nic n)) 0. t.nodes
+  in
+  sum /. float_of_int (Array.length t.nodes)
+
+type overheads = {
+  computation : Time.t;
+  synch_overhead : Time.t;
+  synch_delay : Time.t;
+  total : Time.t;
+}
+
+let overheads t =
+  let acc =
+    Array.fold_left
+      (fun (c, o, d) n ->
+        let r = Node.report n in
+        (Time.(c + r.Node.computation), Time.(o + r.Node.synch_overhead), Time.(d + r.Node.synch_delay)))
+      (Time.zero, Time.zero, Time.zero) t.nodes
+  in
+  let c, o, d = acc in
+  { computation = c; synch_overhead = o; synch_delay = d; total = elapsed t }

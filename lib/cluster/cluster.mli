@@ -1,0 +1,42 @@
+(** A workstation cluster: N nodes on one ATM switch.
+
+    Polymorphic in the protocol-message payload type ['a] (the DSM layer
+    instantiates it with its message type; examples use their own). *)
+
+type nic_kind =
+  [ `Cni of Cni_nic.Nic.cni_options | `Osiris of Cni_nic.Nic.osiris_options | `Standard ]
+
+type 'a t
+
+val create :
+  ?params:Cni_machine.Params.t -> nic_kind:nic_kind -> nodes:int -> unit -> 'a t
+
+val engine : 'a t -> Cni_engine.Engine.t
+val params : 'a t -> Cni_machine.Params.t
+val fabric : 'a t -> 'a Cni_atm.Fabric.t
+val size : 'a t -> int
+val node : 'a t -> int -> 'a Node.t
+val nodes : 'a t -> 'a Node.t array
+val is_cni : 'a t -> bool
+
+(** [run_app t f] spawns one application fiber per node running [f node],
+    drives the simulation until every event drains, and returns. Application
+    exceptions propagate (annotated by the engine). *)
+val run_app : 'a t -> ('a Node.t -> unit) -> unit
+
+(** Wall-clock of the slowest application fiber (valid after {!run_app}). *)
+val elapsed : 'a t -> Cni_engine.Time.t
+
+(** Mean network cache hit ratio across nodes (CNI; 100. with no traffic). *)
+val network_cache_hit_ratio : 'a t -> float
+
+(** Per-category totals summed over nodes (paper Tables 2-4 report sums over
+    the run; we report the same). *)
+type overheads = {
+  computation : Cni_engine.Time.t;
+  synch_overhead : Cni_engine.Time.t;
+  synch_delay : Cni_engine.Time.t;
+  total : Cni_engine.Time.t;  (** elapsed wall-clock of the slowest node *)
+}
+
+val overheads : 'a t -> overheads

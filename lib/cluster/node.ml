@@ -1,0 +1,166 @@
+module Engine = Cni_engine.Engine
+module Time = Cni_engine.Time
+module Params = Cni_machine.Params
+module Cache = Cni_machine.Cache
+module Tlb = Cni_machine.Tlb
+module Bus = Cni_machine.Bus
+module Nic = Cni_nic.Nic
+
+type 'a t = {
+  id : int;
+  eng : Engine.t;
+  p : Params.t;
+  cache : Cache.t;
+  tlb : Tlb.t;
+  bus : Bus.t;
+  mutable nic : 'a Nic.t option;
+  mutable waiting : bool;
+  mutable stolen : Time.t;
+  (* batched application cost *)
+  mutable pending_cycles : int;
+  mutable pending_extra : Time.t;
+  (* category accounting *)
+  mutable t_compute : Time.t;
+  mutable t_overhead : Time.t;
+  mutable t_delay : Time.t;
+  mutable t_service : Time.t;
+  mutable finish_time : Time.t;
+  mutable finished : bool;
+}
+
+type report = {
+  computation : Time.t;
+  synch_overhead : Time.t;
+  synch_delay : Time.t;
+  finish_time : Time.t;
+  service_time : Time.t;
+}
+
+let create eng p fabric ~id ~nic_kind =
+  let bus = Bus.create eng p in
+  let t =
+    {
+      id;
+      eng;
+      p;
+      cache = Cache.create p;
+      tlb = Tlb.create ~entries:p.Params.tlb_entries ~miss_cycles:p.Params.tlb_miss_cycles
+          ~page_bytes:p.Params.page_bytes;
+      bus;
+      nic = None;
+      waiting = false;
+      stolen = Time.zero;
+      pending_cycles = 0;
+      pending_extra = Time.zero;
+      t_compute = Time.zero;
+      t_overhead = Time.zero;
+      t_delay = Time.zero;
+      t_service = Time.zero;
+      finish_time = Time.zero;
+      finished = false;
+    }
+  in
+  let host =
+    {
+      Nic.host_waiting = (fun () -> t.waiting);
+      steal = (fun d -> t.stolen <- Time.(t.stolen + d));
+      invalidate_range =
+        (fun ~addr ~bytes -> ignore (Cache.invalidate_range t.cache ~addr ~bytes));
+      overhead = (fun d -> t.t_service <- Time.(t.t_service + d));
+    }
+  in
+  let nic =
+    match nic_kind with
+    | `Cni options -> Nic.create_cni eng bus fabric ~node:id ~host ~options ()
+    | `Osiris options -> Nic.create_osiris eng bus fabric ~node:id ~host ~options ()
+    | `Standard -> Nic.create_standard eng bus fabric ~node:id ~host ()
+  in
+  t.nic <- Some nic;
+  t
+
+let id t = t.id
+let params t = t.p
+let engine t = t.eng
+let nic t = match t.nic with Some n -> n | None -> assert false
+let cache t = t.cache
+let bus t = t.bus
+
+let flush_pending t =
+  let cpu = Params.cpu_cycles t.p t.pending_cycles in
+  let compute = Time.(cpu + t.pending_extra) in
+  let stolen = t.stolen in
+  t.pending_cycles <- 0;
+  t.pending_extra <- Time.zero;
+  t.stolen <- Time.zero;
+  t.t_compute <- Time.(t.t_compute + compute);
+  t.t_overhead <- Time.(t.t_overhead + stolen);
+  let total = Time.(compute + stolen) in
+  if total > Time.zero then Engine.delay total
+
+let work t cycles = t.pending_cycles <- t.pending_cycles + cycles
+
+let touch t ~addr ~bytes ~write =
+  if bytes > 0 then begin
+    let line = t.p.Params.line_bytes in
+    let first = addr - (addr mod line) in
+    let last = addr + bytes - 1 in
+    let la = ref first in
+    while !la <= last do
+      t.pending_cycles <- t.pending_cycles + Tlb.lookup t.tlb ~addr:!la;
+      let r = Cache.access_line t.cache ~addr:!la ~write in
+      t.pending_cycles <- t.pending_cycles + r.Cache.cycles;
+      if r.Cache.writeback_lines <> [] then
+        t.pending_extra <- Time.(t.pending_extra + Bus.writeback_lines t.bus r.Cache.writeback_lines);
+      la := !la + line
+    done
+  end
+
+let overhead_time t d =
+  flush_pending t;
+  t.t_overhead <- Time.(t.t_overhead + d);
+  if d > Time.zero then Engine.delay d
+
+let overhead_cycles t cycles = overhead_time t (Params.cpu_cycles t.p cycles)
+
+let blocking t f =
+  flush_pending t;
+  t.waiting <- true;
+  let t0 = Engine.now t.eng in
+  let finally () =
+    t.waiting <- false;
+    t.t_delay <- Time.(t.t_delay + (Engine.now t.eng - t0))
+  in
+  match f () with
+  | v ->
+      finally ();
+      v
+  | exception e ->
+      finally ();
+      raise e
+
+let flush_range t ~addr ~bytes =
+  let writebacks, cycles = Cache.flush_range t.cache ~addr ~bytes in
+  let bus_time = Bus.writeback_lines t.bus writebacks in
+  let cpu_time = Params.cpu_cycles t.p cycles in
+  overhead_time t Time.(cpu_time + bus_time)
+
+let finish t =
+  flush_pending t;
+  (* protocol service can steal host time while the final work batch plays
+     out; keep flushing until no more arrives during the drain *)
+  while t.stolen > Time.zero do
+    flush_pending t
+  done;
+  t.finish_time <- Engine.now t.eng;
+  t.finished <- true
+
+let finished t = t.finished
+
+let report t =
+  {
+    computation = t.t_compute;
+    synch_overhead = t.t_overhead;
+    synch_delay = t.t_delay;
+    finish_time = t.finish_time;
+    service_time = t.t_service;
+  }

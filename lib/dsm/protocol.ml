@@ -1,0 +1,106 @@
+module Wire = Cni_nic.Wire
+
+type notice = { page : int; owner : int; seq : int; diff_bytes : int }
+
+type msg =
+  | Lock_acquire of { lock : int; requester : int; vc : Vclock.t }
+  | Lock_forward of { lock : int; requester : int; vc : Vclock.t }
+  | Lock_grant of { lock : int; vc : Vclock.t; notices : notice list }
+  | Page_req of { page : int; requester : int; write_intent : bool }
+  | Page_reply of { page : int; migratory : bool }
+  | Diff_req of { page : int; requester : int; since : int; upto : int }
+  | Diff_reply of { page : int; owner : int; bytes : int; upto : int }
+  | Barrier_arrive of { barrier : int; node : int; vc : Vclock.t; notices : notice list }
+  | Barrier_release of { barrier : int; vc : Vclock.t; notices : notice list }
+
+let channel = 1
+let notice_wire_bytes = 12
+
+let kind_of = function
+  | Lock_acquire _ -> 1
+  | Lock_forward _ -> 2
+  | Lock_grant _ -> 3
+  | Page_req _ -> 4
+  | Page_reply _ -> 5
+  | Diff_req _ -> 6
+  | Diff_reply _ -> 7
+  | Barrier_arrive _ -> 8
+  | Barrier_release _ -> 9
+
+let kind_name = function
+  | 1 -> "lock-acquire"
+  | 2 -> "lock-forward"
+  | 3 -> "lock-grant"
+  | 4 -> "page-req"
+  | 5 -> "page-reply"
+  | 6 -> "diff-req"
+  | 7 -> "diff-reply"
+  | 8 -> "barrier-arrive"
+  | 9 -> "barrier-release"
+  | k -> Printf.sprintf "unknown-%d" k
+
+let all_kinds = [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+
+let notices_bytes notices = notice_wire_bytes * List.length notices
+
+let body_bytes = function
+  | Lock_acquire { vc; _ } | Lock_forward { vc; _ } -> 8 + Vclock.wire_bytes vc
+  | Lock_grant { vc; notices; _ } -> 8 + Vclock.wire_bytes vc + notices_bytes notices
+  | Page_req _ -> 8
+  | Page_reply _ -> 0 (* the page itself rides as bulk data *)
+  | Diff_req _ -> 16
+  | Diff_reply _ -> 8 (* the diff data rides as bulk data *)
+  | Barrier_arrive { vc; notices; _ } | Barrier_release { vc; notices; _ } ->
+      8 + Vclock.wire_bytes vc + notices_bytes notices
+
+let obj_of = function
+  | Lock_acquire { lock; _ } | Lock_forward { lock; _ } | Lock_grant { lock; _ } -> lock
+  | Page_req { page; _ } | Page_reply { page; _ } -> page
+  | Diff_req { page; _ } | Diff_reply { page; _ } -> page
+  | Barrier_arrive { barrier; _ } | Barrier_release { barrier; _ } -> barrier
+
+let aux_of = function
+  | Lock_acquire { requester; _ } | Lock_forward { requester; _ } -> requester
+  | Diff_req { since; _ } -> since
+  | Barrier_arrive { node; _ } -> node
+  | Lock_grant _ | Page_req _ | Page_reply _ | Diff_reply _ | Barrier_release _ -> 0
+
+let has_data = function Page_reply _ -> true | _ -> false
+
+(* Pages fetched with write intent are migration candidates: the header bit
+   asks the receive path to bind them into the Message Cache (receive
+   caching, section 2.2). Read-only fetches (e.g. Jacobi boundary rows) are
+   not worth a buffer at the receiver. *)
+let cacheable = function Page_reply { migratory; _ } -> migratory | _ -> false
+
+let header ~src msg =
+  Wire.encode
+    {
+      Wire.kind = kind_of msg;
+      cacheable = cacheable msg;
+      has_data = has_data msg;
+      src;
+      channel;
+      obj = obj_of msg;
+      aux = aux_of msg;
+    }
+
+let pp fmt msg =
+  match msg with
+  | Lock_acquire { lock; requester; _ } ->
+      Format.fprintf fmt "lock-acquire(l=%d from %d)" lock requester
+  | Lock_forward { lock; requester; _ } ->
+      Format.fprintf fmt "lock-forward(l=%d for %d)" lock requester
+  | Lock_grant { lock; notices; _ } ->
+      Format.fprintf fmt "lock-grant(l=%d, %d notices)" lock (List.length notices)
+  | Page_req { page; requester; _ } -> Format.fprintf fmt "page-req(p=%d from %d)" page requester
+  | Page_reply { page; _ } -> Format.fprintf fmt "page-reply(p=%d)" page
+  | Diff_req { page; requester; since; upto } ->
+      Format.fprintf fmt "diff-req(p=%d from %d, %d..%d)" page requester since upto
+  | Diff_reply { page; owner; bytes; _ } ->
+      Format.fprintf fmt "diff-reply(p=%d from %d, %dB)" page owner bytes
+  | Barrier_arrive { barrier; node; notices; _ } ->
+      Format.fprintf fmt "barrier-arrive(b=%d from %d, %d notices)" barrier node
+        (List.length notices)
+  | Barrier_release { barrier; notices; _ } ->
+      Format.fprintf fmt "barrier-release(b=%d, %d notices)" barrier (List.length notices)

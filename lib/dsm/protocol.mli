@@ -1,0 +1,46 @@
+(** DSM protocol messages.
+
+    Every message travels with a real {!Cni_nic.Wire} header (classified by
+    PATHFINDER on the receiving board) and a typed payload. Control payload
+    sizes (vector clocks, write notices) are accounted exactly; bulk page and
+    diff data travel as NIC [data] so the Message Cache and DMA paths see
+    them. *)
+
+type notice = { page : int; owner : int; seq : int; diff_bytes : int }
+
+type msg =
+  | Lock_acquire of { lock : int; requester : int; vc : Vclock.t }
+      (** requester -> lock manager *)
+  | Lock_forward of { lock : int; requester : int; vc : Vclock.t }
+      (** manager -> last owner *)
+  | Lock_grant of { lock : int; vc : Vclock.t; notices : notice list }
+      (** previous owner -> requester, with the consistency information the
+          requester lacks *)
+  | Page_req of { page : int; requester : int; write_intent : bool }
+  | Page_reply of { page : int; migratory : bool }
+      (** carries the full page as bulk data; [migratory] sets the header's
+          to-be-cached bit so the receiver binds it (receive caching) *)
+  | Diff_req of { page : int; requester : int; since : int; upto : int }
+  | Diff_reply of { page : int; owner : int; bytes : int; upto : int }
+  | Barrier_arrive of { barrier : int; node : int; vc : Vclock.t; notices : notice list }
+  | Barrier_release of { barrier : int; vc : Vclock.t; notices : notice list }
+
+(** The application device channel used by the DSM protocol. *)
+val channel : int
+
+(** Wire size of one write notice. *)
+val notice_wire_bytes : int
+
+val kind_of : msg -> int
+val kind_name : int -> string
+
+(** Control-payload bytes beyond the 16-byte wire header. *)
+val body_bytes : msg -> int
+
+(** Build the classifiable wire header for a message. *)
+val header : src:int -> msg -> Bytes.t
+
+(** All protocol kinds, for installing one AIH per kind. *)
+val all_kinds : int list
+
+val pp : Format.formatter -> msg -> unit

@@ -1,0 +1,105 @@
+module Node = Cni_cluster.Node
+
+module Block = struct
+  type t = { base : int; bytes : int; space : Space.t }
+
+  let create space ~bytes = { base = Space.alloc space ~bytes; bytes; space }
+  let base t = t.base
+  let bytes t = t.bytes
+
+  let check t ~off ~bytes =
+    if off < 0 || bytes < 0 || off + bytes > t.bytes then
+      invalid_arg "Shmem.Block: range out of bounds"
+
+  let iter_pages t ~off ~bytes f =
+    (* f page ~page_off ~len, with [page_off] the byte offset inside the page *)
+    if bytes > 0 then begin
+      let pb = Space.page_bytes t.space in
+      let start = t.base + off in
+      let stop = start + bytes in
+      let addr = ref start in
+      while !addr < stop do
+        let page = Space.page_of_addr t.space !addr in
+        let page_base = Space.addr_of_page t.space page in
+        let page_off = !addr - page_base in
+        let len = min (stop - !addr) (pb - page_off) in
+        f page ~page_off ~len;
+        addr := !addr + len
+      done
+    end
+
+  let read_range lrc t ~off ~bytes =
+    check t ~off ~bytes;
+    iter_pages t ~off ~bytes (fun page ~page_off:_ ~len:_ -> Lrc.ensure_read lrc ~page);
+    Node.touch (Lrc.node lrc) ~addr:(t.base + off) ~bytes ~write:false
+
+  let write_range lrc t ~off ~bytes =
+    check t ~off ~bytes;
+    iter_pages t ~off ~bytes (fun page ~page_off ~len ->
+        Lrc.ensure_write lrc ~page;
+        (* word-granular dirty tracking; partial words count as dirty *)
+        let word_lo = page_off / 8 in
+        let word_hi = (page_off + len - 1) / 8 in
+        Lrc.mark_dirty_words lrc ~page ~word_lo ~words:(word_hi - word_lo + 1));
+    Node.touch (Lrc.node lrc) ~addr:(t.base + off) ~bytes ~write:true
+
+  let validate_local lrc t ~off ~bytes =
+    check t ~off ~bytes;
+    iter_pages t ~off ~bytes (fun page ~page_off:_ ~len:_ -> Lrc.validate_local lrc ~page)
+end
+
+module Farray = struct
+  type t = { block : Block.t; data : float array }
+
+  let create space ~len =
+    { block = Block.create space ~bytes:(len * 8); data = Array.make len 0.0 }
+
+  let len t = Array.length t.data
+  let block t = t.block
+  let get t i = t.data.(i)
+  let set t i v = t.data.(i) <- v
+  let read_range lrc t ~lo ~len = Block.read_range lrc t.block ~off:(lo * 8) ~bytes:(len * 8)
+  let write_range lrc t ~lo ~len = Block.write_range lrc t.block ~off:(lo * 8) ~bytes:(len * 8)
+
+  let read1 lrc t i =
+    read_range lrc t ~lo:i ~len:1;
+    get t i
+
+  let write1 lrc t i v =
+    write_range lrc t ~lo:i ~len:1;
+    set t i v
+
+  let init_local lrc t ~lo ~len f =
+    Block.validate_local lrc t.block ~off:(lo * 8) ~bytes:(len * 8);
+    for i = lo to lo + len - 1 do
+      t.data.(i) <- f i
+    done
+end
+
+module Iarray = struct
+  type t = { block : Block.t; data : int array }
+
+  let create space ~len =
+    { block = Block.create space ~bytes:(len * 8); data = Array.make len 0 }
+
+  let len t = Array.length t.data
+  let block t = t.block
+  let get t i = t.data.(i)
+  let set t i v = t.data.(i) <- v
+  let read_range lrc t ~lo ~len = Block.read_range lrc t.block ~off:(lo * 8) ~bytes:(len * 8)
+  let write_range lrc t ~lo ~len = Block.write_range lrc t.block ~off:(lo * 8) ~bytes:(len * 8)
+
+  let read1 lrc t i =
+    read_range lrc t ~lo:i ~len:1;
+    get t i
+
+  let write1 lrc t i v =
+    write_range lrc t ~lo:i ~len:1;
+    set t i v
+
+  let init_local lrc t ~lo ~len f =
+    Block.validate_local lrc t.block ~off:(lo * 8) ~bytes:(len * 8);
+    for i = lo to lo + len - 1 do
+      t.data.(i) <- f i
+    done
+end

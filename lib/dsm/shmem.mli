@@ -1,0 +1,76 @@
+(** Application-facing shared memory.
+
+    Shared objects are allocated once (identically on every node, SPMD
+    style); each node accesses them through its {!Lrc} engine. Access is
+    split into a {e declaration} of the range touched — which drives the
+    page-fault/twin/dirty-word machinery and the cache-timing model — and
+    raw value access used inside compute kernels. Declaring a range once and
+    then reading element values is the simulator's bulk fast path: page
+    checks happen per page, cache traffic per line, while the kernel computes
+    on real data.
+
+    The paper's applications are data-race-free under their locks and
+    barriers, so values are kept in one authoritative copy (see DESIGN.md
+    section 3); the protocol metadata, message sizes and timings are
+    simulated in full. *)
+
+module Block : sig
+  (** An untyped range of shared pages. *)
+  type t
+
+  val create : Space.t -> bytes:int -> t
+  val base : t -> int
+  val bytes : t -> int
+
+  (** Declare a read of [bytes] at byte offset [off] (faults pages in). *)
+  val read_range : Lrc.t -> t -> off:int -> bytes:int -> unit
+
+  (** Declare a write (read fault + twin + dirty words + cache traffic). *)
+  val write_range : Lrc.t -> t -> off:int -> bytes:int -> unit
+
+  (** First-touch initialisation: validate the pages locally, no traffic. *)
+  val validate_local : Lrc.t -> t -> off:int -> bytes:int -> unit
+end
+
+module Farray : sig
+  (** Shared array of 64-bit floats. *)
+  type t
+
+  val create : Space.t -> len:int -> t
+  val len : t -> int
+  val block : t -> Block.t
+
+  (** Untimed value access (use inside kernels after declaring the range). *)
+  val get : t -> int -> float
+
+  val set : t -> int -> float -> unit
+
+  (** Timed range declarations (element index / count). *)
+  val read_range : Lrc.t -> t -> lo:int -> len:int -> unit
+
+  val write_range : Lrc.t -> t -> lo:int -> len:int -> unit
+
+  (** Timed single-element convenience accessors. *)
+  val read1 : Lrc.t -> t -> int -> float
+
+  val write1 : Lrc.t -> t -> int -> float -> unit
+
+  (** First-touch initialisation of a slice with a generator. *)
+  val init_local : Lrc.t -> t -> lo:int -> len:int -> (int -> float) -> unit
+end
+
+module Iarray : sig
+  (** Shared array of 63-bit integers (8 bytes each on the wire). *)
+  type t
+
+  val create : Space.t -> len:int -> t
+  val len : t -> int
+  val block : t -> Block.t
+  val get : t -> int -> int
+  val set : t -> int -> int -> unit
+  val read_range : Lrc.t -> t -> lo:int -> len:int -> unit
+  val write_range : Lrc.t -> t -> lo:int -> len:int -> unit
+  val read1 : Lrc.t -> t -> int -> int
+  val write1 : Lrc.t -> t -> int -> int -> unit
+  val init_local : Lrc.t -> t -> lo:int -> len:int -> (int -> int) -> unit
+end

@@ -1,0 +1,93 @@
+module Vec = Cni_engine.Vec
+
+type interval = { notices : Protocol.notice list }
+
+type t = {
+  nprocs : int;
+  page_bytes : int;
+  mutable next_alloc : int;
+  intervals : interval Vec.t array; (* per node, index = seq - 1 *)
+  diff_log : (int * int, (int * int) Vec.t) Hashtbl.t;
+      (* (owner, page) -> (seq, diff_bytes) in seq order *)
+  last_writer : (int, int) Hashtbl.t;
+  lock_owner : (int, int) Hashtbl.t;
+}
+
+let shared_base = 1 lsl 40
+
+let create ~nprocs ~page_bytes =
+  {
+    nprocs;
+    page_bytes;
+    next_alloc = shared_base;
+    intervals = Array.init nprocs (fun _ -> Vec.create ());
+    diff_log = Hashtbl.create 1024;
+    last_writer = Hashtbl.create 1024;
+    lock_owner = Hashtbl.create 64;
+  }
+
+let nprocs t = t.nprocs
+let page_bytes t = t.page_bytes
+
+let alloc t ~bytes =
+  let base = t.next_alloc in
+  let pages = (bytes + t.page_bytes - 1) / t.page_bytes in
+  t.next_alloc <- t.next_alloc + (pages * t.page_bytes);
+  base
+
+let npages t = (t.next_alloc - shared_base) / t.page_bytes
+let page_of_addr t addr = (addr - shared_base) / t.page_bytes
+let addr_of_page t page = shared_base + (page * t.page_bytes)
+
+let record_interval t ~node ~seq ~notices =
+  if seq <> Vec.length t.intervals.(node) + 1 then
+    invalid_arg "Space.record_interval: out-of-order interval";
+  Vec.push t.intervals.(node) { notices };
+  List.iter
+    (fun (n : Protocol.notice) ->
+      let key = (node, n.Protocol.page) in
+      let vec =
+        match Hashtbl.find_opt t.diff_log key with
+        | Some v -> v
+        | None ->
+            let v = Vec.create () in
+            Hashtbl.replace t.diff_log key v;
+            v
+      in
+      Vec.push vec (seq, n.Protocol.diff_bytes))
+    notices
+
+let notices_between t ~from_vc ~upto_vc =
+  let acc = ref [] in
+  for node = t.nprocs - 1 downto 0 do
+    let upto = min (Vclock.get upto_vc node) (Vec.length t.intervals.(node)) in
+    for seq = upto downto Vclock.get from_vc node + 1 do
+      let iv = Vec.get t.intervals.(node) (seq - 1) in
+      acc := List.rev_append iv.notices !acc
+    done
+  done;
+  !acc
+
+let diff_bytes_between t ~owner ~page ~since ~upto =
+  match Hashtbl.find_opt t.diff_log (owner, page) with
+  | None -> 0
+  | Some vec ->
+      Vec.fold_left
+        (fun acc (seq, bytes) -> if seq > since && seq <= upto then acc + bytes else acc)
+        0 vec
+
+let home t ~page = page mod t.nprocs
+
+let last_writer t ~page =
+  match Hashtbl.find_opt t.last_writer page with Some n -> n | None -> home t ~page
+
+let set_last_writer t ~page ~node = Hashtbl.replace t.last_writer page node
+
+let lock_manager t ~lock = lock mod t.nprocs
+
+let lock_last_owner t ~lock =
+  match Hashtbl.find_opt t.lock_owner lock with Some n -> n | None -> lock_manager t ~lock
+
+let set_lock_last_owner t ~lock ~node = Hashtbl.replace t.lock_owner lock node
+
+let barrier_manager _t ~barrier:_ = 0

@@ -1,0 +1,61 @@
+(** Shared-address-space metadata: page allocation, the interval/write-notice
+    log, and the routing state of lock and barrier managers.
+
+    One [Space.t] is shared by all nodes of a run. In the real system every
+    piece of this state lives on some node (the interval log is distributed,
+    lock and barrier managers are statically assigned); the simulator keeps
+    it in one structure for efficiency while the protocol layer still sends
+    every message, sized from this metadata, that the distributed version
+    would send (see DESIGN.md section 3). *)
+
+type t
+
+(** A fixed portion of the processor address space is allocated to
+    distributed shared memory (section 3.1); this is its base. *)
+val shared_base : int
+
+val create : nprocs:int -> page_bytes:int -> t
+
+val nprocs : t -> int
+val page_bytes : t -> int
+
+(** Page-aligned bump allocation, identical on every node (SPMD layout). *)
+val alloc : t -> bytes:int -> int
+
+val npages : t -> int
+val page_of_addr : t -> int -> int
+val addr_of_page : t -> int -> int
+
+(** {2 Interval log} *)
+
+(** Record a closed interval. [seq] must be the node's next sequence number
+    (1, 2, ...).
+    @raise Invalid_argument on out-of-order recording. *)
+val record_interval : t -> node:int -> seq:int -> notices:Protocol.notice list -> unit
+
+(** Write notices of all intervals [from < seq <= upto], per node — what a
+    releaser piggybacks on a grant or the barrier manager on a release. *)
+val notices_between : t -> from_vc:Vclock.t -> upto_vc:Vclock.t -> Protocol.notice list
+
+(** Total diff bytes node [owner] logged for [page] in intervals
+    [since < seq <= upto]. *)
+val diff_bytes_between : t -> owner:int -> page:int -> since:int -> upto:int -> int
+
+(** {2 Page directory} *)
+
+(** Node holding the most recent version (its home, [page mod nprocs], before
+    any write). *)
+val last_writer : t -> page:int -> int
+
+val set_last_writer : t -> page:int -> node:int -> unit
+val home : t -> page:int -> int
+
+(** {2 Lock routing (state of the static lock manager)} *)
+
+val lock_manager : t -> lock:int -> int
+val lock_last_owner : t -> lock:int -> int
+val set_lock_last_owner : t -> lock:int -> node:int -> unit
+
+(** {2 Barrier manager} *)
+
+val barrier_manager : t -> barrier:int -> int

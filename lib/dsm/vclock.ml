@@ -1,0 +1,28 @@
+type t = int array
+
+let create n = Array.make n 0
+let size = Array.length
+let get t k = t.(k)
+let set t k v = t.(k) <- v
+
+let incr t k =
+  t.(k) <- t.(k) + 1;
+  t.(k)
+
+let copy = Array.copy
+
+let merge t other =
+  for k = 0 to Array.length t - 1 do
+    if other.(k) > t.(k) then t.(k) <- other.(k)
+  done
+
+let leq a b =
+  let n = Array.length a in
+  let rec go k = k >= n || (a.(k) <= b.(k) && go (k + 1)) in
+  go 0
+
+let equal = ( = )
+let wire_bytes t = 4 * Array.length t
+
+let pp fmt t =
+  Format.fprintf fmt "<%s>" (String.concat "," (Array.to_list (Array.map string_of_int t)))

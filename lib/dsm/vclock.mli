@@ -1,0 +1,28 @@
+(** Vector clocks for lazy release consistency.
+
+    Component [k] counts the intervals of node [k] that the owner has seen
+    (applied the write notices of). *)
+
+type t
+
+val create : int -> t
+val size : t -> int
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+val incr : t -> int -> int
+(** increments component and returns the new value *)
+
+val copy : t -> t
+
+(** [merge t other] — pointwise maximum, into [t]. *)
+val merge : t -> t -> unit
+
+(** [leq a b] — every component of [a] <= the one of [b]. *)
+val leq : t -> t -> bool
+
+val equal : t -> t -> bool
+
+(** Encoded size in bytes when piggybacked on a message (4 bytes/entry). *)
+val wire_bytes : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,82 @@
+type t = {
+  mutable now : Time.t;
+  q : (unit -> unit) Heap.t;
+  mutable seq : int;
+}
+
+exception Fiber_failure of string * exn
+
+let create () = { now = Time.zero; q = Heap.create (); seq = 0 }
+let now t = t.now
+
+let at t time f =
+  let time = Time.max time t.now in
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  Heap.add t.q ~key:(Time.to_ps time) ~seq f
+
+let after t d f = at t Time.(t.now + d) f
+let pending t = Heap.length t.q
+
+let step t =
+  let key, _seq, f = Heap.pop_min t.q in
+  t.now <- Time.ps key;
+  f ()
+
+let run t =
+  while not (Heap.is_empty t.q) do
+    step t
+  done
+
+let run_until t limit =
+  while (not (Heap.is_empty t.q)) && Heap.min_key t.q <= Time.to_ps limit do
+    step t
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Fibers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type _ Effect.t +=
+  | Delay : Time.t -> unit Effect.t
+  | Suspend : (('a -> unit) -> unit) -> 'a Effect.t
+  | Yield : unit Effect.t
+
+let delay d = Effect.perform (Delay d)
+let suspend register = Effect.perform (Suspend register)
+let yield () = Effect.perform Yield
+
+let spawn t ?(name = "fiber") f =
+  let open Effect.Deep in
+  let handler =
+    {
+      retc = (fun () -> ());
+      exnc =
+        (fun e ->
+          match e with
+          | Fiber_failure _ -> raise e
+          | _ -> raise (Fiber_failure (name ^ ": " ^ Printexc.to_string e, e)));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Delay d ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  after t d (fun () -> continue k ()))
+          | Yield ->
+              Some (fun (k : (a, unit) continuation) -> at t t.now (fun () -> continue k ()))
+          | Suspend register ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let resumed = ref false in
+                  let resume v =
+                    if !resumed then
+                      invalid_arg (Printf.sprintf "Engine: fiber %S resumed twice" name);
+                    resumed := true;
+                    at t t.now (fun () -> continue k v)
+                  in
+                  register resume)
+          | _ -> None);
+    }
+  in
+  at t t.now (fun () -> match_with f () handler)

@@ -1,0 +1,58 @@
+(** Deterministic discrete-event simulation engine.
+
+    The engine owns a virtual clock and a priority queue of events; ties are
+    broken in FIFO order so runs are fully deterministic. Simulated processes
+    ("fibers") are ordinary OCaml functions that perform effects ({!delay},
+    {!suspend}, {!yield}) handled by the engine — OCaml 5 effect handlers give
+    us cheap one-shot continuations, the same role Proteus' threads played in
+    the paper's evaluation. *)
+
+type t
+
+val create : unit -> t
+
+(** Current simulated time. *)
+val now : t -> Time.t
+
+(** [at t time f] schedules [f] to run at absolute [time] (>= [now t]). *)
+val at : t -> Time.t -> (unit -> unit) -> unit
+
+(** [after t d f] schedules [f] to run [d] after the current time. *)
+val after : t -> Time.t -> (unit -> unit) -> unit
+
+(** Number of pending events (including suspended-fiber wakeups). *)
+val pending : t -> int
+
+(** Run until the event queue is empty. *)
+val run : t -> unit
+
+(** Run all events with time <= [limit]; afterwards [now t >= limit] if any
+    event at or beyond the limit existed, else [now] is the last event time. *)
+val run_until : t -> Time.t -> unit
+
+(** {2 Fibers}
+
+    The functions below must be called from inside a fiber spawned with
+    {!spawn} (directly or transitively); calling them elsewhere raises
+    [Effect.Unhandled]. *)
+
+(** [spawn t f] creates a simulated process running [f], started at the
+    current simulated time. An exception escaping [f] aborts the whole
+    simulation (it propagates out of {!run}), annotated with the fiber name. *)
+val spawn : t -> ?name:string -> (unit -> unit) -> unit
+
+(** Advance this fiber's virtual time by the given duration. *)
+val delay : Time.t -> unit
+
+(** [suspend register] blocks the calling fiber; [register] receives a
+    one-shot [resume] function which, when called (from any event context),
+    reschedules the fiber at the then-current simulated time with the given
+    value. Calling [resume] twice raises [Invalid_argument]. *)
+val suspend : (('a -> unit) -> unit) -> 'a
+
+(** Reschedule the calling fiber at the current time, behind already-pending
+    events. *)
+val yield : unit -> unit
+
+(** Exception escaping a fiber, annotated with the fiber name. *)
+exception Fiber_failure of string * exn

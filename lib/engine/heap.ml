@@ -1,0 +1,67 @@
+type 'a entry = { key : int; seq : int; v : 'a }
+
+type 'a t = { mutable arr : 'a entry array; mutable len : int }
+
+let create () = { arr = [||]; len = 0 }
+let length h = h.len
+let is_empty h = h.len = 0
+
+let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow h e =
+  let cap = Array.length h.arr in
+  if h.len = cap then begin
+    let ncap = if cap = 0 then 64 else cap * 2 in
+    let narr = Array.make ncap e in
+    Array.blit h.arr 0 narr 0 h.len;
+    h.arr <- narr
+  end
+
+let add h ~key ~seq v =
+  let e = { key; seq; v } in
+  grow h e;
+  let arr = h.arr in
+  let i = ref h.len in
+  h.len <- h.len + 1;
+  arr.(!i) <- e;
+  (* sift up *)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if less e arr.(parent) then begin
+      arr.(!i) <- arr.(parent);
+      arr.(parent) <- e;
+      i := parent
+    end
+    else continue := false
+  done
+
+let pop_min h =
+  if h.len = 0 then raise Not_found;
+  let arr = h.arr in
+  let min = arr.(0) in
+  h.len <- h.len - 1;
+  let last = arr.(h.len) in
+  if h.len > 0 then begin
+    arr.(0) <- last;
+    (* sift down *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.len && less arr.(l) arr.(!smallest) then smallest := l;
+      if r < h.len && less arr.(r) arr.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = arr.(!i) in
+        arr.(!i) <- arr.(!smallest);
+        arr.(!smallest) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done
+  end;
+  (min.key, min.seq, min.v)
+
+let min_key h = if h.len = 0 then raise Not_found else h.arr.(0).key
+let clear h = h.len <- 0

@@ -1,0 +1,21 @@
+(** Array-based binary min-heap, specialised to integer-pair keys.
+
+    Elements are ordered by [(key, seq)] lexicographically; [seq] is supplied
+    by the caller to break ties deterministically (FIFO among equal keys). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val add : 'a t -> key:int -> seq:int -> 'a -> unit
+
+(** [pop_min h] removes and returns the minimum element.
+    @raise Not_found if the heap is empty. *)
+val pop_min : 'a t -> int * int * 'a
+
+(** [min_key h] is the key of the minimum element without removing it.
+    @raise Not_found if the heap is empty. *)
+val min_key : 'a t -> int
+
+val clear : 'a t -> unit

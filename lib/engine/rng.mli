@@ -1,0 +1,25 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    Every stochastic choice in the simulator draws from an explicit [Rng.t]
+    so that runs are reproducible from a seed, independent of the global
+    [Random] state. *)
+
+type t
+
+val create : seed:int -> t
+
+(** [split t] derives an independent stream (e.g. one per simulated node). *)
+val split : t -> t
+
+val int64 : t -> int64
+
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+val int : t -> int -> int
+
+(** [float t] is uniform in [\[0, 1)]. *)
+val float : t -> float
+
+val bool : t -> bool
+
+(** Fisher-Yates shuffle in place. *)
+val shuffle : t -> 'a array -> unit

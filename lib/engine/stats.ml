@@ -1,0 +1,102 @@
+module Counter = struct
+  type t = { name : string; mutable v : int }
+
+  let create name = { name; v = 0 }
+  let name t = t.name
+  let incr t = t.v <- t.v + 1
+  let add t n = t.v <- t.v + n
+  let value t = t.v
+  let reset t = t.v <- 0
+end
+
+module Summary = struct
+  type t = {
+    name : string;
+    mutable count : int;
+    mutable sum : int;
+    mutable min : int;
+    mutable max : int;
+  }
+
+  let create name = { name; count = 0; sum = 0; min = 0; max = 0 }
+  let name t = t.name
+
+  let observe t s =
+    if t.count = 0 then begin
+      t.min <- s;
+      t.max <- s
+    end
+    else begin
+      if s < t.min then t.min <- s;
+      if s > t.max then t.max <- s
+    end;
+    t.count <- t.count + 1;
+    t.sum <- t.sum + s
+
+  let count t = t.count
+  let sum t = t.sum
+  let min t = t.min
+  let max t = t.max
+  let mean t = if t.count = 0 then 0. else float_of_int t.sum /. float_of_int t.count
+
+  let reset t =
+    t.count <- 0;
+    t.sum <- 0;
+    t.min <- 0;
+    t.max <- 0
+end
+
+module Histogram = struct
+  let nbuckets = 63
+
+  type t = { name : string; buckets : int array; mutable count : int }
+
+  let create name = { name; buckets = Array.make nbuckets 0; count = 0 }
+  let name t = t.name
+
+  let bucket_of s =
+    if s <= 0 then 0
+    else
+      (* index of highest set bit, plus one *)
+      let rec go i v = if v = 0 then i else go (i + 1) (v lsr 1) in
+      go 0 s
+
+  let observe t s =
+    let b = bucket_of s in
+    t.buckets.(b) <- t.buckets.(b) + 1;
+    t.count <- t.count + 1
+
+  let count t = t.count
+
+  let upper_bound i = if i = 0 then 1 else 1 lsl i
+
+  let buckets t =
+    let acc = ref [] in
+    for i = nbuckets - 1 downto 0 do
+      if t.buckets.(i) > 0 then acc := (upper_bound i, t.buckets.(i)) :: !acc
+    done;
+    !acc
+
+  let percentile t p =
+    if t.count = 0 then 0
+    else begin
+      let target = int_of_float (ceil (p /. 100. *. float_of_int t.count)) in
+      let target = Stdlib.max 1 (Stdlib.min t.count target) in
+      let seen = ref 0 in
+      let result = ref 0 in
+      (try
+         for i = 0 to nbuckets - 1 do
+           seen := !seen + t.buckets.(i);
+           if !seen >= target then begin
+             result := upper_bound i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      !result
+    end
+
+  let reset t =
+    Array.fill t.buckets 0 nbuckets 0;
+    t.count <- 0
+end

@@ -1,0 +1,49 @@
+(** Statistics collection: counters, running summaries, log2 histograms. *)
+
+module Counter : sig
+  type t
+
+  val create : string -> t
+  val name : t -> string
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val reset : t -> unit
+end
+
+module Summary : sig
+  (** Running count / sum / min / max / mean of integer samples. *)
+  type t
+
+  val create : string -> t
+  val name : t -> string
+  val observe : t -> int -> unit
+  val count : t -> int
+  val sum : t -> int
+  val min : t -> int (** 0 when empty *)
+
+  val max : t -> int (** 0 when empty *)
+
+  val mean : t -> float (** 0. when empty *)
+
+  val reset : t -> unit
+end
+
+module Histogram : sig
+  (** Power-of-two bucketed histogram of non-negative integer samples.
+      Bucket [i] counts samples [s] with [2^(i-1) <= s < 2^i] (bucket 0
+      counts zeros). *)
+  type t
+
+  val create : string -> t
+  val name : t -> string
+  val observe : t -> int -> unit
+  val count : t -> int
+  val buckets : t -> (int * int) list
+  (** [(upper_bound_exclusive, count)] for non-empty buckets, ascending. *)
+
+  val percentile : t -> float -> int
+  (** Upper bound of the bucket holding the given percentile (in [0,100]). *)
+
+  val reset : t -> unit
+end

@@ -1,0 +1,37 @@
+(** Simulated time.
+
+    Time is an absolute count of picoseconds since the start of the
+    simulation, stored in an OCaml [int] (63-bit on 64-bit platforms, i.e.
+    about 106 days of simulated time — far beyond any experiment here).
+    Durations use the same representation. *)
+
+type t = int
+
+val zero : t
+val ps : int -> t
+val ns : int -> t
+val us : int -> t
+val ms : int -> t
+val s : int -> t
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> int -> t
+
+val max : t -> t -> t
+val min : t -> t -> t
+
+val to_ps : t -> int
+val to_ns_float : t -> float
+val to_us_float : t -> float
+val to_ms_float : t -> float
+val to_s_float : t -> float
+
+(** [cycles ~hz n] is the duration of [n] clock cycles of a component running
+    at [hz] hertz, rounded to the nearest picosecond per cycle. *)
+val cycles : hz:int -> int -> t
+
+(** [cycle_ps ~hz] is the duration of one cycle at [hz] hertz. *)
+val cycle_ps : hz:int -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,8 @@
+let enabled = ref false
+
+let printf eng fmt =
+  if !enabled then begin
+    Format.eprintf "[%a] " Time.pp (Engine.now eng);
+    Format.kfprintf (fun f -> Format.pp_print_newline f ()) Format.err_formatter fmt
+  end
+  else Format.ifprintf Format.err_formatter fmt

@@ -1,0 +1,9 @@
+(** Lightweight simulation tracing.
+
+    Disabled by default; when enabled, each line is prefixed with the
+    simulated time of the engine passed in. *)
+
+val enabled : bool ref
+
+val printf : Engine.t -> ('a, Format.formatter, unit) format -> 'a
+(** No-op unless [!enabled]. *)

@@ -1,0 +1,39 @@
+type 'a t = { mutable arr : 'a array; mutable len : int }
+
+let create () = { arr = [||]; len = 0 }
+let length t = t.len
+
+let push t v =
+  let cap = Array.length t.arr in
+  if t.len = cap then begin
+    let narr = Array.make (if cap = 0 then 8 else cap * 2) v in
+    Array.blit t.arr 0 narr 0 t.len;
+    t.arr <- narr
+  end;
+  t.arr.(t.len) <- v;
+  t.len <- t.len + 1
+
+let check t i = if i < 0 || i >= t.len then invalid_arg "Vec: index out of bounds"
+
+let get t i =
+  check t i;
+  t.arr.(i)
+
+let set t i v =
+  check t i;
+  t.arr.(i) <- v
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.arr.(i)
+  done
+
+let fold_left f acc t =
+  let acc = ref acc in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.arr.(i)
+  done;
+  !acc
+
+let to_list t = List.init t.len (fun i -> t.arr.(i))
+let clear t = t.len <- 0

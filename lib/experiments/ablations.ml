@@ -1,0 +1,198 @@
+module Time = Cni_engine.Time
+module Cholesky = Cni_apps.Cholesky
+module Water = Cni_apps.Water
+module Jacobi = Cni_apps.Jacobi
+
+let bcsstk14 = lazy (Cholesky.bcsstk14_like ())
+
+let cholesky c l = ignore (Cholesky.run c l (Cholesky.default_config (Lazy.force bcsstk14)))
+let water c l = ignore (Water.run c l { Water.default_config with Water.molecules = 216 })
+
+let jacobi c l =
+  ignore (Jacobi.run c l { Jacobi.default_config with Jacobi.n = 512; iterations = 12 })
+
+let row name kind app =
+  let r = Runner.run ~kind ~procs:8 app in
+  [ name; Format.asprintf "%a" Time.pp r.Runner.elapsed; Report.f1 r.Runner.hit_ratio ]
+
+let columns = [ "configuration"; "elapsed"; "cache-hit-%" ]
+
+let message_cache () =
+  Report.make ~id:"ablation-mc"
+    ~title:"Message Cache contribution (8-processor Cholesky bcsstk14-like)"
+    ~columns
+    ~notes:[ "ADC+AIH retained; only the Message Cache is removed" ]
+    [
+      row "CNI" (Runner.cni ()) cholesky;
+      row "CNI, no Message Cache" (Runner.cni ~mc_bytes:0 ()) cholesky;
+      row "standard" Runner.standard cholesky;
+    ]
+
+let aih () =
+  Report.make ~id:"ablation-aih"
+    ~title:"Application Interrupt Handler contribution (8-processor Water 216)"
+    ~columns
+    ~notes:[ "without AIH, protocol handlers run on the host behind the polling hybrid" ]
+    [
+      row "CNI" (Runner.cni ()) water;
+      row "CNI, host handlers" (Runner.cni ~aih:false ()) water;
+      row "standard" Runner.standard water;
+    ]
+
+let hybrid_receive () =
+  Report.make ~id:"ablation-hybrid"
+    ~title:"Polling/interrupt hybrid contribution (8-processor Water 216, host handlers)"
+    ~columns
+    ~notes:[ "interrupt-only reception reintroduces the per-message interrupt cost" ]
+    [
+      row "CNI, host handlers, hybrid" (Runner.cni ~aih:false ()) water;
+      row "CNI, host handlers, interrupt-only"
+        (Runner.cni ~aih:false ~hybrid_receive:false ())
+        water;
+    ]
+
+let snoop_mode () =
+  Report.make ~id:"ablation-snoop"
+    ~title:"Write-update vs invalidate snooping (8-processor Jacobi 512)"
+    ~columns
+    ~notes:
+      [
+        "invalidate snooping drops a board buffer on every host write-back, so rewritten pages \
+         always miss";
+      ]
+    [
+      row "CNI, write-update snoop" (Runner.cni ()) jacobi;
+      row "CNI, invalidate snoop" (Runner.cni ~mc_mode:Cni_nic.Message_cache.Invalidate ()) jacobi;
+    ]
+
+(* how much of the standard interface's deficit is the interrupt cost?
+   (Table 1's garbled row motivates checking the sensitivity) *)
+let interrupt_sensitivity () =
+  let module Params = Cni_machine.Params in
+  let rows =
+    List.map
+      (fun us ->
+        let params = { Params.default with Params.interrupt_latency = Time.us us } in
+        let rc = Runner.run ~params ~kind:(Runner.cni ()) ~procs:8 cholesky in
+        let rs = Runner.run ~params ~kind:Runner.standard ~procs:8 cholesky in
+        [
+          string_of_int us;
+          Format.asprintf "%a" Time.pp rc.Runner.elapsed;
+          Format.asprintf "%a" Time.pp rs.Runner.elapsed;
+          Report.f2 (Time.to_s_float rs.Runner.elapsed /. Time.to_s_float rc.Runner.elapsed);
+        ])
+      [ 10; 20; 40; 80 ]
+  in
+  Report.make ~id:"ablation-interrupt"
+    ~title:"Interrupt-latency sensitivity (8-processor Cholesky bcsstk14-like)"
+    ~columns:[ "interrupt-us"; "cni"; "standard"; "std/cni" ]
+    ~notes:
+      [
+        "the CNI barely notices (its handlers run on the board); the standard interface \
+         degrades with every microsecond of interrupt cost";
+      ]
+    rows
+
+(* write-back vs write-through host caches: the paper evaluates write-back
+   (the hard case, needing pre-transfer flushes) and notes write-through
+   keeps the board trivially consistent -- at the cost of putting every
+   store on the bus *)
+let cache_policy () =
+  let module Params = Cni_machine.Params in
+  let row name policy kind =
+    let params = { Params.default with Params.cache_policy = policy } in
+    let r = Runner.run ~params ~kind ~procs:8 jacobi in
+    [ name; Format.asprintf "%a" Time.pp r.Runner.elapsed; Report.f1 r.Runner.hit_ratio ]
+  in
+  Report.make ~id:"ablation-writepolicy"
+    ~title:"Host cache policy (8-processor Jacobi 512)"
+    ~columns
+    ~notes:
+      [
+        "write-through keeps the Message Cache consistent without flushes but floods the \
+         memory bus with store traffic";
+      ]
+    [
+      row "CNI, write-back" Params.Write_back (Runner.cni ());
+      row "CNI, write-through" Params.Write_through (Runner.cni ());
+      row "standard, write-back" Params.Write_back Runner.standard;
+      row "standard, write-through" Params.Write_through Runner.standard;
+    ]
+
+(* the three generations in one table: standard -> OSIRIS (user-level ADC,
+   software demux, interrupt-only) -> CNI (PATHFINDER + MC + AIH) *)
+let interface_evolution () =
+  let interfaces =
+    [ ("standard", Runner.standard); ("OSIRIS", Runner.osiris); ("CNI", Runner.cni ()) ]
+  in
+  let latency_rows =
+    List.map
+      (fun (iface, kind) ->
+        (* messaging uses host-side delivery on every interface *)
+        let kind = match kind with `Cni o -> `Cni { o with Cni_nic.Nic.aih = false } | k -> k in
+        let t = Microbench.latency ~kind ~bytes:2048 () in
+        [ "2KB one-way latency"; iface; Format.asprintf "%a" Cni_engine.Time.pp t; "-" ])
+      interfaces
+  in
+  let app_rows =
+    List.concat_map
+      (fun (name, app) ->
+        List.map
+          (fun (iface, kind) ->
+            let r = Runner.run ~kind ~procs:8 app in
+            [
+              name;
+              iface;
+              Format.asprintf "%a" Time.pp r.Runner.elapsed;
+              Report.f1 r.Runner.hit_ratio;
+            ])
+          interfaces)
+      [ ("Water 216 (8 procs)", water); ("Cholesky bcsstk14-like (8 procs)", cholesky) ]
+  in
+  Report.make ~id:"ablation-evolution"
+    ~title:"Interface evolution: standard -> OSIRIS -> CNI"
+    ~columns:[ "workload"; "interface"; "elapsed"; "cache-hit-%" ]
+    ~notes:
+      [
+        "OSIRIS (the board the CNI extends) removes the kernel from the messaging path but \
+         still interrupts per packet, so its DSM runs stay near the standard board — the \
+         classifier, Message Cache and on-board handlers are what move the applications";
+      ]
+    (latency_rows @ app_rows)
+
+(* ordering matters: fill-in drives both the flop count and the page
+   traffic; RCM recovers most of what a bad ordering loses *)
+let ordering () =
+  let module Sparse = Cni_apps.Sparse in
+  let a = Sparse.stiffness_like ~n:600 ~dofs:3 ~seed:21 in
+  let scrambled = Sparse.permute a ~perm:(Array.init 600 (fun i -> (i * 389) mod 600)) in
+  let rcm = Sparse.permute scrambled ~perm:(Sparse.rcm scrambled) in
+  let row name m =
+    let r =
+      Runner.run ~kind:(Runner.cni ()) ~procs:8 (fun c l ->
+          ignore (Cholesky.run c l (Cholesky.default_config m)))
+    in
+    [
+      name;
+      string_of_int (Sparse.nnz (Sparse.symbolic m));
+      string_of_int (Sparse.bandwidth m);
+      Format.asprintf "%a" Time.pp r.Runner.elapsed;
+    ]
+  in
+  Report.make ~id:"ablation-ordering"
+    ~title:"Elimination ordering (8-processor CNI Cholesky, n=600 stiffness-like)"
+    ~columns:[ "ordering"; "nnz(L)"; "bandwidth"; "elapsed" ]
+    ~notes:[ "fill-in controls both the flop count and the migrating pages" ]
+    [ row "natural (banded)" a; row "scrambled" scrambled; row "RCM of scrambled" rcm ]
+
+let all =
+  [
+    ("ablation-mc", message_cache);
+    ("ablation-aih", aih);
+    ("ablation-hybrid", hybrid_receive);
+    ("ablation-snoop", snoop_mode);
+    ("ablation-interrupt", interrupt_sensitivity);
+    ("ablation-writepolicy", cache_policy);
+    ("ablation-evolution", interface_evolution);
+    ("ablation-ordering", ordering);
+  ]

@@ -1,0 +1,22 @@
+(** Ablation benchmarks isolating the contribution of each CNI mechanism
+    (DESIGN.md section 7): Message Cache, Application Interrupt Handlers,
+    the polling/interrupt hybrid, and write-update vs invalidate snooping. *)
+
+val message_cache : unit -> Report.t
+val aih : unit -> Report.t
+val hybrid_receive : unit -> Report.t
+val snoop_mode : unit -> Report.t
+
+val all : (string * (unit -> Report.t)) list
+
+(** Sensitivity of both interfaces to the host interrupt cost. *)
+val interrupt_sensitivity : unit -> Report.t
+
+(** Write-back vs write-through host caches (section 2.2's discussion). *)
+val cache_policy : unit -> Report.t
+
+(** standard vs OSIRIS vs CNI on the three applications. *)
+val interface_evolution : unit -> Report.t
+
+(** Elimination-ordering sensitivity of the Cholesky benchmark. *)
+val ordering : unit -> Report.t

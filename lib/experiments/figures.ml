@@ -1,0 +1,317 @@
+module Time = Cni_engine.Time
+module Params = Cni_machine.Params
+module Jacobi = Cni_apps.Jacobi
+module Water = Cni_apps.Water
+module Cholesky = Cni_apps.Cholesky
+
+let quick = ref false
+let proc_counts = [ 1; 2; 4; 8; 16; 32 ]
+
+(* ------------------------------------------------------------------ *)
+(* Applications as runner closures                                     *)
+(* ------------------------------------------------------------------ *)
+
+let jacobi_iters full = if !quick then max 4 (full / 2) else full
+
+let jacobi ~n ~iterations cluster lrcs =
+  ignore (Jacobi.run cluster lrcs { Jacobi.default_config with Jacobi.n; iterations })
+
+let water ~molecules cluster lrcs =
+  ignore (Water.run cluster lrcs { Water.default_config with Water.molecules })
+
+let cholesky matrix cluster lrcs =
+  ignore (Cholesky.run cluster lrcs (Cholesky.default_config matrix))
+
+let bcsstk14 = lazy (Cholesky.bcsstk14_like ())
+
+let bcsstk15 =
+  lazy
+    (if !quick then Cni_apps.Sparse.stiffness_like ~n:2400 ~dofs:3 ~seed:15
+     else Cholesky.bcsstk15_like ())
+
+(* ------------------------------------------------------------------ *)
+(* Generic sweeps                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* speedup + hit ratio vs processor count, both interfaces; each
+   configuration's speedup is measured against its own 1-processor run *)
+let speedup_sweep ~id ~title ?(notes = []) app =
+  let t1_cni = ref Time.zero and t1_std = ref Time.zero in
+  let rows =
+    List.map
+      (fun procs ->
+        let rc = Runner.run ~kind:(Runner.cni ()) ~procs app in
+        let rs = Runner.run ~kind:Runner.standard ~procs app in
+        if procs = 1 then begin
+          t1_cni := rc.Runner.elapsed;
+          t1_std := rs.Runner.elapsed
+        end;
+        [
+          string_of_int procs;
+          Report.f2 (Runner.speedup ~t1:!t1_cni rc);
+          Report.f2 (Runner.speedup ~t1:!t1_std rs);
+          Report.f1 rc.Runner.hit_ratio;
+        ])
+      proc_counts
+  in
+  Report.make ~id ~title
+    ~columns:[ "procs"; "cni-speedup"; "standard-speedup"; "cache-hit-%" ]
+    ~notes rows
+
+(* speedup at 8 processors vs shared page size, both interfaces *)
+let page_sweep ~id ~title ~pages ?(notes = []) app =
+  let rows =
+    List.map
+      (fun page_bytes ->
+        let params = { Params.default with Params.page_bytes } in
+        let t1c = (Runner.run ~params ~kind:(Runner.cni ()) ~procs:1 app).Runner.elapsed in
+        let t1s = (Runner.run ~params ~kind:Runner.standard ~procs:1 app).Runner.elapsed in
+        let rc = Runner.run ~params ~kind:(Runner.cni ()) ~procs:8 app in
+        let rs = Runner.run ~params ~kind:Runner.standard ~procs:8 app in
+        [
+          string_of_int page_bytes;
+          Report.f2 (Runner.speedup ~t1:t1c rc);
+          Report.f2 (Runner.speedup ~t1:t1s rs);
+        ])
+      pages
+  in
+  Report.make ~id ~title ~columns:[ "page-bytes"; "cni-speedup"; "standard-speedup" ] ~notes rows
+
+(* the paper's Tables 2-4: per-category time at 8 processors, 10^9 cycles *)
+let overhead_table ~id ~title ?(notes = []) app =
+  let rc = Runner.run ~kind:(Runner.cni ()) ~procs:8 app in
+  let rs = Runner.run ~kind:Runner.standard ~procs:8 app in
+  let total r = Time.(r.Runner.computation + r.Runner.synch_overhead + r.Runner.synch_delay) in
+  let rows =
+    [
+      [ "Synch overhead"; Report.gcycles rc.Runner.synch_overhead; Report.gcycles rs.Runner.synch_overhead ];
+      [ "Synch delay"; Report.gcycles rc.Runner.synch_delay; Report.gcycles rs.Runner.synch_delay ];
+      [ "Computation"; Report.gcycles rc.Runner.computation; Report.gcycles rs.Runner.computation ];
+      [ "Total"; Report.gcycles (total rc); Report.gcycles (total rs) ];
+    ]
+  in
+  Report.make ~id ~title
+    ~columns:[ "Category"; "Time-CNI (10^9 cycles)"; "Time-standard (10^9 cycles)" ]
+    ~notes rows
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  let p = Params.default in
+  let t fmt = Format.asprintf "%a" Time.pp fmt in
+  let rows =
+    [
+      [ "CPU Frequency"; Printf.sprintf "%d MHz" (p.Params.cpu_hz / 1_000_000) ];
+      [ "Primary Cache Access Time"; "1 cycle" ];
+      [ "Primary Cache Size"; Printf.sprintf "%dK unified" (p.Params.l1_bytes / 1024) ];
+      [ "Secondary Cache Access Time"; Printf.sprintf "%d cycles" p.Params.l2_access_cycles ];
+      [ "Secondary Cache Size"; Printf.sprintf "%d MB unified" (p.Params.l2_bytes / 1048576) ];
+      [ "Cache Organization"; "Direct-mapped" ];
+      [ "Cache Policy"; "Write-back" ];
+      [ "Memory Latency"; Printf.sprintf "%d cycles" p.Params.memory_latency_cycles ];
+      [ "Bus Acquisition Time"; Printf.sprintf "%d cycles" p.Params.bus_acquire_cycles ];
+      [ "Bus Transfer Rate"; Printf.sprintf "%d cycles per word" p.Params.bus_cycles_per_word ];
+      [ "Bus Frequency"; Printf.sprintf "%d MHz" (p.Params.bus_hz / 1_000_000) ];
+      [ "Switch Latency"; t p.Params.switch_latency ];
+      [ "Network Processor Frequency"; Printf.sprintf "%d MHz" (p.Params.nic_hz / 1_000_000) ];
+      [ "Network Latency"; t p.Params.link_latency ];
+      [ "Interrupt Latency"; t p.Params.interrupt_latency ];
+      [ "Message Cache Size"; Printf.sprintf "%d KB" (p.Params.message_cache_bytes / 1024) ];
+    ]
+  in
+  Report.make ~id:"table1" ~title:"Simulation Parameters" ~columns:[ "Parameter"; "Value" ]
+    ~notes:
+      [
+        "network latency read as 150 ns and interrupt latency as 40 us (OCR-garbled rows; \
+         DESIGN.md section 4)";
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Jacobi: figures 2-5, table 2                                        *)
+(* ------------------------------------------------------------------ *)
+
+let fig2 () =
+  speedup_sweep ~id:"fig2" ~title:"Jacobi 128x128: speedup & network cache hit ratio"
+    ~notes:[ "paper: both configurations mediocre at 32 procs; CNI degrades less" ]
+    (jacobi ~n:128 ~iterations:(jacobi_iters 30))
+
+let fig3 () =
+  speedup_sweep ~id:"fig3" ~title:"Jacobi 256x256: speedup & network cache hit ratio"
+    (jacobi ~n:256 ~iterations:(jacobi_iters 24))
+
+let fig4 () =
+  speedup_sweep ~id:"fig4" ~title:"Jacobi 1024x1024: speedup & network cache hit ratio"
+    ~notes:[ "paper: high hit ratio (96-99.5%); CNI modestly above standard" ]
+    (jacobi ~n:1024 ~iterations:(jacobi_iters 16))
+
+let fig5 () =
+  page_sweep ~id:"fig5" ~title:"Page-size sensitivity: 8-processor Jacobi 1024x1024"
+    ~pages:[ 1024; 2048; 4096; 8192; 16384 ]
+    ~notes:[ "paper: CNI less sensitive to page size (lower page-transfer cost)" ]
+    (jacobi ~n:1024 ~iterations:(jacobi_iters 12))
+
+let table2 () =
+  overhead_table ~id:"table2" ~title:"Overhead for 8-processor Jacobi 1024x1024"
+    ~notes:[ "paper: CNI lowers synch overhead and delay; computation unchanged" ]
+    (jacobi ~n:1024 ~iterations:(jacobi_iters 16))
+
+(* ------------------------------------------------------------------ *)
+(* Water: figures 6-9, table 3                                         *)
+(* ------------------------------------------------------------------ *)
+
+let fig6 () =
+  speedup_sweep ~id:"fig6" ~title:"Water 64 molecules: speedup & network cache hit ratio"
+    (water ~molecules:64)
+
+let fig7 () =
+  speedup_sweep ~id:"fig7" ~title:"Water 216 molecules: speedup & network cache hit ratio"
+    ~notes:[ "paper: hit ratio sensitive to processor count; improved scalability for CNI" ]
+    (water ~molecules:216)
+
+let fig8 () =
+  speedup_sweep ~id:"fig8" ~title:"Water 343 molecules: speedup & network cache hit ratio"
+    (water ~molecules:343)
+
+let fig9 () =
+  page_sweep ~id:"fig9" ~title:"Page-size sensitivity: 8-processor Water 216 molecules"
+    ~pages:[ 1024; 2048; 4096; 8192 ]
+    ~notes:[ "paper: CNI less sensitive despite some false sharing at larger pages" ]
+    (water ~molecules:216)
+
+let table3 () =
+  overhead_table ~id:"table3" ~title:"Overhead for 8-processor Water 216 molecules"
+    (water ~molecules:216)
+
+(* ------------------------------------------------------------------ *)
+(* Cholesky: figures 10-12, table 4                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fig10 () =
+  speedup_sweep ~id:"fig10" ~title:"Cholesky bcsstk14-like: speedup & network cache hit ratio"
+    ~notes:[ "paper: receive caching helps migratory pages; largest CNI gain of the three" ]
+    (fun c l -> cholesky (Lazy.force bcsstk14) c l)
+
+let fig11 () =
+  speedup_sweep ~id:"fig11" ~title:"Cholesky bcsstk15-like: speedup & network cache hit ratio"
+    ~notes:[ "paper: better speedup than bcsstk14 because of the larger matrix" ]
+    (fun c l -> cholesky (Lazy.force bcsstk15) c l)
+
+let fig12 () =
+  page_sweep ~id:"fig12" ~title:"Page-size sensitivity: 8-processor Cholesky bcsstk14-like"
+    ~pages:[ 1024; 2048; 4096; 8192 ]
+    ~notes:[ "paper: very page-size sensitive; transmit/receive caching reduce the sensitivity" ]
+    (fun c l -> cholesky (Lazy.force bcsstk14) c l)
+
+let table4 () =
+  overhead_table ~id:"table4" ~title:"Overhead for 8-processor Cholesky bcsstk14-like"
+    ~notes:[ "paper: synchronization delay dominates this application" ]
+    (fun c l -> cholesky (Lazy.force bcsstk14) c l)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 13: Message Cache size sensitivity                           *)
+(* ------------------------------------------------------------------ *)
+
+let fig13 () =
+  let sizes_kb = [ 8; 16; 32; 64; 128; 256; 512; 1024 ] in
+  let hit ~mc_kb app =
+    (* grow the board so cache + handler segments always fit: the sweep asks
+       for message caches up to the whole 1 MB OSIRIS memory *)
+    let params =
+      { Params.default with
+        Params.nic_memory_bytes = (mc_kb * 1024) + (256 * 1024)
+      }
+    in
+    (Runner.run ~params ~kind:(Runner.cni ~mc_bytes:(mc_kb * 1024) ()) ~procs:8 app)
+      .Runner.hit_ratio
+  in
+  let rows =
+    List.map
+      (fun kb ->
+        [
+          string_of_int kb;
+          Report.f1 (hit ~mc_kb:kb (jacobi ~n:1024 ~iterations:(jacobi_iters 12)));
+          Report.f1 (hit ~mc_kb:kb (water ~molecules:216));
+          Report.f1 (hit ~mc_kb:kb (fun c l -> cholesky (Lazy.force bcsstk14) c l));
+        ])
+      sizes_kb
+  in
+  Report.make ~id:"fig13"
+    ~title:"Network cache hit ratio vs Message Cache size (8 processors)"
+    ~columns:[ "mc-KB"; "jacobi-hit-%"; "water-hit-%"; "cholesky-hit-%" ]
+    ~notes:
+      [
+        "paper: Jacobi/Water saturate just beyond 32 KB; Cholesky needs ~512 KB to reach ~90%";
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 14: node-to-node latency                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fig14 () =
+  let sizes = [ 0; 64; 128; 256; 512; 1024; 2048; 4096 ] in
+  let points = Microbench.sweep ~sizes () in
+  let rows =
+    List.map
+      (fun { Microbench.bytes; cni_us; standard_us; reduction_pct } ->
+        [ string_of_int bytes; Report.f1 cni_us; Report.f1 standard_us; Report.f1 reduction_pct ])
+      points
+  in
+  Report.make ~id:"fig14" ~title:"Node-to-node latency, CNI (100% cache hit) vs standard"
+    ~columns:[ "message-bytes"; "cni-us"; "standard-us"; "reduction-%" ]
+    ~notes:
+      [
+        "paper: ~33% lower latency for a 4 KB page-sized transfer";
+        "the waiting receiver polls a CNI board but is interrupted by the standard one, \
+         so small messages gain proportionally more here";
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Table 5: unrestricted ATM cell size                                 *)
+(* ------------------------------------------------------------------ *)
+
+let table5 () =
+  let unrestricted = { Params.default with Params.cell_payload_bytes = 1 lsl 26 } in
+  let improvement app =
+    let t = (Runner.run ~kind:(Runner.cni ()) ~procs:8 app).Runner.elapsed in
+    let t' = (Runner.run ~params:unrestricted ~kind:(Runner.cni ()) ~procs:8 app).Runner.elapsed in
+    100. *. (Time.to_s_float t -. Time.to_s_float t') /. Time.to_s_float t
+  in
+  let rows =
+    [
+      [ "Jacobi 1024x1024"; Report.f2 (improvement (jacobi ~n:1024 ~iterations:(jacobi_iters 16))) ];
+      [ "Water 343 molecules"; Report.f2 (improvement (water ~molecules:343)) ];
+      [ "Cholesky bcsstk14-like"; Report.f2 (improvement (fun c l -> cholesky (Lazy.force bcsstk14) c l)) ];
+    ]
+  in
+  Report.make ~id:"table5"
+    ~title:"Performance improvement with ATM of unrestricted cell size (8 processors)"
+    ~columns:[ "Application"; "% improvement" ]
+    ~notes:[ "paper: 5.69 / 13.31 / 25.29 — fragmentation overhead is a major detriment" ]
+    rows
+
+let all =
+  [
+    ("table1", table1);
+    ("fig2", fig2);
+    ("fig3", fig3);
+    ("fig4", fig4);
+    ("fig5", fig5);
+    ("table2", table2);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("table3", table3);
+    ("fig10", fig10);
+    ("fig11", fig11);
+    ("fig12", fig12);
+    ("table4", table4);
+    ("fig13", fig13);
+    ("fig14", fig14);
+    ("table5", table5);
+  ]

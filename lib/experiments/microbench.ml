@@ -1,0 +1,89 @@
+module Time = Cni_engine.Time
+module Engine = Cni_engine.Engine
+module Sync = Cni_engine.Sync
+module Params = Cni_machine.Params
+module Nic = Cni_nic.Nic
+module Wire = Cni_nic.Wire
+module Cluster = Cni_cluster.Cluster
+module Node = Cni_cluster.Node
+
+let channel = 7
+let buffer_vaddr = 1 lsl 20
+
+let header ~src =
+  Wire.encode
+    {
+      Wire.kind = 1;
+      cacheable = true;
+      has_data = true;
+      src;
+      channel;
+      obj = 0;
+      aux = 0;
+    }
+
+(* One cluster per measurement. The receiving application is blocked waiting
+   for the message — the realistic latency-test posture: a waiting host polls
+   a CNI board (section 2.1's hybrid) while the standard board interrupts it
+   regardless. The sender transmits the same buffer twice; the second
+   (measured) send finds it in the Message Cache. *)
+let latency ?(params = Params.default) ~kind ~bytes () =
+  let cluster : Time.t Cluster.t = Cluster.create ~params ~nic_kind:kind ~nodes:2 () in
+  let received = ref [] in
+  let wake : (unit -> unit) option ref = ref None in
+  let sender_go : (unit -> unit) option ref = ref None in
+  let receiver_nic = Node.nic (Cluster.node cluster 1) in
+  ignore
+    (Nic.install_handler receiver_nic ~pattern:(Wire.pattern_channel ~channel) ~code_bytes:256
+       (fun ctx pkt ->
+         if bytes > 0 then ctx.Nic.deliver_page ~vaddr:buffer_vaddr ~bytes ~cacheable:false;
+         received := (Engine.now (Cluster.engine cluster), pkt.Cni_atm.Fabric.payload) :: !received;
+         match !wake with
+         | Some f ->
+             wake := None;
+             f ()
+         | None -> ()));
+  Cluster.run_app cluster (fun node ->
+      if Node.id node = 0 then begin
+        let nic = Node.nic node in
+        let send_one () =
+          let t0 = Engine.now (Cluster.engine cluster) in
+          let data =
+            if bytes > 0 then Nic.Page { vaddr = buffer_vaddr; bytes; cacheable = true }
+            else Nic.No_data
+          in
+          Nic.send nic ~dst:1 ~header:(header ~src:0) ~body_bytes:0 ~data ~payload:t0;
+          Node.blocking node (fun () ->
+              Engine.suspend (fun resume -> sender_go := Some (fun () -> resume ())))
+        in
+        send_one () (* warm the Message Cache *);
+        send_one ()
+      end
+      else
+        (* the receiver blocks on the channel for both messages: while it
+           waits, the board sees the host as polling *)
+        for _ = 1 to 2 do
+          Node.blocking node (fun () ->
+              Engine.suspend (fun resume -> wake := Some (fun () -> resume ())));
+          match !sender_go with
+          | Some f ->
+              sender_go := None;
+              f ()
+          | None -> ()
+        done);
+  match !received with
+  | (arrival, t0) :: _ -> Time.(arrival - t0)
+  | [] -> failwith "Microbench: no delivery"
+
+type point = { bytes : int; cni_us : float; standard_us : float; reduction_pct : float }
+
+let sweep ?(params = Params.default) ~sizes () =
+  List.map
+    (fun bytes ->
+      (* app-level delivery on CNI goes through the ADC + polling hybrid,
+         not an AIH (there is no protocol code to run, just data arrival) *)
+      let cni_kind = Runner.cni ~aih:false () in
+      let c = Time.to_us_float (latency ~params ~kind:cni_kind ~bytes ()) in
+      let s = Time.to_us_float (latency ~params ~kind:`Standard ~bytes ()) in
+      { bytes; cni_us = c; standard_us = s; reduction_pct = 100. *. (s -. c) /. s })
+    sizes

@@ -1,0 +1,24 @@
+(** Figure 14: node-to-node latency microbenchmark.
+
+    One-way latency of a message between two nodes, as seen by the receiving
+    application, assuming a 100% network cache hit ratio for CNI (the buffer
+    is sent once to warm the Message Cache; the second, measured send elides
+    the host-memory DMA). *)
+
+type point = {
+  bytes : int;
+  cni_us : float;
+  standard_us : float;
+  reduction_pct : float;
+}
+
+(** [latency ~kind ~bytes] — one-way latency of the second send of the same
+    buffer. *)
+val latency :
+  ?params:Cni_machine.Params.t ->
+  kind:Cni_cluster.Cluster.nic_kind ->
+  bytes:int ->
+  unit ->
+  Cni_engine.Time.t
+
+val sweep : ?params:Cni_machine.Params.t -> sizes:int list -> unit -> point list

@@ -1,0 +1,29 @@
+(** Rendering of experiment results as aligned text tables (one per paper
+    figure/table) and optional CSV files. *)
+
+type t = {
+  id : string;  (** e.g. "fig4" *)
+  title : string;
+  columns : string list;
+  rows : string list list;
+  notes : string list;  (** shape expectations, caveats *)
+}
+
+val make : id:string -> title:string -> columns:string list -> ?notes:string list ->
+  string list list -> t
+
+(** Render as an aligned text block. *)
+val to_text : t -> string
+
+val print : t -> unit
+
+(** Write rows as CSV to [dir]/[id].csv. *)
+val write_csv : dir:string -> t -> unit
+
+(** Formatting helpers. *)
+val f1 : float -> string
+
+val f2 : float -> string
+val gcycles : Cni_engine.Time.t -> string
+(** time in 10^9 CPU cycles at the default 166 MHz, 3 decimals — the unit of
+    the paper's Tables 2-4 *)

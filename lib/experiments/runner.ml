@@ -1,0 +1,64 @@
+module Time = Cni_engine.Time
+module Params = Cni_machine.Params
+module Fabric = Cni_atm.Fabric
+module Nic = Cni_nic.Nic
+module Cluster = Cni_cluster.Cluster
+module Space = Cni_dsm.Space
+module Lrc = Cni_dsm.Lrc
+
+type app = Cni_dsm.Protocol.msg Cluster.t -> Lrc.t array -> unit
+
+type result = {
+  elapsed : Time.t;
+  elapsed_cycles : float;
+  hit_ratio : float;
+  computation : Time.t;
+  synch_overhead : Time.t;
+  synch_delay : Time.t;
+  packets : int;
+  wire_bytes : int;
+  message_mix : (string * int) list;  (* protocol messages by kind, summed *)
+}
+
+let cni ?mc_bytes ?mc_mode ?aih ?hybrid_receive () =
+  let d = Nic.default_cni_options in
+  `Cni
+    {
+      Nic.mc_bytes = Option.value mc_bytes ~default:d.Nic.mc_bytes;
+      mc_mode = Option.value mc_mode ~default:d.Nic.mc_mode;
+      aih = Option.value aih ~default:d.Nic.aih;
+      hybrid_receive = Option.value hybrid_receive ~default:d.Nic.hybrid_receive;
+    }
+
+let standard = `Standard
+let osiris = `Osiris Nic.default_osiris_options
+
+let run ?(params = Params.default) ~kind ~procs app =
+  let cluster = Cluster.create ~params ~nic_kind:kind ~nodes:procs () in
+  let space = Space.create ~nprocs:procs ~page_bytes:params.Params.page_bytes in
+  let lrcs = Lrc.install cluster space () in
+  app cluster lrcs;
+  let o = Cluster.overheads cluster in
+  let f = Fabric.stats (Cluster.fabric cluster) in
+  let elapsed = Cluster.elapsed cluster in
+  let mix = Hashtbl.create 12 in
+  Array.iter
+    (fun l ->
+      List.iter
+        (fun (k, n) ->
+          Hashtbl.replace mix k (n + Option.value (Hashtbl.find_opt mix k) ~default:0))
+        (Lrc.received_messages l))
+    lrcs;
+  {
+    elapsed;
+    elapsed_cycles = Time.to_s_float elapsed *. float_of_int params.Params.cpu_hz;
+    hit_ratio = Cluster.network_cache_hit_ratio cluster;
+    computation = o.Cluster.computation;
+    synch_overhead = o.Cluster.synch_overhead;
+    synch_delay = o.Cluster.synch_delay;
+    packets = f.Fabric.packets;
+    wire_bytes = f.Fabric.wire_bytes;
+    message_mix = List.sort compare (Hashtbl.fold (fun k n acc -> (k, n) :: acc) mix []);
+  }
+
+let speedup ~t1 r = Time.to_s_float t1 /. Time.to_s_float r.elapsed

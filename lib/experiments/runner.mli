@@ -1,0 +1,39 @@
+(** One-stop execution of an application on a freshly built cluster. *)
+
+type app =
+  Cni_dsm.Protocol.msg Cni_cluster.Cluster.t -> Cni_dsm.Lrc.t array -> unit
+
+type result = {
+  elapsed : Cni_engine.Time.t;
+  elapsed_cycles : float;  (** in CPU cycles (the paper's unit) *)
+  hit_ratio : float;  (** network cache hit ratio, percent *)
+  computation : Cni_engine.Time.t;
+  synch_overhead : Cni_engine.Time.t;
+  synch_delay : Cni_engine.Time.t;
+  packets : int;
+  wire_bytes : int;
+  message_mix : (string * int) list;
+      (** protocol messages received, by kind, summed over nodes *)
+}
+
+(** Convenience NIC kinds. *)
+val cni :
+  ?mc_bytes:int ->
+  ?mc_mode:Cni_nic.Message_cache.mode ->
+  ?aih:bool ->
+  ?hybrid_receive:bool ->
+  unit ->
+  Cni_cluster.Cluster.nic_kind
+
+val standard : Cni_cluster.Cluster.nic_kind
+
+(** The OSIRIS base board: the intermediate design point. *)
+val osiris : Cni_cluster.Cluster.nic_kind
+
+(** [run ~kind ~procs app] builds a cluster + DSM and runs [app] to
+    completion. [params] defaults to Table 1. *)
+val run :
+  ?params:Cni_machine.Params.t -> kind:Cni_cluster.Cluster.nic_kind -> procs:int -> app -> result
+
+(** [speedup ~t1 r] = t1 / elapsed. *)
+val speedup : t1:Cni_engine.Time.t -> result -> float

@@ -1,0 +1,59 @@
+(** Two-level unified direct-mapped write-back cache model.
+
+    Addresses are byte addresses in a flat (per-node) physical address space.
+    The model is exact at cache-line granularity: tag and dirty state per set
+    for both levels. An L1 victim that is dirty is written into L2 (possibly
+    displacing a dirty L2 line to memory); a dirty L2 victim goes to memory
+    over the bus. All memory-bound write-backs are reported to the caller so
+    the bus model can account for them and the Message Cache can snoop them. *)
+
+type t
+
+(** Where an access was satisfied. *)
+type level = L1 | L2 | Memory
+
+type access_result = {
+  level : level;
+  cycles : int;  (** CPU cycles for the access itself (lookup chain + memory
+                     latency), excluding bus occupancy of line movements *)
+  writeback_lines : int list;  (** line-aligned physical addresses written back
+                                   to memory as a consequence of this access *)
+  fill_from_memory : bool;  (** a line was fetched from memory *)
+}
+
+val create : Params.t -> t
+
+(** [access t ~addr ~write] simulates one load or store of (up to) a word at
+    [addr]. *)
+val access : t -> addr:int -> write:bool -> access_result
+
+(** [access_line t ~addr ~write] behaves as {!access} but represents touching
+    a whole cache line starting at the line containing [addr]; used by the
+    bulk shared-array operations. *)
+val access_line : t -> addr:int -> write:bool -> access_result
+
+(** [flush_range t ~addr ~bytes] writes back and invalidates every line
+    intersecting [\[addr, addr+bytes)] in both levels (the pre-DMA flush a
+    write-back system needs before a message transfer, section 2.2). Returns
+    the memory-bound write-backs and the CPU cycles spent walking the range. *)
+val flush_range : t -> addr:int -> bytes:int -> int list * int
+
+(** [dirty_lines_in t ~addr ~bytes] counts dirty resident lines in the range
+    without modifying any state. *)
+val dirty_lines_in : t -> addr:int -> bytes:int -> int
+
+(** [invalidate_range t ~addr ~bytes] drops lines without write-back (used
+    when a DMA write from the NIC overwrites host memory: the stale cached
+    copies must not survive). Returns the number of lines dropped. *)
+val invalidate_range : t -> addr:int -> bytes:int -> int
+
+type stats = {
+  accesses : int;
+  l1_hits : int;
+  l2_hits : int;
+  memory_fills : int;
+  writebacks : int;
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit

@@ -1,0 +1,27 @@
+type t = {
+  entries : int;
+  miss_cycles : int;
+  page_bytes : int;
+  tags : int array;
+  mutable s_lookups : int;
+  mutable s_misses : int;
+}
+
+type stats = { lookups : int; misses : int }
+
+let create ~entries ~miss_cycles ~page_bytes =
+  { entries; miss_cycles; page_bytes; tags = Array.make entries (-1); s_lookups = 0; s_misses = 0 }
+
+let lookup t ~addr =
+  t.s_lookups <- t.s_lookups + 1;
+  let vpn = addr / t.page_bytes in
+  let slot = vpn mod t.entries in
+  if t.tags.(slot) = vpn then 0
+  else begin
+    t.s_misses <- t.s_misses + 1;
+    t.tags.(slot) <- vpn;
+    t.miss_cycles
+  end
+
+let flush t = Array.fill t.tags 0 t.entries (-1)
+let stats t = { lookups = t.s_lookups; misses = t.s_misses }

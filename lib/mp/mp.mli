@@ -1,0 +1,79 @@
+(** Message passing over Application Device Channels.
+
+    The paper's third design goal is to support {e both} the message-passing
+    and distributed-shared-memory paradigms (section 1). This library is the
+    message-passing side: tagged point-to-point sends and receives plus
+    binomial-tree collectives, running entirely at user level over the ADC
+    machinery — a PATHFINDER pattern steers the endpoint's packets into its
+    mailbox, large payloads ride as bulk data through the Message Cache, and
+    no kernel or host interrupt sits on the critical path of a CNI cluster.
+
+    Typical use:
+    {[
+      let cluster = Cluster.create ~nic_kind ~nodes () in
+      let eps = Mp.install cluster in
+      Cluster.run_app cluster (fun node ->
+          let ep = eps.(Node.id node) in
+          if Mp.rank ep = 0 then Mp.send ep ~dst:1 ~tag:7 "hello"
+          else ignore (Mp.recv ep ~tag:7 ()))
+    ]} *)
+
+(** A received message. *)
+type 'a envelope = { src : int; tag : int; bytes : int; value : 'a }
+
+type 'a t
+
+(** The ADC channel the library claims on every board. *)
+val channel : int
+
+(** Tags at or above this value are reserved for the collectives. *)
+val reserved_tag_base : int
+
+(** [install cluster] creates one endpoint per node and programs every
+    board's classifier. Call once, before [run_app]. *)
+val install : 'a envelope Cni_cluster.Cluster.t -> 'a t array
+
+val rank : 'a t -> int
+val size : 'a t -> int
+
+(** [send t ~dst ~tag ?bytes ?buffer v] — asynchronous tagged send.
+    [bytes] (default 64) is the payload size on the wire; payloads of a page
+    or more ride as bulk data from [buffer] (a host virtual address, default
+    a per-endpoint scratch buffer) and so exercise the DMA / Message Cache
+    path. Sending to yourself delivers locally.
+    @raise Invalid_argument on a reserved tag or bad destination. *)
+val send : 'a t -> dst:int -> tag:int -> ?bytes:int -> ?buffer:int -> 'a -> unit
+
+(** [recv t ?src ~tag ()] — blocking receive matching [tag] and, when given,
+    [src]. Messages that do not match are left for other receives
+    (tag matching, not FIFO across tags). Fiber context. *)
+val recv : 'a t -> ?src:int -> tag:int -> unit -> 'a envelope
+
+(** Non-blocking probe-and-take. *)
+val try_recv : 'a t -> ?src:int -> tag:int -> unit -> 'a envelope option
+
+(** Unmatched messages held by the endpoint. *)
+val pending : 'a t -> int
+
+(** {2 Collectives}
+
+    Every node must call the same collectives in the same order. All are
+    built from {!send}/{!recv} (dissemination barrier, binomial broadcast
+    and reduction), so their cost is real message traffic. *)
+
+(** Dissemination barrier: O(log n) rounds. *)
+val barrier : 'a t -> unit
+
+(** [broadcast t ~root ?bytes v] — [v] is consulted only at the root; every
+    node returns the root's value. *)
+val broadcast : 'a t -> root:int -> ?bytes:int -> 'a -> 'a
+
+(** [reduce t ~root ~op ?bytes v] — binomial-tree reduction; the result is
+    meaningful only at the root (other ranks get their partial). *)
+val reduce : 'a t -> root:int -> op:('a -> 'a -> 'a) -> ?bytes:int -> 'a -> 'a
+
+(** Reduction whose result every node receives. *)
+val allreduce : 'a t -> op:('a -> 'a -> 'a) -> ?bytes:int -> 'a -> 'a
+
+(** One-line summary of outstanding receives and parked messages. *)
+val debug_state : 'a t -> string

@@ -1,0 +1,57 @@
+module Fabric = Cni_atm.Fabric
+
+type 'a t = {
+  nic : 'a Nic.t;
+  channel : int;
+  ring : 'a Fabric.packet Ring.t;
+  handle : Cni_pathfinder.Classifier.handle;
+}
+
+let open_channel nic ~channel ?(slots = 32) () =
+  let ring = Ring.create ~slots in
+  (* the ring lives in board memory: account it like handler state; a slot
+     holds a descriptor, not the data (64 bytes is generous) *)
+  let handle =
+    Nic.install_handler nic
+      ~pattern:(Wire.pattern_channel ~channel)
+      ~code_bytes:(slots * 64)
+      (fun ctx pkt ->
+        (* deliver bulk data into the posted host buffer, then enqueue the
+           descriptor; a full ring exerts back-pressure on the board *)
+        let hdr = Wire.decode pkt.Fabric.header in
+        if hdr.Wire.has_data then
+          ctx.Nic.deliver_page ~vaddr:(1 lsl 22) ~bytes:pkt.Fabric.body_bytes
+            ~cacheable:hdr.Wire.cacheable;
+        ctx.Nic.charge 10;
+        Ring.push ring pkt)
+  in
+  { nic; channel; ring; handle }
+
+let close t = Nic.uninstall_handler t.nic t.handle
+
+let send t ~dst ?(data = Nic.No_data) payload =
+  let has_data, cacheable, body_bytes =
+    match data with
+    | Nic.No_data -> (false, false, 0)
+    | Nic.Page { bytes; cacheable; _ } -> (true, cacheable, bytes)
+  in
+  let header =
+    Wire.encode
+      {
+        Wire.kind = 0;
+        cacheable;
+        has_data;
+        src = Nic.node t.nic;
+        channel = t.channel;
+        obj = 0;
+        aux = 0;
+      }
+  in
+  (* bulk data travels as NIC data (so body_bytes would double-count it) *)
+  ignore body_bytes;
+  Nic.send t.nic ~dst ~header ~body_bytes:0 ~data ~payload
+
+let recv t = Ring.pop t.ring
+let try_recv t = Ring.try_pop t.ring
+let backlog t = Ring.length t.ring
+let channel_id t = t.channel

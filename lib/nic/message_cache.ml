@@ -1,0 +1,139 @@
+type mode = Update | Invalidate
+
+type slot = { mutable vpage : int (* -1 = free *); mutable referenced : bool }
+
+type t = {
+  page_bytes : int;
+  capacity : int;
+  cache_mode : mode;
+  slots : slot array;
+  map : (int, int) Hashtbl.t; (* vpage -> slot index: the buffer map *)
+  mutable hand : int; (* clock hand *)
+  mutable s_hits : int;
+  mutable s_misses : int;
+  mutable s_binds : int;
+  mutable s_evictions : int;
+  mutable s_snoop_updates : int;
+  mutable s_snoop_invalidates : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  binds : int;
+  evictions : int;
+  snoop_updates : int;
+  snoop_invalidates : int;
+}
+
+let create ~page_bytes ~capacity_bytes ~mode =
+  let capacity = max 1 (capacity_bytes / page_bytes) in
+  {
+    page_bytes;
+    capacity;
+    cache_mode = mode;
+    slots = Array.init capacity (fun _ -> { vpage = -1; referenced = false });
+    map = Hashtbl.create (capacity * 2);
+    hand = 0;
+    s_hits = 0;
+    s_misses = 0;
+    s_binds = 0;
+    s_evictions = 0;
+    s_snoop_updates = 0;
+    s_snoop_invalidates = 0;
+  }
+
+let capacity_pages t = t.capacity
+let mode t = t.cache_mode
+let contains t ~vpage = Hashtbl.mem t.map vpage
+
+let lookup t ~vpage =
+  match Hashtbl.find_opt t.map vpage with
+  | Some i ->
+      t.slots.(i).referenced <- true;
+      t.s_hits <- t.s_hits + 1;
+      true
+  | None ->
+      t.s_misses <- t.s_misses + 1;
+      false
+
+let drop_slot t i =
+  let s = t.slots.(i) in
+  if s.vpage >= 0 then begin
+    Hashtbl.remove t.map s.vpage;
+    s.vpage <- -1;
+    s.referenced <- false
+  end
+
+(* Clock (second chance): advance the hand past referenced slots, clearing
+   their bits, and claim the first unreferenced one. *)
+let claim_slot t =
+  let rec go guard =
+    let s = t.slots.(t.hand) in
+    let i = t.hand in
+    t.hand <- (t.hand + 1) mod t.capacity;
+    if s.vpage = -1 then i
+    else if s.referenced && guard > 0 then begin
+      s.referenced <- false;
+      go (guard - 1)
+    end
+    else begin
+      t.s_evictions <- t.s_evictions + 1;
+      drop_slot t i;
+      i
+    end
+  in
+  go (2 * t.capacity)
+
+let bind t ~vpage =
+  match Hashtbl.find_opt t.map vpage with
+  | Some i -> t.slots.(i).referenced <- true
+  | None ->
+      let i = claim_slot t in
+      t.slots.(i).vpage <- vpage;
+      t.slots.(i).referenced <- true;
+      Hashtbl.replace t.map vpage i;
+      t.s_binds <- t.s_binds + 1
+
+let unbind t ~vpage =
+  match Hashtbl.find_opt t.map vpage with Some i -> drop_slot t i | None -> ()
+
+let snoop t ~addr ~bytes =
+  if bytes > 0 then begin
+    let first = addr / t.page_bytes and last = (addr + bytes - 1) / t.page_bytes in
+    for vpage = first to last do
+      match Hashtbl.find_opt t.map vpage with
+      | Some i -> (
+          match t.cache_mode with
+          | Update ->
+              (* write-update: the buffer absorbs the data and stays bound *)
+              t.slots.(i).referenced <- true;
+              t.s_snoop_updates <- t.s_snoop_updates + 1
+          | Invalidate ->
+              drop_slot t i;
+              t.s_snoop_invalidates <- t.s_snoop_invalidates + 1)
+      | None -> ()
+    done
+  end
+
+let stats t =
+  {
+    hits = t.s_hits;
+    misses = t.s_misses;
+    binds = t.s_binds;
+    evictions = t.s_evictions;
+    snoop_updates = t.s_snoop_updates;
+    snoop_invalidates = t.s_snoop_invalidates;
+  }
+
+let reset_stats t =
+  t.s_hits <- 0;
+  t.s_misses <- 0;
+  t.s_binds <- 0;
+  t.s_evictions <- 0;
+  t.s_snoop_updates <- 0;
+  t.s_snoop_invalidates <- 0
+
+let hit_ratio t =
+  let total = t.s_hits + t.s_misses in
+  if total = 0 then 100. else 100. *. float_of_int t.s_hits /. float_of_int total

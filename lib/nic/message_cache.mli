@@ -1,0 +1,61 @@
+(** The Message Cache (paper section 2.2).
+
+    A set of page-sized cached buffers in the adaptor's memory, each bound to
+    a host virtual-memory page through the buffer map. A buffer stays
+    consistent with host memory because the snoopy interface observes every
+    write that crosses the memory bus (CPU write-backs and flushes, and DMA
+    writes) and — in the paper's design — updates the buffer in place
+    (write-update). The [`Invalidate] mode is our ablation: snooped writes
+    drop the binding instead.
+
+    Replacement is the paper's "approximate LRU", implemented as a clock
+    (second-chance) algorithm over the buffer slots. *)
+
+type mode = Update | Invalidate
+
+type t
+
+val create : page_bytes:int -> capacity_bytes:int -> mode:mode -> t
+
+val capacity_pages : t -> int
+val mode : t -> mode
+
+(** [lookup t ~vpage] — transmit-path probe: returns whether a valid buffer
+    is bound to the page, counts a hit or a miss, and refreshes the clock
+    reference bit on a hit. *)
+val lookup : t -> vpage:int -> bool
+
+(** [contains t ~vpage] — probe without statistics or reference-bit side
+    effects. *)
+val contains : t -> vpage:int -> bool
+
+(** [bind t ~vpage] creates (or refreshes) a binding, evicting the clock
+    victim if the buffer pool is full. Used by transmit caching after a
+    miss-DMA of a cacheable buffer and by receive caching for migratory
+    pages. *)
+val bind : t -> vpage:int -> unit
+
+(** [snoop t ~addr ~bytes] — the snoopy interface: a range of host memory was
+    written over the bus. In [Update] mode a covered binding absorbs the
+    write (stays valid); in [Invalidate] mode it is dropped. *)
+val snoop : t -> addr:int -> bytes:int -> unit
+
+(** Drop a binding if present (e.g. the host reuses the page for something
+    else). *)
+val unbind : t -> vpage:int -> unit
+
+type stats = {
+  hits : int;
+  misses : int;
+  binds : int;
+  evictions : int;
+  snoop_updates : int;
+  snoop_invalidates : int;
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
+(** Transmit hit ratio in percent (the paper's "network cache hit ratio");
+    100. when there were no lookups. *)
+val hit_ratio : t -> float

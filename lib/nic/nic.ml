@@ -1,0 +1,384 @@
+module Engine = Cni_engine.Engine
+module Sync = Cni_engine.Sync
+module Time = Cni_engine.Time
+module Params = Cni_machine.Params
+module Bus = Cni_machine.Bus
+module Fabric = Cni_atm.Fabric
+module Classifier = Cni_pathfinder.Classifier
+module Pattern = Cni_pathfinder.Pattern
+
+type data = No_data | Page of { vaddr : int; bytes : int; cacheable : bool }
+
+type host = {
+  host_waiting : unit -> bool;
+  steal : Time.t -> unit;
+  invalidate_range : addr:int -> bytes:int -> unit;
+  overhead : Time.t -> unit;
+}
+
+type 'a ctx = {
+  ctx_node : int;
+  charge : int -> unit;
+  reply : dst:int -> header:Bytes.t -> body_bytes:int -> data:data -> payload:'a -> unit;
+  deliver_page : vaddr:int -> bytes:int -> cacheable:bool -> unit;
+}
+
+type cni_options = {
+  mc_bytes : int;
+  mc_mode : Message_cache.mode;
+  aih : bool;
+  hybrid_receive : bool;
+}
+
+let default_cni_options =
+  { mc_bytes = Params.default.Params.message_cache_bytes;
+    mc_mode = Message_cache.Update;
+    aih = true;
+    hybrid_receive = true }
+
+type osiris_options = {
+  software_classify_nic_cycles : int;
+      (* per-packet software demultiplexing on the board processor; the
+         paper's ATOMIC experience: expensive, and worse under i-cache
+         pressure from resident handlers *)
+}
+
+let default_osiris_options = { software_classify_nic_cycles = 120 }
+
+type kind = Cni of cni_options | Osiris of osiris_options | Standard
+
+type 'a handler_fn = 'a ctx -> 'a Fabric.packet -> unit
+
+type 'a t = {
+  eng : Engine.t;
+  bus : Bus.t;
+  fabric : 'a Fabric.t;
+  p : Params.t;
+  node : int;
+  kind : kind;
+  mc : Message_cache.t option;
+  host : host;
+  nic_proc : Sync.Semaphore.t;  (* the 33 MHz processor is a shared resource *)
+  tx_queue : Sync.Semaphore.t;  (* transmit descriptors are processed in order *)
+  host_proc : Sync.Semaphore.t;  (* interrupt-level protocol work on the host
+                                    serialises as well *)
+  classifier : ('a handler_fn * int) Classifier.t;
+  handler_sizes : (Classifier.handle, int) Hashtbl.t;
+  mutable default_handler : 'a handler_fn;
+  mutable s_handler_code_bytes : int;
+  mutable s_unmatched : int;
+  mutable s_tx_packets : int;
+  mutable s_tx_data_packets : int;
+  mutable s_tx_dma_bytes : int;
+  mutable s_rx_packets : int;
+  mutable s_rx_dma_bytes : int;
+  mutable s_interrupts : int;
+  mutable s_polls : int;
+}
+
+type stats = {
+  tx_packets : int;
+  tx_data_packets : int;
+  tx_dma_bytes : int;
+  rx_packets : int;
+  rx_dma_bytes : int;
+  interrupts : int;
+  polls : int;
+  unmatched : int;
+}
+
+let node t = t.node
+let is_cni t = match t.kind with Cni _ -> true | Osiris _ | Standard -> false
+let aih_enabled t = match t.kind with Cni { aih; _ } -> aih | Osiris _ | Standard -> false
+let message_cache t = t.mc
+
+let network_cache_hit_ratio t =
+  match t.mc with Some mc -> Message_cache.hit_ratio mc | None -> 0.
+
+let vpage_of t vaddr = vaddr / t.p.Params.page_bytes
+
+(* Occupy the board's processor for a bounded burst of work. Concurrent
+   transmissions, receptions and handler activations on one board serialise
+   here; a handler that blocks (e.g. a server-side fault) releases the
+   processor between bursts, so reply processing can still run. *)
+let nic_busy t d =
+  if d > Time.zero then begin
+    Sync.Semaphore.acquire t.nic_proc;
+    Engine.delay d;
+    Sync.Semaphore.release t.nic_proc
+  end
+
+(* Same for interrupt-level work on the host CPU: two packets arriving at a
+   standard board do not get their kernel service in parallel. Held only per
+   bounded burst, so a protocol handler that blocks lets later interrupts
+   through (nested service, as a real kernel would). *)
+let host_busy t d =
+  if d > Time.zero then begin
+    Sync.Semaphore.acquire t.host_proc;
+    Engine.delay d;
+    Sync.Semaphore.release t.host_proc
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Transmit                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* NIC-side half of a transmission; runs in its own fiber. The board picks
+   the descriptor off the transmit queue, resolves the data buffer (Message
+   Cache on CNI), segments the frame and hands the cells to the wire. *)
+let nic_transmit t ~dst ~header ~body_bytes ~data ~payload =
+  let p = t.p in
+  (* the board works its transmit queue one descriptor at a time: a pipelined
+     resend of a buffer must observe the Message Cache binding its
+     predecessor created *)
+  Sync.Semaphore.acquire t.tx_queue;
+  nic_busy t (Params.nic_cycles p p.Params.handler_dispatch_nic_cycles);
+  (match data with
+  | No_data -> ()
+  | Page { vaddr; bytes; cacheable } -> (
+      t.s_tx_data_packets <- t.s_tx_data_packets + 1;
+      match t.kind with
+      | Cni _ -> (
+          match t.mc with
+          | Some mc when Message_cache.lookup mc ~vpage:(vpage_of t vaddr) ->
+              (* transmit caching hit: the board already holds a consistent
+                 copy; no host-memory DMA *)
+              ()
+          | Some mc ->
+              Bus.dma t.bus ~dir:Bus.Dma_from_memory ~addr:vaddr ~bytes;
+              t.s_tx_dma_bytes <- t.s_tx_dma_bytes + bytes;
+              if cacheable then Message_cache.bind mc ~vpage:(vpage_of t vaddr)
+          | None ->
+              Bus.dma t.bus ~dir:Bus.Dma_from_memory ~addr:vaddr ~bytes;
+              t.s_tx_dma_bytes <- t.s_tx_dma_bytes + bytes)
+      | Osiris _ | Standard ->
+          Bus.dma t.bus ~dir:Bus.Dma_from_memory ~addr:vaddr ~bytes;
+          t.s_tx_dma_bytes <- t.s_tx_dma_bytes + bytes));
+  (* bulk data rides in the same frame: it must be counted in the wire size
+     (cells, serialisation) exactly like inline body bytes *)
+  let data_bytes = match data with No_data -> 0 | Page { bytes; _ } -> bytes in
+  let pkt =
+    { Fabric.src = t.node; dst; vci = t.node; header; body_bytes = body_bytes + data_bytes; payload }
+  in
+  let cells = Fabric.packet_cells p pkt in
+  nic_busy t (Params.nic_cycles p (cells * p.Params.sar_cell_nic_cycles));
+  t.s_tx_packets <- t.s_tx_packets + 1;
+  Sync.Semaphore.release t.tx_queue;
+  Fabric.send t.fabric pkt
+
+(* Host-side entry: charge the host path cost, then hand off to the board. *)
+let send t ~dst ~header ~body_bytes ~data ~payload =
+  let p = t.p in
+  let host_cycles =
+    match t.kind with
+    | Cni _ | Osiris _ -> p.Params.adc_enqueue_cycles (* user-level send path *)
+    | Standard -> p.Params.kernel_send_cycles
+  in
+  let cost = Params.cpu_cycles p host_cycles in
+  t.host.overhead cost;
+  Engine.delay cost;
+  Engine.spawn t.eng ~name:"nic-tx" (fun () ->
+      nic_transmit t ~dst ~header ~body_bytes ~data ~payload)
+
+(* ------------------------------------------------------------------ *)
+(* Receive                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let make_ctx t ~on_charge ~reply_host_cycles =
+  let ctx =
+    {
+      ctx_node = t.node;
+      charge = on_charge;
+      reply =
+        (fun ~dst ~header ~body_bytes ~data ~payload ->
+          (* replies issued from protocol context: under AIH the board is
+             driven directly (no host cost); a host-resident handler pays its
+             kernel or ADC send path, charged through [on_charge] *)
+          if reply_host_cycles > 0 then on_charge reply_host_cycles;
+          Engine.spawn t.eng ~name:"nic-reply" (fun () ->
+              nic_transmit t ~dst ~header ~body_bytes ~data ~payload));
+      deliver_page =
+        (fun ~vaddr ~bytes ~cacheable ->
+          if cacheable then
+            Option.iter (fun mc -> Message_cache.bind mc ~vpage:(vpage_of t vaddr)) t.mc;
+          Bus.dma t.bus ~dir:Bus.Dma_to_memory ~addr:vaddr ~bytes;
+          t.s_rx_dma_bytes <- t.s_rx_dma_bytes + bytes;
+          t.host.invalidate_range ~addr:vaddr ~bytes);
+    }
+  in
+  ctx
+
+(* Run a protocol handler on the host CPU, charging its time as host
+   overhead and stealing the CPU from a computing application. *)
+let run_on_host t ~base ~reply_host_cycles handler pkt =
+  let p = t.p in
+  let spent = ref base in
+  let ctx =
+    make_ctx t ~reply_host_cycles
+      ~on_charge:(fun n ->
+        let d = Params.cpu_cycles p n in
+        spent := Time.( + ) !spent d;
+        host_busy t d)
+  in
+  handler ctx pkt;
+  t.host.overhead !spent;
+  if not (t.host.host_waiting ()) then t.host.steal !spent
+
+let receive t (pkt : 'a Fabric.packet) =
+  let p = t.p in
+  t.s_rx_packets <- t.s_rx_packets + 1;
+  let cells = Fabric.packet_cells p pkt in
+  (* SAR: reassembly work per cell on the NIC processor *)
+  nic_busy t (Params.nic_cycles p (cells * p.Params.sar_cell_nic_cycles));
+  let lookup_handler () =
+    match Classifier.classify t.classifier pkt.Fabric.header with
+    | Some (f, _code) -> f
+    | None ->
+        t.s_unmatched <- t.s_unmatched + 1;
+        t.default_handler
+  in
+  match t.kind with
+  | Cni { aih; hybrid_receive; _ } ->
+      (* PATHFINDER classifies the first cell in dedicated hardware;
+         continuation cells follow the remembered VC binding (their cost is
+         folded into the SAR term). *)
+      Engine.delay (Time.ns p.Params.pathfinder_cell_ns);
+      let handler = lookup_handler () in
+      if aih then begin
+        (* control transfers straight into the Application Interrupt
+           Handler on the NIC processor; the host is not involved *)
+        nic_busy t (Params.nic_cycles p p.Params.handler_dispatch_nic_cycles);
+        let ctx =
+          make_ctx t ~reply_host_cycles:0
+            ~on_charge:(fun n -> nic_busy t (Params.nic_cycles p n))
+        in
+        handler ctx pkt
+      end
+      else begin
+        (* ADC delivery to host code: polling when the host is already
+           waiting on the network, an interrupt otherwise (the hybrid of
+           section 2.1) *)
+        if hybrid_receive && t.host.host_waiting () then begin
+          t.s_polls <- t.s_polls + 1;
+          Engine.delay (Params.cpu_cycles p p.Params.poll_check_cycles)
+        end
+        else begin
+          t.s_interrupts <- t.s_interrupts + 1;
+          host_busy t p.Params.interrupt_latency;
+          if not (t.host.host_waiting ()) then t.host.steal p.Params.interrupt_latency
+        end;
+        run_on_host t ~base:Time.zero ~reply_host_cycles:p.Params.adc_enqueue_cycles handler pkt
+      end
+  | Osiris { software_classify_nic_cycles } ->
+      (* the base board: ADC queues exist, but demultiplexing is software on
+         the board processor and the host is interrupted for every packet
+         (section 2.1's two differences from the CNI) *)
+      nic_busy t (Params.nic_cycles p software_classify_nic_cycles);
+      let handler = lookup_handler () in
+      t.s_interrupts <- t.s_interrupts + 1;
+      host_busy t p.Params.interrupt_latency;
+      if not (t.host.host_waiting ()) then t.host.steal p.Params.interrupt_latency;
+      run_on_host t ~base:p.Params.interrupt_latency
+        ~reply_host_cycles:p.Params.adc_enqueue_cycles handler pkt
+  | Standard ->
+      (* the standard board interrupts the host for every packet; the kernel
+         demultiplexes in software and runs the handler on the host CPU *)
+      t.s_interrupts <- t.s_interrupts + 1;
+      let handler = lookup_handler () in
+      let kernel = Params.cpu_cycles p p.Params.kernel_recv_cycles in
+      host_busy t Time.(p.Params.interrupt_latency + kernel);
+      run_on_host t
+        ~base:Time.(p.Params.interrupt_latency + kernel)
+        ~reply_host_cycles:p.Params.kernel_send_cycles handler pkt
+
+let create ~kind eng bus fabric ~node ~host =
+  let p = Bus.params bus in
+  let mc =
+    match kind with
+    | Cni { mc_bytes; mc_mode; _ } when mc_bytes > 0 ->
+        Some (Message_cache.create ~page_bytes:p.Params.page_bytes ~capacity_bytes:mc_bytes ~mode:mc_mode)
+    | Cni _ | Osiris _ | Standard -> None
+  in
+  let t =
+    {
+      eng;
+      bus;
+      fabric;
+      p;
+      node;
+      kind;
+      mc;
+      host;
+      nic_proc = Sync.Semaphore.create 1;
+      tx_queue = Sync.Semaphore.create 1;
+      host_proc = Sync.Semaphore.create 1;
+      classifier = Classifier.create ();
+      handler_sizes = Hashtbl.create 16;
+      default_handler = (fun _ _ -> ());
+      s_handler_code_bytes = 0;
+      s_unmatched = 0;
+      s_tx_packets = 0;
+      s_tx_data_packets = 0;
+      s_tx_dma_bytes = 0;
+      s_rx_packets = 0;
+      s_rx_dma_bytes = 0;
+      s_interrupts = 0;
+      s_polls = 0;
+    }
+  in
+  (* the snoopy interface: every bus write visits the buffer map *)
+  Option.iter
+    (fun mc ->
+      Bus.register_snooper bus (fun ~dir ~addr ~bytes ->
+          match dir with
+          | Bus.Cpu_writeback | Bus.Dma_to_memory -> Message_cache.snoop mc ~addr ~bytes
+          | Bus.Dma_from_memory -> ()))
+    mc;
+  Fabric.set_receiver fabric ~node (fun pkt -> receive t pkt);
+  t
+
+let create_cni eng bus fabric ~node ~host ?(options = default_cni_options) () =
+  create ~kind:(Cni options) eng bus fabric ~node ~host
+
+let create_standard eng bus fabric ~node ~host () =
+  create ~kind:Standard eng bus fabric ~node ~host
+
+let create_osiris eng bus fabric ~node ~host ?(options = default_osiris_options) () =
+  create ~kind:(Osiris options) eng bus fabric ~node ~host
+
+let install_handler t ~pattern ?(code_bytes = 512) f =
+  let mc_bytes =
+    match t.kind with Cni { mc_bytes; _ } -> mc_bytes | Osiris _ | Standard -> 0
+  in
+  let free = t.p.Params.nic_memory_bytes - mc_bytes - t.s_handler_code_bytes in
+  if code_bytes > free then
+    failwith
+      (Printf.sprintf "Nic.install_handler: %d bytes of object code exceed free board memory (%d)"
+         code_bytes free);
+  t.s_handler_code_bytes <- t.s_handler_code_bytes + code_bytes;
+  let h = Classifier.add t.classifier pattern (f, code_bytes) in
+  Hashtbl.replace t.handler_sizes h code_bytes;
+  h
+
+(* removing a handler frees its board segment for later installations *)
+let uninstall_handler t h =
+  (match Hashtbl.find_opt t.handler_sizes h with
+  | Some bytes ->
+      Hashtbl.remove t.handler_sizes h;
+      t.s_handler_code_bytes <- t.s_handler_code_bytes - bytes
+  | None -> ());
+  Classifier.remove t.classifier h
+let set_default_handler t f = t.default_handler <- f
+let handler_code_bytes t = t.s_handler_code_bytes
+
+let stats t =
+  {
+    tx_packets = t.s_tx_packets;
+    tx_data_packets = t.s_tx_data_packets;
+    tx_dma_bytes = t.s_tx_dma_bytes;
+    rx_packets = t.s_rx_packets;
+    rx_dma_bytes = t.s_rx_dma_bytes;
+    interrupts = t.s_interrupts;
+    polls = t.s_polls;
+    unmatched = t.s_unmatched;
+  }

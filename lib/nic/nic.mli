@@ -1,0 +1,165 @@
+(** Network interface models.
+
+    Three interfaces share one API:
+
+    - {b CNI} (the paper's design): Application Device Channels (no kernel on
+      the send/receive path), the PATHFINDER classifier feeding Application
+      Interrupt Handlers that run protocol code on the 33 MHz NIC processor,
+      a Message Cache that elides host-memory DMA on transmit hits and binds
+      migratory pages on receive, and a polling/interrupt hybrid towards the
+      host.
+    - {b Standard} (the paper's baseline): kernel-mediated sends and
+      receives, an interrupt per incoming packet, a DMA across the memory bus
+      for every data transfer, protocol processing on the host CPU (stealing
+      host time when the application is computing).
+    - {b OSIRIS} (the base board CNI extends): user-level ADC sends, but
+      software demultiplexing and interrupt-only receives, no Message Cache,
+      no AIH — the intermediate design point.
+
+    Time accounting: host-side costs are charged with [Engine.delay] in the
+    calling fiber and reported through [host.overhead]; NIC-side costs are
+    charged inside internal fibers at the NIC clock; bus transfers go through
+    the shared {!Cni_machine.Bus} (whose snooper feeds the Message Cache). *)
+
+(** Bulk data attached to a message. [vaddr] is the host virtual address of
+    the source (transmit) or destination (deliver) buffer; [cacheable] is the
+    header bit that asks the Message Cache to retain a binding. *)
+type data = No_data | Page of { vaddr : int; bytes : int; cacheable : bool }
+
+(** Callbacks into the owning node. *)
+type host = {
+  host_waiting : unit -> bool;
+      (** is the host application blocked on the network (polling)? *)
+  steal : Cni_engine.Time.t -> unit;
+      (** preempt the host CPU for this long (protocol service while the
+          application computes) *)
+  invalidate_range : addr:int -> bytes:int -> unit;
+      (** drop host cache lines overwritten by an incoming DMA *)
+  overhead : Cni_engine.Time.t -> unit;
+      (** account host-side protocol overhead *)
+}
+
+(** Context handed to the protocol handler for an incoming packet. *)
+type 'a ctx = {
+  ctx_node : int;
+  charge : int -> unit;
+      (** run [n] protocol instructions (NIC clock under AIH, host clock on
+          the standard path) *)
+  reply : dst:int -> header:Bytes.t -> body_bytes:int -> data:data -> payload:'a -> unit;
+      (** send a message from protocol context (no host send cost under AIH) *)
+  deliver_page : vaddr:int -> bytes:int -> cacheable:bool -> unit;
+      (** DMA incoming bulk data into host memory at [vaddr]; performs
+          receive caching when [cacheable] *)
+}
+
+type 'a t
+
+type cni_options = {
+  mc_bytes : int;  (** Message Cache capacity; 0 disables it *)
+  mc_mode : Message_cache.mode;
+  aih : bool;  (** run protocol handlers on the NIC; [false] = host handlers
+                   behind the polling/interrupt hybrid (ablation) *)
+  hybrid_receive : bool;  (** [false] = interrupt-only receive (ablation) *)
+}
+
+val default_cni_options : cni_options
+
+type osiris_options = {
+  software_classify_nic_cycles : int;
+      (** per-packet software demultiplexing cost on the board processor *)
+}
+
+val default_osiris_options : osiris_options
+
+val create_cni :
+  Cni_engine.Engine.t ->
+  Cni_machine.Bus.t ->
+  'a Cni_atm.Fabric.t ->
+  node:int ->
+  host:host ->
+  ?options:cni_options ->
+  unit ->
+  'a t
+
+val create_standard :
+  Cni_engine.Engine.t ->
+  Cni_machine.Bus.t ->
+  'a Cni_atm.Fabric.t ->
+  node:int ->
+  host:host ->
+  unit ->
+  'a t
+
+(** The OSIRIS base board the CNI extends (section 2.1): Application Device
+    Channels at user level, but software demultiplexing on the board and an
+    interrupt per packet towards the host; no Message Cache, no AIH. *)
+val create_osiris :
+  Cni_engine.Engine.t ->
+  Cni_machine.Bus.t ->
+  'a Cni_atm.Fabric.t ->
+  node:int ->
+  host:host ->
+  ?options:osiris_options ->
+  unit ->
+  'a t
+
+val node : 'a t -> int
+val is_cni : 'a t -> bool
+
+(** [true] when protocol handlers execute on the NIC processor (CNI with
+    AIH); [false] for the standard interface and the host-handler ablation. *)
+val aih_enabled : 'a t -> bool
+
+(** [install_handler t ~pattern ~code_bytes f] — the paper's AIH
+    installation: the connection-opening application supplies a PATHFINDER
+    pattern and the location/size of relocatable protocol object code; the
+    board swaps the code into a free segment of its memory and programs the
+    classifier to activate it on a match (section 2.3). Incoming packets are
+    classified against the real {!Cni_pathfinder.Classifier} DAG. On the
+    standard interface the same registration is kept, but the "handler" runs
+    on the host CPU behind an interrupt, after the kernel's software demux.
+
+    @raise Failure if the board's free memory cannot hold [code_bytes]
+    (handlers are whole-segment resident; there is no paging on the board). *)
+val install_handler :
+  'a t ->
+  pattern:Cni_pathfinder.Pattern.t ->
+  ?code_bytes:int ->
+  ('a ctx -> 'a Cni_atm.Fabric.packet -> unit) ->
+  Cni_pathfinder.Classifier.handle
+
+val uninstall_handler : 'a t -> Cni_pathfinder.Classifier.handle -> unit
+
+(** Fallback for packets no pattern matches (default: count and drop). *)
+val set_default_handler : 'a t -> ('a ctx -> 'a Cni_atm.Fabric.packet -> unit) -> unit
+
+(** Bytes of board memory currently holding AIH object code. *)
+val handler_code_bytes : 'a t -> int
+
+(** [send t ~dst ~header ~body_bytes ~data ~payload] transmits from the host
+    application / protocol client. Must run in a fiber; charges the host-side
+    send cost there, then completes asynchronously through the NIC. For
+    [Page] data the caller must already have flushed the host cache range
+    (the DSM layer flushes at release points; see Cache.flush_range). *)
+val send :
+  'a t -> dst:int -> header:Bytes.t -> body_bytes:int -> data:data -> payload:'a -> unit
+
+(** The Message Cache, when configured (CNI with [mc_bytes > 0]). *)
+val message_cache : 'a t -> Message_cache.t option
+
+(** The paper's "network cache hit ratio" (percent, 100 with no traffic);
+    meaningful for CNI only. *)
+val network_cache_hit_ratio : 'a t -> float
+
+type stats = {
+  tx_packets : int;
+  tx_data_packets : int;
+  tx_dma_bytes : int;
+  rx_packets : int;
+  rx_dma_bytes : int;
+  interrupts : int;
+  polls : int;
+  unmatched : int;
+}
+
+val stats : 'a t -> stats

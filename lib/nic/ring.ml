@@ -1,0 +1,73 @@
+module Sync = Cni_engine.Sync
+
+type 'a t = {
+  capacity : int;
+  q : 'a Queue.t;
+  space : Sync.Semaphore.t;
+  items : Sync.Semaphore.t;
+  mutable s_pushes : int;
+  mutable s_pops : int;
+  mutable s_full_stalls : int;
+  mutable s_empty_stalls : int;
+}
+
+type stats = { pushes : int; pops : int; full_stalls : int; empty_stalls : int }
+
+let create ~slots =
+  if slots < 1 then invalid_arg "Ring.create: need at least one slot";
+  {
+    capacity = slots;
+    q = Queue.create ();
+    space = Sync.Semaphore.create slots;
+    items = Sync.Semaphore.create 0;
+    s_pushes = 0;
+    s_pops = 0;
+    s_full_stalls = 0;
+    s_empty_stalls = 0;
+  }
+
+let slots t = t.capacity
+let length t = Queue.length t.q
+let is_full t = Queue.length t.q >= t.capacity
+let is_empty t = Queue.is_empty t.q
+
+let try_push t v =
+  if Sync.Semaphore.try_acquire t.space then begin
+    Queue.add v t.q;
+    t.s_pushes <- t.s_pushes + 1;
+    Sync.Semaphore.release t.items;
+    true
+  end
+  else false
+
+let try_pop t =
+  if Sync.Semaphore.try_acquire t.items then begin
+    let v = Queue.take t.q in
+    t.s_pops <- t.s_pops + 1;
+    Sync.Semaphore.release t.space;
+    Some v
+  end
+  else None
+
+let push t v =
+  if Sync.Semaphore.available t.space = 0 then t.s_full_stalls <- t.s_full_stalls + 1;
+  Sync.Semaphore.acquire t.space;
+  Queue.add v t.q;
+  t.s_pushes <- t.s_pushes + 1;
+  Sync.Semaphore.release t.items
+
+let pop t =
+  if Sync.Semaphore.available t.items = 0 then t.s_empty_stalls <- t.s_empty_stalls + 1;
+  Sync.Semaphore.acquire t.items;
+  let v = Queue.take t.q in
+  t.s_pops <- t.s_pops + 1;
+  Sync.Semaphore.release t.space;
+  v
+
+let stats t =
+  {
+    pushes = t.s_pushes;
+    pops = t.s_pops;
+    full_stalls = t.s_full_stalls;
+    empty_stalls = t.s_empty_stalls;
+  }

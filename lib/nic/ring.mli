@@ -1,0 +1,32 @@
+(** Application Device Channel descriptor rings.
+
+    Each open connection gets a triplet of transmit / receive / free queues in
+    the adaptor's dual-ported memory, shared between application and board
+    (section 2.1). Manipulation is lock-free in the real design, relying only
+    on the atomicity of loads and stores; here a bounded single-producer /
+    single-consumer queue with blocking variants for fibers models the same
+    behaviour (a full transmit ring stalls the producer exactly as the real
+    board would). *)
+
+type 'a t
+
+val create : slots:int -> 'a t
+val slots : 'a t -> int
+val length : 'a t -> int
+val is_full : 'a t -> bool
+val is_empty : 'a t -> bool
+
+(** Non-blocking; [false] when full. *)
+val try_push : 'a t -> 'a -> bool
+
+(** Non-blocking; [None] when empty. *)
+val try_pop : 'a t -> 'a option
+
+(** Blocking variants (fiber context). *)
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a
+
+type stats = { pushes : int; pops : int; full_stalls : int; empty_stalls : int }
+
+val stats : 'a t -> stats

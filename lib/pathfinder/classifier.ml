@@ -1,0 +1,97 @@
+type 'a node = {
+  mutable branches : (Pattern.field * 'a node) list;  (* in insertion order *)
+  mutable accepts : (int * int * 'a) list;  (* (priority, handle_id, action), sorted *)
+}
+
+type handle = int
+
+type 'a t = {
+  root : 'a node;
+  mutable next_priority : int;
+  mutable next_handle : int;
+  mutable live : int;
+  removed : (int, unit) Hashtbl.t;
+  mutable s_classifications : int;
+  mutable s_matches : int;
+}
+
+type stats = { classifications : int; matches : int }
+
+let new_node () = { branches = []; accepts = [] }
+
+let create () =
+  {
+    root = new_node ();
+    next_priority = 0;
+    next_handle = 0;
+    live = 0;
+    removed = Hashtbl.create 16;
+    s_classifications = 0;
+    s_matches = 0;
+  }
+
+let add t pattern action =
+  let priority = t.next_priority in
+  t.next_priority <- priority + 1;
+  let handle = t.next_handle in
+  t.next_handle <- handle + 1;
+  let rec insert node = function
+    | [] ->
+        node.accepts <-
+          List.merge
+            (fun (p1, _, _) (p2, _, _) -> compare p1 p2)
+            node.accepts
+            [ (priority, handle, action) ]
+    | f :: rest -> (
+        match List.find_opt (fun (f', _) -> Pattern.equal_field f f') node.branches with
+        | Some (_, child) -> insert child rest
+        | None ->
+            let child = new_node () in
+            node.branches <- node.branches @ [ (f, child) ];
+            insert child rest)
+  in
+  insert t.root pattern;
+  t.live <- t.live + 1;
+  handle
+
+let remove t h =
+  if not (Hashtbl.mem t.removed h) then begin
+    Hashtbl.replace t.removed h ();
+    t.live <- t.live - 1
+  end
+
+(* Walk the DAG collecting the best (lowest priority number) live accept. *)
+let classify t header =
+  t.s_classifications <- t.s_classifications + 1;
+  let best = ref None in
+  let consider (prio, h, action) =
+    if not (Hashtbl.mem t.removed h) then
+      match !best with
+      | Some (p, _) when p <= prio -> ()
+      | _ -> best := Some (prio, action)
+  in
+  let rec walk node =
+    List.iter consider node.accepts;
+    List.iter
+      (fun (f, child) ->
+        match Pattern.read_field header f with
+        | Some v when v = f.Pattern.value -> walk child
+        | Some _ | None -> ())
+      node.branches
+  in
+  walk t.root;
+  match !best with
+  | Some (_, action) ->
+      t.s_matches <- t.s_matches + 1;
+      Some action
+  | None -> None
+
+let patterns t = t.live
+
+let edges t =
+  let rec count node =
+    List.fold_left (fun acc (_, child) -> acc + 1 + count child) 0 node.branches
+  in
+  count t.root
+
+let stats t = { classifications = t.s_classifications; matches = t.s_matches }

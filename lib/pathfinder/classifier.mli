@@ -1,0 +1,37 @@
+(** The PATHFINDER classification DAG.
+
+    Patterns are inserted with a priority equal to their insertion order
+    (earlier = higher); common field prefixes share DAG nodes, which is what
+    made the hardware implementation fast and is preserved here so the
+    structure (node count vs. pattern count) can be observed. Classification
+    walks the DAG with backtracking, returning the highest-priority matching
+    pattern's action. *)
+
+type 'a t
+
+type handle
+
+val create : unit -> 'a t
+
+(** [add t pattern action] inserts; patterns may overlap. An empty pattern
+    matches every packet. *)
+val add : 'a t -> Pattern.t -> 'a -> handle
+
+(** [remove t h] deactivates the pattern; structure shared with live
+    patterns is retained. Removing twice is a no-op. *)
+val remove : 'a t -> handle -> unit
+
+(** [classify t header] is the action of the highest-priority live matching
+    pattern, if any. *)
+val classify : 'a t -> Bytes.t -> 'a option
+
+(** Number of live patterns. *)
+val patterns : 'a t -> int
+
+(** Number of DAG edges (a measure of prefix sharing: inserting k patterns
+    with a common prefix of length p creates the prefix edges only once). *)
+val edges : 'a t -> int
+
+type stats = { classifications : int; matches : int }
+
+val stats : 'a t -> stats

@@ -1,0 +1,42 @@
+module Cell = Cni_atm.Cell
+
+type 'a binding = Matched of 'a | Poisoned
+
+type 'a t = {
+  cls : 'a Classifier.t;
+  bindings : (int, 'a binding) Hashtbl.t;  (* vci -> in-progress frame binding *)
+  mutable s_first : int;
+  mutable s_cont : int;
+  mutable s_unmatched : int;
+}
+
+type stats = { first_cells : int; continuation_cells : int; unmatched_frames : int }
+
+let create cls = { cls; bindings = Hashtbl.create 64; s_first = 0; s_cont = 0; s_unmatched = 0 }
+let classifier t = t.cls
+
+let on_cell t (cell : Cell.t) =
+  let vci = cell.header.vci in
+  let finish binding =
+    if cell.header.last then Hashtbl.remove t.bindings vci;
+    match binding with Matched a -> Some a | Poisoned -> None
+  in
+  match Hashtbl.find_opt t.bindings vci with
+  | Some binding ->
+      t.s_cont <- t.s_cont + 1;
+      finish binding
+  | None -> (
+      t.s_first <- t.s_first + 1;
+      match Classifier.classify t.cls cell.payload with
+      | Some action ->
+          if not cell.header.last then Hashtbl.replace t.bindings vci (Matched action);
+          Some action
+      | None ->
+          t.s_unmatched <- t.s_unmatched + 1;
+          if not cell.header.last then Hashtbl.replace t.bindings vci Poisoned;
+          None)
+
+let active_bindings t = Hashtbl.length t.bindings
+
+let stats t =
+  { first_cells = t.s_first; continuation_cells = t.s_cont; unmatched_frames = t.s_unmatched }

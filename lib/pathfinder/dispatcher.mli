@@ -1,0 +1,27 @@
+(** Fragment-aware cell dispatcher.
+
+    Only the first cell of an AAL5 frame carries the packet header that the
+    classification DAG can inspect; PATHFINDER's fragmentation support
+    remembers the classification of the first fragment and applies it to the
+    rest of the frame (keyed here by VCI, since AAL5 cells of one frame on a
+    virtual circuit arrive in order and are not interleaved with other frames
+    on the same VC). *)
+
+type 'a t
+
+val create : 'a Classifier.t -> 'a t
+val classifier : 'a t -> 'a Classifier.t
+
+(** [on_cell t cell] is the action for this cell: first cells are classified
+    through the DAG (establishing a binding for the VC); continuation cells
+    reuse the binding; the binding is dropped when the last cell passes. An
+    unmatched first cell yields [None] and poisons the rest of its frame
+    (all its cells yield [None]). *)
+val on_cell : 'a t -> Cni_atm.Cell.t -> 'a option
+
+(** Active (mid-frame) VC bindings. *)
+val active_bindings : 'a t -> int
+
+type stats = { first_cells : int; continuation_cells : int; unmatched_frames : int }
+
+val stats : 'a t -> stats

@@ -1,0 +1,33 @@
+(** PATHFINDER patterns.
+
+    A pattern is an ordered list of {e cells} (the PATHFINDER paper's term;
+    here called fields to avoid clashing with ATM cells): each field compares
+    [len] bytes at [offset] in the packet header, under a mask, against a
+    value. A packet matches the pattern when every field matches. Patterns
+    with common prefixes share structure in the classifier DAG. *)
+
+type field = {
+  offset : int;  (** byte offset into the header *)
+  len : int;  (** 1..8 bytes, read big-endian *)
+  mask : int;  (** applied to the read value *)
+  value : int;  (** expected masked value *)
+}
+
+type t = field list
+
+(** [field ~offset ~len ?mask value] builds one comparison; [mask] defaults
+    to all-ones over [len] bytes.
+    @raise Invalid_argument if [len] is not within 1..8 or [offset] < 0. *)
+val field : offset:int -> len:int -> ?mask:int -> int -> field
+
+(** [matches t header] — reference (linear) matcher, used for testing the
+    DAG classifier against. Fields whose range extends past the header fail
+    to match. *)
+val matches : t -> Bytes.t -> bool
+
+(** [read_field header f] is [Some masked_value] or [None] if out of range. *)
+val read_field : Bytes.t -> field -> int option
+
+val equal_field : field -> field -> bool
+val pp_field : Format.formatter -> field -> unit
+val pp : Format.formatter -> t -> unit

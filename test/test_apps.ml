@@ -1,0 +1,326 @@
+(* Application correctness: each benchmark must compute the same answer on
+   any processor count and NIC configuration, and the sparse substrate must
+   satisfy its algebraic invariants. *)
+
+module Cluster = Cni_cluster.Cluster
+module Nic = Cni_nic.Nic
+module Space = Cni_dsm.Space
+module Lrc = Cni_dsm.Lrc
+module Jacobi = Cni_apps.Jacobi
+module Water = Cni_apps.Water
+module Cholesky = Cni_apps.Cholesky
+module Sparse = Cni_apps.Sparse
+module Partition = Cni_apps.Partition
+
+let check = Alcotest.check
+let checkb = check Alcotest.bool
+let checki = check Alcotest.int
+
+let with_cluster ~kind ~nodes f =
+  let cluster = Cluster.create ~nic_kind:kind ~nodes () in
+  let space = Space.create ~nprocs:nodes ~page_bytes:(Cluster.params cluster).page_bytes in
+  let lrcs = Lrc.install cluster space () in
+  f cluster lrcs
+
+let cni = `Cni Nic.default_cni_options
+
+(* ------------------------------------------------------------------ *)
+(* Partition                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_partition_covers () =
+  List.iter
+    (fun (items, procs) ->
+      let total = ref 0 in
+      let prev_hi = ref 0 in
+      for me = 0 to procs - 1 do
+        let lo, hi = Partition.range ~items ~procs ~me in
+        checki "contiguous" !prev_hi lo;
+        prev_hi := hi;
+        total := !total + (hi - lo)
+      done;
+      checki "covers all items" items !total)
+    [ (10, 3); (1024, 32); (7, 8); (1, 1); (100, 7) ]
+
+let partition_balanced =
+  QCheck.Test.make ~name:"partition blocks balanced within one item" ~count:300
+    QCheck.(pair (int_range 1 2000) (int_range 1 64))
+    (fun (items, procs) ->
+      let sizes =
+        List.init procs (fun me -> Partition.count ~items ~procs ~me)
+      in
+      let mn = List.fold_left min max_int sizes and mx = List.fold_left max 0 sizes in
+      mx - mn <= 1 && List.fold_left ( + ) 0 sizes = items)
+
+let supernode_columns_nest =
+  QCheck.Test.make ~name:"supernode columns shrink by one" ~count:30
+    QCheck.(pair (int_range 20 120) (int_range 1 3))
+    (fun (n, dofs) ->
+      let a = Sparse.stiffness_like ~n ~dofs ~seed:5 in
+      let l = Sparse.symbolic a in
+      let starts = Sparse.supernodes l in
+      let len j = l.Sparse.colptr.(j + 1) - l.Sparse.colptr.(j) in
+      let ok = ref true in
+      Array.iteri
+        (fun k s ->
+          let stop = if k + 1 < Array.length starts then starts.(k + 1) else l.Sparse.n in
+          for j = s + 1 to stop - 1 do
+            if len j <> len (j - 1) - 1 then ok := false
+          done)
+        starts;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Jacobi                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let jacobi_checksum ~kind ~nodes ~n =
+  with_cluster ~kind ~nodes (fun cluster lrcs ->
+      let config = { Jacobi.default_config with n; iterations = 3 } in
+      (Jacobi.run cluster lrcs config).Jacobi.checksum)
+
+let test_jacobi_deterministic () =
+  let seq = jacobi_checksum ~kind:cni ~nodes:1 ~n:32 in
+  let par = jacobi_checksum ~kind:cni ~nodes:4 ~n:32 in
+  check (Alcotest.float 1e-9) "4-proc matches sequential" seq par;
+  let std = jacobi_checksum ~kind:`Standard ~nodes:4 ~n:32 in
+  check (Alcotest.float 1e-9) "standard NIC same values" seq std
+
+let test_jacobi_nontrivial () =
+  let s = jacobi_checksum ~kind:cni ~nodes:2 ~n:32 in
+  checkb "boundary heat diffused into interior" true (s > 100.0)
+
+let test_jacobi_odd_procs () =
+  let seq = jacobi_checksum ~kind:cni ~nodes:1 ~n:30 in
+  let par = jacobi_checksum ~kind:cni ~nodes:7 ~n:30 in
+  check (Alcotest.float 1e-9) "7 procs, n not divisible" seq par
+
+(* ------------------------------------------------------------------ *)
+(* Water                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let water_checksum ~kind ~nodes ~molecules =
+  with_cluster ~kind ~nodes (fun cluster lrcs ->
+      let config = { Water.default_config with molecules; steps = 2 } in
+      (Water.run cluster lrcs config).Water.checksum)
+
+let test_water_deterministic () =
+  let seq = water_checksum ~kind:cni ~nodes:1 ~molecules:27 in
+  let par = water_checksum ~kind:cni ~nodes:4 ~molecules:27 in
+  (* force accumulation order differs across schedules: tolerance, not
+     bitwise equality *)
+  checkb "4-proc close to sequential" true
+    (abs_float (seq -. par) /. (abs_float seq +. 1.0) < 1e-9)
+
+let test_water_rejects_narrow_records () =
+  with_cluster ~kind:cni ~nodes:1 (fun cluster lrcs ->
+      try
+        ignore
+          (Water.run cluster lrcs
+             { Water.default_config with Water.molecules = 8; doubles_per_molecule = 3 });
+        Alcotest.fail "narrow record accepted"
+      with Invalid_argument _ -> ())
+
+let test_water_standard_matches () =
+  let a = water_checksum ~kind:cni ~nodes:2 ~molecules:27 in
+  let b = water_checksum ~kind:`Standard ~nodes:2 ~molecules:27 in
+  checkb "configs agree" true (abs_float (a -. b) /. (abs_float a +. 1.0) < 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Sparse substrate                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_sparse_generator_valid () =
+  let a = Sparse.stiffness_like ~n:200 ~dofs:3 ~seed:7 in
+  Sparse.validate a;
+  checki "order" 200 a.Sparse.n;
+  checkb "has off-diagonal entries" true (Sparse.nnz a > 200)
+
+let test_sparse_generator_spd () =
+  (* diagonal dominance was built in: check numerically on a dense copy *)
+  let a = Sparse.stiffness_like ~n:60 ~dofs:2 ~seed:3 in
+  let d = Sparse.to_dense_symmetric a in
+  for i = 0 to 59 do
+    let sum = ref 0.0 in
+    for j = 0 to 59 do
+      if i <> j then sum := !sum +. abs_float d.(i).(j)
+    done;
+    if not (d.(i).(i) > !sum) then Alcotest.failf "row %d not diagonally dominant" i
+  done
+
+let test_symbolic_contains_a () =
+  let a = Sparse.stiffness_like ~n:120 ~dofs:3 ~seed:1 in
+  let l = Sparse.symbolic a in
+  Sparse.validate l;
+  checkb "fill-in adds entries" true (Sparse.nnz l >= Sparse.nnz a);
+  (* every A entry must appear in L *)
+  for j = 0 to a.Sparse.n - 1 do
+    for p = a.Sparse.colptr.(j) to a.Sparse.colptr.(j + 1) - 1 do
+      let i = a.Sparse.rowidx.(p) in
+      let found = ref false in
+      for q = l.Sparse.colptr.(j) to l.Sparse.colptr.(j + 1) - 1 do
+        if l.Sparse.rowidx.(q) = i then found := true
+      done;
+      if not !found then Alcotest.failf "A entry (%d,%d) missing from L" i j
+    done
+  done
+
+let test_etree_parents_increase () =
+  let a = Sparse.stiffness_like ~n:150 ~dofs:3 ~seed:2 in
+  let parent = Sparse.etree a in
+  Array.iteri
+    (fun j p -> if p <> -1 && p <= j then Alcotest.failf "parent(%d)=%d not > j" j p)
+    parent
+
+let test_supernodes_partition () =
+  let a = Sparse.stiffness_like ~n:150 ~dofs:3 ~seed:2 in
+  let l = Sparse.symbolic a in
+  let starts = Sparse.supernodes l in
+  checki "first supernode at 0" 0 starts.(0);
+  Array.iteri
+    (fun k s -> if k > 0 && s <= starts.(k - 1) then Alcotest.fail "starts not increasing")
+    starts;
+  checkb "supernodes amalgamate columns" true (Array.length starts < l.Sparse.n)
+
+let test_permute_preserves_matrix () =
+  let a = Sparse.stiffness_like ~n:40 ~dofs:2 ~seed:9 in
+  (* a deterministic shuffle *)
+  let perm = Array.init 40 (fun i -> (i * 7) mod 40) in
+  let b = Sparse.permute a ~perm in
+  Sparse.validate b;
+  checki "same nnz" (Sparse.nnz a) (Sparse.nnz b);
+  let da = Sparse.to_dense_symmetric a and db = Sparse.to_dense_symmetric b in
+  for i = 0 to 39 do
+    for j = 0 to 39 do
+      if db.(i).(j) <> da.(perm.(i)).(perm.(j)) then
+        Alcotest.failf "permuted entry (%d,%d) mismatch" i j
+    done
+  done
+
+let test_permute_rejects_bad () =
+  let a = Sparse.stiffness_like ~n:10 ~dofs:1 ~seed:1 in
+  (try
+     ignore (Sparse.permute a ~perm:(Array.make 10 0));
+     Alcotest.fail "duplicate accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Sparse.permute a ~perm:[| 0; 1 |]);
+    Alcotest.fail "short perm accepted"
+  with Invalid_argument _ -> ()
+
+let test_rcm_is_permutation_and_reduces_bandwidth () =
+  let a = Sparse.stiffness_like ~n:180 ~dofs:3 ~seed:4 in
+  (* scramble first so there is bandwidth to recover *)
+  let scramble = Array.init 180 (fun i -> (i * 77) mod 180) in
+  let b = Sparse.permute a ~perm:scramble in
+  let perm = Sparse.rcm b in
+  check (Alcotest.list Alcotest.int) "is a permutation"
+    (List.init 180 (fun i -> i))
+    (List.sort compare (Array.to_list perm));
+  let c = Sparse.permute b ~perm in
+  checkb "bandwidth reduced" true (Sparse.bandwidth c < Sparse.bandwidth b);
+  (* ordering must not change the numerics: factor and compare checksums *)
+  let sum v = Array.fold_left (fun acc x -> acc +. abs_float x) 0.0 v in
+  let ra = sum (Cholesky.reference_factor c) in
+  checkb "factorization still works" true (ra > 0.0 && Float.is_finite ra)
+
+let test_rcm_improves_fill () =
+  let a = Sparse.stiffness_like ~n:180 ~dofs:3 ~seed:4 in
+  let scramble = Array.init 180 (fun i -> (i * 77) mod 180) in
+  let b = Sparse.permute a ~perm:scramble in
+  let fill m = Sparse.nnz (Sparse.symbolic m) in
+  let c = Sparse.permute b ~perm:(Sparse.rcm b) in
+  checkb "RCM cuts fill on a scrambled matrix" true (fill c < fill b)
+
+(* reference factorization must satisfy L * L^T = A *)
+let test_reference_factor_correct () =
+  let a = Sparse.stiffness_like ~n:80 ~dofs:2 ~seed:11 in
+  let l = Sparse.symbolic a in
+  let values = Cholesky.reference_factor a in
+  let n = a.Sparse.n in
+  let dense_l = Array.make_matrix n n 0.0 in
+  for j = 0 to n - 1 do
+    for p = l.Sparse.colptr.(j) to l.Sparse.colptr.(j + 1) - 1 do
+      dense_l.(l.Sparse.rowidx.(p)).(j) <- values.(p)
+    done
+  done;
+  let da = Sparse.to_dense_symmetric a in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let s = ref 0.0 in
+      for k = 0 to n - 1 do
+        s := !s +. (dense_l.(i).(k) *. dense_l.(j).(k))
+      done;
+      if abs_float (!s -. da.(i).(j)) > 1e-6 *. (abs_float da.(i).(j) +. 1.0) then
+        Alcotest.failf "LL^T mismatch at (%d,%d): %g vs %g" i j !s da.(i).(j)
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Cholesky on the cluster                                             *)
+(* ------------------------------------------------------------------ *)
+
+let cholesky_checksum ~kind ~nodes a =
+  with_cluster ~kind ~nodes (fun cluster lrcs ->
+      (Cholesky.run cluster lrcs (Cholesky.default_config a)).Cholesky.checksum)
+
+let reference_checksum a =
+  let values = Cholesky.reference_factor a in
+  Array.fold_left (fun acc v -> acc +. abs_float v) 0.0 values
+
+let test_cholesky_parallel_matches_reference () =
+  let a = Sparse.stiffness_like ~n:120 ~dofs:3 ~seed:5 in
+  let expect = reference_checksum a in
+  let got1 = cholesky_checksum ~kind:cni ~nodes:1 a in
+  let got4 = cholesky_checksum ~kind:cni ~nodes:4 a in
+  check (Alcotest.float 1e-6) "1 proc matches reference" expect got1;
+  check (Alcotest.float 1e-6) "4 procs match reference" expect got4
+
+let test_cholesky_standard_matches () =
+  let a = Sparse.stiffness_like ~n:120 ~dofs:3 ~seed:5 in
+  let expect = reference_checksum a in
+  let got = cholesky_checksum ~kind:`Standard ~nodes:3 a in
+  check (Alcotest.float 1e-6) "standard NIC matches reference" expect got
+
+let () =
+  Alcotest.run "apps"
+    [
+      ( "partition",
+        [
+          Alcotest.test_case "covers contiguously" `Quick test_partition_covers;
+          QCheck_alcotest.to_alcotest partition_balanced;
+        ] );
+      ( "jacobi",
+        [
+          Alcotest.test_case "deterministic across procs/NICs" `Quick test_jacobi_deterministic;
+          Alcotest.test_case "computes heat flow" `Quick test_jacobi_nontrivial;
+          Alcotest.test_case "odd processor counts" `Quick test_jacobi_odd_procs;
+        ] );
+      ( "water",
+        [
+          Alcotest.test_case "close to sequential" `Quick test_water_deterministic;
+          Alcotest.test_case "standard matches CNI" `Quick test_water_standard_matches;
+          Alcotest.test_case "rejects narrow records" `Quick test_water_rejects_narrow_records;
+        ] );
+      ( "sparse",
+        [
+          Alcotest.test_case "generator valid CSC" `Quick test_sparse_generator_valid;
+          Alcotest.test_case "generator SPD" `Quick test_sparse_generator_spd;
+          Alcotest.test_case "symbolic contains A" `Quick test_symbolic_contains_a;
+          Alcotest.test_case "etree parents increase" `Quick test_etree_parents_increase;
+          Alcotest.test_case "supernodes partition columns" `Quick test_supernodes_partition;
+          Alcotest.test_case "reference LL^T = A" `Quick test_reference_factor_correct;
+          Alcotest.test_case "permute preserves the matrix" `Quick test_permute_preserves_matrix;
+          Alcotest.test_case "permute validation" `Quick test_permute_rejects_bad;
+          Alcotest.test_case "RCM reduces bandwidth" `Quick
+            test_rcm_is_permutation_and_reduces_bandwidth;
+          Alcotest.test_case "RCM improves fill" `Quick test_rcm_improves_fill;
+          QCheck_alcotest.to_alcotest supernode_columns_nest;
+        ] );
+      ( "cholesky",
+        [
+          Alcotest.test_case "parallel matches reference" `Quick
+            test_cholesky_parallel_matches_reference;
+          Alcotest.test_case "standard NIC matches" `Quick test_cholesky_standard_matches;
+        ] );
+    ]

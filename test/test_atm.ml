@@ -1,0 +1,346 @@
+(* Tests for the ATM interconnect: cells, CRC-32, AAL5 segmentation and
+   reassembly, the banyan switch and the fabric timing model. *)
+
+module Time = Cni_engine.Time
+module Engine = Cni_engine.Engine
+module Params = Cni_machine.Params
+module Cell = Cni_atm.Cell
+module Crc32 = Cni_atm.Crc32
+module Aal5 = Cni_atm.Aal5
+module Switch = Cni_atm.Switch
+module Fabric = Cni_atm.Fabric
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+let p = Params.default
+
+(* ------------------------------------------------------------------ *)
+(* Cells                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_cell_sizes () =
+  checki "header" 5 Cell.header_bytes;
+  checki "payload" 48 Cell.payload_bytes;
+  checki "total" 53 Cell.total_bytes
+
+let test_cell_roundtrip () =
+  let payload = Bytes.init 48 (fun i -> Char.chr (i * 5 mod 256)) in
+  let c = Cell.make ~vpi:3 ~vci:0xBEEF ~last:true ~clp:true payload in
+  let c' = Cell.decode (Cell.encode c) in
+  checki "vpi" 3 c'.Cell.header.Cell.vpi;
+  checki "vci" 0xBEEF c'.Cell.header.Cell.vci;
+  checkb "last" true c'.Cell.header.Cell.last;
+  checkb "clp" true c'.Cell.header.Cell.clp;
+  checkb "payload" true (Bytes.equal payload c'.Cell.payload)
+
+let test_cell_validation () =
+  let short = Bytes.create 47 in
+  Alcotest.check_raises "short payload"
+    (Invalid_argument "Cell.make: payload must be exactly 48 bytes") (fun () ->
+      ignore (Cell.make ~vpi:0 ~vci:0 ~last:false short));
+  let ok = Bytes.create 48 in
+  Alcotest.check_raises "vci range" (Invalid_argument "Cell.make: vci out of range") (fun () ->
+      ignore (Cell.make ~vpi:0 ~vci:0x10000 ~last:false ok));
+  Alcotest.check_raises "decode length" (Invalid_argument "Cell.decode: need 53 bytes")
+    (fun () -> ignore (Cell.decode (Bytes.create 52)))
+
+let cell_roundtrip_qc =
+  QCheck.Test.make ~name:"cell encode/decode roundtrip" ~count:200
+    QCheck.(quad (int_bound 255) (int_bound 0xFFFF) bool bool)
+    (fun (vpi, vci, last, clp) ->
+      let payload = Bytes.make 48 'z' in
+      let c = Cell.make ~vpi ~vci ~last ~clp payload in
+      let c' = Cell.decode (Cell.encode c) in
+      c'.Cell.header = c.Cell.header && Bytes.equal c'.Cell.payload payload)
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_crc32_known_vector () =
+  (* the classic check value: CRC-32("123456789") = 0xCBF43926 *)
+  let b = Bytes.of_string "123456789" in
+  check Alcotest.int32 "check value" 0xCBF43926l (Crc32.digest b ~pos:0 ~len:9)
+
+let test_crc32_incremental () =
+  let b = Bytes.of_string "hello world" in
+  let whole = Crc32.digest b ~pos:0 ~len:11 in
+  let part = Crc32.update Crc32.init b ~pos:0 ~len:5 in
+  let part = Crc32.update part b ~pos:5 ~len:6 in
+  check Alcotest.int32 "incremental = whole" whole (Crc32.finish part)
+
+(* ------------------------------------------------------------------ *)
+(* AAL5                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_aal5_roundtrip () =
+  let frame = Bytes.init 1000 (fun i -> Char.chr (i mod 251)) in
+  let cells = Aal5.segment ~vpi:1 ~vci:42 frame in
+  checki "cell count" (Aal5.cell_count 1000) (List.length cells);
+  let r = Aal5.Reassembler.create () in
+  let frames = List.filter_map (Aal5.Reassembler.push r) cells in
+  (match frames with
+  | [ f ] -> checkb "identical" true (Bytes.equal f frame)
+  | _ -> Alcotest.fail "expected exactly one frame");
+  checki "nothing pending" 0 (Aal5.Reassembler.pending_cells r)
+
+let test_aal5_empty_frame () =
+  let cells = Aal5.segment ~vpi:0 ~vci:1 Bytes.empty in
+  checki "one cell" 1 (List.length cells);
+  let r = Aal5.Reassembler.create () in
+  match List.filter_map (Aal5.Reassembler.push r) cells with
+  | [ f ] -> checki "zero length" 0 (Bytes.length f)
+  | _ -> Alcotest.fail "expected one frame"
+
+let test_aal5_last_bit () =
+  let frame = Bytes.make 100 'a' in
+  let cells = Aal5.segment ~vpi:0 ~vci:1 frame in
+  let rec split = function
+    | [] -> Alcotest.fail "no cells"
+    | [ last ] -> ([], last)
+    | c :: rest ->
+        let init, last = split rest in
+        (c :: init, last)
+  in
+  let init, last = split cells in
+  List.iter (fun (c : Cell.t) -> checkb "not last" false c.Cell.header.Cell.last) init;
+  checkb "final cell marked" true last.Cell.header.Cell.last
+
+let test_aal5_corruption_detected () =
+  let frame = Bytes.make 100 'q' in
+  let cells = Aal5.segment ~vpi:0 ~vci:1 frame in
+  let corrupted =
+    List.mapi
+      (fun i (c : Cell.t) ->
+        if i = 0 then begin
+          let pl = Bytes.copy c.Cell.payload in
+          Bytes.set pl 10 '!';
+          Cell.make ~vpi:0 ~vci:1 ~last:c.Cell.header.Cell.last pl
+        end
+        else c)
+      cells
+  in
+  let r = Aal5.Reassembler.create () in
+  Alcotest.check_raises "CRC mismatch" (Aal5.Reassembly_error "CRC mismatch") (fun () ->
+      List.iter (fun c -> ignore (Aal5.Reassembler.push r c)) corrupted)
+
+let aal5_roundtrip_qc =
+  QCheck.Test.make ~name:"AAL5 roundtrip for arbitrary frames" ~count:100
+    QCheck.(string_of_size (Gen.int_bound 3000))
+    (fun s ->
+      let frame = Bytes.of_string s in
+      let cells = Aal5.segment ~vpi:0 ~vci:9 frame in
+      let r = Aal5.Reassembler.create () in
+      match List.filter_map (Aal5.Reassembler.push r) cells with
+      | [ f ] -> Bytes.equal f frame
+      | _ -> false)
+
+let aal5_cell_count_qc =
+  QCheck.Test.make ~name:"cell_count covers payload + trailer" ~count:200
+    QCheck.(int_bound 10_000)
+    (fun len ->
+      let cells = Aal5.cell_count len in
+      (cells * 48) >= len + 8 && ((cells - 1) * 48) < len + 8 || (len = 0 && cells = 1))
+
+let test_aal5_pending_cells () =
+  let frame = Bytes.make 200 'p' in
+  let cells = Aal5.segment ~vpi:0 ~vci:3 frame in
+  let r = Aal5.Reassembler.create () in
+  (match cells with
+  | first :: _ ->
+      ignore (Aal5.Reassembler.push r first);
+      checki "one pending" 1 (Aal5.Reassembler.pending_cells r)
+  | [] -> Alcotest.fail "no cells");
+  List.iteri (fun i c -> if i > 0 then ignore (Aal5.Reassembler.push r c)) cells;
+  checki "drained after last" 0 (Aal5.Reassembler.pending_cells r)
+
+(* ------------------------------------------------------------------ *)
+(* Switch                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_switch_structure () =
+  let sw = Switch.create ~ports:32 in
+  checki "ports" 32 (Switch.ports sw);
+  checki "stages" 5 (Switch.stages sw);
+  Alcotest.check_raises "not a power of two"
+    (Invalid_argument "Switch.create: ports must be a power of two >= 2") (fun () ->
+      ignore (Switch.create ~ports:24))
+
+let test_switch_routes_reach_destination () =
+  let sw = Switch.create ~ports:32 in
+  for src = 0 to 31 do
+    for dst = 0 to 31 do
+      let r = Switch.route sw ~src ~dst in
+      checki "route ends at destination" dst r.(Array.length r - 1)
+    done
+  done
+
+let test_switch_conflicts () =
+  let sw = Switch.create ~ports:8 in
+  (* same destination always conflicts at the last stage *)
+  checkb "same dst conflicts" true (Switch.conflict sw (0, 5) (1, 5));
+  (* identity permutation routes are pairwise disjoint *)
+  checki "identity non-blocking" 0
+    (Switch.conflicts_in_permutation sw (Array.init 8 (fun i -> i)));
+  (* the classic blocking example: bit-reversal style permutations block *)
+  checkb "some permutation blocks" true
+    (Switch.conflicts_in_permutation sw [| 0; 4; 1; 5; 2; 6; 3; 7 |] > 0)
+
+let switch_conflict_symmetric =
+  QCheck.Test.make ~name:"conflict is symmetric" ~count:300
+    QCheck.(quad (int_bound 31) (int_bound 31) (int_bound 31) (int_bound 31))
+    (fun (a, b, c, d) ->
+      let sw = Switch.create ~ports:32 in
+      Switch.conflict sw (a, b) (c, d) = Switch.conflict sw (c, d) (a, b))
+
+(* ------------------------------------------------------------------ *)
+(* Fabric                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let mk_packet ~src ~dst ~bytes payload =
+  {
+    Fabric.src;
+    dst;
+    vci = src;
+    header = Bytes.make 16 'h';
+    body_bytes = bytes - 16;
+    payload;
+  }
+
+let test_fabric_delivery_and_latency () =
+  let eng = Engine.create () in
+  let fab = Fabric.create eng p ~nodes:4 in
+  let arrival = ref Time.zero in
+  Fabric.set_receiver fab ~node:2 (fun _ -> arrival := Engine.now eng);
+  Fabric.send fab (mk_packet ~src:0 ~dst:2 ~bytes:64 "hello");
+  Engine.run eng;
+  let expected = Fabric.min_latency p ~bytes:64 in
+  checki "uncontended latency = min_latency" (Time.to_ps expected) (Time.to_ps !arrival)
+
+let test_fabric_wire_accounting () =
+  let pkt = mk_packet ~src:0 ~dst:1 ~bytes:100 () in
+  (* 100 + 8 trailer = 108 -> 3 cells -> 159 wire bytes *)
+  checki "cells" 3 (Fabric.packet_cells p pkt);
+  checki "wire bytes" (3 * 53) (Fabric.wire_bytes p pkt);
+  let unrestricted = { p with Params.cell_payload_bytes = 1 lsl 26 } in
+  checki "unrestricted single cell" 1 (Fabric.packet_cells unrestricted pkt);
+  checki "unrestricted wire = payload+trailer+header" (100 + 8 + 5)
+    (Fabric.wire_bytes unrestricted pkt)
+
+let test_fabric_fifo_per_pair () =
+  let eng = Engine.create () in
+  let fab = Fabric.create eng p ~nodes:2 in
+  let got = ref [] in
+  Fabric.set_receiver fab ~node:1 (fun pkt -> got := pkt.Fabric.payload :: !got);
+  for i = 1 to 5 do
+    Fabric.send fab (mk_packet ~src:0 ~dst:1 ~bytes:64 i)
+  done;
+  Engine.run eng;
+  check (Alcotest.list Alcotest.int) "in order" [ 1; 2; 3; 4; 5 ] (List.rev !got)
+
+let test_fabric_ingress_contention () =
+  let eng = Engine.create () in
+  let fab = Fabric.create eng p ~nodes:3 in
+  let arrivals = ref [] in
+  Fabric.set_receiver fab ~node:2 (fun pkt ->
+      arrivals := (pkt.Fabric.src, Engine.now eng) :: !arrivals);
+  (* two senders, one destination: receptions must not overlap *)
+  Fabric.send fab (mk_packet ~src:0 ~dst:2 ~bytes:4096 ());
+  Fabric.send fab (mk_packet ~src:1 ~dst:2 ~bytes:4096 ());
+  Engine.run eng;
+  match List.rev !arrivals with
+  | [ (_, t1); (_, t2) ] ->
+      let ser = Time.to_ps (Fabric.min_latency p ~bytes:4096) in
+      checkb "second delayed by contention" true (Time.to_ps t2 - Time.to_ps t1 > ser / 2)
+  | _ -> Alcotest.fail "expected two arrivals"
+
+let test_fabric_rejects_bad_addresses () =
+  let eng = Engine.create () in
+  let fab = Fabric.create eng p ~nodes:2 in
+  Alcotest.check_raises "src = dst" (Invalid_argument "Fabric.send: src = dst") (fun () ->
+      Fabric.send fab (mk_packet ~src:1 ~dst:1 ~bytes:64 ()));
+  Alcotest.check_raises "dst out of range" (Invalid_argument "Fabric.send: dst out of range")
+    (fun () -> Fabric.send fab (mk_packet ~src:0 ~dst:5 ~bytes:64 ()))
+
+let test_fabric_min_latency_monotone () =
+  let prev = ref Time.zero in
+  List.iter
+    (fun b ->
+      let l = Fabric.min_latency p ~bytes:b in
+      checkb "monotone in size" true (l >= !prev);
+      prev := l)
+    [ 0; 64; 512; 2048; 8192 ]
+
+let test_fabric_stats () =
+  let eng = Engine.create () in
+  let fab = Fabric.create eng p ~nodes:2 in
+  Fabric.set_receiver fab ~node:1 (fun _ -> ());
+  Fabric.send fab (mk_packet ~src:0 ~dst:1 ~bytes:100 ());
+  Engine.run eng;
+  let s = Fabric.stats fab in
+  checki "packets" 1 s.Fabric.packets;
+  checki "cells" 3 s.Fabric.cells;
+  checki "wire bytes" 159 s.Fabric.wire_bytes;
+  checki "dropped" 0 s.Fabric.dropped
+
+let test_fabric_unrestricted_faster () =
+  let latency params =
+    let eng = Engine.create () in
+    let fab = Fabric.create eng params ~nodes:2 in
+    let t = ref Time.zero in
+    Fabric.set_receiver fab ~node:1 (fun _ -> t := Engine.now eng);
+    Fabric.send fab (mk_packet ~src:0 ~dst:1 ~bytes:4096 ());
+    Engine.run eng;
+    !t
+  in
+  let restricted = latency p in
+  let unrestricted = latency { p with Params.cell_payload_bytes = 1 lsl 26 } in
+  checkb "no framing overhead is faster" true (unrestricted < restricted)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "atm"
+    [
+      ( "cell",
+        [
+          Alcotest.test_case "sizes" `Quick test_cell_sizes;
+          Alcotest.test_case "roundtrip" `Quick test_cell_roundtrip;
+          Alcotest.test_case "validation" `Quick test_cell_validation;
+          qc cell_roundtrip_qc;
+        ] );
+      ( "crc32",
+        [
+          Alcotest.test_case "known vector" `Quick test_crc32_known_vector;
+          Alcotest.test_case "incremental" `Quick test_crc32_incremental;
+        ] );
+      ( "aal5",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_aal5_roundtrip;
+          Alcotest.test_case "empty frame" `Quick test_aal5_empty_frame;
+          Alcotest.test_case "last-cell marking" `Quick test_aal5_last_bit;
+          Alcotest.test_case "corruption detected" `Quick test_aal5_corruption_detected;
+          Alcotest.test_case "pending cells" `Quick test_aal5_pending_cells;
+          qc aal5_roundtrip_qc;
+          qc aal5_cell_count_qc;
+        ] );
+      ( "switch",
+        [
+          Alcotest.test_case "structure" `Quick test_switch_structure;
+          Alcotest.test_case "routes reach destination" `Quick
+            test_switch_routes_reach_destination;
+          Alcotest.test_case "conflicts" `Quick test_switch_conflicts;
+          qc switch_conflict_symmetric;
+        ] );
+      ( "fabric",
+        [
+          Alcotest.test_case "delivery latency" `Quick test_fabric_delivery_and_latency;
+          Alcotest.test_case "wire accounting" `Quick test_fabric_wire_accounting;
+          Alcotest.test_case "FIFO per src-dst pair" `Quick test_fabric_fifo_per_pair;
+          Alcotest.test_case "ingress contention" `Quick test_fabric_ingress_contention;
+          Alcotest.test_case "address validation" `Quick test_fabric_rejects_bad_addresses;
+          Alcotest.test_case "min_latency monotone" `Quick test_fabric_min_latency_monotone;
+          Alcotest.test_case "stats" `Quick test_fabric_stats;
+          Alcotest.test_case "unrestricted cells faster" `Quick test_fabric_unrestricted_faster;
+        ] );
+    ]

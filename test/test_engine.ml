@@ -1,0 +1,521 @@
+(* Tests for the simulation substrate: time, heap, RNG, statistics, growable
+   arrays, the event engine, fibers and synchronisation primitives. *)
+
+module Time = Cni_engine.Time
+module Heap = Cni_engine.Heap
+module Rng = Cni_engine.Rng
+module Stats = Cni_engine.Stats
+module Vec = Cni_engine.Vec
+module Engine = Cni_engine.Engine
+module Sync = Cni_engine.Sync
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+let checks = check Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* Time                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_time_units () =
+  checki "1 us = 1000 ns" (Time.to_ps (Time.us 1)) (Time.to_ps (Time.ns 1000));
+  checki "1 ms" 1_000_000_000 (Time.to_ps (Time.ms 1));
+  checki "1 s" 1_000_000_000_000 (Time.to_ps (Time.s 1));
+  check (Alcotest.float 1e-9) "to_us of 1500ns" 1.5 (Time.to_us_float (Time.ns 1500))
+
+let test_time_arith () =
+  let open Time in
+  checki "add" 300 (to_ps (ps 100 + ps 200));
+  checki "sub" 50 (to_ps (ps 150 - ps 100));
+  checki "scale" 500 (to_ps (ps 100 * 5));
+  checki "max" 200 (to_ps (Time.max (ps 100) (ps 200)));
+  checki "min" 100 (to_ps (Time.min (ps 100) (ps 200)))
+
+let test_time_cycles () =
+  (* 166 MHz -> 6024 ps per cycle (rounded) *)
+  checki "cpu cycle" 6024 (Time.to_ps (Time.cycle_ps ~hz:166_000_000));
+  (* 25 MHz -> exactly 40 ns *)
+  checki "bus cycle" 40_000 (Time.to_ps (Time.cycle_ps ~hz:25_000_000));
+  checki "n cycles" (10 * 40_000) (Time.to_ps (Time.cycles ~hz:25_000_000 10))
+
+let test_time_pp () =
+  checks "ns formatting" "500.0ns" (Format.asprintf "%a" Time.pp (Time.ns 500));
+  checks "us formatting" "40.000us" (Format.asprintf "%a" Time.pp (Time.us 40));
+  checks "ps formatting" "77ps" (Format.asprintf "%a" Time.pp (Time.ps 77))
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  List.iteri (fun i k -> Heap.add h ~key:k ~seq:i k) [ 5; 1; 4; 1; 3 ];
+  let popped =
+    List.init 5 (fun _ ->
+        let k, _, _ = Heap.pop_min h in
+        k)
+  in
+  check (Alcotest.list Alcotest.int) "sorted" [ 1; 1; 3; 4; 5 ] popped;
+  checkb "empty after" true (Heap.is_empty h)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  for i = 0 to 9 do
+    Heap.add h ~key:7 ~seq:i i
+  done;
+  let popped =
+    List.init 10 (fun _ ->
+        let _, _, v = Heap.pop_min h in
+        v)
+  in
+  check (Alcotest.list Alcotest.int) "FIFO among equal keys" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    popped
+
+let test_heap_empty_raises () =
+  let h : int Heap.t = Heap.create () in
+  Alcotest.check_raises "pop empty" Not_found (fun () -> ignore (Heap.pop_min h));
+  Alcotest.check_raises "min_key empty" Not_found (fun () -> ignore (Heap.min_key h))
+
+let test_heap_min_key () =
+  let h = Heap.create () in
+  Heap.add h ~key:9 ~seq:0 ();
+  Heap.add h ~key:2 ~seq:1 ();
+  checki "min key" 2 (Heap.min_key h);
+  checki "length" 2 (Heap.length h);
+  Heap.clear h;
+  checki "cleared" 0 (Heap.length h)
+
+let heap_sorts =
+  QCheck.Test.make ~name:"heap pops any multiset in order" ~count:300
+    QCheck.(list (int_bound 1000))
+    (fun keys ->
+      let h = Heap.create () in
+      List.iteri (fun i k -> Heap.add h ~key:k ~seq:i k) keys;
+      let out =
+        List.init (List.length keys) (fun _ ->
+            let k, _, _ = Heap.pop_min h in
+            k)
+      in
+      out = List.sort compare keys)
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    checkb "same stream" true (Rng.int64 a = Rng.int64 b)
+  done;
+  let c = Rng.create ~seed:8 in
+  let distinct = ref false in
+  for _ = 1 to 10 do
+    if Rng.int64 a <> Rng.int64 c then distinct := true
+  done;
+  checkb "different seeds differ" true !distinct
+
+let test_rng_bounds () =
+  let r = Rng.create ~seed:1 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of range: %d" v
+  done;
+  for _ = 1 to 10_000 do
+    let f = Rng.float r in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of range: %f" f
+  done
+
+let test_rng_split_independent () =
+  let r = Rng.create ~seed:3 in
+  let s = Rng.split r in
+  (* draws from the split stream do not affect the parent's determinism *)
+  let r2 = Rng.create ~seed:3 in
+  ignore (Rng.split r2);
+  ignore (Rng.int64 s);
+  checkb "parent streams aligned" true (Rng.int64 r = Rng.int64 r2)
+
+let shuffle_is_permutation =
+  QCheck.Test.make ~name:"shuffle preserves the multiset" ~count:200
+    QCheck.(pair (list int) small_int)
+    (fun (l, seed) ->
+      let arr = Array.of_list l in
+      Rng.shuffle (Rng.create ~seed) arr;
+      List.sort compare (Array.to_list arr) = List.sort compare l)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter () =
+  let c = Stats.Counter.create "c" in
+  Stats.Counter.incr c;
+  Stats.Counter.add c 10;
+  checki "value" 11 (Stats.Counter.value c);
+  checks "name" "c" (Stats.Counter.name c);
+  Stats.Counter.reset c;
+  checki "reset" 0 (Stats.Counter.value c)
+
+let test_summary () =
+  let s = Stats.Summary.create "s" in
+  checki "empty min" 0 (Stats.Summary.min s);
+  check (Alcotest.float 0.0) "empty mean" 0.0 (Stats.Summary.mean s);
+  List.iter (Stats.Summary.observe s) [ 5; 1; 9 ];
+  checki "count" 3 (Stats.Summary.count s);
+  checki "sum" 15 (Stats.Summary.sum s);
+  checki "min" 1 (Stats.Summary.min s);
+  checki "max" 9 (Stats.Summary.max s);
+  check (Alcotest.float 1e-9) "mean" 5.0 (Stats.Summary.mean s)
+
+let test_histogram () =
+  let h = Stats.Histogram.create "h" in
+  List.iter (Stats.Histogram.observe h) [ 0; 1; 2; 3; 100; 100 ];
+  checki "count" 6 (Stats.Histogram.count h);
+  let buckets = Stats.Histogram.buckets h in
+  checkb "has buckets" true (List.length buckets >= 3);
+  checki "p100 bucket bound" 128 (Stats.Histogram.percentile h 100.);
+  checki "p1 bucket bound" 1 (Stats.Histogram.percentile h 1.)
+
+(* ------------------------------------------------------------------ *)
+(* Vec                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_vec_basic () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Vec.push v (i * i)
+  done;
+  checki "length" 100 (Vec.length v);
+  checki "get" 49 (Vec.get v 7);
+  Vec.set v 7 0;
+  checki "set" 0 (Vec.get v 7);
+  checki "fold" (List.fold_left ( + ) 0 (Vec.to_list v)) (Vec.fold_left ( + ) 0 v);
+  Vec.clear v;
+  checki "cleared" 0 (Vec.length v)
+
+let test_vec_bounds () =
+  let v = Vec.create () in
+  Vec.push v 1;
+  Alcotest.check_raises "negative" (Invalid_argument "Vec: index out of bounds") (fun () ->
+      ignore (Vec.get v (-1)));
+  Alcotest.check_raises "past end" (Invalid_argument "Vec: index out of bounds") (fun () ->
+      ignore (Vec.get v 1))
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_event_ordering () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  Engine.at eng (Time.ns 30) (fun () -> log := 30 :: !log);
+  Engine.at eng (Time.ns 10) (fun () -> log := 10 :: !log);
+  Engine.at eng (Time.ns 20) (fun () -> log := 20 :: !log);
+  Engine.run eng;
+  check (Alcotest.list Alcotest.int) "time order" [ 10; 20; 30 ] (List.rev !log);
+  checki "clock at last event" (Time.to_ps (Time.ns 30)) (Time.to_ps (Engine.now eng))
+
+let test_fifo_same_time () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  for i = 0 to 4 do
+    Engine.at eng (Time.ns 5) (fun () -> log := i :: !log)
+  done;
+  Engine.run eng;
+  check (Alcotest.list Alcotest.int) "insertion order" [ 0; 1; 2; 3; 4 ] (List.rev !log)
+
+let test_run_until () =
+  let eng = Engine.create () in
+  let fired = ref 0 in
+  List.iter (fun t -> Engine.at eng (Time.ns t) (fun () -> incr fired)) [ 10; 20; 30; 40 ];
+  Engine.run_until eng (Time.ns 25);
+  checki "two fired" 2 !fired;
+  checki "two pending" 2 (Engine.pending eng);
+  Engine.run eng;
+  checki "all fired" 4 !fired
+
+let test_fiber_delay () =
+  let eng = Engine.create () in
+  let t_end = ref Time.zero in
+  Engine.spawn eng (fun () ->
+      Engine.delay (Time.ns 100);
+      Engine.delay (Time.ns 50);
+      t_end := Engine.now eng);
+  Engine.run eng;
+  checki "delays accumulate" (Time.to_ps (Time.ns 150)) (Time.to_ps !t_end)
+
+let test_fiber_suspend_resume () =
+  let eng = Engine.create () in
+  let resumer = ref None in
+  let got = ref 0 in
+  Engine.spawn eng (fun () -> got := Engine.suspend (fun r -> resumer := Some r));
+  Engine.at eng (Time.ns 500) (fun () -> Option.get !resumer 42);
+  Engine.run eng;
+  checki "resumed with value" 42 !got
+
+let test_double_resume_raises () =
+  let eng = Engine.create () in
+  let resumer = ref None in
+  Engine.spawn eng (fun () -> Engine.suspend (fun r -> resumer := Some r));
+  Engine.at eng (Time.ns 1) (fun () -> Option.get !resumer ());
+  Engine.run eng;
+  Alcotest.check_raises "second resume" (Invalid_argument "Engine: fiber \"fiber\" resumed twice")
+    (fun () -> Option.get !resumer ())
+
+let test_fiber_exception_annotated () =
+  let eng = Engine.create () in
+  Engine.spawn eng ~name:"bad" (fun () -> failwith "boom");
+  match Engine.run eng with
+  | () -> Alcotest.fail "expected Fiber_failure"
+  | exception Engine.Fiber_failure (name, Failure msg) ->
+      checks "original exception kept" "boom" msg;
+      checkb "name mentions fiber" true (String.length name >= 3 && String.sub name 0 3 = "bad")
+  | exception e -> Alcotest.failf "unexpected %s" (Printexc.to_string e)
+
+let test_yield_interleaves () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  let fiber tag =
+    Engine.spawn eng (fun () ->
+        for i = 1 to 2 do
+          log := (tag, i) :: !log;
+          Engine.yield ()
+        done)
+  in
+  fiber "a";
+  fiber "b";
+  Engine.run eng;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "round-robin"
+    [ ("a", 1); ("b", 1); ("a", 2); ("b", 2) ]
+    (List.rev !log)
+
+let test_at_in_the_past_clamped () =
+  let eng = Engine.create () in
+  let t = ref Time.zero in
+  Engine.at eng (Time.ns 100) (fun () ->
+      (* schedule "earlier" than now: must fire at now, not travel back *)
+      Engine.at eng (Time.ns 10) (fun () -> t := Engine.now eng));
+  Engine.run eng;
+  checki "clamped to now" (Time.to_ps (Time.ns 100)) (Time.to_ps !t)
+
+let test_run_until_boundary () =
+  let eng = Engine.create () in
+  let fired = ref [] in
+  List.iter (fun t -> Engine.at eng (Time.ns t) (fun () -> fired := t :: !fired)) [ 10; 20; 30 ];
+  (* events exactly at the limit are included *)
+  Engine.run_until eng (Time.ns 20);
+  check (Alcotest.list Alcotest.int) "inclusive boundary" [ 10; 20 ] (List.rev !fired);
+  Engine.run eng
+
+let test_spawn_starts_at_now () =
+  let eng = Engine.create () in
+  let started = ref Time.zero in
+  Engine.at eng (Time.us 5) (fun () ->
+      Engine.spawn eng (fun () -> started := Engine.now eng));
+  Engine.run eng;
+  checki "spawn at current time" (Time.to_ps (Time.us 5)) (Time.to_ps !started)
+
+(* determinism: two identical simulations produce identical traces *)
+let test_determinism () =
+  let run () =
+    let eng = Engine.create () in
+    let rng = Rng.create ~seed:11 in
+    let log = Buffer.create 64 in
+    for i = 0 to 50 do
+      Engine.at eng (Time.ns (Rng.int rng 1000)) (fun () -> Buffer.add_string log (string_of_int i))
+    done;
+    Engine.run eng;
+    Buffer.contents log
+  in
+  checks "identical runs" (run ()) (run ())
+
+(* ------------------------------------------------------------------ *)
+(* Sync                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_in_engine f =
+  let eng = Engine.create () in
+  f eng;
+  Engine.run eng
+
+let test_ivar () =
+  run_in_engine (fun eng ->
+      let iv = Sync.Ivar.create () in
+      let seen = ref [] in
+      for i = 1 to 3 do
+        Engine.spawn eng (fun () ->
+            (* bind before consing: the read suspends mid-expression, and
+               cons evaluates its right operand first *)
+            let v = Sync.Ivar.read iv in
+            seen := (i, v) :: !seen)
+      done;
+      Engine.at eng (Time.ns 10) (fun () -> Sync.Ivar.fill iv "v");
+      Engine.at eng (Time.ns 20) (fun () ->
+          checki "all readers woke" 3 (List.length !seen);
+          checkb "filled" true (Sync.Ivar.is_filled iv);
+          checkb "peek" true (Sync.Ivar.peek iv = Some "v")));
+  let iv = Sync.Ivar.create () in
+  Sync.Ivar.fill iv 1;
+  Alcotest.check_raises "refill" (Invalid_argument "Ivar.fill: already filled") (fun () ->
+      Sync.Ivar.fill iv 2)
+
+let test_ivar_read_after_fill () =
+  run_in_engine (fun eng ->
+      let iv = Sync.Ivar.create () in
+      Sync.Ivar.fill iv 9;
+      Engine.spawn eng (fun () -> checki "immediate" 9 (Sync.Ivar.read iv)))
+
+let test_channel_fifo () =
+  run_in_engine (fun eng ->
+      let ch = Sync.Channel.create () in
+      let got = ref [] in
+      Engine.spawn eng (fun () ->
+          for _ = 1 to 3 do
+            let v = Sync.Channel.recv ch in
+            got := v :: !got
+          done);
+      Engine.at eng (Time.ns 1) (fun () ->
+          Sync.Channel.send ch 1;
+          Sync.Channel.send ch 2;
+          Sync.Channel.send ch 3);
+      Engine.at eng (Time.ns 2) (fun () ->
+          check (Alcotest.list Alcotest.int) "order" [ 1; 2; 3 ] (List.rev !got)))
+
+let test_channel_buffered () =
+  let ch = Sync.Channel.create () in
+  Sync.Channel.send ch 7;
+  checki "length" 1 (Sync.Channel.length ch);
+  checkb "try_recv" true (Sync.Channel.try_recv ch = Some 7);
+  checkb "drained" true (Sync.Channel.try_recv ch = None)
+
+let test_semaphore () =
+  run_in_engine (fun eng ->
+      let sem = Sync.Semaphore.create 2 in
+      let active = ref 0 and peak = ref 0 in
+      for _ = 1 to 5 do
+        Engine.spawn eng (fun () ->
+            Sync.Semaphore.acquire sem;
+            incr active;
+            if !active > !peak then peak := !active;
+            Engine.delay (Time.ns 100);
+            decr active;
+            Sync.Semaphore.release sem)
+      done;
+      Engine.at eng (Time.ns 1000) (fun () -> checki "at most 2 concurrent" 2 !peak))
+
+let test_semaphore_fifo () =
+  run_in_engine (fun eng ->
+      let sem = Sync.Semaphore.create 0 in
+      let woke = ref [] in
+      for i = 1 to 4 do
+        Engine.spawn eng (fun () ->
+            Sync.Semaphore.acquire sem;
+            woke := i :: !woke)
+      done;
+      Engine.at eng (Time.ns 10) (fun () ->
+          checki "four waiting" 4 (Sync.Semaphore.waiting sem);
+          for _ = 1 to 4 do
+            Sync.Semaphore.release sem
+          done);
+      Engine.at eng (Time.ns 20) (fun () ->
+          check (Alcotest.list Alcotest.int) "FIFO wakeups" [ 1; 2; 3; 4 ] (List.rev !woke)))
+
+let test_semaphore_try () =
+  let sem = Sync.Semaphore.create 1 in
+  checkb "first try" true (Sync.Semaphore.try_acquire sem);
+  checkb "second try" false (Sync.Semaphore.try_acquire sem);
+  Sync.Semaphore.release sem;
+  checki "available" 1 (Sync.Semaphore.available sem)
+
+let test_mutex_exception_safe () =
+  run_in_engine (fun eng ->
+      let m = Sync.Mutex.create () in
+      Engine.spawn eng (fun () ->
+          (try Sync.Mutex.with_lock m (fun () -> failwith "inner") with Failure _ -> ());
+          (* must be reacquirable *)
+          Sync.Mutex.with_lock m (fun () -> ())))
+
+let test_condition () =
+  run_in_engine (fun eng ->
+      let c = Sync.Condition.create () in
+      let woke = ref 0 in
+      for _ = 1 to 4 do
+        Engine.spawn eng (fun () ->
+            Sync.Condition.await c;
+            incr woke)
+      done;
+      Engine.at eng (Time.ns 5) (fun () ->
+          checki "four waiting" 4 (Sync.Condition.waiting c);
+          Sync.Condition.signal_all c);
+      Engine.at eng (Time.ns 6) (fun () -> checki "all woke" 4 !woke))
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "engine"
+    [
+      ( "time",
+        [
+          Alcotest.test_case "units" `Quick test_time_units;
+          Alcotest.test_case "arithmetic" `Quick test_time_arith;
+          Alcotest.test_case "cycles" `Quick test_time_cycles;
+          Alcotest.test_case "pretty-printing" `Quick test_time_pp;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "FIFO ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "empty raises" `Quick test_heap_empty_raises;
+          Alcotest.test_case "min_key/length/clear" `Quick test_heap_min_key;
+          qc heap_sorts;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          qc shuffle_is_permutation;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "summary" `Quick test_summary;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+        ] );
+      ( "vec",
+        [
+          Alcotest.test_case "basic" `Quick test_vec_basic;
+          Alcotest.test_case "bounds" `Quick test_vec_bounds;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "time ordering" `Quick test_event_ordering;
+          Alcotest.test_case "FIFO at equal time" `Quick test_fifo_same_time;
+          Alcotest.test_case "run_until" `Quick test_run_until;
+          Alcotest.test_case "run_until inclusive boundary" `Quick test_run_until_boundary;
+          Alcotest.test_case "spawn starts at now" `Quick test_spawn_starts_at_now;
+          Alcotest.test_case "past events clamp to now" `Quick test_at_in_the_past_clamped;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+        ] );
+      ( "fibers",
+        [
+          Alcotest.test_case "delay" `Quick test_fiber_delay;
+          Alcotest.test_case "suspend/resume" `Quick test_fiber_suspend_resume;
+          Alcotest.test_case "double resume raises" `Quick test_double_resume_raises;
+          Alcotest.test_case "exceptions annotated" `Quick test_fiber_exception_annotated;
+          Alcotest.test_case "yield interleaves" `Quick test_yield_interleaves;
+        ] );
+      ( "sync",
+        [
+          Alcotest.test_case "ivar" `Quick test_ivar;
+          Alcotest.test_case "ivar read after fill" `Quick test_ivar_read_after_fill;
+          Alcotest.test_case "channel FIFO" `Quick test_channel_fifo;
+          Alcotest.test_case "channel buffering" `Quick test_channel_buffered;
+          Alcotest.test_case "semaphore limits concurrency" `Quick test_semaphore;
+          Alcotest.test_case "semaphore FIFO wakeup" `Quick test_semaphore_fifo;
+          Alcotest.test_case "semaphore try/available" `Quick test_semaphore_try;
+          Alcotest.test_case "mutex exception safety" `Quick test_mutex_exception_safe;
+          Alcotest.test_case "condition broadcast" `Quick test_condition;
+        ] );
+    ]

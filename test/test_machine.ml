@@ -1,0 +1,286 @@
+(* Tests for the workstation node model: parameters, the two-level
+   direct-mapped write-back cache, the TLB, and the snooping memory bus. *)
+
+module Time = Cni_engine.Time
+module Engine = Cni_engine.Engine
+module Params = Cni_machine.Params
+module Cache = Cni_machine.Cache
+module Tlb = Cni_machine.Tlb
+module Bus = Cni_machine.Bus
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+let p = Params.default
+
+(* ------------------------------------------------------------------ *)
+(* Params                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_derived_costs () =
+  (* one 8-byte word: 4 acquisition + 2 transfer = 6 bus cycles of 40 ns *)
+  checki "bus transfer 1 word" (6 * 40_000) (Time.to_ps (Params.bus_transfer p ~bytes:8));
+  (* a 4 KB page: 4 + 512*2 = 1028 bus cycles ~ 41.1 us *)
+  checki "bus transfer 4KB" (1028 * 40_000) (Time.to_ps (Params.bus_transfer p ~bytes:4096));
+  (* partial words round up *)
+  checki "partial word rounds up"
+    (Time.to_ps (Params.bus_transfer p ~bytes:8))
+    (Time.to_ps (Params.bus_transfer p ~bytes:1))
+
+let test_wire_time () =
+  (* 622 Mb/s: 53 bytes = 424 bits ~ 681.7 ns *)
+  let t = Time.to_ns_float (Params.wire_time p ~bytes:53) in
+  checkb "53B cell time ~ 0.68us" true (t > 675.0 && t < 690.0)
+
+let test_cells_for () =
+  checki "empty payload still one cell" 1 (Params.cells_for p ~bytes:0);
+  checki "exactly one cell" 1 (Params.cells_for p ~bytes:48);
+  checki "one byte over" 2 (Params.cells_for p ~bytes:49);
+  checki "4KB+trailer" 86 (Params.cells_for p ~bytes:(4096 + 8));
+  let unrestricted = { p with Params.cell_payload_bytes = 1 lsl 26 } in
+  checki "unrestricted: single cell" 1 (Params.cells_for unrestricted ~bytes:1_000_000)
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_hit_miss () =
+  let c = Cache.create p in
+  let r1 = Cache.access c ~addr:0x1000 ~write:false in
+  checkb "cold miss from memory" true (r1.Cache.level = Cache.Memory);
+  checki "miss cycles" (1 + 10 + 20) r1.Cache.cycles;
+  let r2 = Cache.access c ~addr:0x1000 ~write:false in
+  checkb "then L1 hit" true (r2.Cache.level = Cache.L1);
+  checki "hit cycles" 1 r2.Cache.cycles;
+  (* a different word in the same 32-byte line also hits *)
+  let r3 = Cache.access c ~addr:0x1008 ~write:true in
+  checkb "same line hits" true (r3.Cache.level = Cache.L1)
+
+let test_cache_l1_conflict_spills_to_l2 () =
+  let c = Cache.create p in
+  (* two addresses mapping to the same L1 set (L1 = 32 KB direct-mapped) *)
+  let a = 0x0 and b = p.Params.l1_bytes in
+  ignore (Cache.access c ~addr:a ~write:false);
+  ignore (Cache.access c ~addr:b ~write:false);
+  (* a was displaced from L1; a clean victim is simply dropped, so the next
+     access refills from... L2 only holds dirty spills. Make it dirty. *)
+  ignore (Cache.access c ~addr:a ~write:true);
+  ignore (Cache.access c ~addr:b ~write:false);
+  let r = Cache.access c ~addr:a ~write:false in
+  checkb "dirty victim found in L2" true (r.Cache.level = Cache.L2);
+  checki "L2 hit cycles" 11 r.Cache.cycles
+
+let test_cache_writeback_on_eviction () =
+  let c = Cache.create p in
+  (* dirty a line, then displace it through both levels: addresses spaced by
+     l2_bytes share both the L1 and the L2 set *)
+  ignore (Cache.access c ~addr:0x40 ~write:true);
+  let spaced k = 0x40 + (k * p.Params.l2_bytes) in
+  let wb = ref [] in
+  for k = 1 to 2 do
+    let r = Cache.access c ~addr:(spaced k) ~write:true in
+    wb := r.Cache.writeback_lines @ !wb
+  done;
+  checkb "dirty line eventually written back" true (List.mem 0x40 !wb)
+
+let test_cache_flush_range () =
+  let c = Cache.create p in
+  ignore (Cache.access c ~addr:0x2000 ~write:true);
+  ignore (Cache.access c ~addr:0x2020 ~write:true);
+  ignore (Cache.access c ~addr:0x2040 ~write:false);
+  checki "dirty lines counted" 2 (Cache.dirty_lines_in c ~addr:0x2000 ~bytes:0x80);
+  let writebacks, cycles = Cache.flush_range c ~addr:0x2000 ~bytes:0x80 in
+  checki "two dirty lines flushed" 2 (List.length writebacks);
+  checkb "walk cost > 0" true (cycles > 0);
+  (* after the flush, the lines are gone *)
+  let r = Cache.access c ~addr:0x2000 ~write:false in
+  checkb "flushed line misses" true (r.Cache.level = Cache.Memory);
+  checki "no dirty lines left" 0 (Cache.dirty_lines_in c ~addr:0x2000 ~bytes:0x80)
+
+let test_cache_invalidate_range () =
+  let c = Cache.create p in
+  ignore (Cache.access c ~addr:0x3000 ~write:true);
+  let dropped = Cache.invalidate_range c ~addr:0x3000 ~bytes:32 in
+  checki "one line dropped" 1 dropped;
+  let r = Cache.access c ~addr:0x3000 ~write:false in
+  checkb "invalidated line misses" true (r.Cache.level = Cache.Memory)
+
+let test_cache_stats () =
+  let c = Cache.create p in
+  ignore (Cache.access c ~addr:0 ~write:false);
+  ignore (Cache.access c ~addr:0 ~write:false);
+  let s = Cache.stats c in
+  checki "accesses" 2 s.Cache.accesses;
+  checki "l1 hits" 1 s.Cache.l1_hits;
+  checki "memory fills" 1 s.Cache.memory_fills;
+  Cache.reset_stats c;
+  checki "reset" 0 (Cache.stats c).Cache.accesses
+
+(* property: accessing the same address twice in a row always hits L1 *)
+let cache_rehit =
+  QCheck.Test.make ~name:"immediate re-access hits L1" ~count:200
+    QCheck.(list (pair (int_bound 0xFFFFF) bool))
+    (fun ops ->
+      let c = Cache.create p in
+      List.for_all
+        (fun (addr, write) ->
+          ignore (Cache.access c ~addr ~write);
+          (Cache.access c ~addr ~write:false).Cache.level = Cache.L1)
+        ops)
+
+(* property: flush_range leaves no dirty line behind in the range *)
+let cache_flush_clean =
+  QCheck.Test.make ~name:"flush leaves range clean" ~count:200
+    QCheck.(list (int_bound 0xFFFF))
+    (fun addrs ->
+      let c = Cache.create p in
+      List.iter (fun a -> ignore (Cache.access c ~addr:a ~write:true)) addrs;
+      ignore (Cache.flush_range c ~addr:0 ~bytes:0x10000);
+      Cache.dirty_lines_in c ~addr:0 ~bytes:0x10000 = 0)
+
+let test_cache_write_through () =
+  let c = Cache.create { p with Params.cache_policy = Params.Write_through } in
+  (* every store reaches memory immediately... *)
+  let r1 = Cache.access c ~addr:0x5000 ~write:true in
+  checkb "store reported on the bus" true (List.mem 0x5000 r1.Cache.writeback_lines);
+  let r2 = Cache.access c ~addr:0x5000 ~write:true in
+  checkb "even on an L1 hit" true (List.mem 0x5000 r2.Cache.writeback_lines);
+  (* ...so nothing is ever dirty and flushes are free *)
+  checki "no dirty lines" 0 (Cache.dirty_lines_in c ~addr:0x5000 ~bytes:32);
+  let writebacks, _ = Cache.flush_range c ~addr:0x5000 ~bytes:32 in
+  checki "flush writes nothing back" 0 (List.length writebacks)
+
+(* ------------------------------------------------------------------ *)
+(* TLB                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_line_granularity () =
+  let c = Cache.create p in
+  ignore (Cache.access c ~addr:0x100 ~write:false);
+  (* addresses within the same 32-byte line share the entry... *)
+  checkb "same line" true ((Cache.access c ~addr:0x11F ~write:false).Cache.level = Cache.L1);
+  (* ...the next line does not *)
+  checkb "next line" true ((Cache.access c ~addr:0x120 ~write:false).Cache.level = Cache.Memory)
+
+let test_cache_invalidate_multiple () =
+  let c = Cache.create p in
+  for k = 0 to 7 do
+    ignore (Cache.access c ~addr:(0x4000 + (k * 32)) ~write:true)
+  done;
+  checki "eight lines dropped" 8 (Cache.invalidate_range c ~addr:0x4000 ~bytes:256);
+  checki "second invalidate finds none" 0 (Cache.invalidate_range c ~addr:0x4000 ~bytes:256)
+
+let test_zero_byte_ranges () =
+  let c = Cache.create p in
+  let wb, cycles = Cache.flush_range c ~addr:0x100 ~bytes:0 in
+  checki "empty flush" 0 (List.length wb);
+  checki "no walk cost" 0 cycles;
+  checki "empty invalidate" 0 (Cache.invalidate_range c ~addr:0x100 ~bytes:0);
+  checki "empty dirty count" 0 (Cache.dirty_lines_in c ~addr:0x100 ~bytes:0)
+
+let test_tlb () =
+  let t = Tlb.create ~entries:4 ~miss_cycles:30 ~page_bytes:2048 in
+  checki "cold miss" 30 (Tlb.lookup t ~addr:0);
+  checki "hit" 0 (Tlb.lookup t ~addr:100);
+  checki "other page misses" 30 (Tlb.lookup t ~addr:2048);
+  (* 4-entry direct-mapped: page 0 and page 4 conflict *)
+  checki "conflict" 30 (Tlb.lookup t ~addr:(4 * 2048));
+  checki "original evicted" 30 (Tlb.lookup t ~addr:0);
+  Tlb.flush t;
+  checki "flush drops all" 30 (Tlb.lookup t ~addr:0);
+  let s = Tlb.stats t in
+  checki "lookups" 6 s.Tlb.lookups;
+  checki "misses" 5 s.Tlb.misses
+
+(* ------------------------------------------------------------------ *)
+(* Bus                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_bus_writeback_snoops () =
+  let eng = Engine.create () in
+  let bus = Bus.create eng p in
+  let snooped = ref [] in
+  Bus.register_snooper bus (fun ~dir ~addr ~bytes ->
+      if dir = Bus.Cpu_writeback then snooped := (addr, bytes) :: !snooped);
+  let t = Bus.writeback_lines bus [ 0x40; 0x80 ] in
+  checki "two lines snooped" 2 (List.length !snooped);
+  (* each 32-byte line costs 4 + 4*2 = 12 bus cycles *)
+  checki "occupancy" (2 * 12 * 40_000) (Time.to_ps t)
+
+let test_bus_dma_serializes () =
+  let eng = Engine.create () in
+  let bus = Bus.create eng p in
+  let done2 = ref Time.zero in
+  Engine.spawn eng (fun () -> Bus.dma bus ~dir:Bus.Dma_from_memory ~addr:0 ~bytes:4096);
+  Engine.spawn eng (fun () ->
+      Bus.dma bus ~dir:Bus.Dma_to_memory ~addr:8192 ~bytes:4096;
+      done2 := Engine.now eng);
+  Engine.run eng;
+  (* the second transfer had to wait for the first: 2 x 1028 bus cycles *)
+  checki "serialized" (2 * 1028 * 40_000) (Time.to_ps !done2);
+  let s = Bus.stats bus in
+  checki "two transfers" 2 s.Bus.dma_transfers;
+  checki "bytes" 8192 s.Bus.dma_bytes
+
+let test_bus_dma_direction_snoop () =
+  let eng = Engine.create () in
+  let bus = Bus.create eng p in
+  let dirs = ref [] in
+  Bus.register_snooper bus (fun ~dir ~addr:_ ~bytes:_ -> dirs := dir :: !dirs);
+  Engine.spawn eng (fun () ->
+      Bus.dma bus ~dir:Bus.Dma_from_memory ~addr:0 ~bytes:64;
+      Bus.dma bus ~dir:Bus.Dma_to_memory ~addr:0 ~bytes:64);
+  Engine.run eng;
+  check
+    (Alcotest.list Alcotest.bool)
+    "to-memory then from-memory seen"
+    [ true; true ]
+    (List.map (fun d -> d = Bus.Dma_to_memory || d = Bus.Dma_from_memory) !dirs)
+
+let test_bus_rejects_writeback_dir () =
+  let eng = Engine.create () in
+  let bus = Bus.create eng p in
+  let raised = ref false in
+  Engine.spawn eng (fun () ->
+      try Bus.dma bus ~dir:Bus.Cpu_writeback ~addr:0 ~bytes:8
+      with Invalid_argument _ -> raised := true);
+  Engine.run eng;
+  checkb "bad direction rejected" true !raised
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "machine"
+    [
+      ( "params",
+        [
+          Alcotest.test_case "derived bus costs" `Quick test_derived_costs;
+          Alcotest.test_case "wire time" `Quick test_wire_time;
+          Alcotest.test_case "cells_for" `Quick test_cells_for;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit/miss levels" `Quick test_cache_hit_miss;
+          Alcotest.test_case "L1 victim spills to L2" `Quick test_cache_l1_conflict_spills_to_l2;
+          Alcotest.test_case "write-back on eviction" `Quick test_cache_writeback_on_eviction;
+          Alcotest.test_case "flush_range" `Quick test_cache_flush_range;
+          Alcotest.test_case "invalidate_range" `Quick test_cache_invalidate_range;
+          Alcotest.test_case "stats" `Quick test_cache_stats;
+          Alcotest.test_case "write-through policy" `Quick test_cache_write_through;
+          qc cache_rehit;
+          qc cache_flush_clean;
+        ] );
+      ( "cache-extra",
+        [
+          Alcotest.test_case "line granularity" `Quick test_cache_line_granularity;
+          Alcotest.test_case "invalidate multiple lines" `Quick test_cache_invalidate_multiple;
+          Alcotest.test_case "zero-byte ranges" `Quick test_zero_byte_ranges;
+        ] );
+      ("tlb", [ Alcotest.test_case "direct-mapped behaviour" `Quick test_tlb ]);
+      ( "bus",
+        [
+          Alcotest.test_case "write-backs snooped + costed" `Quick test_bus_writeback_snoops;
+          Alcotest.test_case "DMA serialization" `Quick test_bus_dma_serializes;
+          Alcotest.test_case "DMA direction snoop" `Quick test_bus_dma_direction_snoop;
+          Alcotest.test_case "rejects writeback direction" `Quick test_bus_rejects_writeback_dir;
+        ] );
+    ]

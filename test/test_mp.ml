@@ -1,0 +1,264 @@
+(* Tests for the message-passing library: tagged matching, ordering,
+   collectives, and its interaction with the two network interfaces. *)
+
+module Time = Cni_engine.Time
+module Cluster = Cni_cluster.Cluster
+module Node = Cni_cluster.Node
+module Nic = Cni_nic.Nic
+module Mp = Cni_mp.Mp
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+
+let cni = `Cni Nic.default_cni_options
+
+let with_mp ~kind ~nodes f =
+  let cluster : int Mp.envelope Cluster.t = Cluster.create ~nic_kind:kind ~nodes () in
+  let eps = Mp.install cluster in
+  Cluster.run_app cluster (fun node -> f (Cluster.engine cluster) eps.(Node.id node));
+  (cluster, eps)
+
+(* ------------------------------------------------------------------ *)
+(* Point to point                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_ping_pong () =
+  let rtt = ref Time.zero in
+  ignore
+    (with_mp ~kind:cni ~nodes:2 (fun eng ep ->
+         if Mp.rank ep = 0 then begin
+           let t0 = Cni_engine.Engine.now eng in
+           Mp.send ep ~dst:1 ~tag:1 42;
+           let e = Mp.recv ep ~tag:2 () in
+           rtt := Time.(Cni_engine.Engine.now eng - t0);
+           checki "echoed value" 43 e.Mp.value
+         end
+         else begin
+           let e = Mp.recv ep ~tag:1 () in
+           checki "received" 42 e.Mp.value;
+           checki "src" 0 e.Mp.src;
+           Mp.send ep ~dst:0 ~tag:2 (e.Mp.value + 1)
+         end));
+  checkb "round trip took time" true (Time.to_ps !rtt > 0)
+
+let test_tag_matching_out_of_order () =
+  ignore
+    (with_mp ~kind:cni ~nodes:2 (fun _ ep ->
+         if Mp.rank ep = 0 then begin
+           Mp.send ep ~dst:1 ~tag:10 100;
+           Mp.send ep ~dst:1 ~tag:20 200;
+           Mp.send ep ~dst:1 ~tag:10 101
+         end
+         else begin
+           (* receive tag 20 first although it arrived second *)
+           checki "tag 20" 200 (Mp.recv ep ~tag:20 ()).Mp.value;
+           checki "tag 10 first" 100 (Mp.recv ep ~tag:10 ()).Mp.value;
+           checki "tag 10 second (FIFO within tag)" 101 (Mp.recv ep ~tag:10 ()).Mp.value
+         end))
+
+let test_src_matching () =
+  ignore
+    (with_mp ~kind:cni ~nodes:3 (fun _ ep ->
+         match Mp.rank ep with
+         | 0 -> Mp.send ep ~dst:2 ~tag:5 111
+         | 1 -> Mp.send ep ~dst:2 ~tag:5 222
+         | _ ->
+             (* take rank 1's message first by source matching *)
+             checki "from rank 1" 222 (Mp.recv ep ~src:1 ~tag:5 ()).Mp.value;
+             checki "then rank 0" 111 (Mp.recv ep ~tag:5 ()).Mp.value))
+
+let test_self_send () =
+  ignore
+    (with_mp ~kind:cni ~nodes:1 (fun _ ep ->
+         Mp.send ep ~dst:0 ~tag:3 7;
+         checki "local delivery" 7 (Mp.recv ep ~tag:3 ()).Mp.value))
+
+let test_try_recv_and_pending () =
+  ignore
+    (with_mp ~kind:cni ~nodes:2 (fun _ ep ->
+         if Mp.rank ep = 0 then begin
+           Mp.send ep ~dst:1 ~tag:1 1;
+           Mp.send ep ~dst:1 ~tag:1 2;
+           (* per-pair FIFO: when the sentinel arrives, both tag-1 messages
+              are already in the mailbox *)
+           Mp.send ep ~dst:1 ~tag:3 0
+         end
+         else begin
+           checkb "nothing yet" true (Mp.try_recv ep ~tag:9 () = None);
+           ignore (Mp.recv ep ~tag:3 ());
+           checki "two pending" 2 (Mp.pending ep);
+           checkb "probe takes first" true
+             (match Mp.try_recv ep ~tag:1 () with Some e -> e.Mp.value = 1 | None -> false);
+           checki "one left" 1 (Mp.pending ep);
+           checkb "probe takes second" true
+             (match Mp.try_recv ep ~tag:1 () with Some e -> e.Mp.value = 2 | None -> false);
+           checki "drained" 0 (Mp.pending ep)
+         end))
+
+let test_reserved_tags_rejected () =
+  ignore
+    (with_mp ~kind:cni ~nodes:1 (fun _ ep ->
+         (try
+            Mp.send ep ~dst:0 ~tag:Mp.reserved_tag_base 0;
+            Alcotest.fail "reserved tag accepted"
+          with Invalid_argument _ -> ());
+         try
+           ignore (Mp.recv ep ~tag:(-1) ());
+           Alcotest.fail "negative tag accepted"
+         with Invalid_argument _ -> ()))
+
+(* ------------------------------------------------------------------ *)
+(* Collectives                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_barrier_synchronizes () =
+  let n = 5 in
+  let arrive = Array.make n Time.zero and leave = Array.make n Time.zero in
+  ignore
+    (with_mp ~kind:cni ~nodes:n (fun eng ep ->
+         let me = Mp.rank ep in
+         (* stagger arrivals *)
+         Cni_engine.Engine.delay (Time.us ((me + 1) * 100));
+         arrive.(me) <- Cni_engine.Engine.now eng;
+         Mp.barrier ep;
+         leave.(me) <- Cni_engine.Engine.now eng));
+  let max_arrive = Array.fold_left Time.max Time.zero arrive in
+  Array.iteri
+    (fun i l ->
+      checkb (Printf.sprintf "rank %d left after the last arrival" i) true
+        (Time.to_ps l >= Time.to_ps max_arrive))
+    leave
+
+let test_broadcast () =
+  List.iter
+    (fun n ->
+      let got = Array.make n 0 in
+      ignore
+        (with_mp ~kind:cni ~nodes:n (fun _ ep ->
+             let v = if Mp.rank ep = 2 mod n then 777 else -1 in
+             got.(Mp.rank ep) <- Mp.broadcast ep ~root:(2 mod n) v));
+      Array.iteri (fun i v -> checki (Printf.sprintf "n=%d rank %d" n i) 777 v) got)
+    [ 1; 2; 3; 4; 7; 8 ]
+
+let test_reduce () =
+  let n = 6 in
+  let result = ref 0 in
+  ignore
+    (with_mp ~kind:cni ~nodes:n (fun _ ep ->
+         let r = Mp.reduce ep ~root:0 ~op:( + ) (Mp.rank ep + 1) in
+         if Mp.rank ep = 0 then result := r));
+  checki "sum 1..6" 21 !result
+
+let test_allreduce () =
+  List.iter
+    (fun n ->
+      let results = Array.make n 0 in
+      ignore
+        (with_mp ~kind:cni ~nodes:n (fun _ ep ->
+             results.(Mp.rank ep) <- Mp.allreduce ep ~op:max (Mp.rank ep * 10)));
+      Array.iteri
+        (fun i v -> checki (Printf.sprintf "n=%d rank %d sees max" n i) ((n - 1) * 10) v)
+        results)
+    [ 1; 2; 4; 5; 8 ]
+
+let test_collectives_compose () =
+  (* many collectives in sequence must not cross tags *)
+  let n = 4 in
+  ignore
+    (with_mp ~kind:cni ~nodes:n (fun _ ep ->
+         for round = 1 to 10 do
+           let s = Mp.allreduce ep ~op:( + ) 1 in
+           checki "allreduce of ones" n s;
+           Mp.barrier ep;
+           let b = Mp.broadcast ep ~root:(round mod n) round in
+           checki "broadcast round" round b
+         done))
+
+let test_bulk_payload_path () =
+  (* >= 1 KB rides as NIC bulk data: the Message Cache sees it *)
+  let cluster : int Mp.envelope Cluster.t = Cluster.create ~nic_kind:cni ~nodes:2 () in
+  let eps = Mp.install cluster in
+  Cluster.run_app cluster (fun node ->
+      let ep = eps.(Node.id node) in
+      if Mp.rank ep = 0 then
+        for i = 1 to 4 do
+          Mp.send ep ~dst:1 ~tag:1 ~bytes:4096 ~buffer:(1 lsl 25) i
+        done
+      else
+        for _ = 1 to 4 do
+          ignore (Mp.recv ep ~tag:1 ())
+        done);
+  let s = Nic.stats (Node.nic (Cluster.node cluster 0)) in
+  checki "four bulk sends" 4 s.Cni_nic.Nic.tx_data_packets;
+  checki "only the first DMAed (MC hits after)" 4096 s.Cni_nic.Nic.tx_dma_bytes
+
+let test_small_payload_no_dma () =
+  let cluster : int Mp.envelope Cluster.t = Cluster.create ~nic_kind:cni ~nodes:2 () in
+  let eps = Mp.install cluster in
+  Cluster.run_app cluster (fun node ->
+      let ep = eps.(Node.id node) in
+      if Mp.rank ep = 0 then Mp.send ep ~dst:1 ~tag:1 ~bytes:64 1
+      else ignore (Mp.recv ep ~tag:1 ()));
+  let s = Nic.stats (Node.nic (Cluster.node cluster 0)) in
+  checki "no bulk data" 0 s.Cni_nic.Nic.tx_data_packets;
+  checki "no DMA" 0 s.Cni_nic.Nic.tx_dma_bytes
+
+(* ------------------------------------------------------------------ *)
+(* Interfaces                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_cni_faster_for_request_reply () =
+  (* a blast is pipelined and both boards bottleneck on the same SAR
+     processor; per-message *latency* is where the CNI wins, so measure an
+     acknowledged exchange *)
+  let run kind =
+    let cluster : int Mp.envelope Cluster.t = Cluster.create ~nic_kind:kind ~nodes:2 () in
+    let eps = Mp.install cluster in
+    Cluster.run_app cluster (fun node ->
+        let ep = eps.(Node.id node) in
+        if Mp.rank ep = 0 then
+          for i = 1 to 20 do
+            (* same buffer every time: transmit caching territory *)
+            Mp.send ep ~dst:1 ~tag:1 ~bytes:2048 ~buffer:(1 lsl 26) i;
+            ignore (Mp.recv ep ~tag:2 ())
+          done
+        else
+          for _ = 1 to 20 do
+            let e = Mp.recv ep ~tag:1 () in
+            Mp.send ep ~dst:0 ~tag:2 e.Mp.value
+          done);
+    Cluster.elapsed cluster
+  in
+  let c = run cni and s = run `Standard in
+  checkb "CNI round trips faster" true (Time.to_ps c < Time.to_ps s)
+
+let () =
+  Alcotest.run "mp"
+    [
+      ( "point-to-point",
+        [
+          Alcotest.test_case "ping pong" `Quick test_ping_pong;
+          Alcotest.test_case "tag matching out of order" `Quick test_tag_matching_out_of_order;
+          Alcotest.test_case "source matching" `Quick test_src_matching;
+          Alcotest.test_case "self send" `Quick test_self_send;
+          Alcotest.test_case "try_recv / pending" `Quick test_try_recv_and_pending;
+          Alcotest.test_case "reserved tags rejected" `Quick test_reserved_tags_rejected;
+        ] );
+      ( "collectives",
+        [
+          Alcotest.test_case "barrier synchronizes" `Quick test_barrier_synchronizes;
+          Alcotest.test_case "broadcast" `Quick test_broadcast;
+          Alcotest.test_case "reduce" `Quick test_reduce;
+          Alcotest.test_case "allreduce" `Quick test_allreduce;
+          Alcotest.test_case "collectives compose" `Quick test_collectives_compose;
+        ] );
+      ( "payloads",
+        [
+          Alcotest.test_case "bulk rides the MC path" `Quick test_bulk_payload_path;
+          Alcotest.test_case "small stays inline" `Quick test_small_payload_no_dma;
+        ] );
+      ( "interfaces",
+        [ Alcotest.test_case "CNI faster request-reply" `Quick test_cni_faster_for_request_reply ]
+      );
+    ]

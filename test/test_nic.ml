@@ -1,0 +1,485 @@
+(* Tests for the network interface layer: ADC rings, the wire header, the
+   Message Cache (clock replacement, snooping), and the two NIC models on a
+   live 2-node cluster. *)
+
+module Time = Cni_engine.Time
+module Engine = Cni_engine.Engine
+module Params = Cni_machine.Params
+module Ring = Cni_nic.Ring
+module Wire = Cni_nic.Wire
+module Mc = Cni_nic.Message_cache
+module Nic = Cni_nic.Nic
+module Cluster = Cni_cluster.Cluster
+module Node = Cni_cluster.Node
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Ring                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_fifo () =
+  let r = Ring.create ~slots:4 in
+  checkb "push" true (Ring.try_push r 1);
+  checkb "push" true (Ring.try_push r 2);
+  checkb "pop 1" true (Ring.try_pop r = Some 1);
+  checkb "pop 2" true (Ring.try_pop r = Some 2);
+  checkb "empty" true (Ring.try_pop r = None)
+
+let test_ring_capacity () =
+  let r = Ring.create ~slots:2 in
+  checkb "1" true (Ring.try_push r 1);
+  checkb "2" true (Ring.try_push r 2);
+  checkb "full rejects" false (Ring.try_push r 3);
+  checkb "is_full" true (Ring.is_full r);
+  ignore (Ring.try_pop r);
+  checkb "space again" true (Ring.try_push r 3)
+
+let test_ring_blocking () =
+  let eng = Engine.create () in
+  let r = Ring.create ~slots:1 in
+  let produced = ref [] and consumed = ref [] in
+  Engine.spawn eng (fun () ->
+      for i = 1 to 3 do
+        Ring.push r i;
+        produced := i :: !produced
+      done);
+  Engine.spawn eng (fun () ->
+      for _ = 1 to 3 do
+        Engine.delay (Time.ns 100);
+        let v = Ring.pop r in
+        consumed := v :: !consumed
+      done);
+  Engine.run eng;
+  check (Alcotest.list Alcotest.int) "all consumed in order" [ 1; 2; 3 ] (List.rev !consumed);
+  let s = Ring.stats r in
+  checki "pushes" 3 s.Ring.pushes;
+  checki "pops" 3 s.Ring.pops;
+  checkb "producer stalled on full ring" true (s.Ring.full_stalls > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Wire                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_wire_roundtrip () =
+  let h =
+    { Wire.kind = 9; cacheable = true; has_data = true; src = 17; channel = 3; obj = 123456; aux = -7 }
+  in
+  let h' = Wire.decode (Wire.encode h) in
+  checki "kind" h.Wire.kind h'.Wire.kind;
+  checkb "cacheable" h.Wire.cacheable h'.Wire.cacheable;
+  checkb "has_data" h.Wire.has_data h'.Wire.has_data;
+  checki "src" h.Wire.src h'.Wire.src;
+  checki "channel" h.Wire.channel h'.Wire.channel;
+  checki "obj" h.Wire.obj h'.Wire.obj;
+  checki "aux" h.Wire.aux h'.Wire.aux
+
+let test_wire_bad_magic () =
+  let b = Bytes.make Wire.header_bytes '\xFF' in
+  Alcotest.check_raises "magic" (Invalid_argument "Wire.decode: bad magic") (fun () ->
+      ignore (Wire.decode b));
+  Alcotest.check_raises "short" (Invalid_argument "Wire.decode: short header") (fun () ->
+      ignore (Wire.decode (Bytes.create 4)))
+
+let test_wire_patterns () =
+  let h kind channel =
+    Wire.encode { Wire.kind; cacheable = false; has_data = false; src = 0; channel; obj = 0; aux = 0 }
+  in
+  let open Cni_pathfinder in
+  checkb "any matches" true (Pattern.matches Wire.pattern_any (h 1 5));
+  checkb "channel matches" true (Pattern.matches (Wire.pattern_channel ~channel:5) (h 1 5));
+  checkb "channel rejects" false (Pattern.matches (Wire.pattern_channel ~channel:6) (h 1 5));
+  checkb "channel+kind" true
+    (Pattern.matches (Wire.pattern_channel_kind ~channel:5 ~kind:1) (h 1 5));
+  checkb "kind rejects" false
+    (Pattern.matches (Wire.pattern_channel_kind ~channel:5 ~kind:2) (h 1 5))
+
+(* ------------------------------------------------------------------ *)
+(* Message Cache                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_mc_lookup_bind () =
+  let mc = Mc.create ~page_bytes:2048 ~capacity_bytes:(4 * 2048) ~mode:Mc.Update in
+  checki "capacity" 4 (Mc.capacity_pages mc);
+  checkb "miss" false (Mc.lookup mc ~vpage:1);
+  Mc.bind mc ~vpage:1;
+  checkb "hit" true (Mc.lookup mc ~vpage:1);
+  let s = Mc.stats mc in
+  checki "hits" 1 s.Mc.hits;
+  checki "misses" 1 s.Mc.misses;
+  checki "binds" 1 s.Mc.binds;
+  check (Alcotest.float 0.01) "ratio" 50.0 (Mc.hit_ratio mc)
+
+let test_mc_clock_eviction () =
+  let mc = Mc.create ~page_bytes:2048 ~capacity_bytes:(2 * 2048) ~mode:Mc.Update in
+  Mc.bind mc ~vpage:1;
+  Mc.bind mc ~vpage:2;
+  Mc.bind mc ~vpage:3;
+  (* second-chance clock over 2 slots: exactly one of the old pages was
+     displaced, the newcomer is resident *)
+  checkb "page 3 bound" true (Mc.contains mc ~vpage:3);
+  let survivors = List.filter (fun p -> Mc.contains mc ~vpage:p) [ 1; 2 ] in
+  checki "one old page survives" 1 (List.length survivors);
+  checki "one eviction" 1 (Mc.stats mc).Mc.evictions;
+  (* a page the clock hand just granted a second chance to is preferred over
+     an unreferenced one on the next pass *)
+  Mc.bind mc ~vpage:4;
+  checkb "page 4 bound" true (Mc.contains mc ~vpage:4);
+  checki "two evictions" 2 (Mc.stats mc).Mc.evictions
+
+let test_mc_snoop_update_keeps () =
+  let mc = Mc.create ~page_bytes:2048 ~capacity_bytes:(4 * 2048) ~mode:Mc.Update in
+  Mc.bind mc ~vpage:3;
+  (* a write-back covering pages 3..4 *)
+  Mc.snoop mc ~addr:(3 * 2048) ~bytes:4096;
+  checkb "binding survives (write-update)" true (Mc.contains mc ~vpage:3);
+  checki "updates counted" 1 (Mc.stats mc).Mc.snoop_updates
+
+let test_mc_snoop_invalidate_drops () =
+  let mc = Mc.create ~page_bytes:2048 ~capacity_bytes:(4 * 2048) ~mode:Mc.Invalidate in
+  Mc.bind mc ~vpage:3;
+  Mc.snoop mc ~addr:((3 * 2048) + 100) ~bytes:8;
+  checkb "binding dropped (invalidate)" false (Mc.contains mc ~vpage:3);
+  checki "invalidations counted" 1 (Mc.stats mc).Mc.snoop_invalidates
+
+let test_mc_unbind () =
+  let mc = Mc.create ~page_bytes:2048 ~capacity_bytes:(4 * 2048) ~mode:Mc.Update in
+  Mc.bind mc ~vpage:9;
+  Mc.unbind mc ~vpage:9;
+  checkb "gone" false (Mc.contains mc ~vpage:9);
+  Mc.unbind mc ~vpage:9 (* idempotent *)
+
+let test_mc_rebind_refreshes () =
+  let mc = Mc.create ~page_bytes:2048 ~capacity_bytes:2048 ~mode:Mc.Update in
+  Mc.bind mc ~vpage:1;
+  Mc.bind mc ~vpage:1;
+  checki "no double bind" 1 (Mc.stats mc).Mc.binds;
+  Mc.bind mc ~vpage:2;
+  checkb "capacity 1: replaced" true
+    (Mc.contains mc ~vpage:2 && not (Mc.contains mc ~vpage:1))
+
+(* property: a bind is immediately visible (the clock never evicts the page
+   it just inserted) *)
+let mc_bind_visible =
+  QCheck.Test.make ~name:"fresh binding always resident" ~count:300
+    QCheck.(list (int_bound 40))
+    (fun pages ->
+      let mc = Mc.create ~page_bytes:2048 ~capacity_bytes:(3 * 2048) ~mode:Mc.Update in
+      List.for_all
+        (fun pg ->
+          Mc.bind mc ~vpage:pg;
+          Mc.contains mc ~vpage:pg)
+        pages)
+
+(* property: the buffer map never exceeds its capacity *)
+let mc_capacity_respected =
+  QCheck.Test.make ~name:"bindings never exceed capacity" ~count:200
+    QCheck.(list (int_bound 50))
+    (fun pages ->
+      let mc = Mc.create ~page_bytes:2048 ~capacity_bytes:(4 * 2048) ~mode:Mc.Update in
+      List.iter (fun p -> Mc.bind mc ~vpage:p) pages;
+      let bound = List.filter (fun p -> Mc.contains mc ~vpage:p) (List.sort_uniq compare pages) in
+      List.length bound <= 4)
+
+(* ------------------------------------------------------------------ *)
+(* NIC on a live cluster                                               *)
+(* ------------------------------------------------------------------ *)
+
+let channel = 11
+
+let header ~src ~cacheable ~has_data =
+  Wire.encode { Wire.kind = 1; cacheable; has_data; src; channel; obj = 0; aux = 0 }
+
+(* send [count] data messages of [bytes] from node 0 to node 1, returning
+   (cluster, per-message latencies) *)
+let run_sends ~kind ~bytes ~count =
+  let cluster : Time.t Cluster.t = Cluster.create ~nic_kind:kind ~nodes:2 () in
+  let eng = Cluster.engine cluster in
+  let latencies = ref [] in
+  let wake = ref (fun () -> ()) in
+  ignore
+    (Nic.install_handler
+       (Node.nic (Cluster.node cluster 1))
+       ~pattern:(Wire.pattern_channel ~channel) ~code_bytes:64
+       (fun ctx pkt ->
+         if bytes > 0 then ctx.Nic.deliver_page ~vaddr:(1 lsl 21) ~bytes ~cacheable:false;
+         latencies := Time.(Engine.now eng - pkt.Cni_atm.Fabric.payload) :: !latencies;
+         !wake ()));
+  Cluster.run_app cluster (fun node ->
+      if Node.id node = 0 then
+        for _ = 1 to count do
+          Nic.send (Node.nic node) ~dst:1
+            ~header:(header ~src:0 ~cacheable:true ~has_data:(bytes > 0))
+            ~body_bytes:0
+            ~data:
+              (if bytes > 0 then Nic.Page { vaddr = 1 lsl 20; bytes; cacheable = true }
+               else Nic.No_data)
+            ~payload:(Engine.now eng);
+          Node.blocking node (fun () ->
+              Engine.suspend (fun resume -> wake := fun () -> resume ()))
+        done);
+  (cluster, List.rev !latencies)
+
+let cni = `Cni Nic.default_cni_options
+
+let test_nic_transmit_caching () =
+  let cluster, lat = run_sends ~kind:cni ~bytes:2048 ~count:3 in
+  (match lat with
+  | [ l1; l2; l3 ] ->
+      checkb "second send faster (MC hit)" true (l2 < l1);
+      checki "steady state" (Time.to_ps l2) (Time.to_ps l3)
+  | _ -> Alcotest.fail "expected 3 latencies");
+  let nic0 = Node.nic (Cluster.node cluster 0) in
+  let s = Nic.stats nic0 in
+  checki "3 data packets" 3 s.Nic.tx_data_packets;
+  checki "only the first DMAed" 2048 s.Nic.tx_dma_bytes;
+  check (Alcotest.float 0.1) "hit ratio 2/3" (200. /. 3.) (Nic.network_cache_hit_ratio nic0)
+
+let test_nic_standard_always_dmas () =
+  let cluster, lat = run_sends ~kind:`Standard ~bytes:2048 ~count:3 in
+  (match lat with
+  | [ l1; l2; l3 ] ->
+      checki "no warmup effect" (Time.to_ps l1) (Time.to_ps l2);
+      checki "steady" (Time.to_ps l2) (Time.to_ps l3)
+  | _ -> Alcotest.fail "expected 3 latencies");
+  let s = Nic.stats (Node.nic (Cluster.node cluster 0)) in
+  checki "every send DMAed" (3 * 2048) s.Nic.tx_dma_bytes
+
+let test_nic_mc_disabled () =
+  let kind = `Cni { Nic.default_cni_options with Nic.mc_bytes = 0 } in
+  let cluster, _ = run_sends ~kind ~bytes:2048 ~count:3 in
+  let nic0 = Node.nic (Cluster.node cluster 0) in
+  checkb "no message cache" true (Nic.message_cache nic0 = None);
+  checki "every send DMAed" (3 * 2048) (Nic.stats nic0).Nic.tx_dma_bytes
+
+let test_nic_interrupt_vs_poll () =
+  (* receiver host is idle (not waiting): CNI without AIH interrupts *)
+  let kind = `Cni { Nic.default_cni_options with Nic.aih = false } in
+  let cluster, _ = run_sends ~kind ~bytes:0 ~count:2 in
+  let s1 = Nic.stats (Node.nic (Cluster.node cluster 1)) in
+  checki "interrupts on idle host" 2 s1.Nic.interrupts;
+  (* with AIH the board absorbs them *)
+  let cluster, _ = run_sends ~kind:cni ~bytes:0 ~count:2 in
+  let s1 = Nic.stats (Node.nic (Cluster.node cluster 1)) in
+  checki "no interrupts under AIH" 0 s1.Nic.interrupts
+
+let test_nic_standard_interrupts () =
+  let cluster, _ = run_sends ~kind:`Standard ~bytes:0 ~count:4 in
+  let s1 = Nic.stats (Node.nic (Cluster.node cluster 1)) in
+  checki "interrupt per packet" 4 s1.Nic.interrupts
+
+let test_nic_unmatched_counted () =
+  let cluster : unit Cluster.t = Cluster.create ~nic_kind:cni ~nodes:2 () in
+  let hits = ref 0 in
+  Nic.set_default_handler (Node.nic (Cluster.node cluster 1)) (fun _ _ -> incr hits);
+  Cluster.run_app cluster (fun node ->
+      if Node.id node = 0 then
+        Nic.send (Node.nic node) ~dst:1
+          ~header:(header ~src:0 ~cacheable:false ~has_data:false)
+          ~body_bytes:0 ~data:Nic.No_data ~payload:());
+  checki "default handler ran" 1 !hits;
+  checki "unmatched counted" 1 (Nic.stats (Node.nic (Cluster.node cluster 1))).Nic.unmatched
+
+let test_nic_handler_memory_accounting () =
+  let cluster : unit Cluster.t = Cluster.create ~nic_kind:cni ~nodes:2 () in
+  let nic = Node.nic (Cluster.node cluster 0) in
+  let before = Nic.handler_code_bytes nic in
+  ignore
+    (Nic.install_handler nic ~pattern:(Wire.pattern_channel ~channel:30) ~code_bytes:4096
+       (fun _ _ -> ()));
+  checki "code bytes tracked" (before + 4096) (Nic.handler_code_bytes nic);
+  (* board memory is finite: 1 MB minus the Message Cache *)
+  match
+    Nic.install_handler nic ~pattern:(Wire.pattern_channel ~channel:31)
+      ~code_bytes:(2 * 1024 * 1024) (fun _ _ -> ())
+  with
+  | _ -> Alcotest.fail "expected overflow failure"
+  | exception Failure msg ->
+      checkb "mentions board memory" true
+        (try
+           ignore (Str.search_forward (Str.regexp_string "board memory") msg 0);
+           true
+         with Not_found -> false)
+
+let test_osiris_profile () =
+  (* OSIRIS: user-level sends (no kernel), but an interrupt per packet and a
+     DMA for every transfer *)
+  let cluster, lat = run_sends ~kind:(`Osiris Nic.default_osiris_options) ~bytes:2048 ~count:3 in
+  (match lat with
+  | [ l1; l2; l3 ] ->
+      checki "no warm-up effect (no Message Cache)" (Time.to_ps l1) (Time.to_ps l2);
+      checki "steady" (Time.to_ps l2) (Time.to_ps l3)
+  | _ -> Alcotest.fail "expected 3 latencies");
+  let s0 = Nic.stats (Node.nic (Cluster.node cluster 0)) in
+  checki "every send DMAed" (3 * 2048) s0.Nic.tx_dma_bytes;
+  checkb "no message cache" true (Nic.message_cache (Node.nic (Cluster.node cluster 0)) = None);
+  let s1 = Nic.stats (Node.nic (Cluster.node cluster 1)) in
+  checki "interrupt per packet" 3 s1.Nic.interrupts
+
+let test_osiris_cheaper_than_standard () =
+  let one kind =
+    let _, lat = run_sends ~kind ~bytes:512 ~count:1 in
+    List.hd lat
+  in
+  let o = one (`Osiris Nic.default_osiris_options) and s = one `Standard in
+  checkb "user-level send beats kernel path" true (Time.to_ps o < Time.to_ps s)
+
+let test_mc_hit_ratio_empty () =
+  let mc = Mc.create ~page_bytes:2048 ~capacity_bytes:4096 ~mode:Mc.Update in
+  check (Alcotest.float 0.001) "no traffic = 100%" 100.0 (Mc.hit_ratio mc);
+  Mc.reset_stats mc;
+  check (Alcotest.float 0.001) "after reset too" 100.0 (Mc.hit_ratio mc)
+
+let test_nic_reply_path () =
+  let cluster : string Cluster.t = Cluster.create ~nic_kind:cni ~nodes:2 () in
+  let got = ref "" in
+  let wake = ref (fun () -> ()) in
+  ignore
+    (Nic.install_handler
+       (Node.nic (Cluster.node cluster 1))
+       ~pattern:(Wire.pattern_channel_kind ~channel ~kind:1) ~code_bytes:64
+       (fun ctx pkt ->
+         ctx.Nic.charge 50;
+         ctx.Nic.reply ~dst:pkt.Cni_atm.Fabric.src
+           ~header:
+             (Wire.encode
+                { Wire.kind = 2; cacheable = false; has_data = false; src = 1; channel; obj = 0; aux = 0 })
+           ~body_bytes:8 ~data:Nic.No_data ~payload:"pong"));
+  ignore
+    (Nic.install_handler
+       (Node.nic (Cluster.node cluster 0))
+       ~pattern:(Wire.pattern_channel_kind ~channel ~kind:2) ~code_bytes:64
+       (fun _ pkt ->
+         got := pkt.Cni_atm.Fabric.payload;
+         !wake ()));
+  Cluster.run_app cluster (fun node ->
+      if Node.id node = 0 then begin
+        Nic.send (Node.nic node) ~dst:1
+          ~header:(header ~src:0 ~cacheable:false ~has_data:false)
+          ~body_bytes:8 ~data:Nic.No_data ~payload:"ping";
+        Node.blocking node (fun () ->
+            Engine.suspend (fun resume -> wake := fun () -> resume ()))
+      end);
+  check Alcotest.string "round trip" "pong" !got
+
+
+(* ------------------------------------------------------------------ *)
+(* ADC channels                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Adc = Cni_nic.Adc
+
+let test_adc_roundtrip () =
+  let cluster : int Cluster.t = Cluster.create ~nic_kind:cni ~nodes:2 () in
+  let rx = Adc.open_channel (Node.nic (Cluster.node cluster 1)) ~channel:21 () in
+  let got = ref [] in
+  Cluster.run_app cluster (fun node ->
+      if Node.id node = 0 then begin
+        let tx = Adc.open_channel (Node.nic node) ~channel:21 () in
+        for i = 1 to 5 do
+          Adc.send tx ~dst:1 i
+        done
+      end
+      else
+        for _ = 1 to 5 do
+          let pkt = Node.blocking node (fun () -> Adc.recv rx) in
+          got := pkt.Cni_atm.Fabric.payload :: !got
+        done);
+  check (Alcotest.list Alcotest.int) "in order" [ 1; 2; 3; 4; 5 ] (List.rev !got);
+  checki "channel id" 21 (Adc.channel_id rx);
+  checki "drained" 0 (Adc.backlog rx)
+
+let test_adc_backpressure () =
+  (* a 2-slot ring: the board stalls deliveries until the app consumes *)
+  let cluster : int Cluster.t = Cluster.create ~nic_kind:cni ~nodes:2 () in
+  let rx = Adc.open_channel (Node.nic (Cluster.node cluster 1)) ~channel:22 ~slots:2 () in
+  let got = ref 0 in
+  Cluster.run_app cluster (fun node ->
+      if Node.id node = 0 then begin
+        let tx = Adc.open_channel (Node.nic node) ~channel:22 () in
+        for i = 1 to 8 do
+          Adc.send tx ~dst:1 i
+        done
+      end
+      else
+        for _ = 1 to 8 do
+          (* slow consumer *)
+          Node.work node 50_000;
+          ignore (Node.blocking node (fun () -> Adc.recv rx));
+          incr got
+        done);
+  checki "all delivered despite tiny ring" 8 !got
+
+let test_adc_close_falls_through () =
+  let cluster : int Cluster.t = Cluster.create ~nic_kind:cni ~nodes:2 () in
+  let rx = Adc.open_channel (Node.nic (Cluster.node cluster 1)) ~channel:23 () in
+  Adc.close rx;
+  let fallback = ref 0 in
+  Nic.set_default_handler (Node.nic (Cluster.node cluster 1)) (fun _ _ -> incr fallback);
+  Cluster.run_app cluster (fun node ->
+      if Node.id node = 0 then begin
+        let tx = Adc.open_channel (Node.nic node) ~channel:23 () in
+        Adc.send tx ~dst:1 1
+      end);
+  checki "closed channel falls to default" 1 !fallback
+
+let test_adc_board_memory () =
+  let cluster : int Cluster.t = Cluster.create ~nic_kind:cni ~nodes:1 () in
+  let nic = Node.nic (Cluster.node cluster 0) in
+  let before = Nic.handler_code_bytes nic in
+  let ch = Adc.open_channel nic ~channel:24 ~slots:16 () in
+  checki "ring accounted in board memory" (before + (16 * 64)) (Nic.handler_code_bytes nic);
+  Adc.close ch;
+  checki "close reclaims the segment" before (Nic.handler_code_bytes nic)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "nic"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "FIFO" `Quick test_ring_fifo;
+          Alcotest.test_case "capacity" `Quick test_ring_capacity;
+          Alcotest.test_case "blocking producer/consumer" `Quick test_ring_blocking;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_wire_roundtrip;
+          Alcotest.test_case "bad input" `Quick test_wire_bad_magic;
+          Alcotest.test_case "patterns" `Quick test_wire_patterns;
+        ] );
+      ( "message-cache",
+        [
+          Alcotest.test_case "lookup/bind" `Quick test_mc_lookup_bind;
+          Alcotest.test_case "clock eviction" `Quick test_mc_clock_eviction;
+          Alcotest.test_case "snoop write-update" `Quick test_mc_snoop_update_keeps;
+          Alcotest.test_case "snoop invalidate" `Quick test_mc_snoop_invalidate_drops;
+          Alcotest.test_case "unbind" `Quick test_mc_unbind;
+          Alcotest.test_case "rebind refreshes" `Quick test_mc_rebind_refreshes;
+          qc mc_capacity_respected;
+          qc mc_bind_visible;
+        ] );
+      ( "nic",
+        [
+          Alcotest.test_case "transmit caching" `Quick test_nic_transmit_caching;
+          Alcotest.test_case "standard always DMAs" `Quick test_nic_standard_always_dmas;
+          Alcotest.test_case "MC disabled" `Quick test_nic_mc_disabled;
+          Alcotest.test_case "interrupt vs poll vs AIH" `Quick test_nic_interrupt_vs_poll;
+          Alcotest.test_case "standard interrupts per packet" `Quick test_nic_standard_interrupts;
+          Alcotest.test_case "unmatched packets" `Quick test_nic_unmatched_counted;
+          Alcotest.test_case "handler memory accounting" `Quick test_nic_handler_memory_accounting;
+          Alcotest.test_case "AIH reply path" `Quick test_nic_reply_path;
+          Alcotest.test_case "OSIRIS profile" `Quick test_osiris_profile;
+          Alcotest.test_case "OSIRIS beats standard send" `Quick test_osiris_cheaper_than_standard;
+          Alcotest.test_case "MC hit ratio on empty" `Quick test_mc_hit_ratio_empty;
+        ] );
+      ( "adc",
+        [
+          Alcotest.test_case "roundtrip in order" `Quick test_adc_roundtrip;
+          Alcotest.test_case "ring back-pressure" `Quick test_adc_backpressure;
+          Alcotest.test_case "close falls through" `Quick test_adc_close_falls_through;
+          Alcotest.test_case "board memory accounting" `Quick test_adc_board_memory;
+        ] );
+    ]

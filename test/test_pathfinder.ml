@@ -1,0 +1,256 @@
+(* Tests for the PATHFINDER packet classifier: patterns, the classification
+   DAG (priorities, sharing, removal, backtracking), and fragment-aware
+   dispatch over AAL5 cell streams. *)
+
+module Pattern = Cni_pathfinder.Pattern
+module Classifier = Cni_pathfinder.Classifier
+module Dispatcher = Cni_pathfinder.Dispatcher
+module Cell = Cni_atm.Cell
+module Aal5 = Cni_atm.Aal5
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+
+let header_of_string s =
+  let b = Bytes.make 32 '\000' in
+  Bytes.blit_string s 0 b 0 (min (String.length s) 32);
+  b
+
+(* ------------------------------------------------------------------ *)
+(* Pattern                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_field_validation () =
+  Alcotest.check_raises "len 0" (Invalid_argument "Pattern.field: len must be within 1..8")
+    (fun () -> ignore (Pattern.field ~offset:0 ~len:0 1));
+  Alcotest.check_raises "len 9" (Invalid_argument "Pattern.field: len must be within 1..8")
+    (fun () -> ignore (Pattern.field ~offset:0 ~len:9 1));
+  Alcotest.check_raises "negative offset" (Invalid_argument "Pattern.field: negative offset")
+    (fun () -> ignore (Pattern.field ~offset:(-1) ~len:1 1))
+
+let test_field_matching () =
+  let h = header_of_string "\x12\x34\x56\x78" in
+  checkb "2-byte value" true (Pattern.matches [ Pattern.field ~offset:0 ~len:2 0x1234 ] h);
+  checkb "wrong value" false (Pattern.matches [ Pattern.field ~offset:0 ~len:2 0x1235 ] h);
+  checkb "masked match" true
+    (Pattern.matches [ Pattern.field ~offset:0 ~len:2 ~mask:0xFF00 0x1200 ] h);
+  checkb "mask applied to value too" true
+    (Pattern.matches [ Pattern.field ~offset:0 ~len:2 ~mask:0xFF00 0x12FF ] h);
+  checkb "multi-field conjunction" true
+    (Pattern.matches
+       [ Pattern.field ~offset:0 ~len:1 0x12; Pattern.field ~offset:3 ~len:1 0x78 ]
+       h);
+  checkb "one field failing fails all" false
+    (Pattern.matches
+       [ Pattern.field ~offset:0 ~len:1 0x12; Pattern.field ~offset:3 ~len:1 0x79 ]
+       h)
+
+let test_field_out_of_range () =
+  let h = Bytes.make 4 'x' in
+  checkb "read past end" true (Pattern.read_field h (Pattern.field ~offset:3 ~len:2 0) = None);
+  checkb "pattern past end fails" false
+    (Pattern.matches [ Pattern.field ~offset:3 ~len:2 0 ] h);
+  checkb "empty pattern matches anything" true (Pattern.matches [] h)
+
+(* ------------------------------------------------------------------ *)
+(* Classifier                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let fld ~off ~len v = Pattern.field ~offset:off ~len v
+
+let test_classifier_basic () =
+  let c = Classifier.create () in
+  ignore (Classifier.add c [ fld ~off:0 ~len:1 1 ] "one");
+  ignore (Classifier.add c [ fld ~off:0 ~len:1 2 ] "two");
+  checkb "routes to one" true (Classifier.classify c (header_of_string "\x01") = Some "one");
+  checkb "routes to two" true (Classifier.classify c (header_of_string "\x02") = Some "two");
+  checkb "no match" true (Classifier.classify c (header_of_string "\x03") = None);
+  let s = Classifier.stats c in
+  checki "classifications" 3 s.Classifier.classifications;
+  checki "matches" 2 s.Classifier.matches
+
+let test_classifier_priority () =
+  let c = Classifier.create () in
+  (* overlapping patterns: first installed wins *)
+  ignore (Classifier.add c [ fld ~off:0 ~len:1 7 ] "general");
+  ignore (Classifier.add c [ fld ~off:0 ~len:1 7; fld ~off:1 ~len:1 9 ] "specific");
+  checkb "earlier pattern has priority" true
+    (Classifier.classify c (header_of_string "\x07\x09") = Some "general")
+
+let test_classifier_priority_other_order () =
+  let c = Classifier.create () in
+  ignore (Classifier.add c [ fld ~off:0 ~len:1 7; fld ~off:1 ~len:1 9 ] "specific");
+  ignore (Classifier.add c [ fld ~off:0 ~len:1 7 ] "general");
+  checkb "specific wins when installed first" true
+    (Classifier.classify c (header_of_string "\x07\x09") = Some "specific");
+  checkb "general still catches others" true
+    (Classifier.classify c (header_of_string "\x07\x01") = Some "general")
+
+let test_classifier_prefix_sharing () =
+  let c = Classifier.create () in
+  let prefix = [ fld ~off:0 ~len:2 0xC1A0; fld ~off:2 ~len:1 1 ] in
+  for k = 0 to 9 do
+    ignore (Classifier.add c (prefix @ [ fld ~off:4 ~len:1 k ]) k)
+  done;
+  (* shared prefix: 2 edges + 10 leaf edges, not 10 * 3 *)
+  checki "edges shared" 12 (Classifier.edges c);
+  checki "patterns live" 10 (Classifier.patterns c)
+
+let test_classifier_remove () =
+  let c = Classifier.create () in
+  let h = Classifier.add c [ fld ~off:0 ~len:1 5 ] "x" in
+  ignore (Classifier.add c [ fld ~off:0 ~len:1 5; fld ~off:1 ~len:1 6 ] "y");
+  checkb "x active" true (Classifier.classify c (header_of_string "\x05\x06") = Some "x");
+  Classifier.remove c h;
+  checkb "falls through to y" true (Classifier.classify c (header_of_string "\x05\x06") = Some "y");
+  checki "one live pattern" 1 (Classifier.patterns c);
+  Classifier.remove c h (* idempotent *);
+  checki "still one" 1 (Classifier.patterns c)
+
+let test_classifier_empty_pattern () =
+  let c = Classifier.create () in
+  ignore (Classifier.add c [] "default");
+  ignore (Classifier.add c [ fld ~off:0 ~len:1 1 ] "specific");
+  checkb "empty matches everything" true
+    (Classifier.classify c (header_of_string "\x09") = Some "default");
+  checkb "empty wins by priority" true
+    (Classifier.classify c (header_of_string "\x01") = Some "default")
+
+let test_classifier_backtracking () =
+  let c = Classifier.create () in
+  (* two patterns sharing the first field value but stored as separate
+     branches because the field specs differ in length *)
+  ignore (Classifier.add c [ fld ~off:0 ~len:2 0x0101; fld ~off:2 ~len:1 0xAA ] "long");
+  ignore (Classifier.add c [ fld ~off:0 ~len:1 0x01; fld ~off:2 ~len:1 0xBB ] "short");
+  checkb "second branch reachable" true
+    (Classifier.classify c (header_of_string "\x01\x01\xBB") = Some "short")
+
+let test_classifier_masked_fields () =
+  let c = Classifier.create () in
+  (* match any header whose first byte has the high bit set *)
+  ignore (Classifier.add c [ Pattern.field ~offset:0 ~len:1 ~mask:0x80 0x80 ] "high");
+  checkb "0xFF matches" true (Classifier.classify c (header_of_string "\xFF") = Some "high");
+  checkb "0x80 matches" true (Classifier.classify c (header_of_string "\x80") = Some "high");
+  checkb "0x7F does not" true (Classifier.classify c (header_of_string "\x7F") = None)
+
+let test_classifier_remove_keeps_siblings () =
+  let c = Classifier.create () in
+  let prefix = fld ~off:0 ~len:1 9 in
+  let h1 = Classifier.add c [ prefix; fld ~off:1 ~len:1 1 ] "one" in
+  ignore (Classifier.add c [ prefix; fld ~off:1 ~len:1 2 ] "two");
+  Classifier.remove c h1;
+  checkb "sibling survives shared prefix" true
+    (Classifier.classify c (header_of_string "\x09\x02") = Some "two");
+  checkb "removed gone" true (Classifier.classify c (header_of_string "\x09\x01") = None)
+
+(* property: the DAG classifier agrees with the naive linear matcher *)
+let classifier_vs_naive =
+  let gen_field =
+    QCheck.Gen.(
+      map3
+        (fun off len v -> Pattern.field ~offset:off ~len:(1 + (len mod 2)) v)
+        (int_bound 6) (int_bound 1) (int_bound 255))
+  in
+  let gen_pattern = QCheck.Gen.(list_size (int_range 0 3) gen_field) in
+  let gen_setup =
+    QCheck.Gen.(
+      pair (list_size (int_range 1 8) gen_pattern) (list_size (int_range 1 20) (int_bound 255)))
+  in
+  QCheck.Test.make ~name:"DAG classifier = naive first-match" ~count:300
+    (QCheck.make gen_setup)
+    (fun (patterns, header_bytes) ->
+      let header = Bytes.of_string (String.init (List.length header_bytes) (fun i ->
+          Char.chr (List.nth header_bytes i))) in
+      let c = Classifier.create () in
+      List.iteri (fun i p -> ignore (Classifier.add c p i)) patterns;
+      let naive =
+        let rec go i = function
+          | [] -> None
+          | p :: rest -> if Pattern.matches p header then Some i else go (i + 1) rest
+        in
+        go 0 patterns
+      in
+      Classifier.classify c header = naive)
+
+(* ------------------------------------------------------------------ *)
+(* Dispatcher                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let frame_cells ~vci ~tag bytes =
+  let payload = Bytes.make bytes '\000' in
+  Bytes.set payload 0 (Char.chr tag);
+  Aal5.segment ~vpi:0 ~vci payload
+
+let mk_dispatcher () =
+  let c = Classifier.create () in
+  ignore (Classifier.add c [ fld ~off:0 ~len:1 1 ] "app-1");
+  ignore (Classifier.add c [ fld ~off:0 ~len:1 2 ] "app-2");
+  Dispatcher.create c
+
+let test_dispatcher_single_frame () =
+  let d = mk_dispatcher () in
+  let cells = frame_cells ~vci:10 ~tag:1 500 in
+  let results = List.map (Dispatcher.on_cell d) cells in
+  checkb "all cells to app-1" true (List.for_all (fun r -> r = Some "app-1") results);
+  checki "binding released at last cell" 0 (Dispatcher.active_bindings d);
+  let s = Dispatcher.stats d in
+  checki "one first cell" 1 s.Dispatcher.first_cells;
+  checki "continuations" (List.length cells - 1) s.Dispatcher.continuation_cells
+
+let test_dispatcher_interleaved_vcs () =
+  let d = mk_dispatcher () in
+  let a = frame_cells ~vci:10 ~tag:1 300 in
+  let b = frame_cells ~vci:11 ~tag:2 300 in
+  (* interleave the two cell streams *)
+  let rec weave xs ys =
+    match (xs, ys) with
+    | [], r | r, [] -> r
+    | x :: xs, y :: ys -> x :: y :: weave xs ys
+  in
+  let results = List.map (Dispatcher.on_cell d) (weave a b) in
+  let to_a = List.filter (fun r -> r = Some "app-1") results in
+  let to_b = List.filter (fun r -> r = Some "app-2") results in
+  checki "stream a complete" (List.length a) (List.length to_a);
+  checki "stream b complete" (List.length b) (List.length to_b)
+
+let test_dispatcher_poisoned_frame () =
+  let d = mk_dispatcher () in
+  let cells = frame_cells ~vci:10 ~tag:9 (* no pattern *) 300 in
+  let results = List.map (Dispatcher.on_cell d) cells in
+  checkb "whole frame unmatched" true (List.for_all (fun r -> r = None) results);
+  checki "one unmatched frame" 1 (Dispatcher.stats d).Dispatcher.unmatched_frames;
+  (* the next frame on the same VC classifies afresh *)
+  let next = frame_cells ~vci:10 ~tag:1 100 in
+  checkb "vc recovers" true (Dispatcher.on_cell d (List.hd next) = Some "app-1")
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "pathfinder"
+    [
+      ( "pattern",
+        [
+          Alcotest.test_case "field validation" `Quick test_field_validation;
+          Alcotest.test_case "matching semantics" `Quick test_field_matching;
+          Alcotest.test_case "out-of-range reads" `Quick test_field_out_of_range;
+        ] );
+      ( "classifier",
+        [
+          Alcotest.test_case "basic routing" `Quick test_classifier_basic;
+          Alcotest.test_case "priority = insertion order" `Quick test_classifier_priority;
+          Alcotest.test_case "priority other order" `Quick test_classifier_priority_other_order;
+          Alcotest.test_case "prefix sharing" `Quick test_classifier_prefix_sharing;
+          Alcotest.test_case "pattern removal" `Quick test_classifier_remove;
+          Alcotest.test_case "empty pattern" `Quick test_classifier_empty_pattern;
+          Alcotest.test_case "backtracking" `Quick test_classifier_backtracking;
+          Alcotest.test_case "masked fields" `Quick test_classifier_masked_fields;
+          Alcotest.test_case "remove keeps siblings" `Quick test_classifier_remove_keeps_siblings;
+          qc classifier_vs_naive;
+        ] );
+      ( "dispatcher",
+        [
+          Alcotest.test_case "single frame" `Quick test_dispatcher_single_frame;
+          Alcotest.test_case "interleaved VCs" `Quick test_dispatcher_interleaved_vcs;
+          Alcotest.test_case "poisoned frame" `Quick test_dispatcher_poisoned_frame;
+        ] );
+    ]
