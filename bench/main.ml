@@ -93,24 +93,54 @@ let substrate_tests () =
            let target = Bytes.copy twin in
            Cni_dsm.Diff.apply d target))
   in
-  [ engine_events; heap_ops; cache_access; classifier; aal5; diff ]
+  (* the zero-allocation contract of the disabled trace hot path: emit takes
+     only immediates and unboxed labels, and builds no record unless the
+     category check passes — minor words/run must stay at 0 *)
+  let trace_disabled =
+    Test.make ~name:"trace: 10k emit (disabled)"
+      (Staged.stage (fun () ->
+           Cni_engine.Trace.disable ();
+           for i = 1 to 10_000 do
+             Cni_engine.Trace.emit ~t_ps:i ~node:0 Cni_engine.Trace.Nic ~label:"bench"
+               ~payload:i
+           done))
+  in
+  let trace_enabled =
+    Test.make ~name:"trace: 10k emit (enabled)"
+      (Staged.stage (fun () ->
+           Cni_engine.Trace.enable ();
+           for i = 1 to 10_000 do
+             Cni_engine.Trace.emit ~t_ps:i ~node:0 Cni_engine.Trace.Nic ~label:"bench"
+               ~payload:i
+           done;
+           Cni_engine.Trace.disable ()))
+  in
+  [ engine_events; heap_ops; cache_access; classifier; aal5; diff; trace_disabled; trace_enabled ]
 
 let run_substrate () =
   let open Bechamel in
   print_endline "== substrate microbenchmarks (Bechamel, wall-clock of the simulator itself) ==";
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
-  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let clock = Toolkit.Instance.monotonic_clock in
+  let alloc = Toolkit.Instance.minor_allocated in
+  let instances = [ clock; alloc ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
-      let stats = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      let times = Analyze.all ols clock results in
+      let allocs = Analyze.all ols alloc results in
       Hashtbl.iter
         (fun name result ->
+          let words =
+            match Option.map Analyze.OLS.estimates (Hashtbl.find_opt allocs name) with
+            | Some (Some [ w ]) -> Printf.sprintf "%14.1f mnr words/run" w
+            | _ -> "(no alloc estimate)"
+          in
           match Analyze.OLS.estimates result with
-          | Some [ est ] -> Printf.printf "  %-48s %14.1f ns/run\n%!" name est
+          | Some [ est ] -> Printf.printf "  %-48s %14.1f ns/run  %s\n%!" name est words
           | _ -> Printf.printf "  %-48s (no estimate)\n%!" name)
-        stats)
+        times)
     (substrate_tests ());
   print_newline ()
 
@@ -145,7 +175,7 @@ let () =
     | ids ->
         List.iter
           (fun id ->
-            if not (List.mem_assoc id experiments) then begin
+            if id <> "substrate" && not (List.mem_assoc id experiments) then begin
               Printf.eprintf "unknown experiment id %S (use --list)\n" id;
               exit 2
             end)
@@ -160,8 +190,12 @@ let () =
       let t0 = Unix.gettimeofday () in
       let report = f () in
       Report.print report;
-      Option.iter (fun dir -> Report.write_csv ~dir report) !csv_dir;
+      Option.iter
+        (fun dir ->
+          Report.write_csv ~dir report;
+          Report.write_metrics_json ~dir report)
+        !csv_dir;
       Printf.printf "  [%s finished in %.1fs]\n\n%!" id (Unix.gettimeofday () -. t0))
     selected;
-  if !substrate && !only = [] then run_substrate ();
+  if !substrate && (!only = [] || List.mem "substrate" !only) then run_substrate ();
   Printf.printf "total bench time: %.1fs\n" (Unix.gettimeofday () -. t_start)

@@ -8,6 +8,8 @@
      cni_sim latency --bytes 4096 *)
 
 module Time = Cni_engine.Time
+module Trace = Cni_engine.Trace
+module Stats = Cni_engine.Stats
 module Params = Cni_machine.Params
 module Jacobi = Cni_apps.Jacobi
 module Water = Cni_apps.Water
@@ -45,6 +47,81 @@ let make_kind nic ~mc_kb ~no_aih =
   | `Cni_k -> Runner.cni ~mc_bytes:(mc_kb * 1024) ~aih:(not no_aih) ()
 
 (* ------------------------------------------------------------------ *)
+(* Observability options                                               *)
+(* ------------------------------------------------------------------ *)
+
+let parse_trace_cats spec =
+  if String.lowercase_ascii spec = "all" then Ok Trace.categories
+  else
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | name :: rest -> (
+          match Trace.category_of_name (String.trim name) with
+          | Some c -> go (c :: acc) rest
+          | None ->
+              Error
+                (`Msg
+                   (Printf.sprintf "unknown category %S (expected all, engine, nic, dsm, atm, app)"
+                      name)))
+    in
+    go [] (String.split_on_char ',' spec)
+
+let cats_conv =
+  Arg.conv
+    ( parse_trace_cats,
+      fun ppf cats ->
+        Format.pp_print_string ppf (String.concat "," (List.map Trace.category_name cats)) )
+
+let trace_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some Trace.categories) (some cats_conv) None
+    & info [ "trace" ] ~docv:"CATS"
+        ~doc:
+          "Enable structured tracing. $(docv) is $(b,all) or a comma-separated subset of \
+           $(b,engine), $(b,nic), $(b,dsm), $(b,atm), $(b,app).")
+
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the trace to $(docv) after the run: CSV when the name ends in $(b,.csv), \
+           JSON lines otherwise. Without this, $(b,--trace) prints to stderr.")
+
+let metrics_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Write the full metrics-registry snapshot as JSON to $(docv).")
+
+let setup_trace spec = Option.iter (fun cats -> Trace.enable ~cats ()) spec
+
+let finish_trace ~spec ~out =
+  if spec <> None then begin
+    (match out with
+    | Some file ->
+        let oc = open_out file in
+        if Filename.check_suffix file ".csv" then Trace.write_csv oc else Trace.write_jsonl oc;
+        close_out oc;
+        Printf.eprintf "trace: %d records written to %s (%d emitted, %d overwritten)\n%!"
+          (Trace.length ()) file (Trace.emitted ()) (Trace.dropped ())
+    | None -> Trace.write_human stderr);
+    Trace.disable ()
+  end
+
+let write_metrics ~out snapshot =
+  Option.iter
+    (fun file ->
+      let oc = open_out file in
+      output_string oc (Stats.Registry.snapshot_to_json snapshot);
+      output_char oc '\n';
+      close_out oc)
+    out
+
+(* ------------------------------------------------------------------ *)
 (* run                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -62,9 +139,11 @@ let matrix =
 
 let run_cmd =
   let doc = "Run a benchmark application on a simulated cluster." in
-  let run app nic procs page mc_kb no_aih cells n iterations molecules matrix =
+  let run app nic procs page mc_kb no_aih cells n iterations molecules matrix trace trace_out
+      metrics_out =
     let params = make_params ~page ~cells in
     let kind = make_kind nic ~mc_kb ~no_aih in
+    setup_trace trace;
     let application cluster lrcs =
       match app with
       | `Jacobi ->
@@ -81,6 +160,8 @@ let run_cmd =
           ignore (Cholesky.run cluster lrcs (Cholesky.default_config a))
     in
     let r = Runner.run ~params ~kind ~procs application in
+    finish_trace ~spec:trace ~out:trace_out;
+    write_metrics ~out:metrics_out r.Runner.metrics;
     Printf.printf "elapsed            %s  (%.3f x 10^9 CPU cycles)\n"
       (Format.asprintf "%a" Time.pp r.Runner.elapsed)
       (r.Runner.elapsed_cycles /. 1e9);
@@ -98,7 +179,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ app_arg $ nic_kind $ procs $ page_bytes $ mc_kb $ no_aih $ unrestricted $ n
-      $ iterations $ molecules $ matrix)
+      $ iterations $ molecules $ matrix $ trace_arg $ trace_out $ metrics_out)
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                               *)

@@ -79,6 +79,10 @@ let send t pkt =
   if pkt.src = pkt.dst then invalid_arg "Fabric.send: src = dst";
   let cells = packet_cells t.p pkt in
   let wire = wire_bytes t.p pkt in
+  (if Cni_engine.Trace.enabled_cat Cni_engine.Trace.Atm then
+     let t_ps = Time.to_ps (Engine.now t.eng) in
+     Cni_engine.Trace.emit ~t_ps ~node:pkt.src Cni_engine.Trace.Atm ~label:"send"
+       ~payload:pkt.dst);
   t.s_packets <- t.s_packets + 1;
   t.s_cells <- t.s_cells + cells;
   t.s_wire_bytes <- t.s_wire_bytes + wire;

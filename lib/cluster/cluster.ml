@@ -1,5 +1,7 @@
 module Engine = Cni_engine.Engine
 module Time = Cni_engine.Time
+module Stats = Cni_engine.Stats
+module Trace = Cni_engine.Trace
 module Params = Cni_machine.Params
 module Fabric = Cni_atm.Fabric
 module Nic = Cni_nic.Nic
@@ -12,6 +14,7 @@ type 'a t = {
   fabric : 'a Fabric.t;
   nodes : 'a Node.t array;
   kind : nic_kind;
+  registry : Stats.Registry.t;
   mutable ran : bool;
 }
 
@@ -19,10 +22,11 @@ let create ?(params = Params.default) ~nic_kind ~nodes () =
   if nodes < 1 then invalid_arg "Cluster.create: need at least one node";
   let eng = Engine.create () in
   let fabric = Fabric.create eng params ~nodes in
+  let registry = Stats.Registry.create () in
   let node_arr =
-    Array.init nodes (fun id -> Node.create eng params fabric ~id ~nic_kind)
+    Array.init nodes (fun id -> Node.create ~registry eng params fabric ~id ~nic_kind)
   in
-  { eng; p = params; fabric; nodes = node_arr; kind = nic_kind; ran = false }
+  { eng; p = params; fabric; nodes = node_arr; kind = nic_kind; registry; ran = false }
 
 let engine t = t.eng
 let params t = t.p
@@ -37,7 +41,10 @@ let run_app t f =
     (fun n ->
       Engine.spawn t.eng ~name:(Printf.sprintf "app-%d" (Node.id n)) (fun () ->
           f n;
-          Node.finish n))
+          Node.finish n;
+          if Trace.enabled_cat Trace.App then
+            Trace.emit ~t_ps:(Time.to_ps (Engine.now t.eng)) ~node:(Node.id n)
+              Trace.App ~label:"finish" ~payload:0))
     t.nodes;
   Engine.run t.eng;
   t.ran <- true;
@@ -54,11 +61,20 @@ let run_app t f =
 let elapsed t =
   Array.fold_left (fun acc n -> Time.max acc (Node.report n).Node.finish_time) Time.zero t.nodes
 
+(* Average over nodes whose Message Cache actually saw lookups: a node that
+   never transmitted bulk data has no meaningful ratio, and counting it
+   (either as 0 or as 100) would skew the cluster-wide figure. *)
 let network_cache_hit_ratio t =
-  let sum =
-    Array.fold_left (fun acc n -> acc +. Nic.network_cache_hit_ratio (Node.nic n)) 0. t.nodes
-  in
-  sum /. float_of_int (Array.length t.nodes)
+  let sum = ref 0. and active = ref 0 in
+  Array.iter
+    (fun n ->
+      match Nic.network_cache_hit_ratio_opt (Node.nic n) with
+      | Some r ->
+          sum := !sum +. r;
+          incr active
+      | None -> ())
+    t.nodes;
+  if !active = 0 then 0. else !sum /. float_of_int !active
 
 type overheads = {
   computation : Time.t;
@@ -77,3 +93,28 @@ let overheads t =
   in
   let c, o, d = acc in
   { computation = c; synch_overhead = o; synch_delay = d; total = elapsed t }
+
+let metrics t = t.registry
+
+(* Refresh the time-accounting gauges (counters set, not incremented — the
+   snapshot is idempotent) before freezing the registry. *)
+let metrics_snapshot t =
+  Array.iter
+    (fun n ->
+      let id = Node.id n in
+      let r = Node.report n in
+      let gauge name v =
+        Stats.Counter.set
+          (Stats.Registry.counter t.registry ~node:id ~subsystem:"node" name)
+          (Time.to_ps v)
+      in
+      gauge "computation_ps" r.Node.computation;
+      gauge "synch_overhead_ps" r.Node.synch_overhead;
+      gauge "synch_delay_ps" r.Node.synch_delay;
+      gauge "service_ps" r.Node.service_time;
+      gauge "finish_ps" r.Node.finish_time)
+    t.nodes;
+  Stats.Counter.set
+    (Stats.Registry.counter t.registry ~subsystem:"cluster" "elapsed_ps")
+    (Time.to_ps (elapsed t));
+  Stats.Registry.snapshot t.registry

@@ -27,8 +27,20 @@ val run_app : 'a t -> ('a Node.t -> unit) -> unit
 (** Wall-clock of the slowest application fiber (valid after {!run_app}). *)
 val elapsed : 'a t -> Cni_engine.Time.t
 
-(** Mean network cache hit ratio across nodes (CNI; 100. with no traffic). *)
+(** Mean network cache hit ratio over nodes whose Message Cache saw lookups
+    (idle nodes are excluded from the average); 0. when no node saw any. *)
 val network_cache_hit_ratio : 'a t -> float
+
+(** The cluster's metrics registry. Every node's NIC, transmit-descriptor
+    ring, Message Cache (and, when the DSM layer is attached, its protocol
+    counters) register here as [node<N>/<subsystem>/<metric>]. *)
+val metrics : 'a t -> Cni_engine.Stats.Registry.t
+
+(** Refresh the per-node time-accounting gauges
+    ([node<N>/node/{computation_ps,synch_overhead_ps,synch_delay_ps,
+    service_ps,finish_ps}] and [cluster/elapsed_ps]) and return a snapshot of
+    the whole registry. Valid after {!run_app}; idempotent. *)
+val metrics_snapshot : 'a t -> Cni_engine.Stats.Registry.snapshot
 
 (** Per-category totals summed over nodes (paper Tables 2-4 report sums over
     the run; we report the same). *)

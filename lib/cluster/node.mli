@@ -19,7 +19,10 @@
 
 type 'a t
 
+(** [registry], when given, is forwarded to the NIC so its counters land in
+    the cluster's metrics registry under [node<id>/...]. *)
 val create :
+  ?registry:Cni_engine.Stats.Registry.t ->
   Cni_engine.Engine.t ->
   Cni_machine.Params.t ->
   'a Cni_atm.Fabric.t ->

@@ -1,6 +1,9 @@
 module Engine = Cni_engine.Engine
 module Sync = Cni_engine.Sync
 module Vec = Cni_engine.Vec
+module Stats = Cni_engine.Stats
+module Trace = Cni_engine.Trace
+module Time = Cni_engine.Time
 module Node = Cni_cluster.Node
 module Cluster = Cni_cluster.Cluster
 module Nic = Cni_nic.Nic
@@ -97,17 +100,17 @@ type t = {
   resident : int Vec.t;  (* pages with has_copy, for the mapping-cap clock *)
   mutable resident_hand : int;
   mutable locks_held : int;
-  mutable s_faults : int;
-  mutable s_page_fetches : int;
-  mutable s_diff_fetches : int;
-  mutable s_twins : int;
-  mutable s_intervals : int;
-  mutable s_notices_applied : int;
-  mutable s_local_acquires : int;
-  mutable s_remote_acquires : int;
-  mutable s_barriers : int;
-  mutable s_evictions : int;
-  received_by_kind : int array;  (* indexed by Protocol.kind_of *)
+  s_faults : Stats.Counter.t;
+  s_page_fetches : Stats.Counter.t;
+  s_diff_fetches : Stats.Counter.t;
+  s_twins : Stats.Counter.t;
+  s_intervals : Stats.Counter.t;
+  s_notices_applied : Stats.Counter.t;
+  s_local_acquires : Stats.Counter.t;
+  s_remote_acquires : Stats.Counter.t;
+  s_barriers : Stats.Counter.t;
+  s_evictions : Stats.Counter.t;
+  received_by_kind : Stats.Counter.t array;  (* indexed by Protocol.kind_of *)
 }
 
 let me t = t.me
@@ -173,7 +176,7 @@ let maybe_evict t =
         then begin
           st.valid <- false;
           st.has_copy <- false;
-          t.s_evictions <- t.s_evictions + 1
+          Stats.Counter.incr t.s_evictions
         end
         else go (attempts - 1)
       end
@@ -309,7 +312,7 @@ let close_interval t =
         Space.set_last_writer t.space ~page ~node:t.me)
       t.dirty_set;
     Vec.clear t.dirty_set;
-    t.s_intervals <- t.s_intervals + 1
+    Stats.Counter.incr t.s_intervals
   end
 
 (* ------------------------------------------------------------------ *)
@@ -328,7 +331,7 @@ let apply_notices t ex notices =
           (match Hashtbl.find_opt st.pending owner with
           | Some upto when upto >= seq -> ()
           | _ -> Hashtbl.replace st.pending owner seq);
-          t.s_notices_applied <- t.s_notices_applied + 1
+          Stats.Counter.incr t.s_notices_applied
         end
       end)
     notices
@@ -342,7 +345,7 @@ let addr_of t page = Space.addr_of_page t.space page
 (* Full-page fetch from [owner]; the reply's handler merges version metadata
    and fills the wait. *)
 let fetch_page t ex ~page ~owner ~write_intent =
-  t.s_page_fetches <- t.s_page_fetches + 1;
+  Stats.Counter.incr t.s_page_fetches;
   let iv, fresh = find_or_create_wait t.page_waits page in
   if fresh then
     ex.send ~dst:owner (Protocol.Page_req { page; requester = t.me; write_intent }) Nic.No_data;
@@ -353,7 +356,7 @@ let fetch_diffs t ex ~page ~owners =
     (fun (owner, upto) ->
       let since = applied_seq (get_page t page) owner in
       if upto > since then begin
-        t.s_diff_fetches <- t.s_diff_fetches + 1;
+        Stats.Counter.incr t.s_diff_fetches;
         let iv, fresh = find_or_create_wait t.diff_waits (page, owner) in
         if fresh then
           ex.send ~dst:owner
@@ -390,7 +393,7 @@ let peer_copy_valid t ~page ~owner =
 let rec fault_in t ex ~page ~write_intent =
   let st = get_page t page in
   if not st.valid then begin
-    t.s_faults <- t.s_faults + 1;
+    Stats.Counter.incr t.s_faults;
     ex.charge t.costs.fault;
     (if not st.has_copy then begin
        (* no base copy: must take the whole page from its last writer *)
@@ -449,7 +452,7 @@ let ensure_write t ~page =
     st.twinned <- true;
     if Bytes.length st.mask = 0 then st.mask <- Bytes.make ((words + 7) / 8) '\000';
     Vec.push t.dirty_set page;
-    t.s_twins <- t.s_twins + 1
+    Stats.Counter.incr t.s_twins
   end
 
 let mark_dirty_words t ~page ~word_lo ~words =
@@ -540,7 +543,7 @@ let acquire t ~lock =
     dbg t lock "acquire-local";
     st.holding <- true;
     t.locks_held <- t.locks_held + 1;
-    t.s_local_acquires <- t.s_local_acquires + 1;
+    Stats.Counter.incr t.s_local_acquires;
     Node.overhead_cycles t.node t.costs.acquire_local
   end
   else begin
@@ -563,7 +566,7 @@ let acquire t ~lock =
        forward that overtook our wakeup) — do not overwrite it here *)
     st.holding <- true;
     t.locks_held <- t.locks_held + 1;
-    t.s_remote_acquires <- t.s_remote_acquires + 1
+    Stats.Counter.incr t.s_remote_acquires
   end
 
 let release t ~lock =
@@ -736,10 +739,14 @@ let handle_barrier_release t ex ~id ~vc ~notices =
   | Some iv -> Sync.Ivar.fill iv ()
   | None -> failwith "Lrc: unexpected barrier release"
 
+let now_ps t = Time.to_ps (Engine.now (Node.engine t.node))
+
 let barrier t ~id =
   close_interval t;
   Node.overhead_cycles t.node t.costs.barrier_client;
-  t.s_barriers <- t.s_barriers + 1;
+  Stats.Counter.incr t.s_barriers;
+  if Trace.enabled_cat Trace.Dsm then
+    Trace.span_begin ~t_ps:(now_ps t) ~node:t.me Trace.Dsm ~label:"barrier" ~payload:id;
   if nprocs t > 1 then begin
     let manager = Space.barrier_manager t.space ~barrier:id in
     let ex = client_exec t in
@@ -753,7 +760,9 @@ let barrier t ~id =
         Nic.No_data
     end;
     ex.wait iv
-  end
+  end;
+  if Trace.enabled_cat Trace.Dsm then
+    Trace.span_end ~t_ps:(now_ps t) ~node:t.me Trace.Dsm ~label:"barrier" ~payload:id
 
 (* ------------------------------------------------------------------ *)
 (* Server dispatch and installation                                    *)
@@ -762,7 +771,11 @@ let barrier t ~id =
 let handle t (ctx : Protocol.msg Nic.ctx) (pkt : Protocol.msg Cni_atm.Fabric.packet) =
   let ex = server_exec t ctx in
   let kind = Protocol.kind_of pkt.Cni_atm.Fabric.payload in
-  t.received_by_kind.(kind) <- t.received_by_kind.(kind) + 1;
+  Stats.Counter.incr t.received_by_kind.(kind);
+  if Trace.enabled_cat Trace.Dsm then
+    Trace.emit ~t_ps:(now_ps t) ~node:t.me Trace.Dsm
+      ~label:(Protocol.kind_name kind)
+      ~payload:(Protocol.obj_of pkt.Cni_atm.Fabric.payload);
   match pkt.Cni_atm.Fabric.payload with
   | Protocol.Lock_acquire { lock; requester; vc } ->
       handle_lock_acquire t ex ~lock ~requester ~req_vc:vc
@@ -785,6 +798,16 @@ let handle t (ctx : Protocol.msg Nic.ctx) (pkt : Protocol.msg Cni_atm.Fabric.pac
 
 let create cluster space_ costs max_resident ~id =
   let n = Cluster.node cluster id in
+  let registry = Cluster.metrics cluster in
+  let counter name = Stats.Registry.counter registry ~node:id ~subsystem:"dsm" name in
+  (* per-kind receive counters live under dsm/rx; unused kind indices get
+     standalone counters so the registry only lists real protocol kinds *)
+  let rx_counter kind =
+    if List.mem kind Protocol.all_kinds then
+      Stats.Registry.counter registry ~node:id ~subsystem:"dsm/rx"
+        (Protocol.kind_name kind)
+    else Stats.Counter.create (Printf.sprintf "rx_kind_%d" kind)
+  in
   {
     me = id;
     node = n;
@@ -805,17 +828,17 @@ let create cluster space_ costs max_resident ~id =
     resident = Vec.create ();
     resident_hand = 0;
     locks_held = 0;
-    s_faults = 0;
-    s_page_fetches = 0;
-    s_diff_fetches = 0;
-    s_twins = 0;
-    s_intervals = 0;
-    s_notices_applied = 0;
-    s_local_acquires = 0;
-    s_remote_acquires = 0;
-    s_barriers = 0;
-    s_evictions = 0;
-    received_by_kind = Array.make 16 0;
+    s_faults = counter "faults";
+    s_page_fetches = counter "page_fetches";
+    s_diff_fetches = counter "diff_fetches";
+    s_twins = counter "twins";
+    s_intervals = counter "intervals";
+    s_notices_applied = counter "notices_applied";
+    s_local_acquires = counter "local_acquires";
+    s_remote_acquires = counter "remote_acquires";
+    s_barriers = counter "barriers";
+    s_evictions = counter "evictions";
+    received_by_kind = Array.init 16 rx_counter;
   }
 
 let install cluster space_ ?(costs = default_costs) ?(max_resident_pages = max_int) () =
@@ -841,16 +864,16 @@ let install cluster space_ ?(costs = default_costs) ?(max_resident_pages = max_i
 
 let stats t =
   {
-    faults = t.s_faults;
-    page_fetches = t.s_page_fetches;
-    diff_fetches = t.s_diff_fetches;
-    twins = t.s_twins;
-    intervals = t.s_intervals;
-    notices_applied = t.s_notices_applied;
-    local_acquires = t.s_local_acquires;
-    remote_acquires = t.s_remote_acquires;
-    barriers = t.s_barriers;
-    evictions = t.s_evictions;
+    faults = Stats.Counter.value t.s_faults;
+    page_fetches = Stats.Counter.value t.s_page_fetches;
+    diff_fetches = Stats.Counter.value t.s_diff_fetches;
+    twins = Stats.Counter.value t.s_twins;
+    intervals = Stats.Counter.value t.s_intervals;
+    notices_applied = Stats.Counter.value t.s_notices_applied;
+    local_acquires = Stats.Counter.value t.s_local_acquires;
+    remote_acquires = Stats.Counter.value t.s_remote_acquires;
+    barriers = Stats.Counter.value t.s_barriers;
+    evictions = Stats.Counter.value t.s_evictions;
   }
 
 (* Debug: a one-line summary of outstanding waits (deadlock triage). *)
@@ -875,6 +898,6 @@ let debug_waits t =
 let received_messages t =
   List.filter_map
     (fun kind ->
-      let n = t.received_by_kind.(kind) in
+      let n = Stats.Counter.value t.received_by_kind.(kind) in
       if n > 0 then Some (Protocol.kind_name kind, n) else None)
     Protocol.all_kinds

@@ -34,6 +34,10 @@ val notice_wire_bytes : int
 val kind_of : msg -> int
 val kind_name : int -> string
 
+(** The object (page / lock / barrier id) a message is about; used as the
+    trace payload. *)
+val obj_of : msg -> int
+
 (** Control-payload bytes beyond the 16-byte wire header. *)
 val body_bytes : msg -> int
 

@@ -21,6 +21,8 @@ let pending t = Heap.length t.q
 let step t =
   let key, _seq, f = Heap.pop_min t.q in
   t.now <- Time.ps key;
+  if Trace.enabled_cat Trace.Engine then
+    Trace.emit ~t_ps:key ~node:(-1) Trace.Engine ~label:"event" ~payload:(Heap.length t.q);
   f ()
 
 let run t =

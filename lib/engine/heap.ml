@@ -2,24 +2,31 @@ type 'a entry = { key : int; seq : int; v : 'a }
 
 type 'a t = { mutable arr : 'a entry array; mutable len : int }
 
+(* Vacated and spare slots must not pin popped payloads against the GC: they
+   are overwritten with this shared sentinel. The magic is safe because the
+   sentinel is never returned — only [arr.(i)] with [i < len] is ever read —
+   and ['a entry] is a uniform (non-float) block for every ['a]. *)
+let sentinel_entry : unit entry = { key = min_int; seq = min_int; v = () }
+let sentinel () : 'a entry = Obj.magic sentinel_entry
+
 let create () = { arr = [||]; len = 0 }
 let length h = h.len
 let is_empty h = h.len = 0
 
 let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
 
-let grow h e =
+let grow h =
   let cap = Array.length h.arr in
   if h.len = cap then begin
     let ncap = if cap = 0 then 64 else cap * 2 in
-    let narr = Array.make ncap e in
+    let narr = Array.make ncap (sentinel ()) in
     Array.blit h.arr 0 narr 0 h.len;
     h.arr <- narr
   end
 
 let add h ~key ~seq v =
   let e = { key; seq; v } in
-  grow h e;
+  grow h;
   let arr = h.arr in
   let i = ref h.len in
   h.len <- h.len + 1;
@@ -42,6 +49,7 @@ let pop_min h =
   let min = arr.(0) in
   h.len <- h.len - 1;
   let last = arr.(h.len) in
+  arr.(h.len) <- sentinel ();
   if h.len > 0 then begin
     arr.(0) <- last;
     (* sift down *)
@@ -64,4 +72,9 @@ let pop_min h =
   (min.key, min.seq, min.v)
 
 let min_key h = if h.len = 0 then raise Not_found else h.arr.(0).key
-let clear h = h.len <- 0
+
+(* Large heaps drop their backing store outright; small ones just null the
+   live prefix (spare slots already hold the sentinel). *)
+let clear h =
+  if Array.length h.arr > 64 then h.arr <- [||] else Array.fill h.arr 0 h.len (sentinel ());
+  h.len <- 0

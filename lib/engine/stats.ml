@@ -5,6 +5,7 @@ module Counter = struct
   let name t = t.name
   let incr t = t.v <- t.v + 1
   let add t n = t.v <- t.v + n
+  let set t n = t.v <- n
   let value t = t.v
   let reset t = t.v <- 0
 end
@@ -14,36 +15,36 @@ module Summary = struct
     name : string;
     mutable count : int;
     mutable sum : int;
-    mutable min : int;
-    mutable max : int;
+    mutable min_v : int;
+    mutable max_v : int;
   }
 
-  let create name = { name; count = 0; sum = 0; min = 0; max = 0 }
+  let create name = { name; count = 0; sum = 0; min_v = 0; max_v = 0 }
   let name t = t.name
 
   let observe t s =
     if t.count = 0 then begin
-      t.min <- s;
-      t.max <- s
+      t.min_v <- s;
+      t.max_v <- s
     end
     else begin
-      if s < t.min then t.min <- s;
-      if s > t.max then t.max <- s
+      if s < t.min_v then t.min_v <- s;
+      if s > t.max_v then t.max_v <- s
     end;
     t.count <- t.count + 1;
     t.sum <- t.sum + s
 
   let count t = t.count
   let sum t = t.sum
-  let min t = t.min
-  let max t = t.max
+  let min t = if t.count = 0 then None else Some t.min_v
+  let max t = if t.count = 0 then None else Some t.max_v
   let mean t = if t.count = 0 then 0. else float_of_int t.sum /. float_of_int t.count
 
   let reset t =
     t.count <- 0;
     t.sum <- 0;
-    t.min <- 0;
-    t.max <- 0
+    t.min_v <- 0;
+    t.max_v <- 0
 end
 
 module Histogram = struct
@@ -99,4 +100,155 @@ module Histogram = struct
   let reset t =
     Array.fill t.buckets 0 nbuckets 0;
     t.count <- 0
+end
+
+module Registry = struct
+  type metric = C of Counter.t | S of Summary.t | H of Histogram.t
+
+  type t = { tbl : (string, metric) Hashtbl.t }
+
+  let create () = { tbl = Hashtbl.create 64 }
+
+  let full_name ?node ~subsystem name =
+    match node with
+    | Some n -> Printf.sprintf "node%d/%s/%s" n subsystem name
+    | None -> subsystem ^ "/" ^ name
+
+  let mismatch key = invalid_arg (Printf.sprintf "Stats.Registry: %S registered with another type" key)
+
+  let counter t ?node ~subsystem name =
+    let key = full_name ?node ~subsystem name in
+    match Hashtbl.find_opt t.tbl key with
+    | Some (C c) -> c
+    | Some _ -> mismatch key
+    | None ->
+        let c = Counter.create key in
+        Hashtbl.replace t.tbl key (C c);
+        c
+
+  let summary t ?node ~subsystem name =
+    let key = full_name ?node ~subsystem name in
+    match Hashtbl.find_opt t.tbl key with
+    | Some (S s) -> s
+    | Some _ -> mismatch key
+    | None ->
+        let s = Summary.create key in
+        Hashtbl.replace t.tbl key (S s);
+        s
+
+  let histogram t ?node ~subsystem name =
+    let key = full_name ?node ~subsystem name in
+    match Hashtbl.find_opt t.tbl key with
+    | Some (H h) -> h
+    | Some _ -> mismatch key
+    | None ->
+        let h = Histogram.create key in
+        Hashtbl.replace t.tbl key (H h);
+        h
+
+  let size t = Hashtbl.length t.tbl
+
+  let reset t =
+    Hashtbl.iter
+      (fun _ m ->
+        match m with
+        | C c -> Counter.reset c
+        | S s -> Summary.reset s
+        | H h -> Histogram.reset h)
+      t.tbl
+
+  (* ---------------- snapshots ---------------- *)
+
+  type value =
+    | Counter_v of int
+    | Summary_v of { count : int; sum : int; min : int option; max : int option; mean : float }
+    | Histogram_v of { count : int; buckets : (int * int) list }
+
+  type snapshot = (string * value) list
+
+  let snapshot t =
+    Hashtbl.fold
+      (fun key m acc ->
+        let v =
+          match m with
+          | C c -> Counter_v (Counter.value c)
+          | S s ->
+              Summary_v
+                {
+                  count = Summary.count s;
+                  sum = Summary.sum s;
+                  min = Summary.min s;
+                  max = Summary.max s;
+                  mean = Summary.mean s;
+                }
+          | H h -> Histogram_v { count = Histogram.count h; buckets = Histogram.buckets h }
+        in
+        (key, v) :: acc)
+      t.tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  (* [diff ~before ~after]: the metric movement between two snapshots.
+     Counters and counts subtract; a summary's min/max and a histogram's
+     buckets are taken from [after] (buckets subtract per upper bound).
+     Metrics absent from [before] diff against zero. *)
+  let diff ~before ~after =
+    let prior = Hashtbl.create (List.length before) in
+    List.iter (fun (k, v) -> Hashtbl.replace prior k v) before;
+    List.map
+      (fun (k, v) ->
+        match (v, Hashtbl.find_opt prior k) with
+        | Counter_v n, Some (Counter_v n0) -> (k, Counter_v (n - n0))
+        | Summary_v s, Some (Summary_v s0) ->
+            let count = s.count - s0.count and sum = s.sum - s0.sum in
+            let mean = if count = 0 then 0. else float_of_int sum /. float_of_int count in
+            (k, Summary_v { count; sum; min = s.min; max = s.max; mean })
+        | Histogram_v h, Some (Histogram_v h0) ->
+            let prior_buckets = h0.buckets in
+            let buckets =
+              List.filter_map
+                (fun (ub, n) ->
+                  let n0 = Option.value (List.assoc_opt ub prior_buckets) ~default:0 in
+                  if n - n0 <> 0 then Some (ub, n - n0) else None)
+                h.buckets
+            in
+            (k, Histogram_v { count = h.count - h0.count; buckets })
+        | v, _ -> (k, v))
+      after
+
+  (* ---------------- JSON export ---------------- *)
+
+  let json_escape s =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let value_to_json = function
+    | Counter_v n -> string_of_int n
+    | Summary_v { count; sum; min; max; mean } ->
+        let opt = function None -> "null" | Some n -> string_of_int n in
+        Printf.sprintf "{\"count\":%d,\"sum\":%d,\"min\":%s,\"max\":%s,\"mean\":%.6g}" count sum
+          (opt min) (opt max) mean
+    | Histogram_v { count; buckets } ->
+        Printf.sprintf "{\"count\":%d,\"buckets\":[%s]}" count
+          (String.concat "," (List.map (fun (ub, n) -> Printf.sprintf "[%d,%d]" ub n) buckets))
+
+  let snapshot_to_json snap =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\n";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf (Printf.sprintf "  \"%s\": %s" (json_escape k) (value_to_json v)))
+      snap;
+    Buffer.add_string buf "\n}\n";
+    Buffer.contents buf
 end

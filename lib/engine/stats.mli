@@ -1,4 +1,6 @@
-(** Statistics collection: counters, running summaries, log2 histograms. *)
+(** Statistics collection: counters, running summaries, log2 histograms, and
+    a registry that names metrics per node/subsystem and exports machine-
+    readable snapshots. *)
 
 module Counter : sig
   type t
@@ -7,6 +9,11 @@ module Counter : sig
   val name : t -> string
   val incr : t -> unit
   val add : t -> int -> unit
+
+  val set : t -> int -> unit
+  (** Overwrite the value (gauge semantics, e.g. a time total copied into the
+      registry at snapshot time). *)
+
   val value : t -> int
   val reset : t -> unit
 end
@@ -20,9 +27,13 @@ module Summary : sig
   val observe : t -> int -> unit
   val count : t -> int
   val sum : t -> int
-  val min : t -> int (** 0 when empty *)
 
-  val max : t -> int (** 0 when empty *)
+  val min : t -> int option
+  (** [None] until a sample has been observed — a real observed 0 is
+      distinguishable from "no samples". *)
+
+  val max : t -> int option
+  (** [None] until a sample has been observed. *)
 
   val mean : t -> float (** 0. when empty *)
 
@@ -46,4 +57,51 @@ module Histogram : sig
   (** Upper bound of the bucket holding the given percentile (in [0,100]). *)
 
   val reset : t -> unit
+end
+
+module Registry : sig
+  (** A named collection of metrics. Names follow
+      [node<N>/<subsystem>/<metric>] (or [<subsystem>/<metric>] without a
+      node); [counter]/[summary]/[histogram] find-or-create, so subsystems
+      can share a metric by name.
+
+      Typically one registry per simulated cluster: independent runs do not
+      share metric state. *)
+
+  type t
+
+  val create : unit -> t
+
+  val counter : t -> ?node:int -> subsystem:string -> string -> Counter.t
+  val summary : t -> ?node:int -> subsystem:string -> string -> Summary.t
+  val histogram : t -> ?node:int -> subsystem:string -> string -> Histogram.t
+  (** @raise Invalid_argument if the name is registered with another type. *)
+
+  val size : t -> int
+  (** Number of registered metrics. *)
+
+  val reset : t -> unit
+  (** Reset every registered metric. *)
+
+  type value =
+    | Counter_v of int
+    | Summary_v of { count : int; sum : int; min : int option; max : int option; mean : float }
+    | Histogram_v of { count : int; buckets : (int * int) list }
+
+  type snapshot = (string * value) list
+  (** Sorted by metric name. *)
+
+  val snapshot : t -> snapshot
+
+  val diff : before:snapshot -> after:snapshot -> snapshot
+  (** Metric movement between two snapshots: counters and counts subtract;
+      a summary's min/max and histogram buckets are taken from [after]
+      (buckets subtract per upper bound). Metrics absent from [before] diff
+      against zero. *)
+
+  val value_to_json : value -> string
+
+  val snapshot_to_json : snapshot -> string
+  (** One JSON object: metric name -> value (counters as numbers, summaries
+      and histograms as objects; empty min/max as [null]). *)
 end

@@ -37,6 +37,7 @@ let bcsstk15 =
    configuration's speedup is measured against its own 1-processor run *)
 let speedup_sweep ~id ~title ?(notes = []) app =
   let t1_cni = ref Time.zero and t1_std = ref Time.zero in
+  let last_cni = ref None in
   let rows =
     List.map
       (fun procs ->
@@ -46,6 +47,7 @@ let speedup_sweep ~id ~title ?(notes = []) app =
           t1_cni := rc.Runner.elapsed;
           t1_std := rs.Runner.elapsed
         end;
+        last_cni := Some rc;
         [
           string_of_int procs;
           Report.f2 (Runner.speedup ~t1:!t1_cni rc);
@@ -54,9 +56,22 @@ let speedup_sweep ~id ~title ?(notes = []) app =
         ])
       proc_counts
   in
+  (* headline metrics and the registry snapshot come from the CNI run at the
+     highest processor count — the configuration the paper's plots end on *)
+  let metrics, snapshot =
+    match !last_cni with
+    | Some rc ->
+        ( [
+            ("cni-hit-ratio-pct", rc.Runner.hit_ratio);
+            ("cni-packets", float_of_int rc.Runner.packets);
+            ("cni-wire-bytes", float_of_int rc.Runner.wire_bytes);
+          ],
+          rc.Runner.metrics )
+    | None -> ([], [])
+  in
   Report.make ~id ~title
     ~columns:[ "procs"; "cni-speedup"; "standard-speedup"; "cache-hit-%" ]
-    ~notes rows
+    ~notes ~metrics ~snapshot rows
 
 (* speedup at 8 processors vs shared page size, both interfaces *)
 let page_sweep ~id ~title ~pages ?(notes = []) app =
@@ -92,7 +107,14 @@ let overhead_table ~id ~title ?(notes = []) app =
   in
   Report.make ~id ~title
     ~columns:[ "Category"; "Time-CNI (10^9 cycles)"; "Time-standard (10^9 cycles)" ]
-    ~notes rows
+    ~notes
+    ~metrics:
+      [
+        ("cni-elapsed-gcycles", rc.Runner.elapsed_cycles /. 1e9);
+        ("standard-elapsed-gcycles", rs.Runner.elapsed_cycles /. 1e9);
+        ("cni-hit-ratio-pct", rc.Runner.hit_ratio);
+      ]
+    ~snapshot:rc.Runner.metrics rows
 
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                             *)
@@ -216,6 +238,7 @@ let table4 () =
 
 let fig13 () =
   let sizes_kb = [ 8; 16; 32; 64; 128; 256; 512; 1024 ] in
+  let last = ref None in
   let hit ~mc_kb app =
     (* grow the board so cache + handler segments always fit: the sweep asks
        for message caches up to the whole 1 MB OSIRIS memory *)
@@ -224,8 +247,9 @@ let fig13 () =
         Params.nic_memory_bytes = (mc_kb * 1024) + (256 * 1024)
       }
     in
-    (Runner.run ~params ~kind:(Runner.cni ~mc_bytes:(mc_kb * 1024) ()) ~procs:8 app)
-      .Runner.hit_ratio
+    let r = Runner.run ~params ~kind:(Runner.cni ~mc_bytes:(mc_kb * 1024) ()) ~procs:8 app in
+    last := Some r;
+    r.Runner.hit_ratio
   in
   let rows =
     List.map
@@ -238,6 +262,11 @@ let fig13 () =
         ])
       sizes_kb
   in
+  let metrics, snapshot =
+    match !last with
+    | Some r -> ([ ("final-hit-ratio-pct", r.Runner.hit_ratio) ], r.Runner.metrics)
+    | None -> ([], [])
+  in
   Report.make ~id:"fig13"
     ~title:"Network cache hit ratio vs Message Cache size (8 processors)"
     ~columns:[ "mc-KB"; "jacobi-hit-%"; "water-hit-%"; "cholesky-hit-%" ]
@@ -245,7 +274,7 @@ let fig13 () =
       [
         "paper: Jacobi/Water saturate just beyond 32 KB; Cholesky needs ~512 KB to reach ~90%";
       ]
-    rows
+    ~metrics ~snapshot rows
 
 (* ------------------------------------------------------------------ *)
 (* Figure 14: node-to-node latency                                     *)

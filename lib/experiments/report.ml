@@ -1,12 +1,17 @@
+module Stats = Cni_engine.Stats
+
 type t = {
   id : string;
   title : string;
   columns : string list;
   rows : string list list;
   notes : string list;
+  metrics : (string * float) list;
+  snapshot : Stats.Registry.snapshot;
 }
 
-let make ~id ~title ~columns ?(notes = []) rows = { id; title; columns; rows; notes }
+let make ~id ~title ~columns ?(notes = []) ?(metrics = []) ?(snapshot = []) rows =
+  { id; title; columns; rows; notes; metrics; snapshot }
 
 let to_text t =
   let all = t.columns :: t.rows in
@@ -32,6 +37,9 @@ let to_text t =
       Buffer.add_char buf '\n')
     t.rows;
   List.iter (fun n -> Buffer.add_string buf ("  note: " ^ n ^ "\n")) t.notes;
+  List.iter
+    (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "  metric: %s = %g\n" name v))
+    t.metrics;
   Buffer.contents buf
 
 let print t =
@@ -49,6 +57,33 @@ let write_csv ~dir t =
   let line row = output_string oc (String.concat "," (List.map escape row) ^ "\n") in
   line t.columns;
   List.iter line t.rows;
+  close_out oc
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_metrics_json ~dir t =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out (Filename.concat dir (t.id ^ ".metrics.json")) in
+  let summary =
+    t.metrics
+    |> List.map (fun (name, v) -> Printf.sprintf "    \"%s\": %g" (json_escape name) v)
+    |> String.concat ",\n"
+  in
+  output_string oc
+    (Printf.sprintf "{\n  \"id\": \"%s\",\n  \"title\": \"%s\",\n  \"summary\": {\n%s\n  },\n  \"registry\": %s\n}\n"
+       (json_escape t.id) (json_escape t.title) summary
+       (Stats.Registry.snapshot_to_json t.snapshot));
   close_out oc
 
 let f1 x = Printf.sprintf "%.1f" x

@@ -7,9 +7,14 @@ type t = {
   columns : string list;
   rows : string list list;
   notes : string list;  (** shape expectations, caveats *)
+  metrics : (string * float) list;
+      (** headline scalar metrics, printed under the table and exported *)
+  snapshot : Cni_engine.Stats.Registry.snapshot;
+      (** full registry snapshot backing the headline numbers *)
 }
 
 val make : id:string -> title:string -> columns:string list -> ?notes:string list ->
+  ?metrics:(string * float) list -> ?snapshot:Cni_engine.Stats.Registry.snapshot ->
   string list list -> t
 
 (** Render as an aligned text block. *)
@@ -19,6 +24,10 @@ val print : t -> unit
 
 (** Write rows as CSV to [dir]/[id].csv. *)
 val write_csv : dir:string -> t -> unit
+
+(** Write the headline metrics and the registry snapshot as JSON to
+    [dir]/[id].metrics.json. *)
+val write_metrics_json : dir:string -> t -> unit
 
 (** Formatting helpers. *)
 val f1 : float -> string

@@ -18,6 +18,7 @@ type result = {
   packets : int;
   wire_bytes : int;
   message_mix : (string * int) list;  (* protocol messages by kind, summed *)
+  metrics : Cni_engine.Stats.Registry.snapshot;
 }
 
 let cni ?mc_bytes ?mc_mode ?aih ?hybrid_receive () =
@@ -59,6 +60,7 @@ let run ?(params = Params.default) ~kind ~procs app =
     packets = f.Fabric.packets;
     wire_bytes = f.Fabric.wire_bytes;
     message_mix = List.sort compare (Hashtbl.fold (fun k n acc -> (k, n) :: acc) mix []);
+    metrics = Cluster.metrics_snapshot cluster;
   }
 
 let speedup ~t1 r = Time.to_s_float t1 /. Time.to_s_float r.elapsed

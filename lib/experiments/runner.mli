@@ -14,6 +14,9 @@ type result = {
   wire_bytes : int;
   message_mix : (string * int) list;
       (** protocol messages received, by kind, summed over nodes *)
+  metrics : Cni_engine.Stats.Registry.snapshot;
+      (** full registry snapshot: every node's NIC, ring, Message Cache, DSM
+          and time-accounting metrics *)
 }
 
 (** Convenience NIC kinds. *)

@@ -8,7 +8,11 @@ type 'a t = {
 }
 
 let open_channel nic ~channel ?(slots = 32) () =
-  let ring = Ring.create ~slots in
+  let ring =
+    Ring.create ?registry:(Nic.registry nic) ~node:(Nic.node nic)
+      ~subsystem:(Printf.sprintf "adc-ch%d/ring" channel)
+      ~slots ()
+  in
   (* the ring lives in board memory: account it like handler state; a slot
      holds a descriptor, not the data (64 bytes is generous) *)
   let handle =

@@ -1,3 +1,5 @@
+module Stats = Cni_engine.Stats
+
 type mode = Update | Invalidate
 
 type slot = { mutable vpage : int (* -1 = free *); mutable referenced : bool }
@@ -9,12 +11,12 @@ type t = {
   slots : slot array;
   map : (int, int) Hashtbl.t; (* vpage -> slot index: the buffer map *)
   mutable hand : int; (* clock hand *)
-  mutable s_hits : int;
-  mutable s_misses : int;
-  mutable s_binds : int;
-  mutable s_evictions : int;
-  mutable s_snoop_updates : int;
-  mutable s_snoop_invalidates : int;
+  s_hits : Stats.Counter.t;
+  s_misses : Stats.Counter.t;
+  s_binds : Stats.Counter.t;
+  s_evictions : Stats.Counter.t;
+  s_snoop_updates : Stats.Counter.t;
+  s_snoop_invalidates : Stats.Counter.t;
 }
 
 type stats = {
@@ -26,8 +28,15 @@ type stats = {
   snoop_invalidates : int;
 }
 
-let create ~page_bytes ~capacity_bytes ~mode =
+let subsystem = "message-cache"
+
+let create ?registry ?node ~page_bytes ~capacity_bytes ~mode () =
   let capacity = max 1 (capacity_bytes / page_bytes) in
+  let counter name =
+    match registry with
+    | Some reg -> Stats.Registry.counter reg ?node ~subsystem name
+    | None -> Stats.Counter.create name
+  in
   {
     page_bytes;
     capacity;
@@ -35,12 +44,12 @@ let create ~page_bytes ~capacity_bytes ~mode =
     slots = Array.init capacity (fun _ -> { vpage = -1; referenced = false });
     map = Hashtbl.create (capacity * 2);
     hand = 0;
-    s_hits = 0;
-    s_misses = 0;
-    s_binds = 0;
-    s_evictions = 0;
-    s_snoop_updates = 0;
-    s_snoop_invalidates = 0;
+    s_hits = counter "hits";
+    s_misses = counter "misses";
+    s_binds = counter "binds";
+    s_evictions = counter "evictions";
+    s_snoop_updates = counter "snoop_updates";
+    s_snoop_invalidates = counter "snoop_invalidates";
   }
 
 let capacity_pages t = t.capacity
@@ -51,10 +60,10 @@ let lookup t ~vpage =
   match Hashtbl.find_opt t.map vpage with
   | Some i ->
       t.slots.(i).referenced <- true;
-      t.s_hits <- t.s_hits + 1;
+      Stats.Counter.incr t.s_hits;
       true
   | None ->
-      t.s_misses <- t.s_misses + 1;
+      Stats.Counter.incr t.s_misses;
       false
 
 let drop_slot t i =
@@ -78,7 +87,7 @@ let claim_slot t =
       go (guard - 1)
     end
     else begin
-      t.s_evictions <- t.s_evictions + 1;
+      Stats.Counter.incr t.s_evictions;
       drop_slot t i;
       i
     end
@@ -93,7 +102,7 @@ let bind t ~vpage =
       t.slots.(i).vpage <- vpage;
       t.slots.(i).referenced <- true;
       Hashtbl.replace t.map vpage i;
-      t.s_binds <- t.s_binds + 1
+      Stats.Counter.incr t.s_binds
 
 let unbind t ~vpage =
   match Hashtbl.find_opt t.map vpage with Some i -> drop_slot t i | None -> ()
@@ -108,32 +117,38 @@ let snoop t ~addr ~bytes =
           | Update ->
               (* write-update: the buffer absorbs the data and stays bound *)
               t.slots.(i).referenced <- true;
-              t.s_snoop_updates <- t.s_snoop_updates + 1
+              Stats.Counter.incr t.s_snoop_updates
           | Invalidate ->
               drop_slot t i;
-              t.s_snoop_invalidates <- t.s_snoop_invalidates + 1)
+              Stats.Counter.incr t.s_snoop_invalidates)
       | None -> ()
     done
   end
 
 let stats t =
   {
-    hits = t.s_hits;
-    misses = t.s_misses;
-    binds = t.s_binds;
-    evictions = t.s_evictions;
-    snoop_updates = t.s_snoop_updates;
-    snoop_invalidates = t.s_snoop_invalidates;
+    hits = Stats.Counter.value t.s_hits;
+    misses = Stats.Counter.value t.s_misses;
+    binds = Stats.Counter.value t.s_binds;
+    evictions = Stats.Counter.value t.s_evictions;
+    snoop_updates = Stats.Counter.value t.s_snoop_updates;
+    snoop_invalidates = Stats.Counter.value t.s_snoop_invalidates;
   }
 
 let reset_stats t =
-  t.s_hits <- 0;
-  t.s_misses <- 0;
-  t.s_binds <- 0;
-  t.s_evictions <- 0;
-  t.s_snoop_updates <- 0;
-  t.s_snoop_invalidates <- 0
+  Stats.Counter.reset t.s_hits;
+  Stats.Counter.reset t.s_misses;
+  Stats.Counter.reset t.s_binds;
+  Stats.Counter.reset t.s_evictions;
+  Stats.Counter.reset t.s_snoop_updates;
+  Stats.Counter.reset t.s_snoop_invalidates
 
-let hit_ratio t =
-  let total = t.s_hits + t.s_misses in
-  if total = 0 then 100. else 100. *. float_of_int t.s_hits /. float_of_int total
+let hit_ratio_opt t =
+  let hits = Stats.Counter.value t.s_hits and misses = Stats.Counter.value t.s_misses in
+  let total = hits + misses in
+  if total = 0 then None else Some (100. *. float_of_int hits /. float_of_int total)
+
+(* A cache with no traffic reports 0, not 100: an idle node must not inflate
+   aggregate hit ratios (callers that want to skip idle nodes use
+   [hit_ratio_opt]). *)
+let hit_ratio t = Option.value (hit_ratio_opt t) ~default:0.

@@ -15,7 +15,16 @@ type mode = Update | Invalidate
 
 type t
 
-val create : page_bytes:int -> capacity_bytes:int -> mode:mode -> t
+(** When [registry] is given, statistics are registered as
+    [node<N>/message-cache/<metric>] counters; otherwise standalone. *)
+val create :
+  ?registry:Cni_engine.Stats.Registry.t ->
+  ?node:int ->
+  page_bytes:int ->
+  capacity_bytes:int ->
+  mode:mode ->
+  unit ->
+  t
 
 val capacity_pages : t -> int
 val mode : t -> mode
@@ -57,5 +66,10 @@ val stats : t -> stats
 val reset_stats : t -> unit
 
 (** Transmit hit ratio in percent (the paper's "network cache hit ratio");
-    100. when there were no lookups. *)
+    0. when there were no lookups — an idle node must not inflate aggregate
+    ratios. *)
 val hit_ratio : t -> float
+
+(** [None] when there were no lookups; use this to exclude idle nodes from
+    averages. *)
+val hit_ratio_opt : t -> float option

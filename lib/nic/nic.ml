@@ -1,6 +1,8 @@
 module Engine = Cni_engine.Engine
 module Sync = Cni_engine.Sync
 module Time = Cni_engine.Time
+module Stats = Cni_engine.Stats
+module Trace = Cni_engine.Trace
 module Params = Cni_machine.Params
 module Bus = Cni_machine.Bus
 module Fabric = Cni_atm.Fabric
@@ -58,22 +60,25 @@ type 'a t = {
   kind : kind;
   mc : Message_cache.t option;
   host : host;
+  registry : Stats.Registry.t option;
   nic_proc : Sync.Semaphore.t;  (* the 33 MHz processor is a shared resource *)
-  tx_queue : Sync.Semaphore.t;  (* transmit descriptors are processed in order *)
+  tx_ring : unit Ring.t;  (* transmit descriptors are processed in order; a
+                             single-slot descriptor ring whose full_stalls
+                             counter exposes transmit-queue contention *)
   host_proc : Sync.Semaphore.t;  (* interrupt-level protocol work on the host
                                     serialises as well *)
   classifier : ('a handler_fn * int) Classifier.t;
   handler_sizes : (Classifier.handle, int) Hashtbl.t;
   mutable default_handler : 'a handler_fn;
   mutable s_handler_code_bytes : int;
-  mutable s_unmatched : int;
-  mutable s_tx_packets : int;
-  mutable s_tx_data_packets : int;
-  mutable s_tx_dma_bytes : int;
-  mutable s_rx_packets : int;
-  mutable s_rx_dma_bytes : int;
-  mutable s_interrupts : int;
-  mutable s_polls : int;
+  s_unmatched : Stats.Counter.t;
+  s_tx_packets : Stats.Counter.t;
+  s_tx_data_packets : Stats.Counter.t;
+  s_tx_dma_bytes : Stats.Counter.t;
+  s_rx_packets : Stats.Counter.t;
+  s_rx_dma_bytes : Stats.Counter.t;
+  s_interrupts : Stats.Counter.t;
+  s_polls : Stats.Counter.t;
 }
 
 type stats = {
@@ -94,6 +99,13 @@ let message_cache t = t.mc
 
 let network_cache_hit_ratio t =
   match t.mc with Some mc -> Message_cache.hit_ratio mc | None -> 0.
+
+(* [None] for boards without a Message Cache or with no lookups yet; lets
+   aggregations skip idle nodes. *)
+let network_cache_hit_ratio_opt t =
+  match t.mc with Some mc -> Message_cache.hit_ratio_opt mc | None -> None
+
+let registry t = t.registry
 
 let vpage_of t vaddr = vaddr / t.p.Params.page_bytes
 
@@ -131,12 +143,15 @@ let nic_transmit t ~dst ~header ~body_bytes ~data ~payload =
   (* the board works its transmit queue one descriptor at a time: a pipelined
      resend of a buffer must observe the Message Cache binding its
      predecessor created *)
-  Sync.Semaphore.acquire t.tx_queue;
+  Ring.push t.tx_ring ();
+  if Trace.enabled_cat Trace.Nic then
+    Trace.span_begin ~t_ps:(Time.to_ps (Engine.now t.eng)) ~node:t.node Trace.Nic
+      ~label:"tx" ~payload:dst;
   nic_busy t (Params.nic_cycles p p.Params.handler_dispatch_nic_cycles);
   (match data with
   | No_data -> ()
   | Page { vaddr; bytes; cacheable } -> (
-      t.s_tx_data_packets <- t.s_tx_data_packets + 1;
+      Stats.Counter.incr t.s_tx_data_packets;
       match t.kind with
       | Cni _ -> (
           match t.mc with
@@ -146,14 +161,14 @@ let nic_transmit t ~dst ~header ~body_bytes ~data ~payload =
               ()
           | Some mc ->
               Bus.dma t.bus ~dir:Bus.Dma_from_memory ~addr:vaddr ~bytes;
-              t.s_tx_dma_bytes <- t.s_tx_dma_bytes + bytes;
+              Stats.Counter.add t.s_tx_dma_bytes bytes;
               if cacheable then Message_cache.bind mc ~vpage:(vpage_of t vaddr)
           | None ->
               Bus.dma t.bus ~dir:Bus.Dma_from_memory ~addr:vaddr ~bytes;
-              t.s_tx_dma_bytes <- t.s_tx_dma_bytes + bytes)
+              Stats.Counter.add t.s_tx_dma_bytes bytes)
       | Osiris _ | Standard ->
           Bus.dma t.bus ~dir:Bus.Dma_from_memory ~addr:vaddr ~bytes;
-          t.s_tx_dma_bytes <- t.s_tx_dma_bytes + bytes));
+          Stats.Counter.add t.s_tx_dma_bytes bytes));
   (* bulk data rides in the same frame: it must be counted in the wire size
      (cells, serialisation) exactly like inline body bytes *)
   let data_bytes = match data with No_data -> 0 | Page { bytes; _ } -> bytes in
@@ -162,8 +177,11 @@ let nic_transmit t ~dst ~header ~body_bytes ~data ~payload =
   in
   let cells = Fabric.packet_cells p pkt in
   nic_busy t (Params.nic_cycles p (cells * p.Params.sar_cell_nic_cycles));
-  t.s_tx_packets <- t.s_tx_packets + 1;
-  Sync.Semaphore.release t.tx_queue;
+  Stats.Counter.incr t.s_tx_packets;
+  if Trace.enabled_cat Trace.Nic then
+    Trace.span_end ~t_ps:(Time.to_ps (Engine.now t.eng)) ~node:t.node Trace.Nic
+      ~label:"tx" ~payload:dst;
+  ignore (Ring.pop t.tx_ring : unit);
   Fabric.send t.fabric pkt
 
 (* Host-side entry: charge the host path cost, then hand off to the board. *)
@@ -202,7 +220,7 @@ let make_ctx t ~on_charge ~reply_host_cycles =
           if cacheable then
             Option.iter (fun mc -> Message_cache.bind mc ~vpage:(vpage_of t vaddr)) t.mc;
           Bus.dma t.bus ~dir:Bus.Dma_to_memory ~addr:vaddr ~bytes;
-          t.s_rx_dma_bytes <- t.s_rx_dma_bytes + bytes;
+          Stats.Counter.add t.s_rx_dma_bytes bytes;
           t.host.invalidate_range ~addr:vaddr ~bytes);
     }
   in
@@ -226,7 +244,10 @@ let run_on_host t ~base ~reply_host_cycles handler pkt =
 
 let receive t (pkt : 'a Fabric.packet) =
   let p = t.p in
-  t.s_rx_packets <- t.s_rx_packets + 1;
+  Stats.Counter.incr t.s_rx_packets;
+  if Trace.enabled_cat Trace.Nic then
+    Trace.emit ~t_ps:(Time.to_ps (Engine.now t.eng)) ~node:t.node Trace.Nic
+      ~label:"rx" ~payload:pkt.Fabric.src;
   let cells = Fabric.packet_cells p pkt in
   (* SAR: reassembly work per cell on the NIC processor *)
   nic_busy t (Params.nic_cycles p (cells * p.Params.sar_cell_nic_cycles));
@@ -234,7 +255,7 @@ let receive t (pkt : 'a Fabric.packet) =
     match Classifier.classify t.classifier pkt.Fabric.header with
     | Some (f, _code) -> f
     | None ->
-        t.s_unmatched <- t.s_unmatched + 1;
+        Stats.Counter.incr t.s_unmatched;
         t.default_handler
   in
   match t.kind with
@@ -259,11 +280,11 @@ let receive t (pkt : 'a Fabric.packet) =
            waiting on the network, an interrupt otherwise (the hybrid of
            section 2.1) *)
         if hybrid_receive && t.host.host_waiting () then begin
-          t.s_polls <- t.s_polls + 1;
+          Stats.Counter.incr t.s_polls;
           Engine.delay (Params.cpu_cycles p p.Params.poll_check_cycles)
         end
         else begin
-          t.s_interrupts <- t.s_interrupts + 1;
+          Stats.Counter.incr t.s_interrupts;
           host_busy t p.Params.interrupt_latency;
           if not (t.host.host_waiting ()) then t.host.steal p.Params.interrupt_latency
         end;
@@ -275,7 +296,7 @@ let receive t (pkt : 'a Fabric.packet) =
          (section 2.1's two differences from the CNI) *)
       nic_busy t (Params.nic_cycles p software_classify_nic_cycles);
       let handler = lookup_handler () in
-      t.s_interrupts <- t.s_interrupts + 1;
+      Stats.Counter.incr t.s_interrupts;
       host_busy t p.Params.interrupt_latency;
       if not (t.host.host_waiting ()) then t.host.steal p.Params.interrupt_latency;
       run_on_host t ~base:p.Params.interrupt_latency
@@ -283,7 +304,7 @@ let receive t (pkt : 'a Fabric.packet) =
   | Standard ->
       (* the standard board interrupts the host for every packet; the kernel
          demultiplexes in software and runs the handler on the host CPU *)
-      t.s_interrupts <- t.s_interrupts + 1;
+      Stats.Counter.incr t.s_interrupts;
       let handler = lookup_handler () in
       let kernel = Params.cpu_cycles p p.Params.kernel_recv_cycles in
       host_busy t Time.(p.Params.interrupt_latency + kernel);
@@ -291,13 +312,20 @@ let receive t (pkt : 'a Fabric.packet) =
         ~base:Time.(p.Params.interrupt_latency + kernel)
         ~reply_host_cycles:p.Params.kernel_send_cycles handler pkt
 
-let create ~kind eng bus fabric ~node ~host =
+let create ?registry ~kind eng bus fabric ~node ~host =
   let p = Bus.params bus in
   let mc =
     match kind with
     | Cni { mc_bytes; mc_mode; _ } when mc_bytes > 0 ->
-        Some (Message_cache.create ~page_bytes:p.Params.page_bytes ~capacity_bytes:mc_bytes ~mode:mc_mode)
+        Some
+          (Message_cache.create ?registry ~node ~page_bytes:p.Params.page_bytes
+             ~capacity_bytes:mc_bytes ~mode:mc_mode ())
     | Cni _ | Osiris _ | Standard -> None
+  in
+  let counter name =
+    match registry with
+    | Some reg -> Stats.Registry.counter reg ~node ~subsystem:"nic" name
+    | None -> Stats.Counter.create name
   in
   let t =
     {
@@ -309,21 +337,22 @@ let create ~kind eng bus fabric ~node ~host =
       kind;
       mc;
       host;
+      registry;
       nic_proc = Sync.Semaphore.create 1;
-      tx_queue = Sync.Semaphore.create 1;
+      tx_ring = Ring.create ?registry ~node ~slots:1 ();
       host_proc = Sync.Semaphore.create 1;
       classifier = Classifier.create ();
       handler_sizes = Hashtbl.create 16;
       default_handler = (fun _ _ -> ());
       s_handler_code_bytes = 0;
-      s_unmatched = 0;
-      s_tx_packets = 0;
-      s_tx_data_packets = 0;
-      s_tx_dma_bytes = 0;
-      s_rx_packets = 0;
-      s_rx_dma_bytes = 0;
-      s_interrupts = 0;
-      s_polls = 0;
+      s_unmatched = counter "unmatched";
+      s_tx_packets = counter "tx_packets";
+      s_tx_data_packets = counter "tx_data_packets";
+      s_tx_dma_bytes = counter "tx_dma_bytes";
+      s_rx_packets = counter "rx_packets";
+      s_rx_dma_bytes = counter "rx_dma_bytes";
+      s_interrupts = counter "interrupts";
+      s_polls = counter "polls";
     }
   in
   (* the snoopy interface: every bus write visits the buffer map *)
@@ -337,14 +366,14 @@ let create ~kind eng bus fabric ~node ~host =
   Fabric.set_receiver fabric ~node (fun pkt -> receive t pkt);
   t
 
-let create_cni eng bus fabric ~node ~host ?(options = default_cni_options) () =
-  create ~kind:(Cni options) eng bus fabric ~node ~host
+let create_cni ?registry eng bus fabric ~node ~host ?(options = default_cni_options) () =
+  create ?registry ~kind:(Cni options) eng bus fabric ~node ~host
 
-let create_standard eng bus fabric ~node ~host () =
-  create ~kind:Standard eng bus fabric ~node ~host
+let create_standard ?registry eng bus fabric ~node ~host () =
+  create ?registry ~kind:Standard eng bus fabric ~node ~host
 
-let create_osiris eng bus fabric ~node ~host ?(options = default_osiris_options) () =
-  create ~kind:(Osiris options) eng bus fabric ~node ~host
+let create_osiris ?registry eng bus fabric ~node ~host ?(options = default_osiris_options) () =
+  create ?registry ~kind:(Osiris options) eng bus fabric ~node ~host
 
 let install_handler t ~pattern ?(code_bytes = 512) f =
   let mc_bytes =
@@ -373,12 +402,12 @@ let handler_code_bytes t = t.s_handler_code_bytes
 
 let stats t =
   {
-    tx_packets = t.s_tx_packets;
-    tx_data_packets = t.s_tx_data_packets;
-    tx_dma_bytes = t.s_tx_dma_bytes;
-    rx_packets = t.s_rx_packets;
-    rx_dma_bytes = t.s_rx_dma_bytes;
-    interrupts = t.s_interrupts;
-    polls = t.s_polls;
-    unmatched = t.s_unmatched;
+    tx_packets = Stats.Counter.value t.s_tx_packets;
+    tx_data_packets = Stats.Counter.value t.s_tx_data_packets;
+    tx_dma_bytes = Stats.Counter.value t.s_tx_dma_bytes;
+    rx_packets = Stats.Counter.value t.s_rx_packets;
+    rx_dma_bytes = Stats.Counter.value t.s_rx_dma_bytes;
+    interrupts = Stats.Counter.value t.s_interrupts;
+    polls = Stats.Counter.value t.s_polls;
+    unmatched = Stats.Counter.value t.s_unmatched;
   }

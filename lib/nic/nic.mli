@@ -71,7 +71,13 @@ type osiris_options = {
 
 val default_osiris_options : osiris_options
 
+(** All constructors take an optional metrics [registry]; when given, the
+    interface registers its counters as [node<N>/nic/<metric>], its transmit
+    descriptor queue as [node<N>/ring/<metric>], and the Message Cache (CNI)
+    as [node<N>/message-cache/<metric>]. *)
+
 val create_cni :
+  ?registry:Cni_engine.Stats.Registry.t ->
   Cni_engine.Engine.t ->
   Cni_machine.Bus.t ->
   'a Cni_atm.Fabric.t ->
@@ -82,6 +88,7 @@ val create_cni :
   'a t
 
 val create_standard :
+  ?registry:Cni_engine.Stats.Registry.t ->
   Cni_engine.Engine.t ->
   Cni_machine.Bus.t ->
   'a Cni_atm.Fabric.t ->
@@ -94,6 +101,7 @@ val create_standard :
     Channels at user level, but software demultiplexing on the board and an
     interrupt per packet towards the host; no Message Cache, no AIH. *)
 val create_osiris :
+  ?registry:Cni_engine.Stats.Registry.t ->
   Cni_engine.Engine.t ->
   Cni_machine.Bus.t ->
   'a Cni_atm.Fabric.t ->
@@ -147,9 +155,16 @@ val send :
 (** The Message Cache, when configured (CNI with [mc_bytes > 0]). *)
 val message_cache : 'a t -> Message_cache.t option
 
-(** The paper's "network cache hit ratio" (percent, 100 with no traffic);
+(** The paper's "network cache hit ratio" (percent; 0 with no traffic);
     meaningful for CNI only. *)
 val network_cache_hit_ratio : 'a t -> float
+
+(** [None] when there is no Message Cache or it saw no lookups; use to
+    exclude idle nodes from cluster-wide averages. *)
+val network_cache_hit_ratio_opt : 'a t -> float option
+
+(** The metrics registry handed to the constructor, if any. *)
+val registry : 'a t -> Cni_engine.Stats.Registry.t option
 
 type stats = {
   tx_packets : int;

@@ -1,29 +1,35 @@
 module Sync = Cni_engine.Sync
+module Stats = Cni_engine.Stats
 
 type 'a t = {
   capacity : int;
   q : 'a Queue.t;
   space : Sync.Semaphore.t;
   items : Sync.Semaphore.t;
-  mutable s_pushes : int;
-  mutable s_pops : int;
-  mutable s_full_stalls : int;
-  mutable s_empty_stalls : int;
+  s_pushes : Stats.Counter.t;
+  s_pops : Stats.Counter.t;
+  s_full_stalls : Stats.Counter.t;
+  s_empty_stalls : Stats.Counter.t;
 }
 
 type stats = { pushes : int; pops : int; full_stalls : int; empty_stalls : int }
 
-let create ~slots =
+let create ?registry ?node ?(subsystem = "ring") ~slots () =
   if slots < 1 then invalid_arg "Ring.create: need at least one slot";
+  let counter name =
+    match registry with
+    | Some reg -> Stats.Registry.counter reg ?node ~subsystem name
+    | None -> Stats.Counter.create name
+  in
   {
     capacity = slots;
     q = Queue.create ();
     space = Sync.Semaphore.create slots;
     items = Sync.Semaphore.create 0;
-    s_pushes = 0;
-    s_pops = 0;
-    s_full_stalls = 0;
-    s_empty_stalls = 0;
+    s_pushes = counter "pushes";
+    s_pops = counter "pops";
+    s_full_stalls = counter "full_stalls";
+    s_empty_stalls = counter "empty_stalls";
   }
 
 let slots t = t.capacity
@@ -34,7 +40,7 @@ let is_empty t = Queue.is_empty t.q
 let try_push t v =
   if Sync.Semaphore.try_acquire t.space then begin
     Queue.add v t.q;
-    t.s_pushes <- t.s_pushes + 1;
+    Stats.Counter.incr t.s_pushes;
     Sync.Semaphore.release t.items;
     true
   end
@@ -43,31 +49,31 @@ let try_push t v =
 let try_pop t =
   if Sync.Semaphore.try_acquire t.items then begin
     let v = Queue.take t.q in
-    t.s_pops <- t.s_pops + 1;
+    Stats.Counter.incr t.s_pops;
     Sync.Semaphore.release t.space;
     Some v
   end
   else None
 
 let push t v =
-  if Sync.Semaphore.available t.space = 0 then t.s_full_stalls <- t.s_full_stalls + 1;
+  if Sync.Semaphore.available t.space = 0 then Stats.Counter.incr t.s_full_stalls;
   Sync.Semaphore.acquire t.space;
   Queue.add v t.q;
-  t.s_pushes <- t.s_pushes + 1;
+  Stats.Counter.incr t.s_pushes;
   Sync.Semaphore.release t.items
 
 let pop t =
-  if Sync.Semaphore.available t.items = 0 then t.s_empty_stalls <- t.s_empty_stalls + 1;
+  if Sync.Semaphore.available t.items = 0 then Stats.Counter.incr t.s_empty_stalls;
   Sync.Semaphore.acquire t.items;
   let v = Queue.take t.q in
-  t.s_pops <- t.s_pops + 1;
+  Stats.Counter.incr t.s_pops;
   Sync.Semaphore.release t.space;
   v
 
 let stats t =
   {
-    pushes = t.s_pushes;
-    pops = t.s_pops;
-    full_stalls = t.s_full_stalls;
-    empty_stalls = t.s_empty_stalls;
+    pushes = Stats.Counter.value t.s_pushes;
+    pops = Stats.Counter.value t.s_pops;
+    full_stalls = Stats.Counter.value t.s_full_stalls;
+    empty_stalls = Stats.Counter.value t.s_empty_stalls;
   }

@@ -10,7 +10,16 @@
 
 type 'a t
 
-val create : slots:int -> 'a t
+(** When [registry] is given, the ring's counters are registered as
+    [node<N>/<subsystem>/{pushes,pops,full_stalls,empty_stalls}]
+    ([subsystem] defaults to ["ring"]); otherwise they are standalone. *)
+val create :
+  ?registry:Cni_engine.Stats.Registry.t ->
+  ?node:int ->
+  ?subsystem:string ->
+  slots:int ->
+  unit ->
+  'a t
 val slots : 'a t -> int
 val length : 'a t -> int
 val is_full : 'a t -> bool

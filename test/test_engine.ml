@@ -5,6 +5,7 @@ module Time = Cni_engine.Time
 module Heap = Cni_engine.Heap
 module Rng = Cni_engine.Rng
 module Stats = Cni_engine.Stats
+module Trace = Cni_engine.Trace
 module Vec = Cni_engine.Vec
 module Engine = Cni_engine.Engine
 module Sync = Cni_engine.Sync
@@ -86,6 +87,29 @@ let test_heap_min_key () =
   Heap.clear h;
   checki "cleared" 0 (Heap.length h)
 
+(* popped/cleared slots must not pin their payloads: the heap overwrites
+   vacated slots with a sentinel, so the GC can reclaim event closures *)
+let[@inline never] heap_plant_payload h w =
+  let payload = ref 424242 in
+  Weak.set w 0 (Some payload);
+  Heap.add h ~key:1 ~seq:0 payload
+
+let test_heap_releases_on_pop () =
+  let h = Heap.create () in
+  let w = Weak.create 1 in
+  heap_plant_payload h w;
+  ignore (Heap.pop_min h);
+  Gc.full_major ();
+  checkb "payload reclaimed after pop_min" true (Weak.get w 0 = None)
+
+let test_heap_releases_on_clear () =
+  let h = Heap.create () in
+  let w = Weak.create 1 in
+  heap_plant_payload h w;
+  Heap.clear h;
+  Gc.full_major ();
+  checkb "payload reclaimed after clear" true (Weak.get w 0 = None)
+
 let heap_sorts =
   QCheck.Test.make ~name:"heap pops any multiset in order" ~count:300
     QCheck.(list (int_bound 1000))
@@ -158,13 +182,15 @@ let test_counter () =
 
 let test_summary () =
   let s = Stats.Summary.create "s" in
-  checki "empty min" 0 (Stats.Summary.min s);
+  let checkio = check Alcotest.(option int) in
+  checkio "empty min" None (Stats.Summary.min s);
+  checkio "empty max" None (Stats.Summary.max s);
   check (Alcotest.float 0.0) "empty mean" 0.0 (Stats.Summary.mean s);
   List.iter (Stats.Summary.observe s) [ 5; 1; 9 ];
   checki "count" 3 (Stats.Summary.count s);
   checki "sum" 15 (Stats.Summary.sum s);
-  checki "min" 1 (Stats.Summary.min s);
-  checki "max" 9 (Stats.Summary.max s);
+  checkio "min" (Some 1) (Stats.Summary.min s);
+  checkio "max" (Some 9) (Stats.Summary.max s);
   check (Alcotest.float 1e-9) "mean" 5.0 (Stats.Summary.mean s)
 
 let test_histogram () =
@@ -175,6 +201,106 @@ let test_histogram () =
   checkb "has buckets" true (List.length buckets >= 3);
   checki "p100 bucket bound" 128 (Stats.Histogram.percentile h 100.);
   checki "p1 bucket bound" 1 (Stats.Histogram.percentile h 1.)
+
+let test_registry () =
+  let r = Stats.Registry.create () in
+  let c = Stats.Registry.counter r ~node:0 ~subsystem:"nic" "tx_packets" in
+  Stats.Counter.add c 5;
+  (* find-or-create: the same name yields the same counter *)
+  let c' = Stats.Registry.counter r ~node:0 ~subsystem:"nic" "tx_packets" in
+  Stats.Counter.incr c';
+  checki "shared instance" 6 (Stats.Counter.value c);
+  let s = Stats.Registry.summary r ~subsystem:"cluster" "lat" in
+  Stats.Summary.observe s 40;
+  checki "size" 2 (Stats.Registry.size r);
+  let snap = Stats.Registry.snapshot r in
+  check
+    (Alcotest.list Alcotest.string)
+    "sorted full names"
+    [ "cluster/lat"; "node0/nic/tx_packets" ]
+    (List.map fst snap);
+  (match List.assoc "node0/nic/tx_packets" snap with
+  | Stats.Registry.Counter_v n -> checki "snapshot value" 6 n
+  | _ -> Alcotest.fail "expected a counter value");
+  (* diff subtracts counters between snapshots *)
+  Stats.Counter.add c 4;
+  (match List.assoc "node0/nic/tx_packets" (Stats.Registry.diff ~before:snap ~after:(Stats.Registry.snapshot r)) with
+  | Stats.Registry.Counter_v n -> checki "diff movement" 4 n
+  | _ -> Alcotest.fail "expected a counter value");
+  (* re-registering a name under a different metric type is an error *)
+  (match Stats.Registry.summary r ~node:0 ~subsystem:"nic" "tx_packets" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument on type mismatch");
+  let json = Stats.Registry.snapshot_to_json (Stats.Registry.snapshot r) in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "json names the counter" true (contains json "node0/nic/tx_packets");
+  Stats.Registry.reset r;
+  checki "reset counters" 0 (Stats.Counter.value c);
+  checki "reset summaries" 0 (Stats.Summary.count s)
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let with_trace ~capacity f =
+  Trace.set_capacity capacity;
+  Trace.enable ();
+  Fun.protect f ~finally:(fun () ->
+      Trace.disable ();
+      Trace.set_capacity Trace.default_capacity)
+
+let test_trace_gating () =
+  with_trace ~capacity:64 (fun () ->
+      Trace.disable ();
+      Trace.emit ~t_ps:1 ~node:0 Trace.Nic ~label:"x" ~payload:0;
+      checki "disabled emit is dropped" 0 (Trace.length ());
+      Trace.enable ~cats:[ Trace.Dsm ] ();
+      checkb "selected category" true (Trace.enabled_cat Trace.Dsm);
+      checkb "unselected category" false (Trace.enabled_cat Trace.Nic);
+      Trace.emit ~t_ps:2 ~node:0 Trace.Nic ~label:"x" ~payload:0;
+      Trace.emit ~t_ps:3 ~node:1 Trace.Dsm ~label:"y" ~payload:7;
+      checki "only selected recorded" 1 (Trace.length ());
+      match Trace.records () with
+      | [ r ] ->
+          checki "t_ps" 3 r.Trace.t_ps;
+          checki "node" 1 r.Trace.node;
+          checks "label" "y" r.Trace.label
+      | l -> Alcotest.failf "expected 1 record, got %d" (List.length l))
+
+let test_trace_spans () =
+  with_trace ~capacity:64 (fun () ->
+      (* nested spans on different nodes pair by (node, category, label) *)
+      Trace.span_begin ~t_ps:10 ~node:1 Trace.Dsm ~label:"barrier" ~payload:0;
+      Trace.span_begin ~t_ps:20 ~node:2 Trace.Dsm ~label:"barrier" ~payload:0;
+      Trace.span_end ~t_ps:25 ~node:2 Trace.Dsm ~label:"barrier" ~payload:0;
+      Trace.span_end ~t_ps:40 ~node:1 Trace.Dsm ~label:"barrier" ~payload:0;
+      match Trace.spans () with
+      | [ s2; s1 ] ->
+          checki "inner node" 2 s2.Trace.span_node;
+          checki "inner duration" 5 s2.Trace.duration_ps;
+          checki "outer node" 1 s1.Trace.span_node;
+          checki "outer duration" 30 s1.Trace.duration_ps
+      | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l))
+
+let trace_keeps_newest =
+  QCheck.Test.make ~name:"trace ring keeps the newest records in order" ~count:200
+    QCheck.(pair (int_range 1 48) (int_range 0 150))
+    (fun (cap, n) ->
+      Trace.set_capacity cap;
+      Trace.enable ();
+      for i = 0 to n - 1 do
+        Trace.emit ~t_ps:i ~node:0 Trace.Nic ~label:"qc" ~payload:i
+      done;
+      let got = List.map (fun r -> r.Trace.payload) (Trace.records ()) in
+      let kept = Stdlib.min cap n in
+      let counts_ok = Trace.length () = kept && Trace.emitted () = n && Trace.dropped () = n - kept in
+      Trace.disable ();
+      Trace.set_capacity Trace.default_capacity;
+      counts_ok && got = List.init kept (fun i -> n - kept + i))
 
 (* ------------------------------------------------------------------ *)
 (* Vec                                                                 *)
@@ -468,6 +594,8 @@ let () =
           Alcotest.test_case "FIFO ties" `Quick test_heap_fifo_ties;
           Alcotest.test_case "empty raises" `Quick test_heap_empty_raises;
           Alcotest.test_case "min_key/length/clear" `Quick test_heap_min_key;
+          Alcotest.test_case "pop releases payload to the GC" `Quick test_heap_releases_on_pop;
+          Alcotest.test_case "clear releases payloads to the GC" `Quick test_heap_releases_on_clear;
           qc heap_sorts;
         ] );
       ( "rng",
@@ -482,6 +610,13 @@ let () =
           Alcotest.test_case "counter" `Quick test_counter;
           Alcotest.test_case "summary" `Quick test_summary;
           Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "registry" `Quick test_registry;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "gating" `Quick test_trace_gating;
+          Alcotest.test_case "span pairing" `Quick test_trace_spans;
+          qc trace_keeps_newest;
         ] );
       ( "vec",
         [

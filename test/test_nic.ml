@@ -21,7 +21,7 @@ let checkb = check Alcotest.bool
 (* ------------------------------------------------------------------ *)
 
 let test_ring_fifo () =
-  let r = Ring.create ~slots:4 in
+  let r = Ring.create ~slots:4 () in
   checkb "push" true (Ring.try_push r 1);
   checkb "push" true (Ring.try_push r 2);
   checkb "pop 1" true (Ring.try_pop r = Some 1);
@@ -29,7 +29,7 @@ let test_ring_fifo () =
   checkb "empty" true (Ring.try_pop r = None)
 
 let test_ring_capacity () =
-  let r = Ring.create ~slots:2 in
+  let r = Ring.create ~slots:2 () in
   checkb "1" true (Ring.try_push r 1);
   checkb "2" true (Ring.try_push r 2);
   checkb "full rejects" false (Ring.try_push r 3);
@@ -39,7 +39,7 @@ let test_ring_capacity () =
 
 let test_ring_blocking () =
   let eng = Engine.create () in
-  let r = Ring.create ~slots:1 in
+  let r = Ring.create ~slots:1 () in
   let produced = ref [] and consumed = ref [] in
   Engine.spawn eng (fun () ->
       for i = 1 to 3 do
@@ -101,7 +101,7 @@ let test_wire_patterns () =
 (* ------------------------------------------------------------------ *)
 
 let test_mc_lookup_bind () =
-  let mc = Mc.create ~page_bytes:2048 ~capacity_bytes:(4 * 2048) ~mode:Mc.Update in
+  let mc = Mc.create ~page_bytes:2048 ~capacity_bytes:(4 * 2048) ~mode:Mc.Update () in
   checki "capacity" 4 (Mc.capacity_pages mc);
   checkb "miss" false (Mc.lookup mc ~vpage:1);
   Mc.bind mc ~vpage:1;
@@ -113,7 +113,7 @@ let test_mc_lookup_bind () =
   check (Alcotest.float 0.01) "ratio" 50.0 (Mc.hit_ratio mc)
 
 let test_mc_clock_eviction () =
-  let mc = Mc.create ~page_bytes:2048 ~capacity_bytes:(2 * 2048) ~mode:Mc.Update in
+  let mc = Mc.create ~page_bytes:2048 ~capacity_bytes:(2 * 2048) ~mode:Mc.Update () in
   Mc.bind mc ~vpage:1;
   Mc.bind mc ~vpage:2;
   Mc.bind mc ~vpage:3;
@@ -130,7 +130,7 @@ let test_mc_clock_eviction () =
   checki "two evictions" 2 (Mc.stats mc).Mc.evictions
 
 let test_mc_snoop_update_keeps () =
-  let mc = Mc.create ~page_bytes:2048 ~capacity_bytes:(4 * 2048) ~mode:Mc.Update in
+  let mc = Mc.create ~page_bytes:2048 ~capacity_bytes:(4 * 2048) ~mode:Mc.Update () in
   Mc.bind mc ~vpage:3;
   (* a write-back covering pages 3..4 *)
   Mc.snoop mc ~addr:(3 * 2048) ~bytes:4096;
@@ -138,21 +138,53 @@ let test_mc_snoop_update_keeps () =
   checki "updates counted" 1 (Mc.stats mc).Mc.snoop_updates
 
 let test_mc_snoop_invalidate_drops () =
-  let mc = Mc.create ~page_bytes:2048 ~capacity_bytes:(4 * 2048) ~mode:Mc.Invalidate in
+  let mc = Mc.create ~page_bytes:2048 ~capacity_bytes:(4 * 2048) ~mode:Mc.Invalidate () in
   Mc.bind mc ~vpage:3;
   Mc.snoop mc ~addr:((3 * 2048) + 100) ~bytes:8;
   checkb "binding dropped (invalidate)" false (Mc.contains mc ~vpage:3);
   checki "invalidations counted" 1 (Mc.stats mc).Mc.snoop_invalidates
 
+let test_mc_snoop_multi_page_update () =
+  let mc = Mc.create ~page_bytes:2048 ~capacity_bytes:(8 * 2048) ~mode:Mc.Update () in
+  List.iter (fun p -> Mc.bind mc ~vpage:p) [ 3; 4; 5 ];
+  (* a write starting mid-page 3 and ending in page 5: all three pages are
+     touched and updated in place *)
+  Mc.snoop mc ~addr:((3 * 2048) + 10) ~bytes:(2 * 2048);
+  List.iter (fun p -> checkb "binding survives" true (Mc.contains mc ~vpage:p)) [ 3; 4; 5 ];
+  checki "one update per touched page" 3 (Mc.stats mc).Mc.snoop_updates
+
+let test_mc_snoop_multi_page_invalidate () =
+  let mc = Mc.create ~page_bytes:2048 ~capacity_bytes:(8 * 2048) ~mode:Mc.Invalidate () in
+  List.iter (fun p -> Mc.bind mc ~vpage:p) [ 3; 4; 5; 6 ];
+  Mc.snoop mc ~addr:((3 * 2048) + 10) ~bytes:(2 * 2048);
+  List.iter (fun p -> checkb "touched page dropped" false (Mc.contains mc ~vpage:p)) [ 3; 4; 5 ];
+  checkb "untouched page kept" true (Mc.contains mc ~vpage:6);
+  checki "one invalidation per touched page" 3 (Mc.stats mc).Mc.snoop_invalidates
+
+let test_mc_clock_all_referenced () =
+  (* every resident page has its reference bit set: the clock hand must strip
+     second chances on a full revolution and still evict, not spin forever *)
+  let mc = Mc.create ~page_bytes:2048 ~capacity_bytes:(2 * 2048) ~mode:Mc.Update () in
+  Mc.bind mc ~vpage:1;
+  Mc.bind mc ~vpage:2;
+  List.iter (fun p -> ignore (Mc.lookup mc ~vpage:p)) [ 1; 2 ];
+  for p = 3 to 10 do
+    Mc.bind mc ~vpage:p;
+    checkb "newcomer resident" true (Mc.contains mc ~vpage:p)
+  done;
+  let bound = List.filter (fun p -> Mc.contains mc ~vpage:p) (List.init 10 (fun i -> i + 1)) in
+  checkb "never over capacity" true (List.length bound <= 2);
+  checki "one eviction per overflow bind" 8 (Mc.stats mc).Mc.evictions
+
 let test_mc_unbind () =
-  let mc = Mc.create ~page_bytes:2048 ~capacity_bytes:(4 * 2048) ~mode:Mc.Update in
+  let mc = Mc.create ~page_bytes:2048 ~capacity_bytes:(4 * 2048) ~mode:Mc.Update () in
   Mc.bind mc ~vpage:9;
   Mc.unbind mc ~vpage:9;
   checkb "gone" false (Mc.contains mc ~vpage:9);
   Mc.unbind mc ~vpage:9 (* idempotent *)
 
 let test_mc_rebind_refreshes () =
-  let mc = Mc.create ~page_bytes:2048 ~capacity_bytes:2048 ~mode:Mc.Update in
+  let mc = Mc.create ~page_bytes:2048 ~capacity_bytes:2048 ~mode:Mc.Update () in
   Mc.bind mc ~vpage:1;
   Mc.bind mc ~vpage:1;
   checki "no double bind" 1 (Mc.stats mc).Mc.binds;
@@ -166,7 +198,7 @@ let mc_bind_visible =
   QCheck.Test.make ~name:"fresh binding always resident" ~count:300
     QCheck.(list (int_bound 40))
     (fun pages ->
-      let mc = Mc.create ~page_bytes:2048 ~capacity_bytes:(3 * 2048) ~mode:Mc.Update in
+      let mc = Mc.create ~page_bytes:2048 ~capacity_bytes:(3 * 2048) ~mode:Mc.Update () in
       List.for_all
         (fun pg ->
           Mc.bind mc ~vpage:pg;
@@ -178,7 +210,7 @@ let mc_capacity_respected =
   QCheck.Test.make ~name:"bindings never exceed capacity" ~count:200
     QCheck.(list (int_bound 50))
     (fun pages ->
-      let mc = Mc.create ~page_bytes:2048 ~capacity_bytes:(4 * 2048) ~mode:Mc.Update in
+      let mc = Mc.create ~page_bytes:2048 ~capacity_bytes:(4 * 2048) ~mode:Mc.Update () in
       List.iter (fun p -> Mc.bind mc ~vpage:p) pages;
       let bound = List.filter (fun p -> Mc.contains mc ~vpage:p) (List.sort_uniq compare pages) in
       List.length bound <= 4)
@@ -327,10 +359,15 @@ let test_osiris_cheaper_than_standard () =
   checkb "user-level send beats kernel path" true (Time.to_ps o < Time.to_ps s)
 
 let test_mc_hit_ratio_empty () =
-  let mc = Mc.create ~page_bytes:2048 ~capacity_bytes:4096 ~mode:Mc.Update in
-  check (Alcotest.float 0.001) "no traffic = 100%" 100.0 (Mc.hit_ratio mc);
+  let mc = Mc.create ~page_bytes:2048 ~capacity_bytes:4096 ~mode:Mc.Update () in
+  check (Alcotest.float 0.001) "no traffic = 0%" 0.0 (Mc.hit_ratio mc);
+  checkb "no traffic = None" true (Mc.hit_ratio_opt mc = None);
+  Mc.lookup mc ~vpage:1 |> ignore;
+  Mc.bind mc ~vpage:1;
+  Mc.lookup mc ~vpage:1 |> ignore;
+  checkb "with traffic = Some" true (Mc.hit_ratio_opt mc = Some 50.0);
   Mc.reset_stats mc;
-  check (Alcotest.float 0.001) "after reset too" 100.0 (Mc.hit_ratio mc)
+  check (Alcotest.float 0.001) "after reset back to 0" 0.0 (Mc.hit_ratio mc)
 
 let test_nic_reply_path () =
   let cluster : string Cluster.t = Cluster.create ~nic_kind:cni ~nodes:2 () in
@@ -456,6 +493,10 @@ let () =
           Alcotest.test_case "clock eviction" `Quick test_mc_clock_eviction;
           Alcotest.test_case "snoop write-update" `Quick test_mc_snoop_update_keeps;
           Alcotest.test_case "snoop invalidate" `Quick test_mc_snoop_invalidate_drops;
+          Alcotest.test_case "snoop spans pages (update)" `Quick test_mc_snoop_multi_page_update;
+          Alcotest.test_case "snoop spans pages (invalidate)" `Quick
+            test_mc_snoop_multi_page_invalidate;
+          Alcotest.test_case "clock evicts with all bits set" `Quick test_mc_clock_all_referenced;
           Alcotest.test_case "unbind" `Quick test_mc_unbind;
           Alcotest.test_case "rebind refreshes" `Quick test_mc_rebind_refreshes;
           qc mc_capacity_respected;
