@@ -122,6 +122,68 @@ let write_metrics ~out snapshot =
     out
 
 (* ------------------------------------------------------------------ *)
+(* Fault injection options                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Faults = Cni_atm.Faults
+
+let loss_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "loss" ] ~docv:"P"
+        ~doc:
+          "Per-cell loss probability injected into the fabric. Any nonzero fault rate \
+           enables the NIC reliable-delivery protocol (acks, retransmission with backoff, \
+           duplicate suppression).")
+
+let corrupt_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "corrupt" ] ~docv:"P"
+        ~doc:
+          "Per-cell corruption probability: affected frames arrive but fail the AAL5 CRC \
+           and are dropped at the receiving board, then recovered by retransmission.")
+
+let fault_seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "fault-seed" ] ~docv:"SEED"
+        ~doc:"Seed of the fault model's random stream (runs are reproducible per seed).")
+
+let window_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ n; a; b ] -> (
+        try
+          let node = int_of_string (String.trim n)
+          and from_us = int_of_string (String.trim a)
+          and upto_us = int_of_string (String.trim b) in
+          Ok { Faults.w_node = node; w_from = Time.us from_us; w_upto = Time.us upto_us }
+        with Failure _ -> Error (`Msg "expected NODE:FROM_US:UPTO_US (integers)"))
+    | _ -> Error (`Msg "expected NODE:FROM_US:UPTO_US")
+  in
+  let print ppf (w : Faults.window) =
+    Format.fprintf ppf "%d:%.0f:%.0f" w.Faults.w_node
+      (Time.to_us_float w.Faults.w_from)
+      (Time.to_us_float w.Faults.w_upto)
+  in
+  Arg.conv (parse, print)
+
+let link_down_arg =
+  Arg.(
+    value & opt_all window_conv []
+    & info [ "link-down" ] ~docv:"NODE:FROM_US:UPTO_US"
+        ~doc:
+          "Sever $(b,NODE)'s link between the two times (microseconds, end exclusive); \
+           every frame entering or leaving it is discarded. Repeatable.")
+
+let make_faults ~seed ~loss ~corrupt ~link_down =
+  let cfg =
+    { Faults.none with Faults.seed; cell_loss = loss; cell_corrupt = corrupt; link_down }
+  in
+  if Faults.is_none cfg then None else Some cfg
+
+(* ------------------------------------------------------------------ *)
 (* run                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -139,17 +201,23 @@ let matrix =
 
 let run_cmd =
   let doc = "Run a benchmark application on a simulated cluster." in
-  let run app nic procs page mc_kb no_aih cells n iterations molecules matrix trace trace_out
-      metrics_out =
+  let run app nic procs page mc_kb no_aih cells n iterations molecules matrix loss corrupt
+      link_down fault_seed trace trace_out metrics_out =
     let params = make_params ~page ~cells in
     let kind = make_kind nic ~mc_kb ~no_aih in
+    let faults = make_faults ~seed:fault_seed ~loss ~corrupt ~link_down in
     setup_trace trace;
+    let checksum = ref nan in
     let application cluster lrcs =
       match app with
       | `Jacobi ->
-          ignore (Jacobi.run cluster lrcs { Jacobi.default_config with Jacobi.n; iterations })
+          checksum :=
+            (Jacobi.run cluster lrcs { Jacobi.default_config with Jacobi.n; iterations })
+              .Jacobi.checksum
       | `Water ->
-          ignore (Water.run cluster lrcs { Water.default_config with Water.molecules })
+          checksum :=
+            (Water.run cluster lrcs { Water.default_config with Water.molecules })
+              .Water.checksum
       | `Cholesky ->
           let a =
             match matrix with
@@ -157,9 +225,9 @@ let run_cmd =
             | `B15 -> Cholesky.bcsstk15_like ()
             | `Small -> Sparse.stiffness_like ~n:300 ~dofs:3 ~seed:1
           in
-          ignore (Cholesky.run cluster lrcs (Cholesky.default_config a))
+          checksum := (Cholesky.run cluster lrcs (Cholesky.default_config a)).Cholesky.checksum
     in
-    let r = Runner.run ~params ~kind ~procs application in
+    let r = Runner.run ~params ?faults ~kind ~procs application in
     finish_trace ~spec:trace ~out:trace_out;
     write_metrics ~out:metrics_out r.Runner.metrics;
     Printf.printf "elapsed            %s  (%.3f x 10^9 CPU cycles)\n"
@@ -170,6 +238,10 @@ let run_cmd =
     Printf.printf "synch delay        %s\n" (Format.asprintf "%a" Time.pp r.Runner.synch_delay);
     Printf.printf "network packets    %d (%d wire bytes)\n" r.Runner.packets r.Runner.wire_bytes;
     Printf.printf "cache hit ratio    %.1f%%\n" r.Runner.hit_ratio;
+    Printf.printf "checksum           %.17g\n" !checksum;
+    if faults <> None then
+      Printf.printf "faults             %d frames destroyed, %d retransmits\n"
+        r.Runner.fault_drops r.Runner.retransmits;
     if r.Runner.message_mix <> [] then begin
       Printf.printf "protocol traffic  ";
       List.iter (fun (k, n) -> Printf.printf " %s=%d" k n) r.Runner.message_mix;
@@ -179,7 +251,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ app_arg $ nic_kind $ procs $ page_bytes $ mc_kb $ no_aih $ unrestricted $ n
-      $ iterations $ molecules $ matrix $ trace_arg $ trace_out $ metrics_out)
+      $ iterations $ molecules $ matrix $ loss_arg $ corrupt_arg $ link_down_arg
+      $ fault_seed_arg $ trace_arg $ trace_out $ metrics_out)
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                               *)

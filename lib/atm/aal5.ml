@@ -1,5 +1,12 @@
 exception Reassembly_error of string
 
+type error = Truncated | Bad_length | Crc_mismatch
+
+let error_message = function
+  | Truncated -> "frame shorter than trailer"
+  | Bad_length -> "bad length field"
+  | Crc_mismatch -> "CRC mismatch"
+
 let trailer_bytes = 8
 
 let cell_count len =
@@ -21,27 +28,78 @@ let segment ~vpi ~vci frame =
       Cell.make ~vpi ~vci ~last:(i = ncells - 1) payload)
 
 module Reassembler = struct
-  type t = { mutable cells : Bytes.t list (* reversed *); mutable count : int }
+  type t = {
+    mutable cells : Bytes.t list (* reversed *);
+    mutable count : int;
+    mutable s_frames : int;
+    mutable s_errors : int;
+  }
 
-  let create () = { cells = []; count = 0 }
+  let create () = { cells = []; count = 0; s_frames = 0; s_errors = 0 }
   let pending_cells t = t.count
+  let frames t = t.s_frames
+  let errors t = t.s_errors
 
-  let push t (cell : Cell.t) =
-    t.cells <- cell.payload :: t.cells;
-    t.count <- t.count + 1;
-    if not cell.header.last then None
+  let check_frame padded =
+    let total = Bytes.length padded in
+    if total < trailer_bytes then Error Truncated
     else begin
-      let padded = Bytes.concat Bytes.empty (List.rev t.cells) in
-      t.cells <- [];
-      t.count <- 0;
-      let total = Bytes.length padded in
-      if total < trailer_bytes then raise (Reassembly_error "frame shorter than trailer");
       let trailer_pos = total - trailer_bytes in
       let len = Int32.to_int (Bytes.get_int32_be padded trailer_pos) in
-      if len < 0 || len > trailer_pos then raise (Reassembly_error "bad length field");
-      let crc_stored = Bytes.get_int32_be padded (trailer_pos + 4) in
-      let crc = Crc32.digest padded ~pos:0 ~len:(trailer_pos + 4) in
-      if crc <> crc_stored then raise (Reassembly_error "CRC mismatch");
-      Some (Bytes.sub padded 0 len)
+      if len < 0 || len > trailer_pos then Error Bad_length
+      else begin
+        let crc_stored = Bytes.get_int32_be padded (trailer_pos + 4) in
+        let crc = Crc32.digest padded ~pos:0 ~len:(trailer_pos + 4) in
+        if crc <> crc_stored then Error Crc_mismatch else Ok (Bytes.sub padded 0 len)
+      end
     end
+
+  let push_result t (cell : Cell.t) =
+    t.cells <- cell.payload :: t.cells;
+    t.count <- t.count + 1;
+    if not cell.header.last then Ok None
+    else begin
+      let padded = Bytes.concat Bytes.empty (List.rev t.cells) in
+      (* the buffered cells are consumed either way: a bad frame is discarded
+         whole, the circuit stays usable for the next frame *)
+      t.cells <- [];
+      t.count <- 0;
+      match check_frame padded with
+      | Ok frame ->
+          t.s_frames <- t.s_frames + 1;
+          Ok (Some frame)
+      | Error e ->
+          t.s_errors <- t.s_errors + 1;
+          Error e
+    end
+
+  let push t cell =
+    match push_result t cell with
+    | Ok frame -> frame
+    | Error e -> raise (Reassembly_error (error_message e))
+end
+
+module Demux = struct
+  type t = { vcs : (int, Reassembler.t) Hashtbl.t }
+
+  let create () = { vcs = Hashtbl.create 8 }
+
+  let vc t vci =
+    match Hashtbl.find_opt t.vcs vci with
+    | Some r -> r
+    | None ->
+        let r = Reassembler.create () in
+        Hashtbl.replace t.vcs vci r;
+        r
+
+  let push_result t (cell : Cell.t) =
+    let vci = cell.header.vci in
+    match Reassembler.push_result (vc t vci) cell with
+    | Ok None -> Ok None
+    | Ok (Some frame) -> Ok (Some (vci, frame))
+    | Error e -> Error (vci, e)
+
+  let frames t ~vci = Reassembler.frames (vc t vci)
+  let errors t ~vci = Reassembler.errors (vc t vci)
+  let pending_cells t ~vci = Reassembler.pending_cells (vc t vci)
 end

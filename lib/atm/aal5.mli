@@ -8,6 +8,14 @@
 
 exception Reassembly_error of string
 
+(** Why a completed frame was rejected. *)
+type error =
+  | Truncated  (** frame shorter than the 8-byte trailer *)
+  | Bad_length  (** trailer length field negative or beyond the frame *)
+  | Crc_mismatch  (** CRC-32 over payload+padding does not match *)
+
+val error_message : error -> string
+
 (** [segment ~vpi ~vci frame] splits a frame into cells (at least one). *)
 val segment : vpi:int -> vci:int -> Bytes.t -> Cell.t list
 
@@ -17,13 +25,44 @@ module Reassembler : sig
 
   val create : unit -> t
 
-  (** [push t cell] adds a cell; returns [Some frame] when the cell completes
-      a frame (CRC and length verified).
+  (** [push_result t cell] adds a cell. [Ok None] mid-frame; [Ok (Some
+      frame)] when the cell completes a frame whose CRC and length check
+      out; [Error e] when the completed frame is bad — the frame is
+      discarded, the error counted, and the reassembler stays usable for
+      the circuit's next frame. Never raises. *)
+  val push_result : t -> Cell.t -> (Bytes.t option, error) result
+
+  (** [push t cell] is {!push_result} for callers that treat a bad frame as
+      fatal.
       @raise Reassembly_error on a bad CRC or inconsistent length. *)
   val push : t -> Cell.t -> Bytes.t option
 
   (** Cells buffered for the in-progress frame. *)
   val pending_cells : t -> int
+
+  (** Frames successfully reassembled. *)
+  val frames : t -> int
+
+  (** Frames discarded (truncated, bad length or CRC mismatch). *)
+  val errors : t -> int
+end
+
+(** Per-VC demultiplexing: routes each cell to its circuit's reassembler
+    (created on first sight), so interleaved frames from different VCs
+    reassemble independently, with per-VC frame/error counters. *)
+module Demux : sig
+  type t
+
+  val create : unit -> t
+
+  (** [push_result t cell] returns [Ok (Some (vci, frame))] when [cell]
+      completes a good frame on its circuit, [Error (vci, e)] when it
+      completes a bad one. Never raises. *)
+  val push_result : t -> Cell.t -> ((int * Bytes.t) option, int * error) result
+
+  val frames : t -> vci:int -> int
+  val errors : t -> vci:int -> int
+  val pending_cells : t -> vci:int -> int
 end
 
 (** [cell_count bytes] is the number of cells a [bytes]-long frame needs

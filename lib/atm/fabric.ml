@@ -3,6 +3,8 @@ module Params = Cni_machine.Params
 module Engine = Cni_engine.Engine
 module Time = Cni_engine.Time
 module Sync = Cni_engine.Sync
+module Stats = Cni_engine.Stats
+module Trace = Cni_engine.Trace
 
 type 'a packet = {
   src : int;
@@ -11,6 +13,7 @@ type 'a packet = {
   header : Bytes.t;
   body_bytes : int;
   payload : 'a;
+  crc_ok : bool;
 }
 
 type stats = { packets : int; cells : int; wire_bytes : int; dropped : int }
@@ -22,6 +25,11 @@ type 'a t = {
   egress : Sync.Semaphore.t array;
   mutable ingress_free : Time.t array;
   receivers : ('a packet -> unit) array;
+  registry : Stats.Registry.t option;
+  mutable faults : Faults.t option;
+  (* registered on first increment, so a fault-free run leaves the metrics
+     snapshot exactly as it was before fault injection existed *)
+  counters : (string, Stats.Counter.t) Hashtbl.t;
   mutable s_packets : int;
   mutable s_cells : int;
   mutable s_wire_bytes : int;
@@ -48,7 +56,39 @@ let min_latency p ~bytes =
   in
   Time.(serialize_time p ~wire + p.Params.switch_latency + (p.Params.link_latency * 2))
 
-let create eng p ~nodes =
+let counter t ~node name =
+  let key = Printf.sprintf "%d/%s" node name in
+  match Hashtbl.find_opt t.counters key with
+  | Some c -> c
+  | None ->
+      let c =
+        match t.registry with
+        | Some reg -> Stats.Registry.counter reg ~node ~subsystem:"fabric" name
+        | None -> Stats.Counter.create name
+      in
+      Hashtbl.replace t.counters key c;
+      c
+
+let counter_value t ~node name =
+  match Hashtbl.find_opt t.counters (Printf.sprintf "%d/%s" node name) with
+  | Some c -> Stats.Counter.value c
+  | None -> 0
+
+let emit t ~node ~label ~payload =
+  if Trace.enabled_cat Trace.Atm then
+    Trace.emit ~t_ps:(Time.to_ps (Engine.now t.eng)) ~node Trace.Atm ~label ~payload
+
+let drop_undeliverable t pkt =
+  t.s_dropped <- t.s_dropped + 1;
+  Stats.Counter.incr (counter t ~node:pkt.dst "undeliverable");
+  if Trace.enabled_cat Trace.Atm then
+    Trace.emit
+      ~t_ps:(Time.to_ps (Engine.now t.eng))
+      ~node:pkt.dst Trace.Atm
+      ~label:(Printf.sprintf "undeliverable src=%d dst=%d vci=%d" pkt.src pkt.dst pkt.vci)
+      ~payload:pkt.src
+
+let create ?registry ?faults eng p ~nodes =
   if nodes < 1 then invalid_arg "Fabric.create: need at least one node";
   let t =
     {
@@ -58,6 +98,9 @@ let create eng p ~nodes =
       egress = Array.init nodes (fun _ -> Sync.Semaphore.create 1);
       ingress_free = Array.make nodes Time.zero;
       receivers = Array.make nodes (fun _ -> ());
+      registry;
+      faults = Option.map Faults.create faults;
+      counters = Hashtbl.create 16;
       s_packets = 0;
       s_cells = 0;
       s_wire_bytes = 0;
@@ -65,13 +108,20 @@ let create eng p ~nodes =
     }
   in
   for i = 0 to nodes - 1 do
-    t.receivers.(i) <- (fun _ -> t.s_dropped <- t.s_dropped + 1)
+    t.receivers.(i) <- (fun pkt -> drop_undeliverable t pkt)
   done;
   t
 
 let nodes t = t.n
 let params t = t.p
 let set_receiver t ~node f = t.receivers.(node) <- f
+let set_faults t cfg = t.faults <- (if Faults.is_none cfg then None else Some (Faults.create cfg))
+let faults t = Option.map Faults.config t.faults
+let undeliverable t ~node = counter_value t ~node "undeliverable"
+let fault_drops t ~node =
+  counter_value t ~node "fault_frame_drops"
+  + counter_value t ~node "fault_frames_lost"
+  + counter_value t ~node "link_down_drops"
 
 let send t pkt =
   if pkt.src < 0 || pkt.src >= t.n then invalid_arg "Fabric.send: src out of range";
@@ -79,28 +129,71 @@ let send t pkt =
   if pkt.src = pkt.dst then invalid_arg "Fabric.send: src = dst";
   let cells = packet_cells t.p pkt in
   let wire = wire_bytes t.p pkt in
-  (if Cni_engine.Trace.enabled_cat Cni_engine.Trace.Atm then
-     let t_ps = Time.to_ps (Engine.now t.eng) in
-     Cni_engine.Trace.emit ~t_ps ~node:pkt.src Cni_engine.Trace.Atm ~label:"send"
-       ~payload:pkt.dst);
+  emit t ~node:pkt.src ~label:"send" ~payload:pkt.dst;
   t.s_packets <- t.s_packets + 1;
   t.s_cells <- t.s_cells + cells;
   t.s_wire_bytes <- t.s_wire_bytes + wire;
-  let ser = serialize_time t.p ~wire in
-  Engine.spawn t.eng ~name:"fabric-send" (fun () ->
-      Sync.Semaphore.acquire t.egress.(pkt.src);
-      Engine.delay ser;
-      Sync.Semaphore.release t.egress.(pkt.src);
-      (* last bit has left the source; it reaches the destination after the
-         switch and two links. Cut-through reception: the ingress port was
-         receiving while we were serialising, unless it was busy. *)
-      let now = Engine.now t.eng in
-      let eta = Time.(now + t.p.Params.switch_latency + (t.p.Params.link_latency * 2)) in
-      let start_recv = Time.max Time.(eta - ser) t.ingress_free.(pkt.dst) in
-      let finish = Time.(start_recv + ser) in
-      t.ingress_free.(pkt.dst) <- finish;
-      Engine.delay Time.(finish - now);
-      t.receivers.(pkt.dst) pkt)
+  (* the frame's fate is drawn synchronously at injection time: the random
+     stream then depends only on the (deterministic) order of send calls,
+     never on fiber interleaving *)
+  let verdict =
+    match t.faults with None -> Faults.Pass | Some f -> Faults.judge f ~cells
+  in
+  let src_down =
+    match t.faults with
+    | Some f -> Faults.link_down f ~node:pkt.src ~now:(Engine.now t.eng)
+    | None -> false
+  in
+  if src_down then begin
+    Stats.Counter.incr (counter t ~node:pkt.src "link_down_drops");
+    emit t ~node:pkt.src ~label:"link-down-drop" ~payload:pkt.dst
+  end
+  else
+    let ser = serialize_time t.p ~wire in
+    Engine.spawn t.eng ~name:"fabric-send" (fun () ->
+        Sync.Semaphore.acquire t.egress.(pkt.src);
+        Engine.delay ser;
+        Sync.Semaphore.release t.egress.(pkt.src);
+        (* last bit has left the source; it reaches the destination after the
+           switch and two links. Cut-through reception: the ingress port was
+           receiving while we were serialising, unless it was busy. *)
+        let now = Engine.now t.eng in
+        let eta = Time.(now + t.p.Params.switch_latency + (t.p.Params.link_latency * 2)) in
+        let dst_down =
+          match t.faults with
+          | Some f -> Faults.link_down f ~node:pkt.dst ~now:eta
+          | None -> false
+        in
+        if dst_down then begin
+          Stats.Counter.incr (counter t ~node:pkt.dst "link_down_drops");
+          emit t ~node:pkt.dst ~label:"link-down-drop" ~payload:pkt.src
+        end
+        else
+          match verdict with
+          | Faults.Drop ->
+              Stats.Counter.incr (counter t ~node:pkt.src "fault_frame_drops");
+              emit t ~node:pkt.src ~label:"fault-drop" ~payload:pkt.dst
+          | Faults.Lose_cells n ->
+              (* an incomplete frame never completes AAL5 reassembly at the
+                 receiver; it dies without occupying the ingress port *)
+              Stats.Counter.add (counter t ~node:pkt.src "fault_cells_lost") n;
+              Stats.Counter.incr (counter t ~node:pkt.src "fault_frames_lost");
+              emit t ~node:pkt.src ~label:"fault-cell-loss" ~payload:n
+          | (Faults.Pass | Faults.Corrupt _) as v ->
+              let pkt =
+                match v with
+                | Faults.Corrupt n ->
+                    Stats.Counter.add (counter t ~node:pkt.src "fault_cells_corrupted") n;
+                    Stats.Counter.incr (counter t ~node:pkt.src "fault_frames_corrupted");
+                    emit t ~node:pkt.src ~label:"fault-corrupt" ~payload:n;
+                    { pkt with crc_ok = false }
+                | _ -> pkt
+              in
+              let start_recv = Time.max Time.(eta - ser) t.ingress_free.(pkt.dst) in
+              let finish = Time.(start_recv + ser) in
+              t.ingress_free.(pkt.dst) <- finish;
+              Engine.delay Time.(finish - now);
+              t.receivers.(pkt.dst) pkt)
 
 let stats t =
   { packets = t.s_packets; cells = t.s_cells; wire_bytes = t.s_wire_bytes; dropped = t.s_dropped }

@@ -14,7 +14,13 @@
       case the packet queues (in arrival order).
 
     Per-cell processing cost on the NIC processors (SAR) is charged by the
-    NIC models, not here. *)
+    NIC models, not here.
+
+    An optional {!Faults} model makes the fabric lossy: frames can be
+    dropped whole, lose cells, arrive with [crc_ok = false] (a corrupted
+    cell fails the AAL5 CRC at reassembly), or die while a link is inside a
+    down window. Every fault event is counted (registry subsystem [fabric],
+    lazily registered) and traced on the [atm] category. *)
 
 type 'a packet = {
   src : int;
@@ -23,17 +29,32 @@ type 'a packet = {
   header : Bytes.t;  (** classifiable prefix; travels in the first cell(s) *)
   body_bytes : int;  (** additional payload bytes, accounted but not materialised *)
   payload : 'a;  (** simulated content delivered to the receiver *)
+  crc_ok : bool;  (** [false] when in-flight corruption will fail the AAL5
+                      CRC check at the receiver; senders set [true] *)
 }
 
 type 'a t
 
-val create : Cni_engine.Engine.t -> Cni_machine.Params.t -> nodes:int -> 'a t
+val create :
+  ?registry:Cni_engine.Stats.Registry.t ->
+  ?faults:Faults.config ->
+  Cni_engine.Engine.t ->
+  Cni_machine.Params.t ->
+  nodes:int ->
+  'a t
+
 val nodes : 'a t -> int
 val params : 'a t -> Cni_machine.Params.t
 
 (** Replace the delivery callback for a node (default: drop + count). The
     callback runs inside a fabric fiber; it may block. *)
 val set_receiver : 'a t -> node:int -> ('a packet -> unit) -> unit
+
+(** Attach (or replace) the fault model; {!Faults.is_none} configs detach it. *)
+val set_faults : 'a t -> Faults.config -> unit
+
+(** The active fault configuration, if any. *)
+val faults : 'a t -> Faults.config option
 
 (** Inject a packet; may be called from any event context.
     @raise Invalid_argument on out-of-range src/dst or src = dst. *)
@@ -55,3 +76,12 @@ val min_latency : Cni_machine.Params.t -> bytes:int -> Cni_engine.Time.t
 type stats = { packets : int; cells : int; wire_bytes : int; dropped : int }
 
 val stats : 'a t -> stats
+
+(** Packets addressed to [node] that arrived with no receiver installed
+    (also counted per node as [node<N>/fabric/undeliverable] and traced with
+    src/dst/vci). *)
+val undeliverable : 'a t -> node:int -> int
+
+(** Frames sourced at [node] that injected faults destroyed (whole-frame
+    drops + frames losing cells + link-down discards on either end). *)
+val fault_drops : 'a t -> node:int -> int

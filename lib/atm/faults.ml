@@ -1,0 +1,65 @@
+module Time = Cni_engine.Time
+module Rng = Cni_engine.Rng
+
+type window = { w_node : int; w_from : Time.t; w_upto : Time.t }
+
+type config = {
+  seed : int;
+  cell_loss : float;
+  cell_corrupt : float;
+  frame_drop : float;
+  link_down : window list;
+}
+
+let none = { seed = 42; cell_loss = 0.; cell_corrupt = 0.; frame_drop = 0.; link_down = [] }
+
+let is_none c =
+  c.cell_loss = 0. && c.cell_corrupt = 0. && c.frame_drop = 0. && c.link_down = []
+
+let with_loss ?(seed = 42) p = { none with seed; cell_loss = p }
+
+type t = { cfg : config; rng : Rng.t }
+
+let check_prob name p =
+  if not (p >= 0. && p <= 1.) then
+    invalid_arg (Printf.sprintf "Faults.create: %s must be in [0,1]" name)
+
+let create cfg =
+  check_prob "cell_loss" cfg.cell_loss;
+  check_prob "cell_corrupt" cfg.cell_corrupt;
+  check_prob "frame_drop" cfg.frame_drop;
+  List.iter
+    (fun w ->
+      if w.w_node < 0 then invalid_arg "Faults.create: window node must be >= 0";
+      if w.w_upto <= w.w_from then invalid_arg "Faults.create: empty link-down window")
+    cfg.link_down;
+  { cfg; rng = Rng.create ~seed:cfg.seed }
+
+let config t = t.cfg
+
+type verdict = Pass | Corrupt of int | Lose_cells of int | Drop
+
+(* Count the cells an independent per-cell event hits. Disabled classes
+   consume no draws; the same config replays the same stream. *)
+let hit_cells t p ~cells =
+  if p <= 0. then 0
+  else begin
+    let n = ref 0 in
+    for _ = 1 to cells do
+      if Rng.float t.rng < p then incr n
+    done;
+    !n
+  end
+
+let judge t ~cells =
+  if t.cfg.frame_drop > 0. && Rng.float t.rng < t.cfg.frame_drop then Drop
+  else
+    match hit_cells t t.cfg.cell_loss ~cells with
+    | n when n > 0 -> Lose_cells n
+    | _ -> (
+        match hit_cells t t.cfg.cell_corrupt ~cells with
+        | n when n > 0 -> Corrupt n
+        | _ -> Pass)
+
+let link_down t ~node ~now =
+  List.exists (fun w -> w.w_node = node && now >= w.w_from && now < w.w_upto) t.cfg.link_down

@@ -1,0 +1,62 @@
+(** Deterministic fault injection for the interconnect.
+
+    The model is attached to the {!Fabric} and consulted once per frame at
+    injection time (so the random stream depends only on the order of
+    [Fabric.send] calls, which the engine makes deterministic). Four fault
+    classes, all seeded from one explicit {!Cni_engine.Rng} stream:
+
+    - per-cell loss: each of the frame's cells is lost independently with
+      probability [cell_loss]; a frame missing any cell cannot pass AAL5
+      reassembly and is dropped at the destination;
+    - per-cell corruption: payload bytes flipped in flight with probability
+      [cell_corrupt] per cell — the frame arrives but its AAL5 CRC check
+      fails (the packet is delivered with [crc_ok = false]);
+    - whole-frame drop with probability [frame_drop] (e.g. a switch buffer
+      overflow taking out every cell of one packet);
+    - timed link-down windows: while [now] is inside a window, every frame
+      entering or leaving [w_node]'s link is discarded.
+
+    Counting and tracing of fault events is done by the fabric, which knows
+    node ids and owns the metrics registry. *)
+
+type window = {
+  w_node : int;  (** node whose link is severed *)
+  w_from : Cni_engine.Time.t;  (** window start (inclusive) *)
+  w_upto : Cni_engine.Time.t;  (** window end (exclusive) *)
+}
+
+type config = {
+  seed : int;
+  cell_loss : float;  (** per-cell loss probability, in [0,1] *)
+  cell_corrupt : float;  (** per-cell corruption probability, in [0,1] *)
+  frame_drop : float;  (** whole-frame drop probability, in [0,1] *)
+  link_down : window list;
+}
+
+(** All probabilities zero, no windows; [seed = 42]. *)
+val none : config
+
+val is_none : config -> bool
+
+(** [with_loss ?seed p] is {!none} with [cell_loss = p]. *)
+val with_loss : ?seed:int -> float -> config
+
+type t
+
+(** @raise Invalid_argument on a probability outside [0,1] or an empty-or-
+    negative window. *)
+val create : config -> t
+
+val config : t -> config
+
+type verdict =
+  | Pass  (** deliver intact *)
+  | Corrupt of int  (** deliver with a failing CRC; [n] cells corrupted *)
+  | Lose_cells of int  (** [n] cells lost in flight; the frame is dropped *)
+  | Drop  (** the whole frame vanishes *)
+
+(** [judge t ~cells] draws the fate of one [cells]-cell frame. *)
+val judge : t -> cells:int -> verdict
+
+(** Is [node]'s link inside a down window at time [now]? *)
+val link_down : t -> node:int -> now:Cni_engine.Time.t -> bool

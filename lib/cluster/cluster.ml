@@ -18,13 +18,26 @@ type 'a t = {
   mutable ran : bool;
 }
 
-let create ?(params = Params.default) ~nic_kind ~nodes () =
+let create ?(params = Params.default) ?faults ?reliability ~nic_kind ~nodes () =
   if nodes < 1 then invalid_arg "Cluster.create: need at least one node";
   let eng = Engine.create () in
-  let fabric = Fabric.create eng params ~nodes in
   let registry = Stats.Registry.create () in
+  let faulty =
+    match faults with Some f when not (Cni_atm.Faults.is_none f) -> Some f | _ -> None
+  in
+  let fabric = Fabric.create ~registry ?faults:faulty eng params ~nodes in
+  (* an injected-fault fabric without reliable delivery would just lose
+     protocol messages and deadlock; default the protocol on when faults are
+     requested, while still letting callers pass an explicit config *)
+  let reliability =
+    match (reliability, faulty) with
+    | (Some _ as r), _ -> r
+    | None, Some _ -> Some Cni_nic.Reliable.default
+    | None, None -> None
+  in
   let node_arr =
-    Array.init nodes (fun id -> Node.create ~registry eng params fabric ~id ~nic_kind)
+    Array.init nodes (fun id ->
+        Node.create ~registry ?reliability eng params fabric ~id ~nic_kind)
   in
   { eng; p = params; fabric; nodes = node_arr; kind = nic_kind; registry; ran = false }
 
@@ -35,6 +48,14 @@ let size t = Array.length t.nodes
 let node t i = t.nodes.(i)
 let nodes t = t.nodes
 let is_cni t = match t.kind with `Cni _ -> true | `Osiris _ | `Standard -> false
+
+let retransmits t =
+  Array.fold_left
+    (fun acc n ->
+      match Nic.rel_stats (Node.nic n) with
+      | Some rs -> acc + rs.Nic.retransmits
+      | None -> acc)
+    0 t.nodes
 
 let run_app t f =
   Array.iter

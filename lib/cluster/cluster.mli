@@ -8,8 +8,23 @@ type nic_kind =
 
 type 'a t
 
+(** [faults] attaches a {!Cni_atm.Faults} model to the fabric (ignored when
+    it is {!Cni_atm.Faults.is_none}); a faulty fabric implies NIC-level
+    reliable delivery — [reliability] defaults to
+    {!Cni_nic.Reliable.default} whenever faults are active, and can be
+    passed explicitly to tune it (or to enable reliability on a clean
+    fabric). *)
 val create :
-  ?params:Cni_machine.Params.t -> nic_kind:nic_kind -> nodes:int -> unit -> 'a t
+  ?params:Cni_machine.Params.t ->
+  ?faults:Cni_atm.Faults.config ->
+  ?reliability:Cni_nic.Reliable.config ->
+  nic_kind:nic_kind ->
+  nodes:int ->
+  unit ->
+  'a t
+
+(** Sum of NIC retransmissions over all nodes (0 when reliability is off). *)
+val retransmits : 'a t -> int
 
 val engine : 'a t -> Cni_engine.Engine.t
 val params : 'a t -> Cni_machine.Params.t

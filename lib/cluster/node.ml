@@ -36,7 +36,7 @@ type report = {
   service_time : Time.t;
 }
 
-let create ?registry eng p fabric ~id ~nic_kind =
+let create ?registry ?reliability eng p fabric ~id ~nic_kind =
   let bus = Bus.create eng p in
   let t =
     {
@@ -71,9 +71,11 @@ let create ?registry eng p fabric ~id ~nic_kind =
   in
   let nic =
     match nic_kind with
-    | `Cni options -> Nic.create_cni ?registry eng bus fabric ~node:id ~host ~options ()
-    | `Osiris options -> Nic.create_osiris ?registry eng bus fabric ~node:id ~host ~options ()
-    | `Standard -> Nic.create_standard ?registry eng bus fabric ~node:id ~host ()
+    | `Cni options ->
+        Nic.create_cni ?registry ?reliability eng bus fabric ~node:id ~host ~options ()
+    | `Osiris options ->
+        Nic.create_osiris ?registry ?reliability eng bus fabric ~node:id ~host ~options ()
+    | `Standard -> Nic.create_standard ?registry ?reliability eng bus fabric ~node:id ~host ()
   in
   t.nic <- Some nic;
   t

@@ -20,9 +20,12 @@
 type 'a t
 
 (** [registry], when given, is forwarded to the NIC so its counters land in
-    the cluster's metrics registry under [node<id>/...]. *)
+    the cluster's metrics registry under [node<id>/...]; [reliability]
+    enables the NIC-level reliable-delivery protocol (see
+    {!Cni_nic.Reliable}). *)
 val create :
   ?registry:Cni_engine.Stats.Registry.t ->
+  ?reliability:Cni_nic.Reliable.config ->
   Cni_engine.Engine.t ->
   Cni_machine.Params.t ->
   'a Cni_atm.Fabric.t ->

@@ -59,12 +59,6 @@ let obj_of = function
   | Diff_req { page; _ } | Diff_reply { page; _ } -> page
   | Barrier_arrive { barrier; _ } | Barrier_release { barrier; _ } -> barrier
 
-let aux_of = function
-  | Lock_acquire { requester; _ } | Lock_forward { requester; _ } -> requester
-  | Diff_req { since; _ } -> since
-  | Barrier_arrive { node; _ } -> node
-  | Lock_grant _ | Page_req _ | Page_reply _ | Diff_reply _ | Barrier_release _ -> 0
-
 let has_data = function Page_reply _ -> true | _ -> false
 
 (* Pages fetched with write intent are migration candidates: the header bit
@@ -82,7 +76,9 @@ let header ~src msg =
       src;
       channel;
       obj = obj_of msg;
-      aux = aux_of msg;
+      (* requester/since/node travel in the typed payload; the header's aux
+         field is owned by the reliability layer (sequence numbers) *)
+      aux = 0;
     }
 
 let pp fmt msg =

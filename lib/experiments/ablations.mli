@@ -20,3 +20,9 @@ val interface_evolution : unit -> Report.t
 
 (** Elimination-ordering sensitivity of the Cholesky benchmark. *)
 val ordering : unit -> Report.t
+
+(** Graceful degradation: cell-loss sweep (0 .. 1e-3) for the three
+    applications on both interfaces, with the reliable-delivery protocol
+    recovering lost frames. Reports completion, retransmissions and slowdown
+    relative to the zero-loss run. *)
+val faults : unit -> Report.t

@@ -18,6 +18,8 @@ type result = {
   packets : int;
   wire_bytes : int;
   message_mix : (string * int) list;  (* protocol messages by kind, summed *)
+  retransmits : int;  (* NIC-level re-sends, summed (0 with reliability off) *)
+  fault_drops : int;  (* frames the fault model destroyed, summed over nodes *)
   metrics : Cni_engine.Stats.Registry.snapshot;
 }
 
@@ -34,8 +36,8 @@ let cni ?mc_bytes ?mc_mode ?aih ?hybrid_receive () =
 let standard = `Standard
 let osiris = `Osiris Nic.default_osiris_options
 
-let run ?(params = Params.default) ~kind ~procs app =
-  let cluster = Cluster.create ~params ~nic_kind:kind ~nodes:procs () in
+let run ?(params = Params.default) ?faults ?reliability ~kind ~procs app =
+  let cluster = Cluster.create ~params ?faults ?reliability ~nic_kind:kind ~nodes:procs () in
   let space = Space.create ~nprocs:procs ~page_bytes:params.Params.page_bytes in
   let lrcs = Lrc.install cluster space () in
   app cluster lrcs;
@@ -60,6 +62,14 @@ let run ?(params = Params.default) ~kind ~procs app =
     packets = f.Fabric.packets;
     wire_bytes = f.Fabric.wire_bytes;
     message_mix = List.sort compare (Hashtbl.fold (fun k n acc -> (k, n) :: acc) mix []);
+    retransmits = Cluster.retransmits cluster;
+    fault_drops =
+      (let fab = Cluster.fabric cluster in
+       let acc = ref 0 in
+       for n = 0 to procs - 1 do
+         acc := !acc + Fabric.fault_drops fab ~node:n
+       done;
+       !acc);
     metrics = Cluster.metrics_snapshot cluster;
   }
 

@@ -14,6 +14,11 @@ type result = {
   wire_bytes : int;
   message_mix : (string * int) list;
       (** protocol messages received, by kind, summed over nodes *)
+  retransmits : int;
+      (** NIC-level retransmissions summed over nodes (0 with reliability
+          disabled) *)
+  fault_drops : int;
+      (** frames destroyed by the injected fault model, summed over nodes *)
   metrics : Cni_engine.Stats.Registry.snapshot;
       (** full registry snapshot: every node's NIC, ring, Message Cache, DSM
           and time-accounting metrics *)
@@ -34,9 +39,17 @@ val standard : Cni_cluster.Cluster.nic_kind
 val osiris : Cni_cluster.Cluster.nic_kind
 
 (** [run ~kind ~procs app] builds a cluster + DSM and runs [app] to
-    completion. [params] defaults to Table 1. *)
+    completion. [params] defaults to Table 1. [faults] makes the fabric
+    lossy (implying NIC reliable delivery, see {!Cni_cluster.Cluster.create});
+    [reliability] tunes or force-enables the delivery protocol. *)
 val run :
-  ?params:Cni_machine.Params.t -> kind:Cni_cluster.Cluster.nic_kind -> procs:int -> app -> result
+  ?params:Cni_machine.Params.t ->
+  ?faults:Cni_atm.Faults.config ->
+  ?reliability:Cni_nic.Reliable.config ->
+  kind:Cni_cluster.Cluster.nic_kind ->
+  procs:int ->
+  app ->
+  result
 
 (** [speedup ~t1 r] = t1 / elapsed. *)
 val speedup : t1:Cni_engine.Time.t -> result -> float

@@ -51,6 +51,32 @@ type kind = Cni of cni_options | Osiris of osiris_options | Standard
 
 type 'a handler_fn = 'a ctx -> 'a Fabric.packet -> unit
 
+(* One unacknowledged sequenced transmission, kept until its ack arrives or
+   the retry budget runs out. *)
+type 'a tx_entry = {
+  e_dst : int;
+  e_channel : int;
+  e_seq : int;
+  e_header : Bytes.t;
+  e_body_bytes : int;
+  e_data : data;
+  e_payload : 'a;
+  mutable e_tries : int;  (* transmissions so far *)
+  mutable e_rto : Time.t;  (* next retransmission timeout *)
+  mutable e_acked : bool;
+}
+
+type 'a rel = {
+  r_cfg : Reliable.config;
+  r_next_seq : (int, int ref) Hashtbl.t;  (* per-destination allocator *)
+  r_pending : (int * int, 'a tx_entry) Hashtbl.t;  (* (dst, seq) *)
+  r_windows : (int, Reliable.Window.t) Hashtbl.t;  (* per-source dedup *)
+  r_retransmits : Stats.Counter.t;
+  r_acks_tx : Stats.Counter.t;
+  r_acks_rx : Stats.Counter.t;
+  r_rx_duplicates : Stats.Counter.t;
+}
+
 type 'a t = {
   eng : Engine.t;
   bus : Bus.t;
@@ -61,6 +87,7 @@ type 'a t = {
   mc : Message_cache.t option;
   host : host;
   registry : Stats.Registry.t option;
+  rel : 'a rel option;
   nic_proc : Sync.Semaphore.t;  (* the 33 MHz processor is a shared resource *)
   tx_ring : unit Ring.t;  (* transmit descriptors are processed in order; a
                              single-slot descriptor ring whose full_stalls
@@ -71,6 +98,9 @@ type 'a t = {
   handler_sizes : (Classifier.handle, int) Hashtbl.t;
   mutable default_handler : 'a handler_fn;
   mutable s_handler_code_bytes : int;
+  (* error-path counters, registered on first increment so clean runs leave
+     the metrics snapshot untouched *)
+  lazy_counters : (string, Stats.Counter.t) Hashtbl.t;
   s_unmatched : Stats.Counter.t;
   s_tx_packets : Stats.Counter.t;
   s_tx_data_packets : Stats.Counter.t;
@@ -92,6 +122,14 @@ type stats = {
   unmatched : int;
 }
 
+type rel_stats = {
+  retransmits : int;
+  acks_tx : int;
+  acks_rx : int;
+  rx_duplicates : int;
+  tx_unacked : int;
+}
+
 let node t = t.node
 let is_cni t = match t.kind with Cni _ -> true | Osiris _ | Standard -> false
 let aih_enabled t = match t.kind with Cni { aih; _ } -> aih | Osiris _ | Standard -> false
@@ -106,8 +144,41 @@ let network_cache_hit_ratio_opt t =
   match t.mc with Some mc -> Message_cache.hit_ratio_opt mc | None -> None
 
 let registry t = t.registry
+let reliability t = Option.map (fun r -> r.r_cfg) t.rel
 
 let vpage_of t vaddr = vaddr / t.p.Params.page_bytes
+
+let lcounter t name =
+  match Hashtbl.find_opt t.lazy_counters name with
+  | Some c -> c
+  | None ->
+      let c =
+        match t.registry with
+        | Some reg -> Stats.Registry.counter reg ~node:t.node ~subsystem:"nic" name
+        | None -> Stats.Counter.create name
+      in
+      Hashtbl.replace t.lazy_counters name c;
+      c
+
+let lvalue t name =
+  match Hashtbl.find_opt t.lazy_counters name with
+  | Some c -> Stats.Counter.value c
+  | None -> 0
+
+let rx_undecodable t = lvalue t "rx_undecodable"
+let rx_crc_errors t = lvalue t "rx_crc_errors"
+
+let rel_stats t =
+  Option.map
+    (fun r ->
+      {
+        retransmits = Stats.Counter.value r.r_retransmits;
+        acks_tx = Stats.Counter.value r.r_acks_tx;
+        acks_rx = Stats.Counter.value r.r_acks_rx;
+        rx_duplicates = Stats.Counter.value r.r_rx_duplicates;
+        tx_unacked = Hashtbl.length r.r_pending;
+      })
+    t.rel
 
 (* Occupy the board's processor for a bounded burst of work. Concurrent
    transmissions, receptions and handler activations on one board serialise
@@ -130,6 +201,14 @@ let host_busy t d =
     Engine.delay d;
     Sync.Semaphore.release t.host_proc
   end
+
+(* Kernel work performed on the host without an application fiber to bill:
+   occupy the interrupt level, report it as service and steal the CPU from a
+   computing application (mirrors run_on_host's accounting). *)
+let host_kernel_burst t d =
+  host_busy t d;
+  t.host.overhead d;
+  if not (t.host.host_waiting ()) then t.host.steal d
 
 (* ------------------------------------------------------------------ *)
 (* Transmit                                                           *)
@@ -173,7 +252,8 @@ let nic_transmit t ~dst ~header ~body_bytes ~data ~payload =
      (cells, serialisation) exactly like inline body bytes *)
   let data_bytes = match data with No_data -> 0 | Page { bytes; _ } -> bytes in
   let pkt =
-    { Fabric.src = t.node; dst; vci = t.node; header; body_bytes = body_bytes + data_bytes; payload }
+    { Fabric.src = t.node; dst; vci = t.node; header; body_bytes = body_bytes + data_bytes;
+      payload; crc_ok = true }
   in
   let cells = Fabric.packet_cells p pkt in
   nic_busy t (Params.nic_cycles p (cells * p.Params.sar_cell_nic_cycles));
@@ -183,6 +263,78 @@ let nic_transmit t ~dst ~header ~body_bytes ~data ~payload =
       ~label:"tx" ~payload:dst;
   ignore (Ring.pop t.tx_ring : unit);
   Fabric.send t.fabric pkt
+
+(* Arm (or re-arm) the retransmission timer for one unacked entry. On the
+   CNI/OSIRIS boards the timer and the resend run in board firmware; the
+   standard interface keeps them in the kernel, so every firing costs the
+   host an interrupt plus the kernel send path. Exhausting the budget kills
+   the run with a structured error in place of a silent hang. *)
+let rec arm_retransmit t r (e : 'a tx_entry) =
+  Engine.after t.eng e.e_rto (fun () ->
+      if not e.e_acked then
+        if e.e_tries >= r.r_cfg.Reliable.max_tries then begin
+          Hashtbl.remove r.r_pending (e.e_dst, e.e_seq);
+          Engine.spawn t.eng ~name:"nic-delivery-failed" (fun () ->
+              raise
+                (Reliable.Delivery_failed
+                   { Reliable.node = t.node; dst = e.e_dst; channel = e.e_channel;
+                     seq = e.e_seq; tries = e.e_tries }))
+        end
+        else begin
+          e.e_tries <- e.e_tries + 1;
+          e.e_rto <- Time.(e.e_rto * r.r_cfg.Reliable.backoff);
+          Stats.Counter.incr r.r_retransmits;
+          if Trace.enabled_cat Trace.Nic then
+            Trace.emit ~t_ps:(Time.to_ps (Engine.now t.eng)) ~node:t.node Trace.Nic
+              ~label:"retransmit" ~payload:e.e_seq;
+          Engine.spawn t.eng ~name:"nic-retransmit" (fun () ->
+              (match t.kind with
+              | Cni _ | Osiris _ -> ()
+              | Standard ->
+                  Stats.Counter.incr t.s_interrupts;
+                  host_kernel_burst t
+                    Time.(t.p.Params.interrupt_latency
+                          + Params.cpu_cycles t.p t.p.Params.kernel_send_cycles));
+              nic_transmit t ~dst:e.e_dst ~header:e.e_header ~body_bytes:e.e_body_bytes
+                ~data:e.e_data ~payload:e.e_payload);
+          arm_retransmit t r e
+        end)
+
+(* Queue a frame for transmission. With reliability enabled, every Wire
+   frame is stamped with a per-destination sequence number and tracked until
+   acknowledged; non-Wire frames (none in the current protocols) pass
+   through unsequenced. *)
+let submit t ~dst ~header ~body_bytes ~data ~payload =
+  let plain () =
+    Engine.spawn t.eng ~name:"nic-tx" (fun () ->
+        nic_transmit t ~dst ~header ~body_bytes ~data ~payload)
+  in
+  match t.rel with
+  | None -> plain ()
+  | Some r -> (
+      match Wire.decode_opt header with
+      | None -> plain ()
+      | Some h ->
+          let next =
+            match Hashtbl.find_opt r.r_next_seq dst with
+            | Some c -> c
+            | None ->
+                let c = ref 0 in
+                Hashtbl.replace r.r_next_seq dst c;
+                c
+          in
+          incr next;
+          let seq = !next in
+          let header = Wire.with_aux header seq in
+          let e =
+            { e_dst = dst; e_channel = h.Wire.channel; e_seq = seq; e_header = header;
+              e_body_bytes = body_bytes; e_data = data; e_payload = payload;
+              e_tries = 1; e_rto = r.r_cfg.Reliable.timeout; e_acked = false }
+          in
+          Hashtbl.replace r.r_pending (dst, seq) e;
+          arm_retransmit t r e;
+          Engine.spawn t.eng ~name:"nic-tx" (fun () ->
+              nic_transmit t ~dst ~header ~body_bytes ~data ~payload))
 
 (* Host-side entry: charge the host path cost, then hand off to the board. *)
 let send t ~dst ~header ~body_bytes ~data ~payload =
@@ -195,8 +347,7 @@ let send t ~dst ~header ~body_bytes ~data ~payload =
   let cost = Params.cpu_cycles p host_cycles in
   t.host.overhead cost;
   Engine.delay cost;
-  Engine.spawn t.eng ~name:"nic-tx" (fun () ->
-      nic_transmit t ~dst ~header ~body_bytes ~data ~payload)
+  submit t ~dst ~header ~body_bytes ~data ~payload
 
 (* ------------------------------------------------------------------ *)
 (* Receive                                                            *)
@@ -213,15 +364,14 @@ let make_ctx t ~on_charge ~reply_host_cycles =
              driven directly (no host cost); a host-resident handler pays its
              kernel or ADC send path, charged through [on_charge] *)
           if reply_host_cycles > 0 then on_charge reply_host_cycles;
-          Engine.spawn t.eng ~name:"nic-reply" (fun () ->
-              nic_transmit t ~dst ~header ~body_bytes ~data ~payload));
+          submit t ~dst ~header ~body_bytes ~data ~payload);
       deliver_page =
         (fun ~vaddr ~bytes ~cacheable ->
           if cacheable then
             Option.iter (fun mc -> Message_cache.bind mc ~vpage:(vpage_of t vaddr)) t.mc;
           Bus.dma t.bus ~dir:Bus.Dma_to_memory ~addr:vaddr ~bytes;
           Stats.Counter.add t.s_rx_dma_bytes bytes;
-          t.host.invalidate_range ~addr:vaddr ~bytes);
+          t.host.invalidate_range ~addr:vaddr ~bytes)
     }
   in
   ctx
@@ -242,6 +392,87 @@ let run_on_host t ~base ~reply_host_cycles handler pkt =
   t.host.overhead !spent;
   if not (t.host.host_waiting ()) then t.host.steal !spent
 
+(* The classification-stage cost of looking at one frame and discarding it
+   (a duplicate the window caught): hardware lookup on the CNI, software
+   demux on OSIRIS, a full interrupt + kernel demux on the standard board. *)
+let discard_cost t =
+  let p = t.p in
+  match t.kind with
+  | Cni _ ->
+      Engine.delay (Time.ns p.Params.pathfinder_cell_ns);
+      nic_busy t (Params.nic_cycles p p.Params.handler_dispatch_nic_cycles)
+  | Osiris { software_classify_nic_cycles } ->
+      nic_busy t (Params.nic_cycles p software_classify_nic_cycles)
+  | Standard ->
+      Stats.Counter.incr t.s_interrupts;
+      host_kernel_burst t
+        Time.(p.Params.interrupt_latency + Params.cpu_cycles p p.Params.kernel_recv_cycles)
+
+(* Acknowledge a sequenced frame. The CNI/OSIRIS boards generate the ack in
+   firmware (its transmit cost is the usual board dispatch + SAR inside
+   nic_transmit); the standard interface builds it in the kernel. *)
+let send_ack t r ~dst ~seq =
+  Stats.Counter.incr r.r_acks_tx;
+  let header =
+    Wire.encode
+      { Wire.kind = Reliable.ack_kind; cacheable = false; has_data = false;
+        src = t.node; channel = Reliable.ack_channel; obj = seq; aux = 0 }
+  in
+  Engine.spawn t.eng ~name:"nic-ack" (fun () ->
+      (match t.kind with
+      | Cni _ | Osiris _ -> ()
+      | Standard ->
+          host_kernel_burst t (Params.cpu_cycles t.p t.p.Params.kernel_send_cycles));
+      (* acks carry no payload and are intercepted before classification at
+         the far end, so the placeholder is never read (cf. Mp's barrier
+         placeholder) *)
+      nic_transmit t ~dst ~header ~body_bytes:0 ~data:No_data ~payload:(Obj.magic 0))
+
+(* An ack arrived: settle the matching pending entry. *)
+let handle_ack t (h : Wire.t) (pkt : 'a Fabric.packet) =
+  match t.rel with
+  | None -> () (* reliability off: stray ack, drop silently *)
+  | Some r -> (
+      Stats.Counter.incr r.r_acks_rx;
+      (match Hashtbl.find_opt r.r_pending (pkt.Fabric.src, h.Wire.obj) with
+      | Some e ->
+          e.e_acked <- true;
+          Hashtbl.remove r.r_pending (pkt.Fabric.src, h.Wire.obj)
+      | None -> () (* ack for an already-settled (re)transmission *));
+      discard_cost t)
+
+(* Duplicate suppression + acknowledgment for one decoded frame; [true] when
+   the frame is fresh and must be dispatched. Unsequenced frames (aux = 0:
+   traffic from a peer without reliability, or control frames) pass through
+   untouched. *)
+let rel_admit t (h : Wire.t) (pkt : 'a Fabric.packet) =
+  match t.rel with
+  | None -> true
+  | Some r ->
+      if h.Wire.aux = 0 then true
+      else begin
+        let w =
+          match Hashtbl.find_opt r.r_windows pkt.Fabric.src with
+          | Some w -> w
+          | None ->
+              let w = Reliable.Window.create () in
+              Hashtbl.replace r.r_windows pkt.Fabric.src w;
+              w
+        in
+        let fresh = Reliable.Window.observe w h.Wire.aux = `Fresh in
+        (* ack duplicates too: the retransmission usually means our previous
+           ack was lost *)
+        send_ack t r ~dst:pkt.Fabric.src ~seq:h.Wire.aux;
+        if not fresh then begin
+          Stats.Counter.incr r.r_rx_duplicates;
+          if Trace.enabled_cat Trace.Nic then
+            Trace.emit ~t_ps:(Time.to_ps (Engine.now t.eng)) ~node:t.node Trace.Nic
+              ~label:"rx-duplicate" ~payload:h.Wire.aux;
+          discard_cost t
+        end;
+        fresh
+      end
+
 let receive t (pkt : 'a Fabric.packet) =
   let p = t.p in
   Stats.Counter.incr t.s_rx_packets;
@@ -251,68 +482,92 @@ let receive t (pkt : 'a Fabric.packet) =
   let cells = Fabric.packet_cells p pkt in
   (* SAR: reassembly work per cell on the NIC processor *)
   nic_busy t (Params.nic_cycles p (cells * p.Params.sar_cell_nic_cycles));
-  let lookup_handler () =
-    match Classifier.classify t.classifier pkt.Fabric.header with
-    | Some (f, _code) -> f
+  if not pkt.Fabric.crc_ok then begin
+    (* the AAL5 CRC computed during reassembly does not match the trailer:
+       the board discards the frame (a sequenced original will be
+       retransmitted by its sender's timer) *)
+    Stats.Counter.incr (lcounter t "rx_crc_errors");
+    if Trace.enabled_cat Trace.Nic then
+      Trace.emit ~t_ps:(Time.to_ps (Engine.now t.eng)) ~node:t.node Trace.Nic
+        ~label:"rx-crc-drop" ~payload:pkt.Fabric.src
+  end
+  else
+    match Wire.decode_opt pkt.Fabric.header with
     | None ->
-        Stats.Counter.incr t.s_unmatched;
-        t.default_handler
-  in
-  match t.kind with
-  | Cni { aih; hybrid_receive; _ } ->
-      (* PATHFINDER classifies the first cell in dedicated hardware;
-         continuation cells follow the remembered VC binding (their cost is
-         folded into the SAR term). *)
-      Engine.delay (Time.ns p.Params.pathfinder_cell_ns);
-      let handler = lookup_handler () in
-      if aih then begin
-        (* control transfers straight into the Application Interrupt
-           Handler on the NIC processor; the host is not involved *)
-        nic_busy t (Params.nic_cycles p p.Params.handler_dispatch_nic_cycles);
-        let ctx =
-          make_ctx t ~reply_host_cycles:0
-            ~on_charge:(fun n -> nic_busy t (Params.nic_cycles p n))
+        (* not a frame any pattern could classify: count and drop instead of
+           tearing down the receive fiber *)
+        Stats.Counter.incr (lcounter t "rx_undecodable");
+        if Trace.enabled_cat Trace.Nic then
+          Trace.emit ~t_ps:(Time.to_ps (Engine.now t.eng)) ~node:t.node Trace.Nic
+            ~label:"rx-undecodable" ~payload:pkt.Fabric.src
+    | Some h when h.Wire.kind = Reliable.ack_kind && h.Wire.channel = Reliable.ack_channel ->
+        handle_ack t h pkt
+    | Some h when not (rel_admit t h pkt) -> ()
+    | Some _ -> (
+        let lookup_handler () =
+          match Classifier.classify t.classifier pkt.Fabric.header with
+          | Some (f, _code) -> f
+          | None ->
+              Stats.Counter.incr t.s_unmatched;
+              t.default_handler
         in
-        handler ctx pkt
-      end
-      else begin
-        (* ADC delivery to host code: polling when the host is already
-           waiting on the network, an interrupt otherwise (the hybrid of
-           section 2.1) *)
-        if hybrid_receive && t.host.host_waiting () then begin
-          Stats.Counter.incr t.s_polls;
-          Engine.delay (Params.cpu_cycles p p.Params.poll_check_cycles)
-        end
-        else begin
-          Stats.Counter.incr t.s_interrupts;
-          host_busy t p.Params.interrupt_latency;
-          if not (t.host.host_waiting ()) then t.host.steal p.Params.interrupt_latency
-        end;
-        run_on_host t ~base:Time.zero ~reply_host_cycles:p.Params.adc_enqueue_cycles handler pkt
-      end
-  | Osiris { software_classify_nic_cycles } ->
-      (* the base board: ADC queues exist, but demultiplexing is software on
-         the board processor and the host is interrupted for every packet
-         (section 2.1's two differences from the CNI) *)
-      nic_busy t (Params.nic_cycles p software_classify_nic_cycles);
-      let handler = lookup_handler () in
-      Stats.Counter.incr t.s_interrupts;
-      host_busy t p.Params.interrupt_latency;
-      if not (t.host.host_waiting ()) then t.host.steal p.Params.interrupt_latency;
-      run_on_host t ~base:p.Params.interrupt_latency
-        ~reply_host_cycles:p.Params.adc_enqueue_cycles handler pkt
-  | Standard ->
-      (* the standard board interrupts the host for every packet; the kernel
-         demultiplexes in software and runs the handler on the host CPU *)
-      Stats.Counter.incr t.s_interrupts;
-      let handler = lookup_handler () in
-      let kernel = Params.cpu_cycles p p.Params.kernel_recv_cycles in
-      host_busy t Time.(p.Params.interrupt_latency + kernel);
-      run_on_host t
-        ~base:Time.(p.Params.interrupt_latency + kernel)
-        ~reply_host_cycles:p.Params.kernel_send_cycles handler pkt
+        match t.kind with
+        | Cni { aih; hybrid_receive; _ } ->
+            (* PATHFINDER classifies the first cell in dedicated hardware;
+               continuation cells follow the remembered VC binding (their cost
+               is folded into the SAR term). *)
+            Engine.delay (Time.ns p.Params.pathfinder_cell_ns);
+            let handler = lookup_handler () in
+            if aih then begin
+              (* control transfers straight into the Application Interrupt
+                 Handler on the NIC processor; the host is not involved *)
+              nic_busy t (Params.nic_cycles p p.Params.handler_dispatch_nic_cycles);
+              let ctx =
+                make_ctx t ~reply_host_cycles:0
+                  ~on_charge:(fun n -> nic_busy t (Params.nic_cycles p n))
+              in
+              handler ctx pkt
+            end
+            else begin
+              (* ADC delivery to host code: polling when the host is already
+                 waiting on the network, an interrupt otherwise (the hybrid of
+                 section 2.1) *)
+              if hybrid_receive && t.host.host_waiting () then begin
+                Stats.Counter.incr t.s_polls;
+                Engine.delay (Params.cpu_cycles p p.Params.poll_check_cycles)
+              end
+              else begin
+                Stats.Counter.incr t.s_interrupts;
+                host_busy t p.Params.interrupt_latency;
+                if not (t.host.host_waiting ()) then t.host.steal p.Params.interrupt_latency
+              end;
+              run_on_host t ~base:Time.zero ~reply_host_cycles:p.Params.adc_enqueue_cycles
+                handler pkt
+            end
+        | Osiris { software_classify_nic_cycles } ->
+            (* the base board: ADC queues exist, but demultiplexing is software
+               on the board processor and the host is interrupted for every
+               packet (section 2.1's two differences from the CNI) *)
+            nic_busy t (Params.nic_cycles p software_classify_nic_cycles);
+            let handler = lookup_handler () in
+            Stats.Counter.incr t.s_interrupts;
+            host_busy t p.Params.interrupt_latency;
+            if not (t.host.host_waiting ()) then t.host.steal p.Params.interrupt_latency;
+            run_on_host t ~base:p.Params.interrupt_latency
+              ~reply_host_cycles:p.Params.adc_enqueue_cycles handler pkt
+        | Standard ->
+            (* the standard board interrupts the host for every packet; the
+               kernel demultiplexes in software and runs the handler on the
+               host CPU *)
+            Stats.Counter.incr t.s_interrupts;
+            let handler = lookup_handler () in
+            let kernel = Params.cpu_cycles p p.Params.kernel_recv_cycles in
+            host_busy t Time.(p.Params.interrupt_latency + kernel);
+            run_on_host t
+              ~base:Time.(p.Params.interrupt_latency + kernel)
+              ~reply_host_cycles:p.Params.kernel_send_cycles handler pkt)
 
-let create ?registry ~kind eng bus fabric ~node ~host =
+let create ?registry ?reliability ~kind eng bus fabric ~node ~host =
   let p = Bus.params bus in
   let mc =
     match kind with
@@ -327,6 +582,22 @@ let create ?registry ~kind eng bus fabric ~node ~host =
     | Some reg -> Stats.Registry.counter reg ~node ~subsystem:"nic" name
     | None -> Stats.Counter.create name
   in
+  let rel =
+    Option.map
+      (fun cfg ->
+        Reliable.check_config cfg;
+        {
+          r_cfg = cfg;
+          r_next_seq = Hashtbl.create 8;
+          r_pending = Hashtbl.create 32;
+          r_windows = Hashtbl.create 8;
+          r_retransmits = counter "retransmits";
+          r_acks_tx = counter "acks_tx";
+          r_acks_rx = counter "acks_rx";
+          r_rx_duplicates = counter "rx_duplicates";
+        })
+      reliability
+  in
   let t =
     {
       eng;
@@ -338,6 +609,7 @@ let create ?registry ~kind eng bus fabric ~node ~host =
       mc;
       host;
       registry;
+      rel;
       nic_proc = Sync.Semaphore.create 1;
       tx_ring = Ring.create ?registry ~node ~slots:1 ();
       host_proc = Sync.Semaphore.create 1;
@@ -345,6 +617,7 @@ let create ?registry ~kind eng bus fabric ~node ~host =
       handler_sizes = Hashtbl.create 16;
       default_handler = (fun _ _ -> ());
       s_handler_code_bytes = 0;
+      lazy_counters = Hashtbl.create 8;
       s_unmatched = counter "unmatched";
       s_tx_packets = counter "tx_packets";
       s_tx_data_packets = counter "tx_data_packets";
@@ -366,14 +639,16 @@ let create ?registry ~kind eng bus fabric ~node ~host =
   Fabric.set_receiver fabric ~node (fun pkt -> receive t pkt);
   t
 
-let create_cni ?registry eng bus fabric ~node ~host ?(options = default_cni_options) () =
-  create ?registry ~kind:(Cni options) eng bus fabric ~node ~host
+let create_cni ?registry ?reliability eng bus fabric ~node ~host
+    ?(options = default_cni_options) () =
+  create ?registry ?reliability ~kind:(Cni options) eng bus fabric ~node ~host
 
-let create_standard ?registry eng bus fabric ~node ~host () =
-  create ?registry ~kind:Standard eng bus fabric ~node ~host
+let create_standard ?registry ?reliability eng bus fabric ~node ~host () =
+  create ?registry ?reliability ~kind:Standard eng bus fabric ~node ~host
 
-let create_osiris ?registry eng bus fabric ~node ~host ?(options = default_osiris_options) () =
-  create ?registry ~kind:(Osiris options) eng bus fabric ~node ~host
+let create_osiris ?registry ?reliability eng bus fabric ~node ~host
+    ?(options = default_osiris_options) () =
+  create ?registry ?reliability ~kind:(Osiris options) eng bus fabric ~node ~host
 
 let install_handler t ~pattern ?(code_bytes = 512) f =
   let mc_bytes =

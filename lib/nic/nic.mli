@@ -74,10 +74,20 @@ val default_osiris_options : osiris_options
 (** All constructors take an optional metrics [registry]; when given, the
     interface registers its counters as [node<N>/nic/<metric>], its transmit
     descriptor queue as [node<N>/ring/<metric>], and the Message Cache (CNI)
-    as [node<N>/message-cache/<metric>]. *)
+    as [node<N>/message-cache/<metric>].
+
+    [reliability] enables end-to-end reliable delivery (see {!Reliable}):
+    every Wire frame sent through this interface is sequenced, acknowledged
+    by the receiving interface, retransmitted on timeout with exponential
+    backoff and deduplicated on receive. On the CNI and OSIRIS boards this
+    runs in board firmware; on the standard interface every ack,
+    retransmission and duplicate costs the host an interrupt + kernel path.
+    With [reliability] absent the interface behaves exactly as before —
+    the zero-loss fast path carries no cost. *)
 
 val create_cni :
   ?registry:Cni_engine.Stats.Registry.t ->
+  ?reliability:Reliable.config ->
   Cni_engine.Engine.t ->
   Cni_machine.Bus.t ->
   'a Cni_atm.Fabric.t ->
@@ -89,6 +99,7 @@ val create_cni :
 
 val create_standard :
   ?registry:Cni_engine.Stats.Registry.t ->
+  ?reliability:Reliable.config ->
   Cni_engine.Engine.t ->
   Cni_machine.Bus.t ->
   'a Cni_atm.Fabric.t ->
@@ -102,6 +113,7 @@ val create_standard :
     interrupt per packet towards the host; no Message Cache, no AIH. *)
 val create_osiris :
   ?registry:Cni_engine.Stats.Registry.t ->
+  ?reliability:Reliable.config ->
   Cni_engine.Engine.t ->
   Cni_machine.Bus.t ->
   'a Cni_atm.Fabric.t ->
@@ -166,6 +178,9 @@ val network_cache_hit_ratio_opt : 'a t -> float option
 (** The metrics registry handed to the constructor, if any. *)
 val registry : 'a t -> Cni_engine.Stats.Registry.t option
 
+(** The reliability configuration in force, if any. *)
+val reliability : 'a t -> Reliable.config option
+
 type stats = {
   tx_packets : int;
   tx_data_packets : int;
@@ -178,3 +193,22 @@ type stats = {
 }
 
 val stats : 'a t -> stats
+
+type rel_stats = {
+  retransmits : int;  (** timer-driven re-sends of unacked frames *)
+  acks_tx : int;  (** acknowledgments generated (one per sequenced frame seen) *)
+  acks_rx : int;  (** acknowledgments received *)
+  rx_duplicates : int;  (** sequenced frames suppressed by the receive window *)
+  tx_unacked : int;  (** frames still awaiting an ack (0 after a clean run) *)
+}
+
+(** [None] when the interface was built without [reliability]. *)
+val rel_stats : 'a t -> rel_stats option
+
+(** Frames dropped on receive because the header failed {!Wire.decode_opt}
+    (counted as [node<N>/nic/rx_undecodable] when a registry is attached). *)
+val rx_undecodable : 'a t -> int
+
+(** Frames dropped on receive because reassembly flagged an AAL5 CRC
+    mismatch (fault-injected corruption); [node<N>/nic/rx_crc_errors]. *)
+val rx_crc_errors : 'a t -> int

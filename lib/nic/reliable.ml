@@ -1,0 +1,53 @@
+module Time = Cni_engine.Time
+
+type config = { timeout : Time.t; backoff : int; max_tries : int }
+
+(* The 1 ms base timeout sits well above the fabric round-trip (a few us) plus
+   the host-side queueing seen under bursty 8-processor traffic, so spurious
+   retransmissions are rare at zero loss; backoff doubles it on each retry. *)
+let default = { timeout = Time.us 1000; backoff = 2; max_tries = 12 }
+
+let check_config c =
+  if c.timeout <= Time.zero then invalid_arg "Reliable: timeout must be positive";
+  if c.backoff < 1 then invalid_arg "Reliable: backoff must be >= 1";
+  if c.max_tries < 1 then invalid_arg "Reliable: max_tries must be >= 1"
+
+(* Ack frames are ordinary Wire headers on a channel/kind no protocol uses;
+   they are intercepted by the receiving interface before classification and
+   never reach a handler. [obj] carries the acknowledged sequence number. *)
+let ack_kind = 0xFE
+let ack_channel = 0xFFFF
+
+type failure = { node : int; dst : int; channel : int; seq : int; tries : int }
+
+exception Delivery_failed of failure
+
+let failure_message f =
+  Printf.sprintf
+    "Delivery_failed: node %d -> %d, channel %d, seq %d undelivered after %d transmissions"
+    f.node f.dst f.channel f.seq f.tries
+
+let () =
+  Printexc.register_printer (function
+    | Delivery_failed f -> Some (failure_message f)
+    | _ -> None)
+
+module Window = struct
+  type t = { mutable floor : int; above : (int, unit) Hashtbl.t }
+
+  let create () = { floor = 0; above = Hashtbl.create 8 }
+  let floor t = t.floor
+
+  let observe t seq =
+    if seq <= t.floor || Hashtbl.mem t.above seq then `Duplicate
+    else begin
+      Hashtbl.replace t.above seq ();
+      (* advance the floor over any now-contiguous prefix so the out-of-order
+         set stays bounded by the sender's in-flight window *)
+      while Hashtbl.mem t.above (t.floor + 1) do
+        Hashtbl.remove t.above (t.floor + 1);
+        t.floor <- t.floor + 1
+      done;
+      `Fresh
+    end
+end

@@ -1,0 +1,60 @@
+(** Reliable-delivery support for the network interfaces.
+
+    The protocol is NIC-level stop-and-wait-with-window: every outgoing
+    Wire frame is stamped with a per-destination sequence number (in the
+    header's aux field, which no PATHFINDER pattern inspects), the receiving
+    interface acknowledges each sequenced frame on arrival and suppresses
+    duplicates, and the sender retransmits on an engine timer with
+    exponential backoff until acked or the retry budget is exhausted — at
+    which point {!Delivery_failed} surfaces through the owning fiber instead
+    of the application hanging on a lost reply.
+
+    On the CNI and OSIRIS boards the timers, acks and duplicate filtering
+    run in board firmware (NIC-processor cost model); on the standard
+    interface they live in the kernel, so every retransmission, duplicate
+    and ack additionally costs the host an interrupt and a kernel path.
+
+    This module holds the pure state machines and constants; {!Nic} drives
+    them against the cost model. *)
+
+type config = {
+  timeout : Cni_engine.Time.t;  (** initial retransmission timeout *)
+  backoff : int;  (** timeout multiplier applied on every retry *)
+  max_tries : int;  (** total transmissions before giving up *)
+}
+
+(** 1 ms initial timeout (well above fabric round-trip plus host queueing
+    under bursty traffic, so zero-loss runs rarely retransmit spuriously),
+    doubling, 12 transmissions — the budget covers transient link-down
+    windows of a second or more. *)
+val default : config
+
+(** @raise Invalid_argument on a non-positive timeout, backoff < 1 or
+    max_tries < 1. *)
+val check_config : config -> unit
+
+(** Wire [kind] / [channel] of acknowledgment frames ([obj] = acked seq).
+    Intercepted by the receive path before classification. *)
+val ack_kind : int
+
+val ack_channel : int
+
+type failure = { node : int; dst : int; channel : int; seq : int; tries : int }
+
+exception Delivery_failed of failure
+
+val failure_message : failure -> string
+
+(** Per-source receive window: duplicate suppression with a floor that
+    advances over contiguously seen sequence numbers (senders allocate
+    1, 2, 3, ... per destination). *)
+module Window : sig
+  type t
+
+  val create : unit -> t
+
+  (** Highest sequence number below which everything has been seen. *)
+  val floor : t -> int
+
+  val observe : t -> int -> [ `Fresh | `Duplicate ]
+end

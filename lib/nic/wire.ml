@@ -39,6 +39,16 @@ let decode b =
     aux = Int32.to_int (Bytes.get_int32_be b 12);
   }
 
+let decode_opt b =
+  if Bytes.length b < header_bytes then None
+  else if Bytes.get_uint16_be b 0 <> magic then None
+  else Some (decode b)
+
+let with_aux b aux =
+  let c = Bytes.copy b in
+  Bytes.set_int32_be c 12 (Int32.of_int aux);
+  c
+
 let pattern_any = [ Pattern.field ~offset:0 ~len:2 magic ]
 
 let pattern_channel ~channel =

@@ -33,6 +33,17 @@ val encode : t -> Bytes.t
 (** @raise Invalid_argument on short buffers or bad magic. *)
 val decode : Bytes.t -> t
 
+(** [None] on a short buffer or bad magic — the total form used on receive
+    paths, where an undecodable frame must be dropped and counted rather
+    than raise. *)
+val decode_opt : Bytes.t -> t option
+
+(** [with_aux b aux] is a copy of the encoded header [b] with the aux field
+    (bytes 12-15) overwritten — how the reliability layer stamps a sequence
+    number onto an already-built header without disturbing the offsets
+    PATHFINDER patterns match (0-7). *)
+val with_aux : Bytes.t -> int -> Bytes.t
+
 (** {2 PATHFINDER pattern builders} *)
 
 (** Matches any frame with our magic. *)

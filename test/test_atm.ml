@@ -125,6 +125,139 @@ let test_aal5_corruption_detected () =
   Alcotest.check_raises "CRC mismatch" (Aal5.Reassembly_error "CRC mismatch") (fun () ->
       List.iter (fun c -> ignore (Aal5.Reassembler.push r c)) corrupted)
 
+let test_aal5_push_result_crc_mismatch () =
+  let frame = Bytes.make 100 'q' in
+  let corrupted =
+    List.mapi
+      (fun i (c : Cell.t) ->
+        if i = 0 then begin
+          let pl = Bytes.copy c.Cell.payload in
+          Bytes.set pl 10 '!';
+          Cell.make ~vpi:0 ~vci:1 ~last:c.Cell.header.Cell.last pl
+        end
+        else c)
+      (Aal5.segment ~vpi:0 ~vci:1 frame)
+  in
+  let r = Aal5.Reassembler.create () in
+  let results = List.map (Aal5.Reassembler.push_result r) corrupted in
+  (match List.rev results with
+  | Error Aal5.Crc_mismatch :: mid ->
+      List.iter (fun x -> checkb "mid-frame cells are Ok None" true (x = Ok None)) mid
+  | _ -> Alcotest.fail "expected Error Crc_mismatch on the last cell");
+  checki "error counted" 1 (Aal5.Reassembler.errors r);
+  checki "no frame counted" 0 (Aal5.Reassembler.frames r);
+  checki "buffer drained" 0 (Aal5.Reassembler.pending_cells r);
+  (* the circuit stays usable: the next (good) frame reassembles *)
+  let good = Bytes.make 64 'g' in
+  let out =
+    List.filter_map
+      (fun c ->
+        match Aal5.Reassembler.push_result r c with Ok f -> f | Error _ -> None)
+      (Aal5.segment ~vpi:0 ~vci:1 good)
+  in
+  (match out with
+  | [ f ] -> checkb "next frame intact" true (Bytes.equal f good)
+  | _ -> Alcotest.fail "expected the next frame");
+  checki "frame counted" 1 (Aal5.Reassembler.frames r)
+
+let test_aal5_push_result_bad_length () =
+  (* corrupt the trailer's length field (last 8 bytes of the final cell's
+     payload, before padding adjustments: bytes 40-43 hold the length) *)
+  let frame = Bytes.make 40 'L' in
+  let cells = Aal5.segment ~vpi:0 ~vci:2 frame in
+  let mangled =
+    List.map
+      (fun (c : Cell.t) ->
+        if c.Cell.header.Cell.last then begin
+          let pl = Bytes.copy c.Cell.payload in
+          Bytes.set_int32_be pl 40 0x7FFFFFFFl;
+          Cell.make ~vpi:0 ~vci:2 ~last:true pl
+        end
+        else c)
+      cells
+  in
+  let r = Aal5.Reassembler.create () in
+  let last_result = List.fold_left (fun _ c -> Aal5.Reassembler.push_result r c) (Ok None) mangled in
+  checkb "bad length detected" true (last_result = Error Aal5.Bad_length);
+  checki "error counted" 1 (Aal5.Reassembler.errors r)
+
+let test_aal5_truncated_trailer () =
+  (* a hand-built final cell shorter than the 8-byte trailer: only possible
+     with unrestricted cell sizes (Table 5 variant), where a frame can end
+     in a cell carrying fewer than 8 bytes *)
+  let short : Cell.t =
+    { Cell.header = { Cell.vpi = 0; vci = 3; last = true; clp = false };
+      payload = Bytes.create 4 }
+  in
+  let r = Aal5.Reassembler.create () in
+  checkb "truncated detected" true (Aal5.Reassembler.push_result r short = Error Aal5.Truncated);
+  checki "error counted" 1 (Aal5.Reassembler.errors r);
+  checki "buffer drained" 0 (Aal5.Reassembler.pending_cells r)
+
+let test_aal5_demux_interleaved_vcs () =
+  let fa = Bytes.make 150 'a' and fb = Bytes.make 90 'b' in
+  let ca = Aal5.segment ~vpi:0 ~vci:10 fa and cb = Aal5.segment ~vpi:0 ~vci:20 fb in
+  (* interleave the two circuits' cells cell-by-cell *)
+  let rec interleave xs ys =
+    match (xs, ys) with
+    | [], rest | rest, [] -> rest
+    | x :: xs, y :: ys -> x :: y :: interleave xs ys
+  in
+  let d = Aal5.Demux.create () in
+  let out = List.filter_map (fun c ->
+      match Aal5.Demux.push_result d c with Ok f -> f | Error _ -> None)
+      (interleave ca cb)
+  in
+  (match List.sort compare (List.map fst out) with
+  | [ 10; 20 ] -> ()
+  | _ -> Alcotest.fail "expected one frame per circuit");
+  List.iter
+    (fun (vci, f) ->
+      checkb "frame routed to its circuit intact" true
+        (Bytes.equal f (if vci = 10 then fa else fb)))
+    out;
+  checki "vc 10 frames" 1 (Aal5.Demux.frames d ~vci:10);
+  checki "vc 20 frames" 1 (Aal5.Demux.frames d ~vci:20);
+  checki "vc 10 errors" 0 (Aal5.Demux.errors d ~vci:10);
+  checki "nothing pending on 10" 0 (Aal5.Demux.pending_cells d ~vci:10)
+
+let test_aal5_demux_error_isolated_to_vc () =
+  (* a corrupted frame on one circuit must not disturb another circuit's
+     in-flight frame *)
+  let fa = Bytes.make 150 'a' and fb = Bytes.make 90 'b' in
+  let ca =
+    List.mapi
+      (fun i (c : Cell.t) ->
+        if i = 0 then begin
+          let pl = Bytes.copy c.Cell.payload in
+          Bytes.set pl 0 'X';
+          Cell.make ~vpi:0 ~vci:10 ~last:c.Cell.header.Cell.last pl
+        end
+        else c)
+      (Aal5.segment ~vpi:0 ~vci:10 fa)
+  in
+  let cb = Aal5.segment ~vpi:0 ~vci:20 fb in
+  let rec interleave xs ys =
+    match (xs, ys) with
+    | [], rest | rest, [] -> rest
+    | x :: xs, y :: ys -> x :: y :: interleave xs ys
+  in
+  let d = Aal5.Demux.create () in
+  let good = ref [] and bad = ref [] in
+  List.iter
+    (fun c ->
+      match Aal5.Demux.push_result d c with
+      | Ok (Some (vci, f)) -> good := (vci, f) :: !good
+      | Ok None -> ()
+      | Error (vci, e) -> bad := (vci, e) :: !bad)
+    (interleave ca cb);
+  checkb "circuit 10 rejected" true (!bad = [ (10, Aal5.Crc_mismatch) ]);
+  (match !good with
+  | [ (20, f) ] -> checkb "circuit 20 unharmed" true (Bytes.equal f fb)
+  | _ -> Alcotest.fail "expected circuit 20's frame");
+  checki "per-VC error counter" 1 (Aal5.Demux.errors d ~vci:10);
+  checki "clean circuit has no errors" 0 (Aal5.Demux.errors d ~vci:20)
+
 let aal5_roundtrip_qc =
   QCheck.Test.make ~name:"AAL5 roundtrip for arbitrary frames" ~count:100
     QCheck.(string_of_size (Gen.int_bound 3000))
@@ -206,6 +339,7 @@ let mk_packet ~src ~dst ~bytes payload =
     header = Bytes.make 16 'h';
     body_bytes = bytes - 16;
     payload;
+    crc_ok = true;
   }
 
 let test_fabric_delivery_and_latency () =
@@ -321,6 +455,13 @@ let () =
           Alcotest.test_case "last-cell marking" `Quick test_aal5_last_bit;
           Alcotest.test_case "corruption detected" `Quick test_aal5_corruption_detected;
           Alcotest.test_case "pending cells" `Quick test_aal5_pending_cells;
+          Alcotest.test_case "push_result CRC mismatch" `Quick
+            test_aal5_push_result_crc_mismatch;
+          Alcotest.test_case "push_result bad length" `Quick test_aal5_push_result_bad_length;
+          Alcotest.test_case "truncated trailer" `Quick test_aal5_truncated_trailer;
+          Alcotest.test_case "demux interleaved VCs" `Quick test_aal5_demux_interleaved_vcs;
+          Alcotest.test_case "demux isolates errors per VC" `Quick
+            test_aal5_demux_error_isolated_to_vc;
           qc aal5_roundtrip_qc;
           qc aal5_cell_count_qc;
         ] );

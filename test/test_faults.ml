@@ -1,0 +1,217 @@
+(* Fault injection + reliable delivery: the cluster must survive a lossy
+   fabric. Covers the deterministic fault model, the NIC receive window,
+   recovery through retransmission (cell loss, corruption, link-down
+   windows), structured failure when the retry budget runs out, and the
+   zero-fault fast path staying cost-free. *)
+
+module Time = Cni_engine.Time
+module Engine = Cni_engine.Engine
+module Faults = Cni_atm.Faults
+module Reliable = Cni_nic.Reliable
+module Nic = Cni_nic.Nic
+module Cluster = Cni_cluster.Cluster
+module Node = Cni_cluster.Node
+module Mp = Cni_mp.Mp
+module Jacobi = Cni_apps.Jacobi
+module Runner = Cni_experiments.Runner
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+
+let cni = `Cni Cni_nic.Nic.default_cni_options
+
+(* ------------------------------------------------------------------ *)
+(* Fault model                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_judge_deterministic () =
+  let cfg =
+    { Faults.none with Faults.cell_loss = 0.05; cell_corrupt = 0.03; frame_drop = 0.02 }
+  in
+  let stream cfg =
+    let f = Faults.create cfg in
+    List.init 500 (fun i -> Faults.judge f ~cells:(1 + (i mod 7)))
+  in
+  checkb "same config, same verdict stream" true (stream cfg = stream cfg);
+  checkb "a different seed draws a different stream" true
+    (stream cfg <> stream { cfg with Faults.seed = 7 });
+  checkb "faults actually fire at these rates" true
+    (List.exists (fun v -> v <> Faults.Pass) (stream cfg))
+
+let test_judge_none_always_passes () =
+  let f = Faults.create Faults.none in
+  for cells = 1 to 50 do
+    checkb "clean model passes everything" true (Faults.judge f ~cells = Faults.Pass)
+  done
+
+let test_config_validation () =
+  (try
+     ignore (Faults.create { Faults.none with Faults.cell_loss = 1.5 });
+     Alcotest.fail "probability > 1 accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore
+      (Faults.create
+         {
+           Faults.none with
+           Faults.link_down = [ { Faults.w_node = 0; w_from = Time.us 5; w_upto = Time.us 5 } ];
+         });
+    Alcotest.fail "empty window accepted"
+  with Invalid_argument _ -> ()
+
+let test_link_down_window () =
+  let f =
+    Faults.create
+      {
+        Faults.none with
+        Faults.link_down = [ { Faults.w_node = 1; w_from = Time.us 10; w_upto = Time.us 20 } ];
+      }
+  in
+  checkb "before the window" false (Faults.link_down f ~node:1 ~now:(Time.us 9));
+  checkb "inside the window" true (Faults.link_down f ~node:1 ~now:(Time.us 10));
+  checkb "end is exclusive" false (Faults.link_down f ~node:1 ~now:(Time.us 20));
+  checkb "other nodes unaffected" false (Faults.link_down f ~node:0 ~now:(Time.us 15))
+
+(* ------------------------------------------------------------------ *)
+(* Receive window                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_window_dedup () =
+  let w = Reliable.Window.create () in
+  checkb "1 fresh" true (Reliable.Window.observe w 1 = `Fresh);
+  checkb "1 again is a duplicate" true (Reliable.Window.observe w 1 = `Duplicate);
+  checkb "3 out of order is fresh" true (Reliable.Window.observe w 3 = `Fresh);
+  checki "floor waits for 2" 1 (Reliable.Window.floor w);
+  checkb "2 fresh" true (Reliable.Window.observe w 2 = `Fresh);
+  checki "floor advanced over the contiguous prefix" 3 (Reliable.Window.floor w);
+  checkb "2 now below the floor" true (Reliable.Window.observe w 2 = `Duplicate);
+  checkb "3 remembered as seen" true (Reliable.Window.observe w 3 = `Duplicate)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end recovery                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let jacobi_cfg = { Jacobi.default_config with Jacobi.n = 96; iterations = 6 }
+
+let run_jacobi ?faults ?reliability ~kind () =
+  let cs = ref nan in
+  let r =
+    Runner.run ?faults ?reliability ~kind ~procs:4 (fun cluster lrcs ->
+        cs := (Jacobi.run cluster lrcs jacobi_cfg).Jacobi.checksum)
+  in
+  (r, !cs)
+
+let clean_checksum = lazy (snd (run_jacobi ~kind:(Runner.cni ()) ()))
+
+let test_survives_cell_loss () =
+  List.iter
+    (fun kind ->
+      let faults = { Faults.none with Faults.cell_loss = 2e-3 } in
+      let r, cs = run_jacobi ~faults ~kind () in
+      check (Alcotest.float 0.0) "numerics unchanged under loss" (Lazy.force clean_checksum) cs;
+      checkb "frames were lost" true (r.Runner.fault_drops > 0);
+      checkb "lost frames were retransmitted" true (r.Runner.retransmits > 0))
+    [ Runner.cni (); Runner.standard ]
+
+let test_survives_corruption () =
+  let faults = { Faults.none with Faults.cell_corrupt = 2e-3 } in
+  let r, cs = run_jacobi ~faults ~kind:(Runner.cni ()) () in
+  check (Alcotest.float 0.0) "numerics unchanged under corruption"
+    (Lazy.force clean_checksum) cs;
+  checkb "CRC-failed frames were retransmitted" true (r.Runner.retransmits > 0)
+
+let test_faulty_runs_deterministic () =
+  let faults = { Faults.none with Faults.cell_loss = 1e-3; Faults.cell_corrupt = 1e-3 } in
+  let a, _ = run_jacobi ~faults ~kind:(Runner.cni ()) () in
+  let b, _ = run_jacobi ~faults ~kind:(Runner.cni ()) () in
+  checki "bit-identical simulated time" (Time.to_ps a.Runner.elapsed)
+    (Time.to_ps b.Runner.elapsed);
+  checki "identical retransmission count" a.Runner.retransmits b.Runner.retransmits
+
+let test_loss_costs_time () =
+  let lossy = { Faults.none with Faults.cell_loss = 5e-3 } in
+  (* baseline with the same reliability protocol, only the fabric differs *)
+  let clean, _ =
+    run_jacobi ~reliability:Reliable.default ~kind:(Runner.cni ()) ()
+  and faulty, _ = run_jacobi ~faults:lossy ~kind:(Runner.cni ()) () in
+  checkb "retransmission delay shows up in elapsed time" true
+    (Time.to_ps faulty.Runner.elapsed > Time.to_ps clean.Runner.elapsed)
+
+let test_zero_fault_path_costs_nothing () =
+  let r, _ = run_jacobi ~kind:(Runner.cni ()) () in
+  checki "no retransmissions without reliability" 0 r.Runner.retransmits;
+  checki "no fault drops without faults" 0 r.Runner.fault_drops;
+  (* reliability is off entirely: the NIC holds no protocol state *)
+  let cluster : int Mp.envelope Cluster.t = Cluster.create ~nic_kind:cni ~nodes:2 () in
+  checkb "rel_stats absent on a clean cluster" true
+    (Nic.rel_stats (Node.nic (Cluster.node cluster 0)) = None)
+
+let test_link_down_recovery () =
+  (* node 1's link dies for the first 5 ms; exponential backoff must carry
+     the retransmissions past the outage *)
+  let faults =
+    {
+      Faults.none with
+      Faults.link_down = [ { Faults.w_node = 1; w_from = Time.zero; w_upto = Time.us 5_000 } ];
+    }
+  in
+  let cluster : int Mp.envelope Cluster.t = Cluster.create ~faults ~nic_kind:cni ~nodes:2 () in
+  let eps = Mp.install cluster in
+  let got = ref (-1) in
+  Cluster.run_app cluster (fun node ->
+      let ep = eps.(Node.id node) in
+      if Mp.rank ep = 0 then Mp.send ep ~dst:1 ~tag:1 99
+      else got := (Mp.recv ep ~tag:1 ()).Mp.value);
+  checki "message arrived after the outage" 99 !got;
+  checkb "delivery needed retransmissions" true (Cluster.retransmits cluster > 0)
+
+let test_permanent_outage_fails_structurally () =
+  (* a link that never comes back: the sender must surface Delivery_failed
+     once its retry budget is exhausted, not hang the simulation *)
+  let faults =
+    {
+      Faults.none with
+      Faults.link_down =
+        [ { Faults.w_node = 1; w_from = Time.zero; w_upto = Time.us 600_000_000 } ];
+    }
+  in
+  let cluster : int Mp.envelope Cluster.t = Cluster.create ~faults ~nic_kind:cni ~nodes:2 () in
+  let eps = Mp.install cluster in
+  match
+    Cluster.run_app cluster (fun node ->
+        let ep = eps.(Node.id node) in
+        if Mp.rank ep = 0 then Mp.send ep ~dst:1 ~tag:1 1
+        else ignore (Mp.recv ep ~tag:1 ()))
+  with
+  | () -> Alcotest.fail "expected Delivery_failed"
+  | exception Engine.Fiber_failure (_, Reliable.Delivery_failed f) ->
+      checki "failure names the sending node" 0 f.Reliable.node;
+      checki "failure names the destination" 1 f.Reliable.dst;
+      checki "budget was fully spent" Reliable.default.Reliable.max_tries f.Reliable.tries
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "judge deterministic" `Quick test_judge_deterministic;
+          Alcotest.test_case "none passes everything" `Quick test_judge_none_always_passes;
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+          Alcotest.test_case "link-down windows" `Quick test_link_down_window;
+        ] );
+      ( "window",
+        [ Alcotest.test_case "duplicate suppression" `Quick test_window_dedup ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "survives cell loss (both NICs)" `Quick test_survives_cell_loss;
+          Alcotest.test_case "survives corruption" `Quick test_survives_corruption;
+          Alcotest.test_case "faulty runs deterministic" `Quick test_faulty_runs_deterministic;
+          Alcotest.test_case "loss costs time" `Quick test_loss_costs_time;
+          Alcotest.test_case "zero-fault path costs nothing" `Quick
+            test_zero_fault_path_costs_nothing;
+          Alcotest.test_case "link-down recovery" `Quick test_link_down_recovery;
+          Alcotest.test_case "permanent outage fails structurally" `Quick
+            test_permanent_outage_fails_structurally;
+        ] );
+    ]

@@ -144,9 +144,9 @@ let test_mc_size_improves_hit_ratio () =
   let hit kb = (Runner.run ~kind:(Runner.cni ~mc_bytes:(kb * 1024) ()) ~procs:4 cholesky).Runner.hit_ratio in
   checkb "bigger cache, no worse ratio (fig 13 trend)" true (hit 512 >= hit 8 -. 1.0)
 
-(* fault injection: a corrupted header must be rejected by the classifier
-   and surface loudly through the DSM's default handler, not be silently
-   misrouted *)
+(* fault injection: a frame whose header fails Wire decoding must be dropped
+   and counted at the board (rx_undecodable), never reach a handler and never
+   raise out of the receive fiber *)
 let test_corrupted_header_detected () =
   let module Cluster = Cni_cluster.Cluster in
   let module Node = Cni_cluster.Node in
@@ -154,9 +154,6 @@ let test_corrupted_header_detected () =
   let cluster : unit Cluster.t =
     Cluster.create ~nic_kind:(Runner.cni ()) ~nodes:2 ()
   in
-  (* interpose on node 1's delivery: flip bytes in the header (a fault the
-     AAL5 CRC would normally catch; here we model it slipping through to the
-     classifier) *)
   let nic1 = Node.nic (Cluster.node cluster 1) in
   let rejected = ref 0 in
   Cni_nic.Nic.set_default_handler nic1 (fun _ _ -> incr rejected);
@@ -179,8 +176,10 @@ let test_corrupted_header_detected () =
         Cni_nic.Nic.send (Node.nic node) ~dst:1 ~header ~body_bytes:0 ~data:Cni_nic.Nic.No_data
           ~payload:()
       end);
-  Alcotest.(check int) "corrupted packet hit the default handler" 1 !rejected;
-  Alcotest.(check int) "counted as unmatched" 1 (Cni_nic.Nic.stats nic1).Cni_nic.Nic.unmatched
+  Alcotest.(check int) "corrupted frame never reaches a handler" 0 !rejected;
+  Alcotest.(check int) "counted as rx_undecodable" 1 (Cni_nic.Nic.rx_undecodable nic1);
+  Alcotest.(check int) "not counted as unmatched" 0
+    (Cni_nic.Nic.stats nic1).Cni_nic.Nic.unmatched
 
 let test_report_rendering () =
   let r =
