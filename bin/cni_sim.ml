@@ -199,12 +199,21 @@ let matrix_conv =
 let matrix =
   Arg.(value & opt matrix_conv `B14 & info [ "matrix" ] ~doc:"Cholesky input (bcsstk14-like, bcsstk15-like or small).")
 
+let nic_collectives_arg =
+  Arg.(
+    value & flag
+    & info [ "nic-collectives" ]
+        ~doc:
+          "Run DSM barriers on the boards' combining tree (NIC-resident collectives) \
+           instead of the centralised node-0 manager.")
+
 let run_cmd =
   let doc = "Run a benchmark application on a simulated cluster." in
   let run app nic procs page mc_kb no_aih cells n iterations molecules matrix loss corrupt
-      link_down fault_seed trace trace_out metrics_out =
+      link_down fault_seed nic_collectives trace trace_out metrics_out =
     let params = make_params ~page ~cells in
     let kind = make_kind nic ~mc_kb ~no_aih in
+    let barrier_impl = if nic_collectives then `Nic_collective else `Centralised in
     let faults = make_faults ~seed:fault_seed ~loss ~corrupt ~link_down in
     setup_trace trace;
     let checksum = ref nan in
@@ -227,7 +236,7 @@ let run_cmd =
           in
           checksum := (Cholesky.run cluster lrcs (Cholesky.default_config a)).Cholesky.checksum
     in
-    let r = Runner.run ~params ?faults ~kind ~procs application in
+    let r = Runner.run ~params ?faults ~barrier_impl ~kind ~procs application in
     finish_trace ~spec:trace ~out:trace_out;
     write_metrics ~out:metrics_out r.Runner.metrics;
     Printf.printf "elapsed            %s  (%.3f x 10^9 CPU cycles)\n"
@@ -238,6 +247,7 @@ let run_cmd =
     Printf.printf "synch delay        %s\n" (Format.asprintf "%a" Time.pp r.Runner.synch_delay);
     Printf.printf "network packets    %d (%d wire bytes)\n" r.Runner.packets r.Runner.wire_bytes;
     Printf.printf "cache hit ratio    %.1f%%\n" r.Runner.hit_ratio;
+    Printf.printf "host interrupts    %d\n" r.Runner.host_interrupts;
     Printf.printf "checksum           %.17g\n" !checksum;
     if faults <> None then
       Printf.printf "faults             %d frames destroyed, %d retransmits\n"
@@ -252,7 +262,7 @@ let run_cmd =
     Term.(
       const run $ app_arg $ nic_kind $ procs $ page_bytes $ mc_kb $ no_aih $ unrestricted $ n
       $ iterations $ molecules $ matrix $ loss_arg $ corrupt_arg $ link_down_arg
-      $ fault_seed_arg $ trace_arg $ trace_out $ metrics_out)
+      $ fault_seed_arg $ nic_collectives_arg $ trace_arg $ trace_out $ metrics_out)
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                               *)
@@ -323,6 +333,35 @@ let latency_cmd =
     Term.(const run $ nic_kind $ bytes $ page_bytes $ mc_kb $ unrestricted)
 
 (* ------------------------------------------------------------------ *)
+(* collectives                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let collectives_cmd =
+  let doc = "Collective-operation latency: NIC combining tree vs host-driven." in
+  let nodes_arg =
+    Arg.(value & opt int 8 & info [ "nodes" ] ~doc:"Number of workstation nodes.")
+  in
+  let reps_arg = Arg.(value & opt int 8 & info [ "reps" ] ~doc:"Episodes per measurement.") in
+  let host_arg =
+    Arg.(
+      value & flag
+      & info [ "host" ]
+          ~doc:"Use the host-driven collectives (dissemination/binomial) instead of the \
+                NIC combining tree.")
+  in
+  let run nic nodes reps host mc_kb no_aih =
+    let kind = make_kind nic ~mc_kb ~no_aih in
+    let p = Microbench.collective_latency ~reps ~kind ~nodes ~nic:(not host) () in
+    Printf.printf "impl               %s\n" (if host then "host-driven" else "nic-tree");
+    Printf.printf "nodes              %d\n" nodes;
+    Printf.printf "barrier latency    %.1f us\n" p.Microbench.barrier_us;
+    Printf.printf "allreduce latency  %.1f us\n" p.Microbench.allreduce_us;
+    Printf.printf "host interrupts    %d\n" p.Microbench.interrupts
+  in
+  Cmd.v (Cmd.info "collectives" ~doc)
+    Term.(const run $ nic_kind $ nodes_arg $ reps_arg $ host_arg $ mc_kb $ no_aih)
+
+(* ------------------------------------------------------------------ *)
 (* params                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -334,4 +373,4 @@ let params_cmd =
 let () =
   let doc = "CNI cluster network interface simulator (HPDC'96 reproduction)" in
   let info = Cmd.info "cni_sim" ~doc ~version:"1.0.0" in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; latency_cmd; params_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; latency_cmd; collectives_cmd; params_cmd ]))

@@ -8,6 +8,7 @@ module Node = Cni_cluster.Node
 module Cluster = Cni_cluster.Cluster
 module Nic = Cni_nic.Nic
 module Wire = Cni_nic.Wire
+module Collectives = Cni_mp.Collectives
 
 type costs = {
   acquire_local : int;
@@ -97,6 +98,8 @@ type t = {
   barrier_waits : (int, unit Sync.Ivar.t) Hashtbl.t;
   barrier_accs : (int, barrier_acc) Hashtbl.t;  (* used on the manager node *)
   mutable peers : t array;
+  mutable coll : (Vclock.t * Protocol.notice list, Protocol.msg) Collectives.t option;
+      (* NIC-resident combining tree for barriers; None = centralised node-0 *)
   resident : int Vec.t;  (* pages with has_copy, for the mapping-cap clock *)
   mutable resident_hand : int;
   mutable locks_held : int;
@@ -741,26 +744,54 @@ let handle_barrier_release t ex ~id ~vc ~notices =
 
 let now_ps t = Time.to_ps (Engine.now (Node.engine t.node))
 
+(* Centralised barrier (the original path, kept as an ablation): every node
+   sends its arrival to the manager, which merges and broadcasts releases. *)
+let centralised_barrier t ~id =
+  let manager = Space.barrier_manager t.space ~barrier:id in
+  let ex = client_exec t in
+  let iv, fresh = find_or_create_wait t.barrier_waits id in
+  assert fresh;
+  if t.me = manager then barrier_arrival t ex ~id ~from:t.me ~vc:(Vclock.copy t.vc)
+  else begin
+    let notices = own_notices_since_last_barrier t in
+    ex.send ~dst:manager
+      (Protocol.Barrier_arrive { barrier = id; node = t.me; vc = Vclock.copy t.vc; notices })
+      Nic.No_data
+  end;
+  ex.wait iv
+
+(* NIC-resident barrier: an allreduce over the boards' combining tree. Each
+   node contributes its vector clock and the intervals it created since its
+   own last barrier; the tree merges clocks and unions notice lists in
+   protocol context. That union covers everything any node can be missing —
+   the previous barrier's release brought everyone up to its merged clock,
+   so only since-then intervals (each present in exactly one contribution)
+   are outstanding — and [apply_notices] deduplicates anything a lock grant
+   already delivered. The host is woken once, with the episode's result. *)
+let collective_barrier t coll =
+  let contribution = (Vclock.copy t.vc, own_notices_since_last_barrier t) in
+  let vc, notices =
+    Collectives.allreduce coll
+      ~op:(fun (vc1, n1) (vc2, n2) ->
+        let vc = Vclock.copy vc1 in
+        Vclock.merge vc vc2;
+        (vc, List.rev_append n1 n2))
+      contribution
+  in
+  apply_notices t (client_exec t) notices;
+  Vclock.merge t.vc vc;
+  Vclock.merge t.last_barrier_vc t.vc
+
 let barrier t ~id =
   close_interval t;
   Node.overhead_cycles t.node t.costs.barrier_client;
   Stats.Counter.incr t.s_barriers;
   if Trace.enabled_cat Trace.Dsm then
     Trace.span_begin ~t_ps:(now_ps t) ~node:t.me Trace.Dsm ~label:"barrier" ~payload:id;
-  if nprocs t > 1 then begin
-    let manager = Space.barrier_manager t.space ~barrier:id in
-    let ex = client_exec t in
-    let iv, fresh = find_or_create_wait t.barrier_waits id in
-    assert fresh;
-    if t.me = manager then barrier_arrival t ex ~id ~from:t.me ~vc:(Vclock.copy t.vc)
-    else begin
-      let notices = own_notices_since_last_barrier t in
-      ex.send ~dst:manager
-        (Protocol.Barrier_arrive { barrier = id; node = t.me; vc = Vclock.copy t.vc; notices })
-        Nic.No_data
-    end;
-    ex.wait iv
-  end;
+  if nprocs t > 1 then
+    (match t.coll with
+    | Some coll -> collective_barrier t coll
+    | None -> centralised_barrier t ~id);
   if Trace.enabled_cat Trace.Dsm then
     Trace.span_end ~t_ps:(now_ps t) ~node:t.me Trace.Dsm ~label:"barrier" ~payload:id
 
@@ -795,6 +826,9 @@ let handle t (ctx : Protocol.msg Nic.ctx) (pkt : Protocol.msg Cni_atm.Fabric.pac
       barrier_arrival t ex ~id:barrier ~from:node ~vc
   | Protocol.Barrier_release { barrier; vc; notices } ->
       handle_barrier_release t ex ~id:barrier ~vc ~notices
+  | Protocol.Coll _ ->
+      (* routed on the collectives channel, classified by its own handler *)
+      failwith "Lrc: collective payload arrived on the DSM channel"
 
 let create cluster space_ costs max_resident ~id =
   let n = Cluster.node cluster id in
@@ -825,6 +859,7 @@ let create cluster space_ costs max_resident ~id =
     barrier_waits = Hashtbl.create 8;
     barrier_accs = Hashtbl.create 8;
     peers = [||];
+    coll = None;
     resident = Vec.create ();
     resident_hand = 0;
     locks_held = 0;
@@ -841,12 +876,32 @@ let create cluster space_ costs max_resident ~id =
     received_by_kind = Array.init 16 rx_counter;
   }
 
-let install cluster space_ ?(costs = default_costs) ?(max_resident_pages = max_int) () =
+(* The wire channel the NIC-resident barrier's combining tree claims
+   (Protocol.channel = 1 carries the point-to-point DSM traffic). *)
+let collectives_channel = 4
+
+let install cluster space_ ?(costs = default_costs) ?(max_resident_pages = max_int)
+    ?(barrier_impl = `Centralised) () =
   let n = Cluster.size cluster in
   let engines = Array.init n (fun id -> create cluster space_ costs max_resident_pages ~id) in
+  let coll =
+    match barrier_impl with
+    | `Centralised -> None
+    | `Nic_collective ->
+        Some
+          (Collectives.install ~channel:collectives_channel
+             ~bytes_of:(fun (vc, notices) ->
+               8 + Vclock.wire_bytes vc + Protocol.notices_bytes notices)
+             ~inject:(fun (vc, notices) -> Protocol.Coll { vc; notices })
+             ~project:(function
+               | Protocol.Coll { vc; notices } -> (vc, notices)
+               | _ -> assert false)
+             cluster)
+  in
   Array.iter
     (fun t ->
       t.peers <- engines;
+      t.coll <- Option.map (fun c -> c.(t.me)) coll;
       let board = nic t in
       (* one Application Interrupt Handler per protocol kind: each gets its
          own PATHFINDER pattern (sharing the channel-match prefix in the DAG)

@@ -53,12 +53,21 @@ val default_costs : costs
 (** [install cluster space] creates one protocol engine per node and installs
     the server handlers on every NIC. [max_resident_pages] bounds the shared
     mappings a node keeps (approximate-LRU replacement of clean pages, the
-    paper's address-space recycling); default unbounded. *)
+    paper's address-space recycling); default unbounded.
+
+    [barrier_impl] selects how {!barrier} synchronises (default
+    [`Centralised], the original node-0 manager that collects arrivals and
+    broadcasts releases). [`Nic_collective] instead installs a
+    {!Cni_mp.Collectives} combining tree on channel 4 and runs each barrier
+    as an allreduce of (vector clock, own write notices) executed by the
+    boards' AIHs: on a CNI or OSIRIS interface the host is woken exactly
+    once per barrier with the merged result and takes no interrupt. *)
 val install :
   Protocol.msg Cni_cluster.Cluster.t ->
   Space.t ->
   ?costs:costs ->
   ?max_resident_pages:int ->
+  ?barrier_impl:[ `Centralised | `Nic_collective ] ->
   unit ->
   t array
 

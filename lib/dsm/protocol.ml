@@ -12,6 +12,10 @@ type msg =
   | Diff_reply of { page : int; owner : int; bytes : int; upto : int }
   | Barrier_arrive of { barrier : int; node : int; vc : Vclock.t; notices : notice list }
   | Barrier_release of { barrier : int; vc : Vclock.t; notices : notice list }
+  | Coll of { vc : Vclock.t; notices : notice list }
+      (* combining-tree payload of the NIC-resident barrier: travels on the
+         collectives channel (not [channel]), so it has no AIH of its own
+         here and never reaches [Lrc.handle] *)
 
 let channel = 1
 let notice_wire_bytes = 12
@@ -26,6 +30,7 @@ let kind_of = function
   | Diff_reply _ -> 7
   | Barrier_arrive _ -> 8
   | Barrier_release _ -> 9
+  | Coll _ -> 10
 
 let kind_name = function
   | 1 -> "lock-acquire"
@@ -37,8 +42,11 @@ let kind_name = function
   | 7 -> "diff-reply"
   | 8 -> "barrier-arrive"
   | 9 -> "barrier-release"
+  | 10 -> "collective"
   | k -> Printf.sprintf "unknown-%d" k
 
+(* kind 10 (Coll) is deliberately absent: it is classified by the
+   collectives channel's own handler, not a per-kind AIH on [channel] *)
 let all_kinds = [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
 
 let notices_bytes notices = notice_wire_bytes * List.length notices
@@ -52,12 +60,14 @@ let body_bytes = function
   | Diff_reply _ -> 8 (* the diff data rides as bulk data *)
   | Barrier_arrive { vc; notices; _ } | Barrier_release { vc; notices; _ } ->
       8 + Vclock.wire_bytes vc + notices_bytes notices
+  | Coll { vc; notices } -> 8 + Vclock.wire_bytes vc + notices_bytes notices
 
 let obj_of = function
   | Lock_acquire { lock; _ } | Lock_forward { lock; _ } | Lock_grant { lock; _ } -> lock
   | Page_req { page; _ } | Page_reply { page; _ } -> page
   | Diff_req { page; _ } | Diff_reply { page; _ } -> page
   | Barrier_arrive { barrier; _ } | Barrier_release { barrier; _ } -> barrier
+  | Coll _ -> 0
 
 let has_data = function Page_reply _ -> true | _ -> false
 
@@ -100,3 +110,4 @@ let pp fmt msg =
         (List.length notices)
   | Barrier_release { barrier; notices; _ } ->
       Format.fprintf fmt "barrier-release(b=%d, %d notices)" barrier (List.length notices)
+  | Coll { notices; _ } -> Format.fprintf fmt "collective(%d notices)" (List.length notices)

@@ -24,12 +24,19 @@ type msg =
   | Diff_reply of { page : int; owner : int; bytes : int; upto : int }
   | Barrier_arrive of { barrier : int; node : int; vc : Vclock.t; notices : notice list }
   | Barrier_release of { barrier : int; vc : Vclock.t; notices : notice list }
+  | Coll of { vc : Vclock.t; notices : notice list }
+      (** combining-tree payload of the NIC-resident barrier (see
+          {!Lrc.install}): travels on the collectives channel, so it is not
+          in {!all_kinds} and never reaches the per-kind AIHs of [channel] *)
 
 (** The application device channel used by the DSM protocol. *)
 val channel : int
 
 (** Wire size of one write notice. *)
 val notice_wire_bytes : int
+
+(** Wire size of a notice list. *)
+val notices_bytes : notice list -> int
 
 val kind_of : msg -> int
 val kind_name : int -> string

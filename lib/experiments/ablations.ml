@@ -248,6 +248,67 @@ let faults () =
       ]
     rows
 
+(* NIC-resident collectives (the combining tree as AIH code) against the
+   host-driven implementations: raw barrier / allreduce latency as the node
+   count grows, then the three applications with the DSM barrier switched
+   between the centralised node-0 manager and the tree. *)
+let collectives () =
+  let latency_rows =
+    List.concat_map
+      (fun nodes ->
+        List.map
+          (fun (name, kind, nic) ->
+            let p = Microbench.collective_latency ~kind ~nodes ~nic () in
+            [
+              Printf.sprintf "barrier+allreduce (%d nodes)" nodes;
+              name;
+              Report.f1 p.Microbench.barrier_us;
+              Report.f1 p.Microbench.allreduce_us;
+              "-";
+              string_of_int p.Microbench.interrupts;
+            ])
+          [
+            ("CNI, host-driven", Runner.cni (), false);
+            ("CNI, NIC tree", Runner.cni (), true);
+            ("standard, host-driven", Runner.standard, false);
+            ("standard, NIC tree", Runner.standard, true);
+          ])
+      [ 2; 4; 8; 16 ]
+  in
+  let app_rows =
+    List.concat_map
+      (fun (aname, app) ->
+        List.map
+          (fun (bname, barrier_impl) ->
+            let r = Runner.run ~barrier_impl ~kind:(Runner.cni ()) ~procs:8 app in
+            [
+              aname;
+              bname;
+              "-";
+              "-";
+              Format.asprintf "%a" Time.pp r.Runner.elapsed;
+              string_of_int r.Runner.host_interrupts;
+            ])
+          [ ("CNI, centralised barrier", `Centralised); ("CNI, NIC-tree barrier", `Nic_collective) ])
+      [
+        ("Jacobi 512 (8 procs)", jacobi);
+        ("Water 216 (8 procs)", water);
+        ("Cholesky bcsstk14-like (8 procs)", cholesky);
+      ]
+  in
+  Report.make ~id:"ablation-collectives"
+    ~title:"NIC-resident collectives: combining tree vs host-driven"
+    ~columns:
+      [ "workload"; "configuration"; "barrier-us"; "allreduce-us"; "elapsed"; "interrupts" ]
+    ~notes:
+      [
+        "the NIC tree combines contributions on the boards (AIH code): a CNI episode takes \
+         zero host interrupts; the standard interface interrupts per tree packet either way";
+        "application rows switch the DSM barrier between the centralised node-0 manager and \
+         the tree allreduce of (vector clock, write notices)";
+      ]
+    (latency_rows @ app_rows)
+
 let all =
   [
     ("ablation-mc", message_cache);
@@ -259,4 +320,5 @@ let all =
     ("ablation-evolution", interface_evolution);
     ("ablation-ordering", ordering);
     ("ablation-faults", faults);
+    ("ablation-collectives", collectives);
   ]

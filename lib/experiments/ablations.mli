@@ -26,3 +26,9 @@ val ordering : unit -> Report.t
     recovering lost frames. Reports completion, retransmissions and slowdown
     relative to the zero-loss run. *)
 val faults : unit -> Report.t
+
+(** NIC-resident collectives: barrier/allreduce latency of the boards'
+    combining tree ({!Cni_mp.Collectives}) against the host-driven paths as
+    the node count grows, and the three applications with the DSM barrier
+    switched between the centralised manager and the tree. *)
+val collectives : unit -> Report.t

@@ -75,6 +75,47 @@ let latency ?(params = Params.default) ~kind ~bytes () =
   | (arrival, t0) :: _ -> Time.(arrival - t0)
   | [] -> failwith "Microbench: no delivery"
 
+(* Collective-operation latency: [reps] barriers (plus [reps] integer
+   allreduces when [allreduce]) over a fresh cluster, through either the
+   NIC-resident combining tree (Collectives directly) or the host-driven Mp
+   paths — the same episode count either way, so the per-op averages and the
+   interrupt totals are comparable across interfaces and implementations. *)
+type collective_point = {
+  barrier_us : float;  (* average per-barrier latency *)
+  allreduce_us : float;  (* average per-allreduce latency (0 when skipped) *)
+  interrupts : int;  (* host interrupts taken, summed over nodes *)
+}
+
+let collective_latency ?(params = Params.default) ?(reps = 8) ?(allreduce = true) ~kind ~nodes
+    ~nic () =
+  let module Mp = Cni_mp.Mp in
+  let cluster : int Mp.envelope Cluster.t =
+    Cluster.create ~params ~nic_kind:kind ~nodes ()
+  in
+  let eps = Mp.install ~nic_collectives:nic cluster in
+  let barrier_t = ref Time.zero and allreduce_t = ref Time.zero in
+  Cluster.run_app cluster (fun node ->
+      let ep = eps.(Node.id node) in
+      let eng = Cluster.engine cluster in
+      for _ = 1 to reps do
+        let t0 = Engine.now eng in
+        Mp.barrier ep;
+        if Node.id node = 0 then barrier_t := Time.( + ) !barrier_t Time.(Engine.now eng - t0)
+      done;
+      if allreduce then
+        for _ = 1 to reps do
+          let t0 = Engine.now eng in
+          ignore (Mp.allreduce ep ~op:( + ) ~bytes:8 (Node.id node));
+          if Node.id node = 0 then
+            allreduce_t := Time.( + ) !allreduce_t Time.(Engine.now eng - t0)
+        done);
+  let interrupts = ref 0 in
+  for n = 0 to nodes - 1 do
+    interrupts := !interrupts + (Nic.stats (Node.nic (Cluster.node cluster n))).Nic.interrupts
+  done;
+  let per t = Time.to_us_float t /. float_of_int reps in
+  { barrier_us = per !barrier_t; allreduce_us = per !allreduce_t; interrupts = !interrupts }
+
 type point = { bytes : int; cni_us : float; standard_us : float; reduction_pct : float }
 
 let sweep ?(params = Params.default) ~sizes () =

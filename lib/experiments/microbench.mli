@@ -22,3 +22,26 @@ val latency :
   Cni_engine.Time.t
 
 val sweep : ?params:Cni_machine.Params.t -> sizes:int list -> unit -> point list
+
+(** {2 Collective-operation latency} *)
+
+type collective_point = {
+  barrier_us : float;  (** average per-barrier latency *)
+  allreduce_us : float;  (** average per-allreduce latency (0 when skipped) *)
+  interrupts : int;  (** host interrupts taken, summed over nodes *)
+}
+
+(** [collective_latency ~kind ~nodes ~nic ()] — average latency of [reps]
+    (default 8) barriers and, unless [allreduce:false], [reps] integer
+    allreduces over a fresh [nodes]-node cluster. [nic] selects the
+    NIC-resident combining tree ({!Cni_mp.Collectives}) versus the
+    host-driven {!Cni_mp.Mp} collectives. *)
+val collective_latency :
+  ?params:Cni_machine.Params.t ->
+  ?reps:int ->
+  ?allreduce:bool ->
+  kind:Cni_cluster.Cluster.nic_kind ->
+  nodes:int ->
+  nic:bool ->
+  unit ->
+  collective_point

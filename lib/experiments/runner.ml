@@ -20,6 +20,7 @@ type result = {
   message_mix : (string * int) list;  (* protocol messages by kind, summed *)
   retransmits : int;  (* NIC-level re-sends, summed (0 with reliability off) *)
   fault_drops : int;  (* frames the fault model destroyed, summed over nodes *)
+  host_interrupts : int;  (* host interrupts taken, summed over nodes *)
   metrics : Cni_engine.Stats.Registry.snapshot;
 }
 
@@ -31,15 +32,16 @@ let cni ?mc_bytes ?mc_mode ?aih ?hybrid_receive () =
       mc_mode = Option.value mc_mode ~default:d.Nic.mc_mode;
       aih = Option.value aih ~default:d.Nic.aih;
       hybrid_receive = Option.value hybrid_receive ~default:d.Nic.hybrid_receive;
+      mc_phys_to_vpage = d.Nic.mc_phys_to_vpage;
     }
 
 let standard = `Standard
 let osiris = `Osiris Nic.default_osiris_options
 
-let run ?(params = Params.default) ?faults ?reliability ~kind ~procs app =
+let run ?(params = Params.default) ?faults ?reliability ?barrier_impl ~kind ~procs app =
   let cluster = Cluster.create ~params ?faults ?reliability ~nic_kind:kind ~nodes:procs () in
   let space = Space.create ~nprocs:procs ~page_bytes:params.Params.page_bytes in
-  let lrcs = Lrc.install cluster space () in
+  let lrcs = Lrc.install cluster space ?barrier_impl () in
   app cluster lrcs;
   let o = Cluster.overheads cluster in
   let f = Fabric.stats (Cluster.fabric cluster) in
@@ -68,6 +70,13 @@ let run ?(params = Params.default) ?faults ?reliability ~kind ~procs app =
        let acc = ref 0 in
        for n = 0 to procs - 1 do
          acc := !acc + Fabric.fault_drops fab ~node:n
+       done;
+       !acc);
+    host_interrupts =
+      (let acc = ref 0 in
+       for n = 0 to procs - 1 do
+         acc :=
+           !acc + (Nic.stats (Cni_cluster.Node.nic (Cluster.node cluster n))).Nic.interrupts
        done;
        !acc);
     metrics = Cluster.metrics_snapshot cluster;

@@ -19,6 +19,9 @@ type result = {
           disabled) *)
   fault_drops : int;
       (** frames destroyed by the injected fault model, summed over nodes *)
+  host_interrupts : int;
+      (** host interrupts taken, summed over nodes — zero on a CNI board when
+          everything runs as AIHs; the standard board's cost of existence *)
   metrics : Cni_engine.Stats.Registry.snapshot;
       (** full registry snapshot: every node's NIC, ring, Message Cache, DSM
           and time-accounting metrics *)
@@ -41,11 +44,14 @@ val osiris : Cni_cluster.Cluster.nic_kind
 (** [run ~kind ~procs app] builds a cluster + DSM and runs [app] to
     completion. [params] defaults to Table 1. [faults] makes the fabric
     lossy (implying NIC reliable delivery, see {!Cni_cluster.Cluster.create});
-    [reliability] tunes or force-enables the delivery protocol. *)
+    [reliability] tunes or force-enables the delivery protocol;
+    [barrier_impl] selects the DSM barrier implementation (see
+    {!Cni_dsm.Lrc.install}). *)
 val run :
   ?params:Cni_machine.Params.t ->
   ?faults:Cni_atm.Faults.config ->
   ?reliability:Cni_nic.Reliable.config ->
+  ?barrier_impl:[ `Centralised | `Nic_collective ] ->
   kind:Cni_cluster.Cluster.nic_kind ->
   procs:int ->
   app ->

@@ -17,6 +17,8 @@ type 'a t = {
   mutable waiters : 'a waiter list; (* registration order (reversed) *)
   mutable collective_seq : int;
   scratch_buffer : int;
+  coll : ('a envelope, 'a envelope) Collectives.t option;
+      (* NIC-resident collectives endpoint; None = host-driven collectives *)
 }
 
 let channel = 2
@@ -43,8 +45,23 @@ let deliver t e =
       w.resume e
   | None -> t.mailbox <- e :: t.mailbox
 
-let install cluster =
+let collectives_channel = 3
+
+let install ?(nic_collectives = false) cluster =
   let n = Cluster.size cluster in
+  let coll =
+    if nic_collectives then
+      (* the endpoint's value type IS the wire payload type (an envelope), so
+         inject/project are the identity; a value's wire size is the
+         envelope's [bytes] field *)
+      Some
+        (Collectives.install ~channel:collectives_channel
+           ~bytes_of:(fun (e : 'a envelope) -> e.bytes)
+           ~inject:(fun e -> e)
+           ~project:(fun e -> e)
+           cluster)
+    else None
+  in
   let endpoints =
     Array.init n (fun rank ->
         {
@@ -55,6 +72,7 @@ let install cluster =
           waiters = [];
           collective_seq = 0;
           scratch_buffer = (1 lsl 24) + (rank lsl 20);
+          coll = Option.map (fun c -> c.(rank)) coll;
         })
   in
   Array.iter
@@ -166,7 +184,7 @@ let next_tags t =
    are rejected by the public [recv] — can never be read by user code. *)
 let barrier_placeholder : 'a. unit -> 'a = fun () -> Obj.magic 0
 
-let barrier t =
+let host_barrier t =
   if t.size > 1 then begin
     let tag = next_tags t in
     let round = ref 0 in
@@ -188,7 +206,7 @@ let barrier t =
 let vrank t ~root = (t.rank - root + t.size) mod t.size
 let unvrank t ~root v = (v + root) mod t.size
 
-let broadcast t ~root ?(bytes = 64) value =
+let host_broadcast t ~root ~bytes value =
   if t.size = 1 then value
   else begin
     let tag = next_tags t in
@@ -211,7 +229,7 @@ let broadcast t ~root ?(bytes = 64) value =
     !result
   end
 
-let reduce t ~root ~op ?(bytes = 64) value =
+let host_reduce t ~root ~op ~bytes value =
   if t.size = 1 then value
   else begin
     let tag = next_tags t in
@@ -240,9 +258,34 @@ let reduce t ~root ~op ?(bytes = 64) value =
     !acc
   end
 
+(* The NIC-resident path lifts values into envelopes (the wire payload type)
+   so one Collectives installation serves any user value type; [op] is
+   applied to the carried values. *)
+let envelope t ~bytes value = { src = t.rank; tag = reserved_tag_base; bytes; value }
+
+let lift op e1 e2 = { e1 with value = op e1.value e2.value }
+
+let barrier t =
+  match t.coll with Some c -> Collectives.barrier c | None -> host_barrier t
+
+let broadcast t ~root ?(bytes = 64) value =
+  match t.coll with
+  | Some c -> (Collectives.broadcast c ~root (envelope t ~bytes value)).value
+  | None -> host_broadcast t ~root ~bytes value
+
+let reduce t ~root ~op ?(bytes = 64) value =
+  match t.coll with
+  | Some c -> (Collectives.reduce c ~root ~op:(lift op) (envelope t ~bytes value)).value
+  | None -> host_reduce t ~root ~op ~bytes value
+
 let allreduce t ~op ?(bytes = 64) value =
-  let partial = reduce t ~root:0 ~op ~bytes value in
-  broadcast t ~root:0 ~bytes partial
+  match t.coll with
+  | Some c -> (Collectives.allreduce c ~op:(lift op) (envelope t ~bytes value)).value
+  | None ->
+      let partial = host_reduce t ~root:0 ~op ~bytes value in
+      host_broadcast t ~root:0 ~bytes partial
+
+let nic_collective t = Option.is_some t.coll
 
 (* Debug: outstanding waits and parked messages (deadlock triage). *)
 let debug_state t =

@@ -29,9 +29,22 @@ val channel : int
 (** Tags at or above this value are reserved for the collectives. *)
 val reserved_tag_base : int
 
+(** The wire channel the NIC-resident collectives claim (see {!install}). *)
+val collectives_channel : int
+
 (** [install cluster] creates one endpoint per node and programs every
-    board's classifier. Call once, before [run_app]. *)
-val install : 'a envelope Cni_cluster.Cluster.t -> 'a t array
+    board's classifier. Call once, before [run_app].
+
+    [nic_collectives] (default [false]) additionally installs a
+    {!Collectives} endpoint set on {!collectives_channel} and reroutes
+    {!barrier}, {!broadcast}, {!reduce} and {!allreduce} through it: the
+    combining tree runs as AIH code on the boards and the host is woken once
+    per collective, instead of driving every round from host send/recv. The
+    default keeps the host-driven paths (the ablation baseline). *)
+val install : ?nic_collectives:bool -> 'a envelope Cni_cluster.Cluster.t -> 'a t array
+
+(** Whether this endpoint's collectives are NIC-resident. *)
+val nic_collective : 'a t -> bool
 
 val rank : 'a t -> int
 val size : 'a t -> int
@@ -57,11 +70,14 @@ val pending : 'a t -> int
 
 (** {2 Collectives}
 
-    Every node must call the same collectives in the same order. All are
-    built from {!send}/{!recv} (dissemination barrier, binomial broadcast
-    and reduction), so their cost is real message traffic. *)
+    Every node must call the same collectives in the same order. By default
+    all are built from {!send}/{!recv} (dissemination barrier, binomial
+    broadcast and reduction), so their cost is real message traffic; with
+    [~nic_collectives:true] they run on the boards' combining tree instead
+    (see {!Collectives}), and [op] must be associative and commutative. *)
 
-(** Dissemination barrier: O(log n) rounds. *)
+(** Barrier: host-driven dissemination (O(log n) rounds), or the NIC
+    combining tree. *)
 val barrier : 'a t -> unit
 
 (** [broadcast t ~root ?bytes v] — [v] is consulted only at the root; every

@@ -8,6 +8,7 @@ type t = {
   page_bytes : int;
   capacity : int;
   cache_mode : mode;
+  phys_to_vpage : int -> int;  (* the snooper's RTLB (reverse TLB) *)
   slots : slot array;
   map : (int, int) Hashtbl.t; (* vpage -> slot index: the buffer map *)
   mutable hand : int; (* clock hand *)
@@ -30,7 +31,7 @@ type stats = {
 
 let subsystem = "message-cache"
 
-let create ?registry ?node ~page_bytes ~capacity_bytes ~mode () =
+let create ?registry ?node ?phys_to_vpage ~page_bytes ~capacity_bytes ~mode () =
   let capacity = max 1 (capacity_bytes / page_bytes) in
   let counter name =
     match registry with
@@ -41,6 +42,10 @@ let create ?registry ?node ~page_bytes ~capacity_bytes ~mode () =
     page_bytes;
     capacity;
     cache_mode = mode;
+    phys_to_vpage =
+      (match phys_to_vpage with
+      | Some f -> f
+      | None -> fun addr -> addr / page_bytes);
     slots = Array.init capacity (fun _ -> { vpage = -1; referenced = false });
     map = Hashtbl.create (capacity * 2);
     hand = 0;
@@ -110,7 +115,10 @@ let unbind t ~vpage =
 let snoop t ~addr ~bytes =
   if bytes > 0 then begin
     let first = addr / t.page_bytes and last = (addr + bytes - 1) / t.page_bytes in
-    for vpage = first to last do
+    for ppage = first to last do
+      (* each covered physical page goes through the RTLB before the buffer
+         map is consulted: the map is keyed by virtual page *)
+      let vpage = t.phys_to_vpage (ppage * t.page_bytes) in
       match Hashtbl.find_opt t.map vpage with
       | Some i -> (
           match t.cache_mode with
@@ -124,6 +132,13 @@ let snoop t ~addr ~bytes =
       | None -> ()
     done
   end
+
+(* The bound pages as the slot array sees them (not the buffer map): lets
+   tests check that map and slots never disagree. *)
+let bound_pages t =
+  Array.to_list t.slots
+  |> List.filter_map (fun s -> if s.vpage >= 0 then Some s.vpage else None)
+  |> List.sort compare
 
 let stats t =
   {

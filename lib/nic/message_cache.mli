@@ -16,10 +16,19 @@ type mode = Update | Invalidate
 type t
 
 (** When [registry] is given, statistics are registered as
-    [node<N>/message-cache/<metric>] counters; otherwise standalone. *)
+    [node<N>/message-cache/<metric>] counters; otherwise standalone.
+
+    [phys_to_vpage] is the snooper's RTLB (reverse TLB): it maps the
+    {e physical} address of a bus write to the {e virtual} page number the
+    buffer map is keyed by. The default is the identity mapping
+    (physical address / page size), which is only correct while host buffers
+    are identity-mapped — the configuration every current client uses. A
+    system with real virtual memory must supply the translation, or snooped
+    writes would update/invalidate the wrong binding. *)
 val create :
   ?registry:Cni_engine.Stats.Registry.t ->
   ?node:int ->
+  ?phys_to_vpage:(int -> int) ->
   page_bytes:int ->
   capacity_bytes:int ->
   mode:mode ->
@@ -45,8 +54,10 @@ val contains : t -> vpage:int -> bool
 val bind : t -> vpage:int -> unit
 
 (** [snoop t ~addr ~bytes] — the snoopy interface: a range of host memory was
-    written over the bus. In [Update] mode a covered binding absorbs the
-    write (stays valid); in [Invalidate] mode it is dropped. *)
+    written over the bus. [addr] is a {e physical} address; each covered page
+    is translated through [phys_to_vpage] before the buffer map is consulted.
+    In [Update] mode a covered binding absorbs the write (stays valid); in
+    [Invalidate] mode it is dropped. *)
 val snoop : t -> addr:int -> bytes:int -> unit
 
 (** Drop a binding if present (e.g. the host reuses the page for something
@@ -61,6 +72,10 @@ type stats = {
   snoop_updates : int;
   snoop_invalidates : int;
 }
+
+(** The pages currently bound, as recorded in the slot array (sorted). The
+    buffer map must always agree with this; tests rely on the invariant. *)
+val bound_pages : t -> int list
 
 val stats : t -> stats
 val reset_stats : t -> unit

@@ -30,13 +30,15 @@ type cni_options = {
   mc_mode : Message_cache.mode;
   aih : bool;
   hybrid_receive : bool;
+  mc_phys_to_vpage : (int -> int) option;
 }
 
 let default_cni_options =
   { mc_bytes = Params.default.Params.message_cache_bytes;
     mc_mode = Message_cache.Update;
     aih = true;
-    hybrid_receive = true }
+    hybrid_receive = true;
+    mc_phys_to_vpage = None }
 
 type osiris_options = {
   software_classify_nic_cycles : int;
@@ -131,6 +133,7 @@ type rel_stats = {
 }
 
 let node t = t.node
+let params t = t.p
 let is_cni t = match t.kind with Cni _ -> true | Osiris _ | Standard -> false
 let aih_enabled t = match t.kind with Cni { aih; _ } -> aih | Osiris _ | Standard -> false
 let message_cache t = t.mc
@@ -392,6 +395,45 @@ let run_on_host t ~base ~reply_host_cycles handler pkt =
   t.host.overhead !spent;
   if not (t.host.host_waiting ()) then t.host.steal !spent
 
+(* Host-initiated protocol action without an incoming packet: the local
+   arrival of a NIC-resident collective, for instance, is the host posting a
+   descriptor that the board's handler then processes. Under AIH the board
+   picks the descriptor up asynchronously (dispatch + [ctx.charge] at NIC
+   cycles) and the host only pays its enqueue cost; on every other interface
+   the protocol step runs synchronously on the host CPU in the calling fiber
+   — no interrupt is taken (the host initiated the action), but the work is
+   still serialised with interrupt-level service and reported as overhead. *)
+let local_dispatch t f =
+  let p = t.p in
+  let enqueue_cycles =
+    match t.kind with
+    | Cni _ | Osiris _ -> p.Params.adc_enqueue_cycles
+    | Standard -> p.Params.kernel_send_cycles
+  in
+  let cost = Params.cpu_cycles p enqueue_cycles in
+  t.host.overhead cost;
+  Engine.delay cost;
+  if aih_enabled t then
+    Engine.spawn t.eng ~name:"nic-local-dispatch" (fun () ->
+        nic_busy t (Params.nic_cycles p p.Params.handler_dispatch_nic_cycles);
+        let ctx =
+          make_ctx t ~reply_host_cycles:0
+            ~on_charge:(fun n -> nic_busy t (Params.nic_cycles p n))
+        in
+        f ctx)
+  else begin
+    let spent = ref Time.zero in
+    let ctx =
+      make_ctx t ~reply_host_cycles:enqueue_cycles
+        ~on_charge:(fun n ->
+          let d = Params.cpu_cycles p n in
+          spent := Time.( + ) !spent d;
+          host_busy t d)
+    in
+    f ctx;
+    t.host.overhead !spent
+  end
+
 (* The classification-stage cost of looking at one frame and discarding it
    (a duplicate the window caught): hardware lookup on the CNI, software
    demux on OSIRIS, a full interrupt + kernel demux on the standard board. *)
@@ -571,10 +613,10 @@ let create ?registry ?reliability ~kind eng bus fabric ~node ~host =
   let p = Bus.params bus in
   let mc =
     match kind with
-    | Cni { mc_bytes; mc_mode; _ } when mc_bytes > 0 ->
+    | Cni { mc_bytes; mc_mode; mc_phys_to_vpage; _ } when mc_bytes > 0 ->
         Some
-          (Message_cache.create ?registry ~node ~page_bytes:p.Params.page_bytes
-             ~capacity_bytes:mc_bytes ~mode:mc_mode ())
+          (Message_cache.create ?registry ~node ?phys_to_vpage:mc_phys_to_vpage
+             ~page_bytes:p.Params.page_bytes ~capacity_bytes:mc_bytes ~mode:mc_mode ())
     | Cni _ | Osiris _ | Standard -> None
   in
   let counter name =

@@ -60,6 +60,11 @@ type cni_options = {
   aih : bool;  (** run protocol handlers on the NIC; [false] = host handlers
                    behind the polling/interrupt hybrid (ablation) *)
   hybrid_receive : bool;  (** [false] = interrupt-only receive (ablation) *)
+  mc_phys_to_vpage : (int -> int) option;
+      (** the snooper's RTLB: translate a physical bus address to the virtual
+          page bound in the Message Cache's buffer map. [None] = identity
+          mapping (phys addr / page size), which is correct only while host
+          buffers are identity-mapped — see {!Message_cache.create} *)
 }
 
 val default_cni_options : cni_options
@@ -124,6 +129,11 @@ val create_osiris :
   'a t
 
 val node : 'a t -> int
+
+(** The machine parameter set the interface was built with (board clock,
+    page size, path costs). *)
+val params : 'a t -> Cni_machine.Params.t
+
 val is_cni : 'a t -> bool
 
 (** [true] when protocol handlers execute on the NIC processor (CNI with
@@ -163,6 +173,17 @@ val handler_code_bytes : 'a t -> int
     (the DSM layer flushes at release points; see Cache.flush_range). *)
 val send :
   'a t -> dst:int -> header:Bytes.t -> body_bytes:int -> data:data -> payload:'a -> unit
+
+(** [local_dispatch t f] runs a protocol step that the {e host} initiates —
+    e.g. the local-arrival step of a NIC-resident collective — in the
+    interface's protocol context. The calling fiber pays the descriptor-post
+    cost (ADC enqueue on CNI/OSIRIS, kernel entry on the standard board).
+    Under AIH the step itself then executes asynchronously on the NIC
+    processor ([ctx.charge] at NIC cycles, [ctx.reply] free of host cost);
+    on every other interface it executes synchronously on the host CPU in
+    the calling fiber, charged as protocol overhead. No interrupt is taken
+    either way: the host initiated the action. Must run in a fiber. *)
+val local_dispatch : 'a t -> ('a ctx -> unit) -> unit
 
 (** The Message Cache, when configured (CNI with [mc_bytes > 0]). *)
 val message_cache : 'a t -> Message_cache.t option

@@ -167,19 +167,19 @@ let diff_size_bounded =
 (* End-to-end LRC                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let make_cluster ~kind ~nodes =
+let make_cluster ?barrier_impl ~kind ~nodes () =
   let cluster = Cluster.create ~nic_kind:kind ~nodes () in
   let space = Space.create ~nprocs:nodes ~page_bytes:(Cluster.params cluster).page_bytes in
-  let lrcs = Lrc.install cluster space () in
+  let lrcs = Lrc.install cluster space ?barrier_impl () in
   (cluster, space, lrcs)
 
 let cni_kind = `Cni Nic.default_cni_options
 
 (* Two nodes fill halves of an array, synchronise on a barrier, then each
    reads the whole array: values must flow and time must advance. *)
-let run_barrier_sharing kind =
+let run_barrier_sharing ?barrier_impl kind =
   let nodes = 2 in
-  let cluster, space, lrcs = make_cluster ~kind ~nodes in
+  let cluster, space, lrcs = make_cluster ?barrier_impl ~kind ~nodes () in
   let arr = Shmem.Farray.create space ~len:1024 in
   let half = 512 in
   let sums = Array.make nodes 0.0 in
@@ -226,10 +226,37 @@ let test_cni_faster_than_standard () =
   let c2, _, _ = run_barrier_sharing `Standard in
   checkb "CNI no slower than standard" true (Cluster.elapsed c1 <= Cluster.elapsed c2)
 
+let total_interrupts cluster ~nodes =
+  let acc = ref 0 in
+  for n = 0 to nodes - 1 do
+    acc := !acc + (Nic.stats (Node.nic (Cluster.node cluster n))).Nic.interrupts
+  done;
+  !acc
+
+(* The NIC-tree barrier must deliver the same memory semantics as the
+   centralised manager: write notices reach every node, so both nodes read
+   the same (complete) data — and on CNI the whole run takes zero host
+   interrupts because the tree combines on the boards. *)
+let test_nic_collective_barrier_parity () =
+  let cluster, lrcs, sums = run_barrier_sharing ~barrier_impl:`Nic_collective cni_kind in
+  check (Alcotest.float 0.001) "node0 sees all data" expected_sum sums.(0);
+  check (Alcotest.float 0.001) "node1 sees all data" expected_sum sums.(1);
+  let st = Lrc.stats lrcs.(0) in
+  checkb "barriers counted" true (st.Lrc.barriers = 3);
+  checki "zero host interrupts on CNI" 0 (total_interrupts cluster ~nodes:2)
+
+let test_nic_collective_barrier_standard () =
+  (* same semantics on the standard interface (handlers behind interrupts) *)
+  let cluster, _lrcs, sums = run_barrier_sharing ~barrier_impl:`Nic_collective `Standard in
+  check (Alcotest.float 0.001) "node0 sees all data" expected_sum sums.(0);
+  check (Alcotest.float 0.001) "node1 sees all data" expected_sum sums.(1);
+  checkb "standard interface interrupts per tree packet" true
+    (total_interrupts cluster ~nodes:2 > 0)
+
 (* Lock-protected counter: mutual exclusion must give an exact total. *)
 let test_lock_counter () =
   let nodes = 4 in
-  let cluster, space, lrcs = make_cluster ~kind:cni_kind ~nodes in
+  let cluster, space, lrcs = make_cluster ~kind:cni_kind ~nodes () in
   let counter = Shmem.Iarray.create space ~len:1 in
   let iters = 20 in
   Cluster.run_app cluster (fun node ->
@@ -251,7 +278,7 @@ let test_lock_counter () =
 
 (* A single-node run must not send any packets. *)
 let test_single_node_no_traffic () =
-  let cluster, space, lrcs = make_cluster ~kind:cni_kind ~nodes:1 in
+  let cluster, space, lrcs = make_cluster ~kind:cni_kind ~nodes:1 () in
   let arr = Shmem.Farray.create space ~len:256 in
   Cluster.run_app cluster (fun node ->
       let lrc = lrcs.(Node.id node) in
@@ -269,7 +296,7 @@ let test_single_node_no_traffic () =
 (* Page migration under locks: receive caching and transmit hits. *)
 let test_page_migration_hits () =
   let nodes = 2 in
-  let cluster, space, lrcs = make_cluster ~kind:cni_kind ~nodes in
+  let cluster, space, lrcs = make_cluster ~kind:cni_kind ~nodes () in
   let arr = Shmem.Farray.create space ~len:512 (* 2 pages at 2 KB *) in
   Cluster.run_app cluster (fun node ->
       let me = Node.id node in
@@ -382,7 +409,7 @@ let test_protocol_headers_classify () =
    by everyone (diffs fetched from both writers) *)
 let test_concurrent_write_sharing () =
   let nodes = 2 in
-  let cluster, space, lrcs = make_cluster ~kind:cni_kind ~nodes in
+  let cluster, space, lrcs = make_cluster ~kind:cni_kind ~nodes () in
   let arr = Shmem.Farray.create space ~len:256 (* one 2 KB page *) in
   Cluster.run_app cluster (fun node ->
       let me = Node.id node in
@@ -446,7 +473,7 @@ let test_resident_cap_evicts () =
 (* barrier ids can be reused across epochs *)
 let test_barrier_epochs () =
   let nodes = 3 in
-  let cluster, _space, lrcs = make_cluster ~kind:cni_kind ~nodes in
+  let cluster, _space, lrcs = make_cluster ~kind:cni_kind ~nodes () in
   let order = ref [] in
   Cluster.run_app cluster (fun node ->
       let me = Node.id node in
@@ -461,7 +488,7 @@ let test_barrier_epochs () =
 (* lock fairness-ish: a contended lock is granted to every requester *)
 let test_lock_no_starvation () =
   let nodes = 4 in
-  let cluster, space, lrcs = make_cluster ~kind:cni_kind ~nodes in
+  let cluster, space, lrcs = make_cluster ~kind:cni_kind ~nodes () in
   let acquisitions = Array.make nodes 0 in
   let counter = Shmem.Iarray.create space ~len:1 in
   Cluster.run_app cluster (fun node ->
@@ -481,7 +508,7 @@ let test_lock_no_starvation () =
 (* the standard interface must interrupt for protocol service; CNI+AIH not *)
 let test_aih_removes_interrupts () =
   let count kind =
-    let cluster, space, lrcs = make_cluster ~kind ~nodes:2 in
+    let cluster, space, lrcs = make_cluster ~kind ~nodes:2 () in
     let arr = Shmem.Farray.create space ~len:512 in
     Cluster.run_app cluster (fun node ->
         let me = Node.id node in
@@ -498,7 +525,7 @@ let test_aih_removes_interrupts () =
   checkb "standard: interrupts taken" true (count `Standard > 0)
 
 let test_lock_api_errors () =
-  let cluster, _space, lrcs = make_cluster ~kind:cni_kind ~nodes:1 in
+  let cluster, _space, lrcs = make_cluster ~kind:cni_kind ~nodes:1 () in
   Cluster.run_app cluster (fun node ->
       let lrc = lrcs.(Node.id node) in
       (try
@@ -513,7 +540,7 @@ let test_lock_api_errors () =
       Lrc.release lrc ~lock:7)
 
 let test_shmem_bounds () =
-  let cluster, space, lrcs = make_cluster ~kind:cni_kind ~nodes:1 in
+  let cluster, space, lrcs = make_cluster ~kind:cni_kind ~nodes:1 () in
   let arr = Shmem.Farray.create space ~len:16 in
   Cluster.run_app cluster (fun node ->
       let lrc = lrcs.(Node.id node) in
@@ -541,7 +568,7 @@ let test_shmem_layout () =
 (* the traffic mix matches the synchronisation structure of the program *)
 let test_message_mix () =
   (* barrier-only sharing: no lock traffic at all *)
-  let cluster, space, lrcs = make_cluster ~kind:cni_kind ~nodes:2 in
+  let cluster, space, lrcs = make_cluster ~kind:cni_kind ~nodes:2 () in
   let arr = Shmem.Farray.create space ~len:512 in
   Cluster.run_app cluster (fun node ->
       let me = Node.id node in
@@ -558,7 +585,7 @@ let test_message_mix () =
   checkb "barrier traffic present" true (count "barrier-arrive" > 0 && count "barrier-release" > 0);
   checkb "data was fetched" true (count "page-reply" + count "diff-reply" > 0);
   (* lock-based sharing: lock traffic appears *)
-  let cluster2, space2, lrcs2 = make_cluster ~kind:cni_kind ~nodes:2 in
+  let cluster2, space2, lrcs2 = make_cluster ~kind:cni_kind ~nodes:2 () in
   let c2 = Shmem.Iarray.create space2 ~len:1 in
   Cluster.run_app cluster2 (fun node ->
       let me = Node.id node in
@@ -613,6 +640,10 @@ let () =
           Alcotest.test_case "barrier sharing (CNI)" `Quick test_barrier_sharing_cni;
           Alcotest.test_case "barrier sharing (standard)" `Quick test_barrier_sharing_standard;
           Alcotest.test_case "CNI <= standard" `Quick test_cni_faster_than_standard;
+          Alcotest.test_case "NIC-tree barrier parity (CNI)" `Quick
+            test_nic_collective_barrier_parity;
+          Alcotest.test_case "NIC-tree barrier parity (standard)" `Quick
+            test_nic_collective_barrier_standard;
           Alcotest.test_case "lock counter" `Quick test_lock_counter;
           Alcotest.test_case "single node: no traffic" `Quick test_single_node_no_traffic;
           Alcotest.test_case "page migration" `Quick test_page_migration_hits;

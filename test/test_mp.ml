@@ -175,6 +175,81 @@ let test_collectives_compose () =
            checki "broadcast round" round b
          done))
 
+(* ------------------------------------------------------------------ *)
+(* NIC-resident collectives                                            *)
+(* ------------------------------------------------------------------ *)
+
+let with_nic_coll ~kind ~nodes f =
+  let cluster : int Mp.envelope Cluster.t = Cluster.create ~nic_kind:kind ~nodes () in
+  let eps = Mp.install ~nic_collectives:true cluster in
+  Cluster.run_app cluster (fun node -> f (Cluster.engine cluster) eps.(Node.id node));
+  (cluster, eps)
+
+let total_interrupts cluster ~nodes =
+  let acc = ref 0 in
+  for n = 0 to nodes - 1 do
+    acc := !acc + (Nic.stats (Node.nic (Cluster.node cluster n))).Cni_nic.Nic.interrupts
+  done;
+  !acc
+
+let test_nic_collectives_results () =
+  (* the combining tree returns the same answers as the host-driven paths:
+     non-zero roots (vrank rotation), non-commutative-looking folds (max),
+     and many sequential episodes over one installation *)
+  let n = 8 in
+  let done_ = ref 0 in
+  let cluster, _ =
+    with_nic_coll ~kind:cni ~nodes:n (fun _ ep ->
+        checkb "endpoint reports NIC-resident" true (Mp.nic_collective ep);
+        let r = Mp.rank ep in
+        checki "broadcast from root 3" 777 (Mp.broadcast ep ~root:3 (if r = 3 then 777 else -1));
+        let s = Mp.reduce ep ~root:5 ~op:( + ) (r + 1) in
+        if r = 5 then checki "reduce at root 5" 36 s;
+        checki "allreduce sum" 36 (Mp.allreduce ep ~op:( + ) (r + 1));
+        checki "allreduce max" 70 (Mp.allreduce ep ~op:max (r * 10));
+        for round = 1 to 5 do
+          Mp.barrier ep;
+          checki "episodes stay in step" (n * round) (Mp.allreduce ep ~op:( + ) round)
+        done;
+        incr done_)
+  in
+  checki "every rank completed" n !done_;
+  checki "zero host interrupts on CNI" 0 (total_interrupts cluster ~nodes:n)
+
+let test_nic_barrier_synchronizes () =
+  let n = 5 in
+  let arrive = Array.make n Time.zero and leave = Array.make n Time.zero in
+  ignore
+    (with_nic_coll ~kind:cni ~nodes:n (fun eng ep ->
+         let me = Mp.rank ep in
+         Cni_engine.Engine.delay (Time.us ((me + 1) * 100));
+         arrive.(me) <- Cni_engine.Engine.now eng;
+         Mp.barrier ep;
+         leave.(me) <- Cni_engine.Engine.now eng));
+  let max_arrive = Array.fold_left Time.max Time.zero arrive in
+  Array.iteri
+    (fun i l ->
+      checkb (Printf.sprintf "rank %d left after the last arrival" i) true
+        (Time.to_ps l >= Time.to_ps max_arrive))
+    leave
+
+let test_nic_collectives_interrupt_profile () =
+  (* the acceptance condition for the AIH mapping: a CNI episode costs zero
+     host interrupts, the standard interface pays at least one per combining
+     round (every tree packet interrupts its receiving host) *)
+  let episode kind =
+    let nodes = 4 in
+    let cluster, _ =
+      with_nic_coll ~kind ~nodes (fun _ ep ->
+          for _ = 1 to 3 do
+            Mp.barrier ep
+          done)
+    in
+    total_interrupts cluster ~nodes
+  in
+  checki "CNI: zero interrupts across 3 barriers" 0 (episode cni);
+  checkb "standard: at least one interrupt per round" true (episode `Standard >= 3)
+
 let test_bulk_payload_path () =
   (* >= 1 KB rides as NIC bulk data: the Message Cache sees it *)
   let cluster : int Mp.envelope Cluster.t = Cluster.create ~nic_kind:cni ~nodes:2 () in
@@ -297,6 +372,13 @@ let () =
           Alcotest.test_case "reduce" `Quick test_reduce;
           Alcotest.test_case "allreduce" `Quick test_allreduce;
           Alcotest.test_case "collectives compose" `Quick test_collectives_compose;
+        ] );
+      ( "nic-collectives",
+        [
+          Alcotest.test_case "tree results match host paths" `Quick test_nic_collectives_results;
+          Alcotest.test_case "tree barrier synchronizes" `Quick test_nic_barrier_synchronizes;
+          Alcotest.test_case "interrupt profile CNI vs standard" `Quick
+            test_nic_collectives_interrupt_profile;
         ] );
       ( "payloads",
         [

@@ -192,6 +192,117 @@ let test_mc_rebind_refreshes () =
   checkb "capacity 1: replaced" true
     (Mc.contains mc ~vpage:2 && not (Mc.contains mc ~vpage:1))
 
+let test_mc_clock_eviction_order () =
+  (* with every reference bit set the hand strips bits in slot order and
+     evicts the first slot it revisits — page 1; the newcomer leaves page 2
+     resident but unreferenced *)
+  let mc = Mc.create ~page_bytes:2048 ~capacity_bytes:(2 * 2048) ~mode:Mc.Update () in
+  Mc.bind mc ~vpage:1;
+  Mc.bind mc ~vpage:2;
+  Mc.bind mc ~vpage:3 (* hand sweeps: strips both bits, evicts slot 0 (page 1) *);
+  checkb "page 1 evicted first (hand order)" false (Mc.contains mc ~vpage:1);
+  checkb "page 2 survived on second chance" true (Mc.contains mc ~vpage:2);
+  (* slots are now [3 referenced; 2 unreferenced] with the hand at page 2:
+     the claim takes the unreferenced page immediately and the referenced
+     one keeps its bit — no needless stripping past the victim *)
+  Mc.bind mc ~vpage:4;
+  checkb "referenced page 3 survives" true (Mc.contains mc ~vpage:3);
+  checkb "unreferenced page 2 evicted" false (Mc.contains mc ~vpage:2);
+  (* both slots referenced again with the hand back at slot 0: the sweep
+     strips both bits and evicts the slot it revisits first — page 3 *)
+  Mc.bind mc ~vpage:5;
+  checkb "page 3 evicted on revisit (hand order)" false (Mc.contains mc ~vpage:3);
+  checkb "page 4 survives" true (Mc.contains mc ~vpage:4)
+
+let test_mc_claim_guard_exhaustion () =
+  (* the guard bounds the sweep to two revolutions: even if reference bits
+     are re-set behind the hand (pathological), claim_slot terminates and
+     returns a slot. Simulate by re-referencing everything between binds. *)
+  let mc = Mc.create ~page_bytes:2048 ~capacity_bytes:(4 * 2048) ~mode:Mc.Update () in
+  for p = 1 to 4 do
+    Mc.bind mc ~vpage:p
+  done;
+  for round = 1 to 20 do
+    (* keep every resident page hot, then bind a newcomer anyway *)
+    List.iter (fun p -> ignore (Mc.lookup mc ~vpage:p)) (Mc.bound_pages mc);
+    let newcomer = 100 + round in
+    Mc.bind mc ~vpage:newcomer;
+    checkb "guard forces an eviction" true (Mc.contains mc ~vpage:newcomer);
+    checki "capacity held" 4 (List.length (Mc.bound_pages mc))
+  done
+
+let test_mc_rebind_after_evict () =
+  (* an evicted page must be re-bindable into a coherent state: the stale
+     slot must not resurrect, and the buffer map must point at the new slot *)
+  let mc = Mc.create ~page_bytes:2048 ~capacity_bytes:(2 * 2048) ~mode:Mc.Update () in
+  Mc.bind mc ~vpage:1;
+  Mc.bind mc ~vpage:2;
+  Mc.bind mc ~vpage:3 (* evicts one of 1/2 *);
+  let evicted = if Mc.contains mc ~vpage:1 then 2 else 1 in
+  Mc.bind mc ~vpage:evicted (* bring it straight back *);
+  checkb "rebound resident" true (Mc.contains mc ~vpage:evicted);
+  checkb "lookup hits after rebind" true (Mc.lookup mc ~vpage:evicted);
+  (* the slot array agrees: the page appears exactly once *)
+  checki "exactly one slot holds it" 1
+    (List.length (List.filter (fun p -> p = evicted) (Mc.bound_pages mc)));
+  Mc.unbind mc ~vpage:evicted;
+  checkb "unbind after rebind clean" false (Mc.contains mc ~vpage:evicted)
+
+let test_mc_snoop_rtlb () =
+  (* non-identity reverse translation: physical frame f maps to virtual page
+     f+100. A write-back at physical addr 3*page must invalidate the buffer
+     bound to VIRTUAL page 103, and must NOT touch virtual page 3. *)
+  let page = 2048 in
+  let mc =
+    Mc.create
+      ~phys_to_vpage:(fun addr -> (addr / page) + 100)
+      ~page_bytes:page ~capacity_bytes:(8 * page) ~mode:Mc.Invalidate ()
+  in
+  Mc.bind mc ~vpage:103;
+  Mc.bind mc ~vpage:3;
+  Mc.snoop mc ~addr:(3 * page) ~bytes:8;
+  checkb "translated page invalidated" false (Mc.contains mc ~vpage:103);
+  checkb "untranslated page untouched" true (Mc.contains mc ~vpage:3);
+  checki "one invalidation" 1 (Mc.stats mc).Mc.snoop_invalidates;
+  (* a multi-page write-back translates every covered frame *)
+  Mc.bind mc ~vpage:104;
+  Mc.bind mc ~vpage:105;
+  Mc.snoop mc ~addr:((4 * page) + 10) ~bytes:page;
+  checkb "frame 4 -> vpage 104 dropped" false (Mc.contains mc ~vpage:104);
+  checkb "frame 5 -> vpage 105 dropped" false (Mc.contains mc ~vpage:105)
+
+(* property: after an arbitrary interleaving of bind/snoop/unbind, the buffer
+   map ([contains]) and the slot array ([bound_pages]) agree exactly *)
+let mc_map_slots_agree =
+  let op =
+    QCheck.(
+      oneof
+        [
+          map (fun p -> `Bind p) (int_bound 30);
+          map (fun p -> `Unbind p) (int_bound 30);
+          map (fun (p, b) -> `Snoop (p, b)) (pair (int_bound 30) (int_range 1 5000));
+          map (fun p -> `Lookup p) (int_bound 30);
+        ])
+  in
+  QCheck.Test.make ~name:"buffer map agrees with slot array" ~count:300
+    QCheck.(pair bool (list op))
+    (fun (invalidate, ops) ->
+      let mode = if invalidate then Mc.Invalidate else Mc.Update in
+      let mc = Mc.create ~page_bytes:2048 ~capacity_bytes:(3 * 2048) ~mode () in
+      List.iter
+        (function
+          | `Bind p -> Mc.bind mc ~vpage:p
+          | `Unbind p -> Mc.unbind mc ~vpage:p
+          | `Snoop (p, b) -> Mc.snoop mc ~addr:(p * 2048) ~bytes:b
+          | `Lookup p -> ignore (Mc.lookup mc ~vpage:p))
+        ops;
+      let slots = Mc.bound_pages mc in
+      let by_map =
+        List.sort compare
+          (List.filter (fun p -> Mc.contains mc ~vpage:p) (List.init 31 Fun.id))
+      in
+      slots = by_map && List.length slots <= 3)
+
 (* property: a bind is immediately visible (the clock never evicts the page
    it just inserted) *)
 let mc_bind_visible =
@@ -462,6 +573,77 @@ let test_adc_close_falls_through () =
       end);
   checki "closed channel falls to default" 1 !fallback
 
+(* Two channels on the same receiving node must deliver bulk data into
+   DISTINCT posted buffers — the old code hard-wired one address for every
+   channel, so concurrent channels clobbered each other's pages. The bus
+   snooper observes where each DMA write actually lands. *)
+let test_adc_two_channel_delivery () =
+  let cluster : int Cluster.t = Cluster.create ~nic_kind:cni ~nodes:2 () in
+  let receiver = Cluster.node cluster 1 in
+  let rx_a = Adc.open_channel (Node.nic receiver) ~channel:21 () in
+  let rx_b = Adc.open_channel (Node.nic receiver) ~channel:22 () in
+  let dma_writes = ref [] in
+  Cni_machine.Bus.register_snooper (Node.bus receiver) (fun ~dir ~addr ~bytes:_ ->
+      if dir = Cni_machine.Bus.Dma_to_memory then dma_writes := addr :: !dma_writes);
+  Cluster.run_app cluster (fun node ->
+      if Node.id node = 0 then begin
+        let tx_a = Adc.open_channel (Node.nic node) ~channel:21 () in
+        let tx_b = Adc.open_channel (Node.nic node) ~channel:22 () in
+        let page = Nic.Page { vaddr = 1 lsl 20; bytes = 2048; cacheable = false } in
+        Adc.send tx_a ~dst:1 ~data:page 1;
+        Adc.send tx_b ~dst:1 ~data:page 2
+      end
+      else begin
+        ignore (Node.blocking node (fun () -> Adc.recv rx_a));
+        ignore (Node.blocking node (fun () -> Adc.recv rx_b))
+      end);
+  let addrs = List.sort_uniq compare !dma_writes in
+  checki "two distinct delivery addresses" 2 (List.length addrs);
+  checkb "channel buffers are per-channel" true
+    (List.mem (Adc.buffer_base rx_a) addrs && List.mem (Adc.buffer_base rx_b) addrs);
+  checkb "buffers differ" true (Adc.buffer_base rx_a <> Adc.buffer_base rx_b)
+
+(* Bulk data handed to [Adc.send] must be charged on the wire exactly once:
+   the same payload through the raw NIC send (which owns the exactly-once
+   accounting) produces the same fabric byte count. *)
+let test_adc_send_wire_accounting () =
+  let wire_bytes ~send =
+    let cluster : int Cluster.t = Cluster.create ~nic_kind:cni ~nodes:2 () in
+    let rx = Adc.open_channel (Node.nic (Cluster.node cluster 1)) ~channel:21 () in
+    Cluster.run_app cluster (fun node ->
+        if Node.id node = 0 then send node
+        else ignore (Node.blocking node (fun () -> Adc.recv rx)));
+    (Cni_atm.Fabric.stats (Cluster.fabric cluster)).Cni_atm.Fabric.wire_bytes
+  in
+  let bytes = 4096 in
+  let page = Nic.Page { vaddr = 1 lsl 20; bytes; cacheable = false } in
+  let via_adc =
+    wire_bytes ~send:(fun node ->
+        let tx = Adc.open_channel (Node.nic node) ~channel:21 () in
+        Adc.send tx ~dst:1 ~data:page 7)
+  in
+  let via_nic =
+    wire_bytes ~send:(fun node ->
+        Nic.send (Node.nic node) ~dst:1
+          ~header:
+            (Wire.encode
+               {
+                 Wire.kind = 0;
+                 cacheable = false;
+                 has_data = true;
+                 src = 0;
+                 channel = 21;
+                 obj = 0;
+                 aux = 0;
+               })
+          ~body_bytes:0 ~data:page ~payload:7)
+  in
+  checki "ADC bulk send = raw send (data counted once)" via_nic via_adc;
+  (* and the data actually dominates the frame: it cannot have been dropped
+     or doubled (header-only is ~one cell; doubled would exceed 2x) *)
+  checkb "frame carries the payload" true (via_adc >= bytes);
+  checkb "payload not serialised twice" true (via_adc < 2 * bytes)
+
 let test_adc_board_memory () =
   let cluster : int Cluster.t = Cluster.create ~nic_kind:cni ~nodes:1 () in
   let nic = Node.nic (Cluster.node cluster 0) in
@@ -497,10 +679,16 @@ let () =
           Alcotest.test_case "snoop spans pages (invalidate)" `Quick
             test_mc_snoop_multi_page_invalidate;
           Alcotest.test_case "clock evicts with all bits set" `Quick test_mc_clock_all_referenced;
+          Alcotest.test_case "clock eviction order" `Quick test_mc_clock_eviction_order;
+          Alcotest.test_case "claim guard under all-hot slots" `Quick
+            test_mc_claim_guard_exhaustion;
+          Alcotest.test_case "rebind after evict" `Quick test_mc_rebind_after_evict;
+          Alcotest.test_case "snoop reverse-translates (RTLB)" `Quick test_mc_snoop_rtlb;
           Alcotest.test_case "unbind" `Quick test_mc_unbind;
           Alcotest.test_case "rebind refreshes" `Quick test_mc_rebind_refreshes;
           qc mc_capacity_respected;
           qc mc_bind_visible;
+          qc mc_map_slots_agree;
         ] );
       ( "nic",
         [
@@ -521,6 +709,9 @@ let () =
           Alcotest.test_case "roundtrip in order" `Quick test_adc_roundtrip;
           Alcotest.test_case "ring back-pressure" `Quick test_adc_backpressure;
           Alcotest.test_case "close falls through" `Quick test_adc_close_falls_through;
+          Alcotest.test_case "two channels, distinct buffers" `Quick
+            test_adc_two_channel_delivery;
+          Alcotest.test_case "bulk data charged once" `Quick test_adc_send_wire_accounting;
           Alcotest.test_case "board memory accounting" `Quick test_adc_board_memory;
         ] );
     ]
