@@ -36,15 +36,44 @@ let no_aih = Arg.(value & flag & info [ "no-aih" ] ~doc:"Run protocol handlers o
 let unrestricted =
   Arg.(value & flag & info [ "unrestricted-cells" ] ~doc:"Mythical ATM with unlimited cell size (Table 5).")
 
+let rx_policy_arg =
+  let rx_policy_conv =
+    Arg.enum
+      [ ("interrupt", `Interrupt); ("poll", `Poll); ("hybrid", `Hybrid); ("adaptive", `Adaptive) ]
+  in
+  Arg.(
+    value & opt rx_policy_conv `Hybrid
+    & info [ "rx-policy" ]
+        ~doc:
+          "CNI receive wakeup policy for host-resident handlers: $(b,interrupt), $(b,poll), \
+           $(b,hybrid) (poll only while waiting on the network; the paper's design) or \
+           $(b,adaptive) (EWMA arrival-rate estimator picks the mode, with hysteresis).")
+
+let rx_batch_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "rx-batch" ]
+        ~doc:
+          "Receive coalescing depth: one host wakeup drains up to this many queued frames \
+           (1 = one wakeup per frame).")
+
+let to_rx_policy = function
+  | `Interrupt -> Cni_nic.Nic.Rx_interrupt
+  | `Poll -> Cni_nic.Nic.Rx_poll
+  | `Hybrid -> Cni_nic.Nic.Rx_hybrid
+  | `Adaptive -> Cni_nic.Nic.Rx_adaptive Cni_nic.Nic.default_rx_adaptive
+
 let make_params ~page ~cells =
   let p = { Params.default with Params.page_bytes = page } in
   if cells then { p with Params.cell_payload_bytes = 1 lsl 26 } else p
 
-let make_kind nic ~mc_kb ~no_aih =
+let make_kind ?(rx_policy = `Hybrid) ?(rx_batch = 1) nic ~mc_kb ~no_aih =
   match nic with
   | `Standard_k -> Runner.standard
   | `Osiris_k -> Runner.osiris
-  | `Cni_k -> Runner.cni ~mc_bytes:(mc_kb * 1024) ~aih:(not no_aih) ()
+  | `Cni_k ->
+      Runner.cni ~mc_bytes:(mc_kb * 1024) ~aih:(not no_aih)
+        ~rx_policy:(to_rx_policy rx_policy) ~rx_batch ()
 
 (* ------------------------------------------------------------------ *)
 (* Observability options                                               *)
@@ -209,10 +238,10 @@ let nic_collectives_arg =
 
 let run_cmd =
   let doc = "Run a benchmark application on a simulated cluster." in
-  let run app nic procs page mc_kb no_aih cells n iterations molecules matrix loss corrupt
-      link_down fault_seed nic_collectives trace trace_out metrics_out =
+  let run app nic procs page mc_kb no_aih rx_policy rx_batch cells n iterations molecules
+      matrix loss corrupt link_down fault_seed nic_collectives trace trace_out metrics_out =
     let params = make_params ~page ~cells in
-    let kind = make_kind nic ~mc_kb ~no_aih in
+    let kind = make_kind ~rx_policy ~rx_batch nic ~mc_kb ~no_aih in
     let barrier_impl = if nic_collectives then `Nic_collective else `Centralised in
     let faults = make_faults ~seed:fault_seed ~loss ~corrupt ~link_down in
     setup_trace trace;
@@ -248,6 +277,7 @@ let run_cmd =
     Printf.printf "network packets    %d (%d wire bytes)\n" r.Runner.packets r.Runner.wire_bytes;
     Printf.printf "cache hit ratio    %.1f%%\n" r.Runner.hit_ratio;
     Printf.printf "host interrupts    %d\n" r.Runner.host_interrupts;
+    Printf.printf "host polls         %d (%d wasted)\n" r.Runner.polls r.Runner.wasted_polls;
     Printf.printf "checksum           %.17g\n" !checksum;
     if faults <> None then
       Printf.printf "faults             %d frames destroyed, %d retransmits\n"
@@ -260,9 +290,10 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run $ app_arg $ nic_kind $ procs $ page_bytes $ mc_kb $ no_aih $ unrestricted $ n
-      $ iterations $ molecules $ matrix $ loss_arg $ corrupt_arg $ link_down_arg
-      $ fault_seed_arg $ nic_collectives_arg $ trace_arg $ trace_out $ metrics_out)
+      const run $ app_arg $ nic_kind $ procs $ page_bytes $ mc_kb $ no_aih $ rx_policy_arg
+      $ rx_batch_arg $ unrestricted $ n $ iterations $ molecules $ matrix $ loss_arg
+      $ corrupt_arg $ link_down_arg $ fault_seed_arg $ nic_collectives_arg $ trace_arg
+      $ trace_out $ metrics_out)
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                               *)

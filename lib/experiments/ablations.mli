@@ -7,6 +7,16 @@ val aih : unit -> Report.t
 val hybrid_receive : unit -> Report.t
 val snoop_mode : unit -> Report.t
 
+(** Receive wakeup policy (interrupt / poll / hybrid / adaptive): a
+    synthetic arrival-rate sweep against a computing host, coalescing rows,
+    and the three applications with host handlers — whose checksums double
+    as proof the policy changes timing only. *)
+val rx_policy : unit -> Report.t
+
+(** Wall-clock cost of the simulator's classification step (indexed DAG vs
+    the linear reference scan) at 1/16/256 installed patterns. *)
+val classifier_bench : unit -> Report.t
+
 val all : (string * (unit -> Report.t)) list
 
 (** Sensitivity of both interfaces to the host interrupt cost. *)

@@ -116,6 +116,99 @@ let collective_latency ?(params = Params.default) ?(reps = 8) ?(allreduce = true
   let per t = Time.to_us_float t /. float_of_int reps in
   { barrier_us = per !barrier_t; allreduce_us = per !allreduce_t; interrupts = !interrupts }
 
+(* Receive-policy behaviour at a controlled arrival rate. Node 0 paces
+   [count] frames [gap] apart; node 1's application computes throughout (it
+   is never blocked on the network), so the wakeup policy alone decides how
+   each frame reaches the host: an interrupt stolen from the computation, a
+   ring check, or — for the adaptive policy — whatever mode the measured
+   rate selects. AIH is off: this exercises the ADC host-delivery path the
+   policies govern. *)
+type rx_point = {
+  rx_interrupts : int;
+  rx_polls : int;
+  rx_wasted : int;
+  rx_coalesced : int;
+  rx_mode_switches : int;
+  rx_latency_us : float;  (* mean send-to-handler latency *)
+}
+
+let rx_policy_sweep ?(params = Params.default) ?(count = 200) ?(rx_batch = 1) ~policy ~gap () =
+  let kind =
+    `Cni { Nic.default_cni_options with Nic.aih = false; rx_policy = policy; rx_batch }
+  in
+  let cluster : Time.t Cluster.t = Cluster.create ~params ~nic_kind:kind ~nodes:2 () in
+  let eng = Cluster.engine cluster in
+  let got = ref 0 and lat_sum = ref Time.zero in
+  let receiver_nic = Node.nic (Cluster.node cluster 1) in
+  ignore
+    (Nic.install_handler receiver_nic ~pattern:(Wire.pattern_channel ~channel) ~code_bytes:64
+       (fun _ pkt ->
+         incr got;
+         lat_sum := Time.(!lat_sum + (Engine.now eng - pkt.Cni_atm.Fabric.payload))));
+  Cluster.run_app cluster (fun node ->
+      if Node.id node = 0 then
+        for _ = 1 to count do
+          Nic.send (Node.nic node) ~dst:1 ~header:(header ~src:0) ~body_bytes:0
+            ~data:Nic.No_data ~payload:(Engine.now eng);
+          Engine.delay gap
+        done
+      else
+        while !got < count do
+          Node.work node 2_000;
+          Node.overhead_time node Time.zero (* flush, so simulated time advances *)
+        done);
+  let s = Nic.stats receiver_nic in
+  {
+    rx_interrupts = s.Nic.interrupts;
+    rx_polls = s.Nic.polls;
+    rx_wasted = s.Nic.wasted_polls;
+    rx_coalesced = s.Nic.coalesced;
+    rx_mode_switches = s.Nic.mode_switches;
+    rx_latency_us = Time.to_us_float !lat_sum /. float_of_int count;
+  }
+
+(* Wall-clock cost of the simulator's own classification step — the one data
+   structure on the per-packet hot path — comparing the indexed DAG walk
+   against the O(patterns) reference scan, at a growing pattern count (one
+   pattern per channel, the AIH/collectives layout). This measures real
+   host time, not simulated time. *)
+type classifier_point = {
+  cls_patterns : int;
+  indexed_ns : float;
+  linear_ns : float;
+  cls_speedup : float;
+}
+
+let classifier_ops ~patterns () =
+  let module Classifier = Cni_pathfinder.Classifier in
+  let cls = Classifier.create () in
+  for ch = 0 to patterns - 1 do
+    ignore (Classifier.add cls (Wire.pattern_channel ~channel:ch) ch)
+  done;
+  let headers =
+    Array.init 64 (fun i ->
+        let channel = i * patterns / 64 in
+        Wire.encode
+          { Wire.kind = 1; cacheable = false; has_data = false; src = 0; channel;
+            obj = 0; aux = 0 })
+  in
+  let measure f =
+    (* grow the batch until it spans enough CPU time for Sys.time's
+       resolution, then report per-op cost *)
+    let rec run n =
+      let t0 = Sys.time () in
+      for i = 0 to n - 1 do
+        f (Array.unsafe_get headers (i land 63))
+      done;
+      let dt = Sys.time () -. t0 in
+      if dt < 0.05 then run (n * 4) else dt /. float_of_int n *. 1e9
+    in
+    run 1024
+  in
+  let indexed_ns = measure (fun h -> ignore (Classifier.classify cls h)) in
+  let linear_ns = measure (fun h -> ignore (Classifier.classify_linear cls h)) in
+  { cls_patterns = patterns; indexed_ns; linear_ns; cls_speedup = linear_ns /. indexed_ns }
+
 type point = { bytes : int; cni_us : float; standard_us : float; reduction_pct : float }
 
 let sweep ?(params = Params.default) ~sizes () =

@@ -45,3 +45,46 @@ val collective_latency :
   nic:bool ->
   unit ->
   collective_point
+
+(** {2 Receive-policy behaviour at a controlled arrival rate} *)
+
+type rx_point = {
+  rx_interrupts : int;  (** host interrupts the receiving board took *)
+  rx_polls : int;  (** wakeups delivered to a host ring check *)
+  rx_wasted : int;  (** ring checks that found nothing (poll mode) *)
+  rx_coalesced : int;  (** frames that rode along on another frame's wakeup *)
+  rx_mode_switches : int;  (** adaptive-policy mode transitions *)
+  rx_latency_us : float;  (** mean send-to-handler latency *)
+}
+
+(** [rx_policy_sweep ~policy ~gap ()] — node 0 paces [count] (default 200)
+    empty frames [gap] apart at a 2-node cluster whose receiving application
+    computes throughout, with AIH off so delivery crosses the ADC host path
+    governed by [policy]. [rx_batch] (default 1) enables receive coalescing.
+    Returns the receiving board's wakeup counters and the mean delivery
+    latency. *)
+val rx_policy_sweep :
+  ?params:Cni_machine.Params.t ->
+  ?count:int ->
+  ?rx_batch:int ->
+  policy:Cni_nic.Nic.rx_policy ->
+  gap:Cni_engine.Time.t ->
+  unit ->
+  rx_point
+
+(** {2 Classifier dispatch cost (wall-clock)} *)
+
+type classifier_point = {
+  cls_patterns : int;  (** live patterns installed (one per channel) *)
+  indexed_ns : float;  (** ns per {!Cni_pathfinder.Classifier.classify} *)
+  linear_ns : float;
+      (** ns per {!Cni_pathfinder.Classifier.classify_linear} (the
+          O(patterns) reference scan) *)
+  cls_speedup : float;  (** [linear_ns / indexed_ns] *)
+}
+
+(** [classifier_ops ~patterns ()] times the simulator's own classification
+    step (real host time, not simulated time) with [patterns] channel
+    patterns installed, probing headers spread across the installed
+    channels. *)
+val classifier_ops : patterns:int -> unit -> classifier_point

@@ -21,17 +21,21 @@ type result = {
   retransmits : int;  (* NIC-level re-sends, summed (0 with reliability off) *)
   fault_drops : int;  (* frames the fault model destroyed, summed over nodes *)
   host_interrupts : int;  (* host interrupts taken, summed over nodes *)
+  polls : int;  (* receive wakeups taken by a host poll, summed over nodes *)
+  wasted_polls : int;  (* empty ring checks while in poll mode, summed *)
   metrics : Cni_engine.Stats.Registry.snapshot;
 }
 
-let cni ?mc_bytes ?mc_mode ?aih ?hybrid_receive () =
+let cni ?mc_bytes ?mc_mode ?aih ?rx_policy ?rx_batch () =
   let d = Nic.default_cni_options in
   `Cni
     {
       Nic.mc_bytes = Option.value mc_bytes ~default:d.Nic.mc_bytes;
       mc_mode = Option.value mc_mode ~default:d.Nic.mc_mode;
       aih = Option.value aih ~default:d.Nic.aih;
-      hybrid_receive = Option.value hybrid_receive ~default:d.Nic.hybrid_receive;
+      rx_policy = Option.value rx_policy ~default:d.Nic.rx_policy;
+      rx_batch = Option.value rx_batch ~default:d.Nic.rx_batch;
+      rx_poll_period = d.Nic.rx_poll_period;
       mc_phys_to_vpage = d.Nic.mc_phys_to_vpage;
     }
 
@@ -77,6 +81,20 @@ let run ?(params = Params.default) ?faults ?reliability ?barrier_impl ~kind ~pro
        for n = 0 to procs - 1 do
          acc :=
            !acc + (Nic.stats (Cni_cluster.Node.nic (Cluster.node cluster n))).Nic.interrupts
+       done;
+       !acc);
+    polls =
+      (let acc = ref 0 in
+       for n = 0 to procs - 1 do
+         acc := !acc + (Nic.stats (Cni_cluster.Node.nic (Cluster.node cluster n))).Nic.polls
+       done;
+       !acc);
+    wasted_polls =
+      (let acc = ref 0 in
+       for n = 0 to procs - 1 do
+         acc :=
+           !acc
+           + (Nic.stats (Cni_cluster.Node.nic (Cluster.node cluster n))).Nic.wasted_polls
        done;
        !acc);
     metrics = Cluster.metrics_snapshot cluster;

@@ -22,17 +22,25 @@ type result = {
   host_interrupts : int;
       (** host interrupts taken, summed over nodes — zero on a CNI board when
           everything runs as AIHs; the standard board's cost of existence *)
+  polls : int;
+      (** receive wakeups delivered to a host poll, summed over nodes (see
+          {!Cni_nic.Nic.rx_policy}) *)
+  wasted_polls : int;
+      (** empty receive-ring checks while in poll mode, summed over nodes *)
   metrics : Cni_engine.Stats.Registry.snapshot;
       (** full registry snapshot: every node's NIC, ring, Message Cache, DSM
           and time-accounting metrics *)
 }
 
-(** Convenience NIC kinds. *)
+(** Convenience NIC kinds. [rx_policy] and [rx_batch] configure the receive
+    wakeup policy and coalescing depth of the CNI board (see
+    {!Cni_nic.Nic.cni_options}). *)
 val cni :
   ?mc_bytes:int ->
   ?mc_mode:Cni_nic.Message_cache.mode ->
   ?aih:bool ->
-  ?hybrid_receive:bool ->
+  ?rx_policy:Cni_nic.Nic.rx_policy ->
+  ?rx_batch:int ->
   unit ->
   Cni_cluster.Cluster.nic_kind
 

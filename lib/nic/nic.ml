@@ -25,11 +25,33 @@ type 'a ctx = {
   deliver_page : vaddr:int -> bytes:int -> cacheable:bool -> unit;
 }
 
+(* Parameters of the adaptive receive engine: an EWMA over packet
+   interarrival gaps picks one of three wakeup modes, with hysteresis so a
+   single outlier gap does not flap the mode. *)
+type rx_adaptive = {
+  ra_alpha : float;
+  ra_poll_gap : Time.t;
+  ra_interrupt_gap : Time.t;
+  ra_hysteresis : float;
+}
+
+let default_rx_adaptive =
+  { ra_alpha = 0.25;
+    ra_poll_gap = Time.us 20;
+    ra_interrupt_gap = Time.us 160;
+    ra_hysteresis = 2.0 }
+
+type rx_policy = Rx_interrupt | Rx_poll | Rx_hybrid | Rx_adaptive of rx_adaptive
+
+type rx_mode = [ `Interrupt | `Hybrid | `Poll ]
+
 type cni_options = {
   mc_bytes : int;
   mc_mode : Message_cache.mode;
   aih : bool;
-  hybrid_receive : bool;
+  rx_policy : rx_policy;
+  rx_batch : int;
+  rx_poll_period : Time.t;
   mc_phys_to_vpage : (int -> int) option;
 }
 
@@ -37,8 +59,22 @@ let default_cni_options =
   { mc_bytes = Params.default.Params.message_cache_bytes;
     mc_mode = Message_cache.Update;
     aih = true;
-    hybrid_receive = true;
+    rx_policy = Rx_hybrid;
+    rx_batch = 1;
+    rx_poll_period = Time.us 5;
     mc_phys_to_vpage = None }
+
+let check_cni_options o =
+  if o.rx_batch < 1 then invalid_arg "Nic: rx_batch must be >= 1";
+  if o.rx_poll_period <= Time.zero then invalid_arg "Nic: rx_poll_period must be positive";
+  match o.rx_policy with
+  | Rx_adaptive a ->
+      if not (a.ra_alpha > 0. && a.ra_alpha <= 1.) then
+        invalid_arg "Nic: ra_alpha must be within (0, 1]";
+      if a.ra_hysteresis < 1. then invalid_arg "Nic: ra_hysteresis must be >= 1";
+      if a.ra_poll_gap >= a.ra_interrupt_gap then
+        invalid_arg "Nic: ra_poll_gap must be below ra_interrupt_gap"
+  | Rx_interrupt | Rx_poll | Rx_hybrid -> ()
 
 type osiris_options = {
   software_classify_nic_cycles : int;
@@ -100,6 +136,15 @@ type 'a t = {
   handler_sizes : (Classifier.handle, int) Hashtbl.t;
   mutable default_handler : 'a handler_fn;
   mutable s_handler_code_bytes : int;
+  (* receive engine state (CNI, host delivery path) *)
+  rx_policy : rx_policy;
+  rx_batch : int;
+  rx_poll_period : Time.t;
+  rx_queue : ('a handler_fn * 'a Fabric.packet) Queue.t;
+  mutable rx_wakeup_armed : bool;
+  mutable rx_last_arrival : Time.t option;
+  mutable rx_gap_ewma : float option;  (* mean interarrival gap, ps *)
+  mutable rx_mode_cur : rx_mode;  (* adaptive policy's current mode *)
   (* error-path counters, registered on first increment so clean runs leave
      the metrics snapshot untouched *)
   lazy_counters : (string, Stats.Counter.t) Hashtbl.t;
@@ -111,6 +156,12 @@ type 'a t = {
   s_rx_dma_bytes : Stats.Counter.t;
   s_interrupts : Stats.Counter.t;
   s_polls : Stats.Counter.t;
+  s_wasted_polls : Stats.Counter.t;
+  s_rx_coalesced : Stats.Counter.t;
+  s_rx_mode_switches : Stats.Counter.t;
+  s_mode_interrupt : Stats.Counter.t;
+  s_mode_hybrid : Stats.Counter.t;
+  s_mode_poll : Stats.Counter.t;
 }
 
 type stats = {
@@ -121,6 +172,12 @@ type stats = {
   rx_dma_bytes : int;
   interrupts : int;
   polls : int;
+  wasted_polls : int;
+  coalesced : int;
+  mode_switches : int;
+  mode_interrupt : int;
+  mode_hybrid : int;
+  mode_poll : int;
   unmatched : int;
 }
 
@@ -515,6 +572,150 @@ let rel_admit t (h : Wire.t) (pkt : 'a Fabric.packet) =
         fresh
       end
 
+(* ------------------------------------------------------------------ *)
+(* Receive wakeup policy                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The mode a host wakeup will use right now. Fixed policies are their own
+   mode; the adaptive policy follows its estimator. *)
+let effective_mode t : rx_mode =
+  match t.rx_policy with
+  | Rx_interrupt -> `Interrupt
+  | Rx_poll -> `Poll
+  | Rx_hybrid -> `Hybrid
+  | Rx_adaptive _ -> t.rx_mode_cur
+
+(* Per-arrival bookkeeping, run before the wakeup is charged so it observes
+   the mode that was in force during the gap being closed:
+
+   - while the board was in poll mode, the host checked the receive ring
+     every [rx_poll_period] and found nothing; those empty checks are the
+     cost polling pays for its low latency, counted and charged here in one
+     batch (the simulator has no reason to schedule each empty check as its
+     own event);
+   - the adaptive estimator folds the new gap into its EWMA and moves
+     between modes with hysteresis: leaving a mode needs the estimate to
+     cross the threshold by [ra_hysteresis], so one outlier gap does not
+     flap the mode. *)
+let note_rx_arrival t =
+  let p = t.p in
+  let now = Engine.now t.eng in
+  let gap_ps =
+    match t.rx_last_arrival with
+    | Some last -> Some (Time.to_ps now - Time.to_ps last)
+    | None -> None
+  in
+  t.rx_last_arrival <- Some now;
+  (match (gap_ps, effective_mode t) with
+  | Some gap, `Poll when gap > 0 ->
+      let period = max 1 (Time.to_ps t.rx_poll_period) in
+      let wasted = max 0 ((gap / period) - 1) in
+      if wasted > 0 then begin
+        Stats.Counter.add t.s_wasted_polls wasted;
+        let d = Params.cpu_cycles p (wasted * p.Params.poll_check_cycles) in
+        t.host.overhead d;
+        if not (t.host.host_waiting ()) then t.host.steal d
+      end
+  | _ -> ());
+  match t.rx_policy with
+  | Rx_interrupt | Rx_poll | Rx_hybrid -> ()
+  | Rx_adaptive cfg -> (
+      match gap_ps with
+      | None -> ()
+      | Some gap ->
+          let g = float_of_int gap in
+          let e =
+            match t.rx_gap_ewma with
+            | None -> g
+            | Some e -> (cfg.ra_alpha *. g) +. ((1. -. cfg.ra_alpha) *. e)
+          in
+          t.rx_gap_ewma <- Some e;
+          let pg = float_of_int (Time.to_ps cfg.ra_poll_gap) in
+          let ig = float_of_int (Time.to_ps cfg.ra_interrupt_gap) in
+          let h = cfg.ra_hysteresis in
+          let next : rx_mode =
+            match t.rx_mode_cur with
+            | `Poll ->
+                if e > pg *. h then if e >= ig then `Interrupt else `Hybrid else `Poll
+            | `Interrupt ->
+                if e < ig /. h then if e <= pg then `Poll else `Hybrid else `Interrupt
+            | `Hybrid -> if e <= pg then `Poll else if e >= ig then `Interrupt else `Hybrid
+          in
+          if next <> t.rx_mode_cur then begin
+            t.rx_mode_cur <- next;
+            Stats.Counter.incr t.s_rx_mode_switches;
+            if Trace.enabled_cat Trace.Nic then
+              Trace.emit ~t_ps:(Time.to_ps now) ~node:t.node Trace.Nic ~label:"rx-mode"
+                ~payload:(match next with `Interrupt -> 0 | `Hybrid -> 1 | `Poll -> 2)
+          end)
+
+(* Charge one host wakeup in the given mode. Interrupt: the full interrupt
+   latency, stolen from a computing application. Poll: the host's next ring
+   check picks the frame up for a few cycles (stolen too when the host was
+   computing — unlike the hybrid, a fixed polling host checks the ring even
+   while it has useful work). Hybrid (the paper's section 2.1 policy): poll
+   when the host is already waiting on the network, interrupt otherwise. *)
+let charge_wakeup t (mode : rx_mode) =
+  let p = t.p in
+  (match mode with
+  | `Interrupt -> Stats.Counter.incr t.s_mode_interrupt
+  | `Hybrid -> Stats.Counter.incr t.s_mode_hybrid
+  | `Poll -> Stats.Counter.incr t.s_mode_poll);
+  let interrupt () =
+    Stats.Counter.incr t.s_interrupts;
+    host_busy t p.Params.interrupt_latency;
+    if not (t.host.host_waiting ()) then t.host.steal p.Params.interrupt_latency
+  in
+  let poll () =
+    Stats.Counter.incr t.s_polls;
+    let d = Params.cpu_cycles p p.Params.poll_check_cycles in
+    Engine.delay d;
+    if not (t.host.host_waiting ()) then begin
+      t.host.overhead d;
+      t.host.steal d
+    end
+  in
+  match mode with
+  | `Interrupt -> interrupt ()
+  | `Poll -> poll ()
+  | `Hybrid -> if t.host.host_waiting () then poll () else interrupt ()
+
+(* ADC delivery of one classified frame to host code. With [rx_batch = 1]
+   each frame pays its own wakeup (the seed behaviour). With coalescing,
+   frames are queued on the board and a single wakeup fiber drains up to
+   [rx_batch] of them: frames arriving while the wakeup cost is still being
+   charged (e.g. during the 40 us interrupt latency) ride along for free.
+   Each drained frame runs its handler in its own fiber, matching the
+   fabric's per-packet delivery fibers, so a handler that blocks (a DSM
+   server fault) cannot stall the rest of the batch. *)
+let rec rx_drain t =
+  charge_wakeup t (effective_mode t);
+  let n = ref 0 in
+  while !n < t.rx_batch && not (Queue.is_empty t.rx_queue) do
+    let handler, pkt = Queue.pop t.rx_queue in
+    if !n > 0 then Stats.Counter.incr t.s_rx_coalesced;
+    incr n;
+    Engine.spawn t.eng ~name:"nic-rx-deliver" (fun () ->
+        run_on_host t ~base:Time.zero ~reply_host_cycles:t.p.Params.adc_enqueue_cycles
+          handler pkt)
+  done;
+  if Queue.is_empty t.rx_queue then t.rx_wakeup_armed <- false else rx_drain t
+
+let deliver_host t handler pkt =
+  note_rx_arrival t;
+  if t.rx_batch <= 1 then begin
+    charge_wakeup t (effective_mode t);
+    run_on_host t ~base:Time.zero ~reply_host_cycles:t.p.Params.adc_enqueue_cycles
+      handler pkt
+  end
+  else begin
+    Queue.push (handler, pkt) t.rx_queue;
+    if not t.rx_wakeup_armed then begin
+      t.rx_wakeup_armed <- true;
+      Engine.spawn t.eng ~name:"nic-rx-wakeup" (fun () -> rx_drain t)
+    end
+  end
+
 let receive t (pkt : 'a Fabric.packet) =
   let p = t.p in
   Stats.Counter.incr t.s_rx_packets;
@@ -554,7 +755,7 @@ let receive t (pkt : 'a Fabric.packet) =
               t.default_handler
         in
         match t.kind with
-        | Cni { aih; hybrid_receive; _ } ->
+        | Cni { aih; _ } ->
             (* PATHFINDER classifies the first cell in dedicated hardware;
                continuation cells follow the remembered VC binding (their cost
                is folded into the SAR term). *)
@@ -570,22 +771,11 @@ let receive t (pkt : 'a Fabric.packet) =
               in
               handler ctx pkt
             end
-            else begin
-              (* ADC delivery to host code: polling when the host is already
-                 waiting on the network, an interrupt otherwise (the hybrid of
-                 section 2.1) *)
-              if hybrid_receive && t.host.host_waiting () then begin
-                Stats.Counter.incr t.s_polls;
-                Engine.delay (Params.cpu_cycles p p.Params.poll_check_cycles)
-              end
-              else begin
-                Stats.Counter.incr t.s_interrupts;
-                host_busy t p.Params.interrupt_latency;
-                if not (t.host.host_waiting ()) then t.host.steal p.Params.interrupt_latency
-              end;
-              run_on_host t ~base:Time.zero ~reply_host_cycles:p.Params.adc_enqueue_cycles
-                handler pkt
-            end
+            else
+              (* ADC delivery to host code: the wakeup policy (interrupt,
+                 poll, hybrid or adaptive) decides how the host learns of the
+                 frame *)
+              deliver_host t handler pkt
         | Osiris { software_classify_nic_cycles } ->
             (* the base board: ADC queues exist, but demultiplexing is software
                on the board processor and the host is interrupted for every
@@ -611,6 +801,7 @@ let receive t (pkt : 'a Fabric.packet) =
 
 let create ?registry ?reliability ~kind eng bus fabric ~node ~host =
   let p = Bus.params bus in
+  (match kind with Cni o -> check_cni_options o | Osiris _ | Standard -> ());
   let mc =
     match kind with
     | Cni { mc_bytes; mc_mode; mc_phys_to_vpage; _ } when mc_bytes > 0 ->
@@ -659,6 +850,22 @@ let create ?registry ?reliability ~kind eng bus fabric ~node ~host =
       handler_sizes = Hashtbl.create 16;
       default_handler = (fun _ _ -> ());
       s_handler_code_bytes = 0;
+      rx_policy =
+        (match kind with
+        | Cni { rx_policy; _ } -> rx_policy
+        | Osiris _ | Standard -> Rx_interrupt);
+      rx_batch = (match kind with Cni { rx_batch; _ } -> rx_batch | Osiris _ | Standard -> 1);
+      rx_poll_period =
+        (match kind with
+        | Cni { rx_poll_period; _ } -> rx_poll_period
+        | Osiris _ | Standard -> Time.us 5);
+      rx_queue = Queue.create ();
+      rx_wakeup_armed = false;
+      rx_last_arrival = None;
+      rx_gap_ewma = None;
+      (* the adaptive policy starts conservatively: interrupts until traffic
+         proves hot *)
+      rx_mode_cur = `Interrupt;
       lazy_counters = Hashtbl.create 8;
       s_unmatched = counter "unmatched";
       s_tx_packets = counter "tx_packets";
@@ -668,6 +875,12 @@ let create ?registry ?reliability ~kind eng bus fabric ~node ~host =
       s_rx_dma_bytes = counter "rx_dma_bytes";
       s_interrupts = counter "interrupts";
       s_polls = counter "polls";
+      s_wasted_polls = counter "wasted_polls";
+      s_rx_coalesced = counter "rx_coalesced";
+      s_rx_mode_switches = counter "rx_mode_switches";
+      s_mode_interrupt = counter "rx_mode_interrupt_pkts";
+      s_mode_hybrid = counter "rx_mode_hybrid_pkts";
+      s_mode_poll = counter "rx_mode_poll_pkts";
     }
   in
   (* the snoopy interface: every bus write visits the buffer map *)
@@ -726,5 +939,15 @@ let stats t =
     rx_dma_bytes = Stats.Counter.value t.s_rx_dma_bytes;
     interrupts = Stats.Counter.value t.s_interrupts;
     polls = Stats.Counter.value t.s_polls;
+    wasted_polls = Stats.Counter.value t.s_wasted_polls;
+    coalesced = Stats.Counter.value t.s_rx_coalesced;
+    mode_switches = Stats.Counter.value t.s_rx_mode_switches;
+    mode_interrupt = Stats.Counter.value t.s_mode_interrupt;
+    mode_hybrid = Stats.Counter.value t.s_mode_hybrid;
+    mode_poll = Stats.Counter.value t.s_mode_poll;
     unmatched = Stats.Counter.value t.s_unmatched;
   }
+
+(* the wakeup mode a frame arriving now would be delivered with *)
+let rx_mode t : rx_mode =
+  match t.kind with Cni _ -> effective_mode t | Osiris _ | Standard -> `Interrupt

@@ -54,12 +54,66 @@ type 'a ctx = {
 
 type 'a t
 
+(** Tuning of the adaptive receive policy. The board tracks the mean packet
+    interarrival gap with an exponentially weighted moving average and picks
+    the wakeup mode from it: poll below [ra_poll_gap], interrupt above
+    [ra_interrupt_gap], the paper's hybrid in between. *)
+type rx_adaptive = {
+  ra_alpha : float;
+      (** EWMA weight of the newest gap, within (0, 1]; larger = faster
+          reaction, smaller = smoother estimate *)
+  ra_poll_gap : Cni_engine.Time.t;
+      (** mean gap at or below which the board selects poll mode (traffic is
+          hot; empty checks are rare) *)
+  ra_interrupt_gap : Cni_engine.Time.t;
+      (** mean gap at or above which the board selects interrupt mode (the
+          link is idle; polling would be all waste) *)
+  ra_hysteresis : float;
+      (** >= 1. Leaving a mode requires the estimate to cross its threshold
+          by this factor (e.g. 2.0: poll mode is left only once the mean gap
+          exceeds [2 * ra_poll_gap]), so one outlier gap cannot flap the
+          mode *)
+}
+
+(** [alpha = 0.25], poll below a 20 us mean gap, interrupt above 160 us,
+    hysteresis 2.0. *)
+val default_rx_adaptive : rx_adaptive
+
+(** How the host learns of an incoming frame on the CNI's ADC delivery path
+    (host-resident handlers, i.e. [aih = false]; under AIH the host is not
+    woken at all and the policy is moot).
+
+    - [Rx_interrupt]: an interrupt per wakeup, whatever the host is doing —
+      the standard board's behaviour, kept as an ablation.
+    - [Rx_poll]: the host checks the receive ring every [rx_poll_period];
+      cheap per check, but checks that find nothing ({e wasted polls}) burn
+      host cycles whenever traffic is slower than the period.
+    - [Rx_hybrid]: the paper's section 2.1 policy — poll when the host is
+      already waiting on the network, interrupt when it is computing.
+    - [Rx_adaptive]: pick interrupt / hybrid / poll from the measured
+      arrival rate (see {!rx_adaptive}), approximating interrupt-cost
+      flatness under load without paying for polling when idle. *)
+type rx_policy = Rx_interrupt | Rx_poll | Rx_hybrid | Rx_adaptive of rx_adaptive
+
+(** The wakeup mode in force at one instant ({!rx_mode} reports it). *)
+type rx_mode = [ `Interrupt | `Hybrid | `Poll ]
+
 type cni_options = {
   mc_bytes : int;  (** Message Cache capacity; 0 disables it *)
   mc_mode : Message_cache.mode;
   aih : bool;  (** run protocol handlers on the NIC; [false] = host handlers
-                   behind the polling/interrupt hybrid (ablation) *)
-  hybrid_receive : bool;  (** [false] = interrupt-only receive (ablation) *)
+                   woken per {!rx_policy} (ablation) *)
+  rx_policy : rx_policy;
+      (** receive wakeup policy for host-resident handlers; default
+          [Rx_hybrid] (the paper's design) *)
+  rx_batch : int;
+      (** receive coalescing: one host wakeup drains up to this many queued
+          frames (frames arriving while the wakeup cost is still being
+          charged ride along). 1 (default) = one wakeup per frame *)
+  rx_poll_period : Cni_engine.Time.t;
+      (** how often a polling host checks the receive ring; sets the
+          wasted-poll cost of [Rx_poll] (and of the adaptive policy's poll
+          mode) when traffic is slower than the period. Default 5 us *)
   mc_phys_to_vpage : (int -> int) option;
       (** the snooper's RTLB: translate a physical bus address to the virtual
           page bound in the Message Cache's buffer map. [None] = identity
@@ -67,6 +121,8 @@ type cni_options = {
           buffers are identity-mapped — see {!Message_cache.create} *)
 }
 
+(** AIH on, full-size Message Cache in update mode, [Rx_hybrid] with no
+    coalescing — the paper's CNI. *)
 val default_cni_options : cni_options
 
 type osiris_options = {
@@ -158,6 +214,8 @@ val install_handler :
   ('a ctx -> 'a Cni_atm.Fabric.packet -> unit) ->
   Cni_pathfinder.Classifier.handle
 
+(** Deprogram the classifier pattern and free the handler's board memory
+    segment for later installations. Uninstalling twice is a no-op. *)
 val uninstall_handler : 'a t -> Cni_pathfinder.Classifier.handle -> unit
 
 (** Fallback for packets no pattern matches (default: count and drop). *)
@@ -203,17 +261,33 @@ val registry : 'a t -> Cni_engine.Stats.Registry.t option
 val reliability : 'a t -> Reliable.config option
 
 type stats = {
-  tx_packets : int;
-  tx_data_packets : int;
-  tx_dma_bytes : int;
-  rx_packets : int;
-  rx_dma_bytes : int;
-  interrupts : int;
-  polls : int;
-  unmatched : int;
+  tx_packets : int;  (** frames handed to the wire *)
+  tx_data_packets : int;  (** of which carried bulk [Page] data *)
+  tx_dma_bytes : int;  (** host-memory DMA on transmit (Message Cache misses) *)
+  rx_packets : int;  (** frames reassembled off the wire *)
+  rx_dma_bytes : int;  (** bulk data DMAed into host memory on receive *)
+  interrupts : int;  (** host interrupts taken for receive wakeups *)
+  polls : int;  (** receive wakeups delivered to a polling host check *)
+  wasted_polls : int;
+      (** ring checks that found nothing, while in poll mode; the cost
+          polling pays when traffic is slower than [rx_poll_period] *)
+  coalesced : int;
+      (** frames delivered by a wakeup they did not pay for ([rx_batch] >
+          1): total frames minus wakeups on the batched path *)
+  mode_switches : int;  (** adaptive policy mode transitions *)
+  mode_interrupt : int;  (** wakeups charged while in interrupt mode *)
+  mode_hybrid : int;  (** wakeups charged while in hybrid mode *)
+  mode_poll : int;  (** wakeups charged while in poll mode *)
+  unmatched : int;  (** frames no classifier pattern matched *)
 }
 
+(** Lifetime traffic/wakeup counters for this interface. *)
 val stats : 'a t -> stats
+
+(** The receive wakeup mode a frame arriving now would be delivered with:
+    the adaptive policy's current mode on a CNI board, the fixed policy's
+    mode otherwise ([`Interrupt] for OSIRIS/standard). *)
+val rx_mode : 'a t -> rx_mode
 
 type rel_stats = {
   retransmits : int;  (** timer-driven re-sends of unacked frames *)

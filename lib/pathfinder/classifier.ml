@@ -1,33 +1,68 @@
+(* The classification DAG, compiled to an indexed dispatch structure.
+
+   Every branch out of a node compares one header field (offset/len/mask)
+   against a value. Branches are grouped by their field *spec* — the
+   (offset, len, mask) triple — and within a spec the children are indexed
+   by expected value in a hashtable. Classifying at a node therefore costs
+   one header read + one hash probe per distinct spec, independent of how
+   many sibling patterns hang off the node; with the common "many channels
+   on one field" layout that is O(pattern depth) instead of O(patterns).
+
+   Removal is eager: the accept entry is deleted from its leaf node when the
+   handle is removed, so the DAG holds live accepts only — no tombstone
+   table to consult on the classification hot path and nothing that grows
+   without bound under install/uninstall churn. Interior structure shared
+   with live patterns is retained (as the hardware did). *)
+
+(* where/how a branch reads the header; branches with equal specs share one
+   value index *)
+type spec = { s_offset : int; s_len : int; s_mask : int }
+
+let spec_of (f : Pattern.field) =
+  { s_offset = f.Pattern.offset; s_len = f.Pattern.len; s_mask = f.Pattern.mask }
+
 type 'a node = {
-  mutable branches : (Pattern.field * 'a node) list;  (* in insertion order *)
-  mutable accepts : (int * int * 'a) list;  (* (priority, handle_id, action), sorted *)
+  mutable branches : (Pattern.field * 'a node) list;
+      (* insertion order; kept for [edges] and structural inspection *)
+  index : (spec, (int, 'a node) Hashtbl.t) Hashtbl.t;  (* spec -> value -> child *)
+  mutable accepts : (int * int * 'a) list;
+      (* (priority, handle, action), sorted by priority; live entries only *)
 }
 
 type handle = int
+
+(* one live pattern: the leaf node holding its accept entry, plus enough to
+   re-run the reference linear matcher *)
+type 'a entry = {
+  e_node : 'a node;
+  e_pattern : Pattern.t;
+  e_priority : int;
+  e_action : 'a;
+}
 
 type 'a t = {
   root : 'a node;
   mutable next_priority : int;
   mutable next_handle : int;
-  mutable live : int;
-  removed : (int, unit) Hashtbl.t;
+  entries : (int, 'a entry) Hashtbl.t;  (* live handles *)
   mutable s_classifications : int;
   mutable s_matches : int;
+  mutable s_probes : int;
 }
 
-type stats = { classifications : int; matches : int }
+type stats = { classifications : int; matches : int; probes : int }
 
-let new_node () = { branches = []; accepts = [] }
+let new_node () = { branches = []; index = Hashtbl.create 4; accepts = [] }
 
 let create () =
   {
     root = new_node ();
     next_priority = 0;
     next_handle = 0;
-    live = 0;
-    removed = Hashtbl.create 16;
+    entries = Hashtbl.create 16;
     s_classifications = 0;
     s_matches = 0;
+    s_probes = 0;
   }
 
 let add t pattern action =
@@ -41,43 +76,65 @@ let add t pattern action =
           List.merge
             (fun (p1, _, _) (p2, _, _) -> compare p1 p2)
             node.accepts
-            [ (priority, handle, action) ]
-    | f :: rest -> (
-        match List.find_opt (fun (f', _) -> Pattern.equal_field f f') node.branches with
-        | Some (_, child) -> insert child rest
-        | None ->
-            let child = new_node () in
-            node.branches <- node.branches @ [ (f, child) ];
-            insert child rest)
+            [ (priority, handle, action) ];
+        node
+    | f :: rest ->
+        let spec = spec_of f in
+        let values =
+          match Hashtbl.find_opt node.index spec with
+          | Some v -> v
+          | None ->
+              let v = Hashtbl.create 4 in
+              Hashtbl.replace node.index spec v;
+              v
+        in
+        let child =
+          match Hashtbl.find_opt values f.Pattern.value with
+          | Some c -> c
+          | None ->
+              let c = new_node () in
+              Hashtbl.replace values f.Pattern.value c;
+              node.branches <- node.branches @ [ (f, c) ];
+              c
+        in
+        insert child rest
   in
-  insert t.root pattern;
-  t.live <- t.live + 1;
+  let leaf = insert t.root pattern in
+  Hashtbl.replace t.entries handle
+    { e_node = leaf; e_pattern = pattern; e_priority = priority; e_action = action };
   handle
 
+(* Eager sweep: drop the accept entry from its leaf so classification never
+   sees a dead pattern. Idempotent — a second removal finds no entry. *)
 let remove t h =
-  if not (Hashtbl.mem t.removed h) then begin
-    Hashtbl.replace t.removed h ();
-    t.live <- t.live - 1
-  end
+  match Hashtbl.find_opt t.entries h with
+  | None -> ()
+  | Some e ->
+      Hashtbl.remove t.entries h;
+      e.e_node.accepts <- List.filter (fun (_, h', _) -> h' <> h) e.e_node.accepts
 
-(* Walk the DAG collecting the best (lowest priority number) live accept. *)
+(* Walk the DAG collecting the best (lowest priority number) accept. Every
+   accept stored is live, so no per-entry liveness check is needed. *)
 let classify t header =
   t.s_classifications <- t.s_classifications + 1;
   let best = ref None in
-  let consider (prio, h, action) =
-    if not (Hashtbl.mem t.removed h) then
-      match !best with
-      | Some (p, _) when p <= prio -> ()
-      | _ -> best := Some (prio, action)
+  let consider (prio, _h, action) =
+    match !best with
+    | Some (p, _) when p <= prio -> ()
+    | _ -> best := Some (prio, action)
   in
   let rec walk node =
     List.iter consider node.accepts;
-    List.iter
-      (fun (f, child) ->
-        match Pattern.read_field header f with
-        | Some v when v = f.Pattern.value -> walk child
-        | Some _ | None -> ())
-      node.branches
+    Hashtbl.iter
+      (fun spec values ->
+        t.s_probes <- t.s_probes + 1;
+        match
+          Pattern.read_masked header ~offset:spec.s_offset ~len:spec.s_len ~mask:spec.s_mask
+        with
+        | Some v -> (
+            match Hashtbl.find_opt values v with Some child -> walk child | None -> ())
+        | None -> ())
+      node.index
   in
   walk t.root;
   match !best with
@@ -86,7 +143,21 @@ let classify t header =
       Some action
   | None -> None
 
-let patterns t = t.live
+(* Reference semantics: scan every live pattern with the naive matcher and
+   keep the lowest-priority match. Deliberately O(patterns); kept for
+   property tests and the classification microbenchmark. Does not touch the
+   stats counters. *)
+let classify_linear t header =
+  let best = ref None in
+  Hashtbl.iter
+    (fun _h e ->
+      match !best with
+      | Some (p, _) when p <= e.e_priority -> ()
+      | _ -> if Pattern.matches e.e_pattern header then best := Some (e.e_priority, e.e_action))
+    t.entries;
+  Option.map snd !best
+
+let patterns t = Hashtbl.length t.entries
 
 let edges t =
   let rec count node =
@@ -94,4 +165,12 @@ let edges t =
   in
   count t.root
 
-let stats t = { classifications = t.s_classifications; matches = t.s_matches }
+let accept_entries t =
+  let rec count node =
+    List.fold_left (fun acc (_, child) -> acc + count child) (List.length node.accepts)
+      node.branches
+  in
+  count t.root
+
+let stats t =
+  { classifications = t.s_classifications; matches = t.s_matches; probes = t.s_probes }

@@ -9,7 +9,10 @@
 
 type 'a t
 
+(** [create cls] wraps a classifier with per-VC fragment state. *)
 val create : 'a Classifier.t -> 'a t
+
+(** The classifier this dispatcher consults for first cells. *)
 val classifier : 'a t -> 'a Classifier.t
 
 (** [on_cell t cell] is the action for this cell: first cells are classified

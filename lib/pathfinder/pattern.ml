@@ -9,15 +9,18 @@ let field ~offset ~len ?mask value =
   let mask = match mask with Some m -> m | None -> all_ones len in
   { offset; len; mask; value = value land mask }
 
-let read_field header f =
-  if f.offset + f.len > Bytes.length header then None
+let read_masked header ~offset ~len ~mask =
+  if offset < 0 || len < 1 || offset + len > Bytes.length header then None
   else begin
     let v = ref 0 in
-    for i = 0 to f.len - 1 do
-      v := (!v lsl 8) lor Char.code (Bytes.get header (f.offset + i))
+    for i = 0 to len - 1 do
+      v := (!v lsl 8) lor Char.code (Bytes.get header (offset + i))
     done;
-    Some (!v land f.mask)
+    Some (!v land mask)
   end
+
+let read_field header f =
+  read_masked header ~offset:f.offset ~len:f.len ~mask:f.mask
 
 let matches_field header f =
   match read_field header f with Some v -> v = f.value | None -> false

@@ -28,6 +28,20 @@ val matches : t -> Bytes.t -> bool
 (** [read_field header f] is [Some masked_value] or [None] if out of range. *)
 val read_field : Bytes.t -> field -> int option
 
+(** [read_masked header ~offset ~len ~mask] reads [len] bytes big-endian at
+    [offset] and applies [mask], without needing a {!field} record. This is
+    the primitive the indexed classifier uses to probe one field {e spec}
+    shared by many sibling branches. [None] if the range falls outside the
+    header. *)
+val read_masked : Bytes.t -> offset:int -> len:int -> mask:int -> int option
+
+(** Structural equality of two fields (offset, length, mask and expected
+    value all equal). Branch sharing in the classifier DAG is defined in
+    terms of this relation. *)
 val equal_field : field -> field -> bool
+
+(** Prints one field as [[offset:len & mask = value]]. *)
 val pp_field : Format.formatter -> field -> unit
+
+(** Prints a pattern as its space-separated fields. *)
 val pp : Format.formatter -> t -> unit

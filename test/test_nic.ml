@@ -413,6 +413,83 @@ let test_nic_standard_interrupts () =
   let s1 = Nic.stats (Node.nic (Cluster.node cluster 1)) in
   checki "interrupt per packet" 4 s1.Nic.interrupts
 
+(* node 0 sends one empty frame per entry in [gaps], pausing that long after
+   each send; the receiving host stays busy-idle so every wakeup crosses the
+   configured receive policy. Returns (cluster, frames delivered). *)
+let run_paced ~kind ~gaps =
+  let cluster : Time.t Cluster.t = Cluster.create ~nic_kind:kind ~nodes:2 () in
+  let eng = Cluster.engine cluster in
+  let got = ref 0 in
+  ignore
+    (Nic.install_handler
+       (Node.nic (Cluster.node cluster 1))
+       ~pattern:(Wire.pattern_channel ~channel) ~code_bytes:64
+       (fun _ _ -> incr got));
+  Cluster.run_app cluster (fun node ->
+      if Node.id node = 0 then
+        List.iter
+          (fun gap ->
+            Nic.send (Node.nic node) ~dst:1
+              ~header:(header ~src:0 ~cacheable:false ~has_data:false)
+              ~body_bytes:0 ~data:Nic.No_data ~payload:(Engine.now eng);
+            if Time.to_ps gap > 0 then Engine.delay gap)
+          gaps);
+  (cluster, !got)
+
+let test_nic_rx_poll_policy () =
+  let kind =
+    `Cni { Nic.default_cni_options with Nic.aih = false; rx_policy = Nic.Rx_poll }
+  in
+  let cluster, got = run_paced ~kind ~gaps:(List.init 4 (fun _ -> Time.us 50)) in
+  checki "all frames delivered" 4 got;
+  let s = Nic.stats (Node.nic (Cluster.node cluster 1)) in
+  checki "poll mode never interrupts" 0 s.Nic.interrupts;
+  checki "one productive poll per frame" 4 s.Nic.polls;
+  checkb "empty ring checks charged during the gaps" true (s.Nic.wasted_polls > 0)
+
+let test_nic_rx_adaptive_transitions () =
+  let kind =
+    `Cni
+      {
+        Nic.default_cni_options with
+        Nic.aih = false;
+        rx_policy = Nic.Rx_adaptive Nic.default_rx_adaptive;
+      }
+  in
+  (* a hot burst (2 us apart) must pull the estimator into poll mode; the
+     closing 1 ms gap must push it back out to interrupt mode *)
+  let gaps = List.init 8 (fun _ -> Time.us 2) @ [ Time.ms 1; Time.zero ] in
+  let cluster, got = run_paced ~kind ~gaps in
+  checki "all frames delivered" 10 got;
+  let nic1 = Node.nic (Cluster.node cluster 1) in
+  let s = Nic.stats nic1 in
+  checkb "entered poll mode during the burst" true (s.Nic.mode_poll > 0);
+  checkb "took interrupts while idle" true (s.Nic.mode_interrupt > 0);
+  checkb "at least hot and cold transitions" true (s.Nic.mode_switches >= 2);
+  checkb "long gap returns the board to interrupt mode" true
+    (Nic.rx_mode nic1 = `Interrupt)
+
+let test_nic_rx_batch_coalescing () =
+  let kind which batch =
+    `Cni
+      { Nic.default_cni_options with Nic.aih = false; rx_policy = which; rx_batch = batch }
+  in
+  let burst = List.init 8 (fun _ -> Time.zero) in
+  (* without coalescing: the seed behaviour, one interrupt per frame *)
+  let cluster, got = run_paced ~kind:(kind Nic.Rx_interrupt 1) ~gaps:burst in
+  checki "baseline delivers all" 8 got;
+  let s1 = Nic.stats (Node.nic (Cluster.node cluster 1)) in
+  checki "baseline interrupt per frame" 8 s1.Nic.interrupts;
+  checki "baseline never coalesces" 0 s1.Nic.coalesced;
+  (* rx_batch 8: one wakeup drains the backlog that built up behind it *)
+  let cluster, got = run_paced ~kind:(kind Nic.Rx_interrupt 8) ~gaps:burst in
+  checki "batched delivers all" 8 got;
+  let s8 = Nic.stats (Node.nic (Cluster.node cluster 1)) in
+  checkb "fewer interrupts than frames" true (s8.Nic.interrupts < 8);
+  checkb "riders counted" true (s8.Nic.coalesced > 0);
+  checki "every frame either interrupted or rode along" 8
+    (s8.Nic.interrupts + s8.Nic.coalesced)
+
 let test_nic_unmatched_counted () =
   let cluster : unit Cluster.t = Cluster.create ~nic_kind:cni ~nodes:2 () in
   let hits = ref 0 in
@@ -697,6 +774,9 @@ let () =
           Alcotest.test_case "MC disabled" `Quick test_nic_mc_disabled;
           Alcotest.test_case "interrupt vs poll vs AIH" `Quick test_nic_interrupt_vs_poll;
           Alcotest.test_case "standard interrupts per packet" `Quick test_nic_standard_interrupts;
+          Alcotest.test_case "poll receive policy" `Quick test_nic_rx_poll_policy;
+          Alcotest.test_case "adaptive mode transitions" `Quick test_nic_rx_adaptive_transitions;
+          Alcotest.test_case "receive batch coalescing" `Quick test_nic_rx_batch_coalescing;
           Alcotest.test_case "unmatched packets" `Quick test_nic_unmatched_counted;
           Alcotest.test_case "handler memory accounting" `Quick test_nic_handler_memory_accounting;
           Alcotest.test_case "AIH reply path" `Quick test_nic_reply_path;

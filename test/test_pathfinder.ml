@@ -144,6 +144,43 @@ let test_classifier_remove_keeps_siblings () =
     (Classifier.classify c (header_of_string "\x09\x02") = Some "two");
   checkb "removed gone" true (Classifier.classify c (header_of_string "\x09\x01") = None)
 
+let test_classifier_tombstone_sweep () =
+  let c = Classifier.create () in
+  let prefix = fld ~off:0 ~len:1 4 in
+  let h1 = Classifier.add c [ prefix; fld ~off:1 ~len:1 1 ] "one" in
+  let h2 = Classifier.add c [ prefix; fld ~off:1 ~len:1 1 ] "one-shadow" in
+  let h3 = Classifier.add c [ prefix; fld ~off:1 ~len:1 2 ] "two" in
+  checki "accepts = live patterns" 3 (Classifier.accept_entries c);
+  Classifier.remove c h1;
+  Classifier.remove c h3;
+  (* removal sweeps the accept entries out of the DAG — no tombstones *)
+  checki "dead accepts pruned" 1 (Classifier.accept_entries c);
+  checki "one live" 1 (Classifier.patterns c);
+  checkb "shadow now wins" true
+    (Classifier.classify c (header_of_string "\x04\x01") = Some "one-shadow");
+  Classifier.remove c h1 (* idempotent: must not disturb h2's entry *);
+  checki "re-removal no-op" 1 (Classifier.accept_entries c);
+  Classifier.remove c h2;
+  checki "empty" 0 (Classifier.accept_entries c);
+  (* install/uninstall churn leaves no residue *)
+  for i = 0 to 99 do
+    let h = Classifier.add c [ prefix; fld ~off:1 ~len:1 (i mod 7) ] "churn" in
+    Classifier.remove c h
+  done;
+  checki "churn leaves nothing" 0 (Classifier.accept_entries c)
+
+let test_classifier_indexed_probes () =
+  (* 256 sibling patterns on one field spec: classification must probe the
+     header once per spec (O(depth)), not once per pattern *)
+  let c = Classifier.create () in
+  for v = 0 to 255 do
+    ignore (Classifier.add c [ fld ~off:0 ~len:2 v; fld ~off:2 ~len:1 1 ] v)
+  done;
+  let before = (Classifier.stats c).Classifier.probes in
+  checkb "classifies" true (Classifier.classify c (header_of_string "\x00\xC8\x01") = Some 0xC8);
+  let probes = (Classifier.stats c).Classifier.probes - before in
+  checkb (Printf.sprintf "probes bounded by depth (%d <= 4)" probes) true (probes <= 4)
+
 (* property: the DAG classifier agrees with the naive linear matcher *)
 let classifier_vs_naive =
   let gen_field =
@@ -172,6 +209,69 @@ let classifier_vs_naive =
         go 0 patterns
       in
       Classifier.classify c header = naive)
+
+(* property: under random add/remove/classify sequences, the indexed DAG,
+   the linear reference scan and an independent model (first alive pattern
+   in insertion order) all agree — same match, same priority order *)
+let classifier_vs_linear_ops =
+  let gen_field =
+    QCheck.Gen.(
+      map3
+        (fun off len v -> Pattern.field ~offset:off ~len:(1 + (len mod 2)) v)
+        (int_bound 6) (int_bound 1) (int_bound 255))
+  in
+  let gen_pattern = QCheck.Gen.(list_size (int_range 0 3) gen_field) in
+  let gen_op =
+    QCheck.Gen.(
+      frequency
+        [
+          (3, map (fun p -> `Add p) gen_pattern);
+          (2, map (fun j -> `Remove j) (int_bound 1000));
+          (3, map (fun bs -> `Classify bs) (list_size (int_range 1 12) (int_bound 255)));
+        ])
+  in
+  let gen_ops = QCheck.Gen.(list_size (int_range 1 40) gen_op) in
+  QCheck.Test.make ~name:"indexed = linear under add/remove/classify" ~count:300
+    (QCheck.make gen_ops)
+    (fun ops ->
+      let c = Classifier.create () in
+      (* model: patterns in insertion order with an alive flag *)
+      let model = ref [] (* (handle, pattern, action, alive ref), newest first *) in
+      let next_action = ref 0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | `Add p ->
+              let action = !next_action in
+              incr next_action;
+              let h = Classifier.add c p action in
+              model := (h, p, action, ref true) :: !model;
+              true
+          | `Remove j ->
+              (match !model with
+              | [] -> ()
+              | l ->
+                  let h, _, _, alive = List.nth l (j mod List.length l) in
+                  Classifier.remove c h;
+                  alive := false);
+              true
+          | `Classify bs ->
+              let header =
+                Bytes.of_string
+                  (String.init (List.length bs) (fun i -> Char.chr (List.nth bs i)))
+              in
+              let expected =
+                List.fold_left
+                  (fun acc (_, p, action, alive) ->
+                    if !alive && Pattern.matches p header then Some action else acc)
+                  None !model
+                (* fold over newest-first: the last (oldest matching) wins,
+                   which is exactly priority = insertion order *)
+              in
+              Classifier.classify c header = expected
+              && Classifier.classify_linear c header = expected)
+        ops
+      && Classifier.accept_entries c = Classifier.patterns c)
 
 (* ------------------------------------------------------------------ *)
 (* Dispatcher                                                          *)
@@ -245,7 +345,10 @@ let () =
           Alcotest.test_case "backtracking" `Quick test_classifier_backtracking;
           Alcotest.test_case "masked fields" `Quick test_classifier_masked_fields;
           Alcotest.test_case "remove keeps siblings" `Quick test_classifier_remove_keeps_siblings;
+          Alcotest.test_case "tombstone sweep" `Quick test_classifier_tombstone_sweep;
+          Alcotest.test_case "indexed probe count" `Quick test_classifier_indexed_probes;
           qc classifier_vs_naive;
+          qc classifier_vs_linear_ops;
         ] );
       ( "dispatcher",
         [
