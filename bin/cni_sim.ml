@@ -393,6 +393,66 @@ let collectives_cmd =
     Term.(const run $ nic_kind $ nodes_arg $ reps_arg $ host_arg $ mc_kb $ no_aih)
 
 (* ------------------------------------------------------------------ *)
+(* aih-verify                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let aih_verify_cmd =
+  let doc =
+    "Run the AIH static verifier over the shipped corpus and the generated collectives \
+     firmware; exit non-zero on any unexpected accept or reject."
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Print every program, not just mismatches.")
+  in
+  let run verbose =
+    let module Verify = Cni_aih.Aih_verify in
+    let module Cir = Cni_mp.Collectives_ir in
+    let total = ref 0 and mismatches = ref 0 in
+    let expect_ok name p =
+      incr total;
+      match Verify.verify p with
+      | Ok c ->
+          if verbose then
+            Printf.printf "accept  %-40s wcet=%d cycles, code=%d bytes\n" name
+              c.Verify.wcet_nic_cycles c.Verify.code_bytes
+      | Error rj ->
+          incr mismatches;
+          Printf.printf "MISMATCH %-40s expected accept, got: %s\n" name (Verify.explain rj)
+    in
+    List.iter (fun (name, p) -> expect_ok name p) Cni_aih.Aih_corpus.good;
+    List.iter
+      (fun op ->
+        List.iter
+          (fun (size, fanout) ->
+            List.iter
+              (fun rank ->
+                let p = Cir.program ~op ~rank ~size ~fanout in
+                expect_ok p.Cni_aih.Aih_ir.name p)
+              [ 0; 1; size - 1 ])
+          [ (2, 2); (8, 2); (16, 4); (256, 8) ])
+      [ Cir.Sum; Cir.Max; Cir.Min ];
+    List.iter
+      (fun (name, expected, p) ->
+        incr total;
+        match Verify.verify p with
+        | Ok _ ->
+            incr mismatches;
+            Printf.printf "MISMATCH %-40s accepted, expected %s\n" name expected
+        | Error rj ->
+            let got = Verify.reason_name rj.Verify.rj_reason in
+            if got <> expected then begin
+              incr mismatches;
+              Printf.printf "MISMATCH %-40s expected %s, got %s\n" name expected got
+            end
+            else if verbose then
+              Printf.printf "reject  %-40s %s\n" name (Verify.explain rj))
+      Cni_aih.Aih_corpus.bad;
+    Printf.printf "aih-verify: %d programs, %d mismatches\n" !total !mismatches;
+    if !mismatches > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "aih-verify" ~doc) Term.(const run $ verbose_arg)
+
+(* ------------------------------------------------------------------ *)
 (* params                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -404,4 +464,7 @@ let params_cmd =
 let () =
   let doc = "CNI cluster network interface simulator (HPDC'96 reproduction)" in
   let info = Cmd.info "cni_sim" ~doc ~version:"1.0.0" in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; latency_cmd; collectives_cmd; params_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; sweep_cmd; latency_cmd; collectives_cmd; aih_verify_cmd; params_cmd ]))

@@ -1,0 +1,233 @@
+open Aih_ir
+
+(* ------------------------------------------------------------------ *)
+(* Programs the verifier must accept                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* zero a 64-word segment with one bounded loop *)
+let memset =
+  let a = Asm.create () in
+  let head = Asm.fresh a and done_ = Asm.fresh a in
+  Asm.const a 0 0; (* counter *)
+  Asm.const a 1 0; (* the value stored *)
+  Asm.place a head;
+  Asm.loop a ~counter:0 ~limit:64 ~exit:done_;
+  Asm.bini a Sub 2 0 1; (* addr = counter - 1 in 0..63 *)
+  Asm.store a 1 ~base:2 0;
+  Asm.jmp a head;
+  Asm.place a done_;
+  Asm.halt a;
+  Asm.assemble a ~name:"memset-bounded-loop" ~seg_words:64 ~inputs:0
+
+(* the BPF idiom: an untrusted input masked into range before the load *)
+let masked_load =
+  let a = Asm.create () in
+  Asm.bini a And 1 0 63; (* r1 = r0 land 63 *)
+  Asm.load a 2 ~base:1 0;
+  Asm.wake a ~seq:0 ~value:2;
+  Asm.halt a;
+  Asm.assemble a ~name:"masked-untrusted-index" ~seg_words:64 ~inputs:1
+
+(* bounds established by branches instead of a mask: the verifier's branch
+   refinement has to carry [0 <= r0 < 64] into the load *)
+let bounds_checked =
+  let a = Asm.create () in
+  let reject = Asm.fresh a in
+  Asm.bri a Lt 0 0 reject;
+  Asm.bri a Ge 0 64 reject;
+  Asm.load a 1 ~base:0 0;
+  Asm.wake a ~seq:0 ~value:1;
+  Asm.place a reject;
+  Asm.halt a;
+  Asm.assemble a ~name:"branch-bounds-check" ~seg_words:64 ~inputs:1
+
+(* nested bounded loops writing a 4x4 tile *)
+let nested_loops =
+  let a = Asm.create () in
+  let outer = Asm.fresh a and outer_done = Asm.fresh a in
+  let inner = Asm.fresh a and inner_done = Asm.fresh a in
+  Asm.const a 0 0; (* outer counter *)
+  Asm.place a outer;
+  Asm.loop a ~counter:0 ~limit:4 ~exit:outer_done;
+  Asm.bini a Sub 2 0 1;
+  Asm.bini a Mul 2 2 4; (* row base = (o-1)*4 *)
+  Asm.const a 1 0; (* inner counter, reset each row *)
+  Asm.place a inner;
+  Asm.loop a ~counter:1 ~limit:4 ~exit:inner_done;
+  Asm.bini a Sub 3 1 1;
+  Asm.bin a Add 3 3 2; (* addr = row + (i-1) in 0..15 *)
+  Asm.store a 0 ~base:3 0;
+  Asm.jmp a inner;
+  Asm.place a inner_done;
+  Asm.jmp a outer;
+  Asm.place a outer_done;
+  Asm.halt a;
+  Asm.assemble a ~name:"nested-loops-tile" ~seg_words:16 ~inputs:0
+
+(* relocated addressing: the table base arrives via the relocation table *)
+let relocated_table =
+  let a = Asm.create () in
+  let head = Asm.fresh a and done_ = Asm.fresh a in
+  Asm.const_addr a 1 8; (* table base: segment word 8, relocated *)
+  Asm.const a 0 0;
+  Asm.place a head;
+  Asm.loop a ~counter:0 ~limit:8 ~exit:done_;
+  Asm.bini a Sub 2 0 1;
+  Asm.bin a Add 2 2 1; (* addr = base + (c-1) in 8..15 *)
+  Asm.store a 0 ~base:2 0;
+  Asm.jmp a head;
+  Asm.place a done_;
+  Asm.halt a;
+  Asm.assemble a ~name:"relocated-table-walk" ~seg_words:16 ~inputs:0
+
+(* pure compute-and-send: no segment at all *)
+let compute_send =
+  let a = Asm.create () in
+  Asm.bini a Mul 2 1 2;
+  Asm.bin a Add 2 2 1; (* r2 = 3 * r1 *)
+  Asm.const a 3 1; (* wire kind *)
+  Asm.const a 4 7; (* obj *)
+  Asm.send a ~dst:0 ~kind:3 ~obj:4 ~value:2;
+  Asm.halt a;
+  Asm.assemble a ~name:"compute-and-send" ~seg_words:0 ~inputs:2
+
+(* the slot-scan idiom the collectives handler uses: a found-or-free pointer
+   kept as index + 1, with 0 meaning none, narrowed by a Ne test *)
+let slot_scan =
+  let a = Asm.create () in
+  let head = Asm.fresh a and scan_done = Asm.fresh a in
+  let found = Asm.fresh a and cont = Asm.fresh a and miss = Asm.fresh a in
+  Asm.const a 1 0; (* found pointer + 1 *)
+  Asm.const a 2 0; (* counter *)
+  Asm.place a head;
+  Asm.loop a ~counter:2 ~limit:8 ~exit:scan_done;
+  Asm.bini a Sub 3 2 1;
+  Asm.load a 4 ~base:3 0;
+  Asm.bri a Eq 4 0 found;
+  Asm.place a cont;
+  Asm.jmp a head;
+  Asm.place a found;
+  Asm.bini a Add 1 3 1;
+  Asm.place a scan_done;
+  Asm.bri a Eq 1 0 miss;
+  Asm.bini a Sub 3 1 1; (* narrow r1 in 1..8, so r3 in 0..7 *)
+  Asm.store a 2 ~base:3 0;
+  Asm.place a miss;
+  Asm.halt a;
+  Asm.assemble a ~name:"slot-scan-nonzero-narrowing" ~seg_words:8 ~inputs:0
+
+let good =
+  [
+    ("memset", memset);
+    ("masked-load", masked_load);
+    ("branch-bounds-check", bounds_checked);
+    ("nested-loops", nested_loops);
+    ("relocated-table", relocated_table);
+    ("compute-and-send", compute_send);
+    ("slot-scan", slot_scan);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Programs the verifier must reject                                   *)
+(* ------------------------------------------------------------------ *)
+
+let mk name ~seg_words ~inputs code relocs = { name; seg_words; inputs; code; relocs }
+
+(* a store one word past the declared segment *)
+let store_oob =
+  mk "store-past-segment" ~seg_words:8 ~inputs:0
+    [| Const (0, 8); Const (1, 1); Store (1, 0, 0); Halt |]
+    []
+
+(* a classic host-pointer dereference: the handler computes a host physical
+   address and reads through it *)
+let host_deref =
+  mk "host-pointer-deref" ~seg_words:8 ~inputs:0 [| Const (0, 0xDEAD00); Load (1, 0, 0); Halt |] []
+
+(* an untrusted input used as an index with no mask or bounds check *)
+let unchecked_index =
+  mk "unchecked-untrusted-index" ~seg_words:64 ~inputs:1 [| Load (1, 0, 0); Halt |] []
+
+(* a back edge that does not go through a Loop header: never terminates *)
+let unbounded =
+  mk "unbounded-back-edge" ~seg_words:0 ~inputs:0 [| Const (0, 0); Bini (Add, 0, 0, 1); Jmp 1 |] []
+
+(* reads a register no path wrote *)
+let uninit = mk "uninitialized-register" ~seg_words:0 ~inputs:1 [| Mov (2, 5); Halt |] []
+
+(* the relocation table rebases an immediate that is not an in-segment
+   address *)
+let bad_reloc =
+  mk "relocation-out-of-segment" ~seg_words:8 ~inputs:0 [| Const (0, 99); Halt |] [ 0 ]
+
+(* the relocation table names an instruction that is not a Const *)
+let bad_reloc_instr =
+  mk "relocation-of-non-const" ~seg_words:8 ~inputs:1 [| Mov (1, 0); Halt |] [ 0 ]
+
+(* the loop body rewrites its own counter: the static limit proves nothing *)
+let counter_clobber =
+  mk "loop-counter-clobbered" ~seg_words:0 ~inputs:0
+    [| Const (0, 0); Loop { counter = 0; limit = 4; exit = 4 }; Const (0, 0); Jmp 1; Halt |]
+    []
+
+(* the counter enters negative: limit - counter iterations exceed the limit *)
+let counter_negative =
+  mk "loop-counter-negative" ~seg_words:0 ~inputs:0
+    [| Const (0, -5); Loop { counter = 0; limit = 4; exit = 4 }; Mov (1, 0); Jmp 1; Halt |]
+    []
+
+(* nested 65535-iteration loops: terminates, but blows the cycle budget *)
+let wcet_bomb =
+  mk "wcet-bomb" ~seg_words:0 ~inputs:0
+    [|
+      Const (0, 0);
+      Loop { counter = 0; limit = 65535; exit = 7 };
+      Const (1, 0);
+      Loop { counter = 1; limit = 65535; exit = 6 };
+      Mov (2, 1);
+      Jmp 3;
+      Jmp 1;
+      Halt;
+    |]
+    []
+
+(* divisor interval contains zero *)
+let div_zero = mk "divide-by-untrusted" ~seg_words:0 ~inputs:1 [| Bini (Div, 1, 0, 0); Halt |] []
+
+(* control can run off the end *)
+let falls_off = mk "falls-off-end" ~seg_words:0 ~inputs:0 [| Const (0, 1) |] []
+
+(* branch outside the program *)
+let bad_target = mk "branch-out-of-program" ~seg_words:0 ~inputs:1 [| Bri (Eq, 0, 0, 99); Halt |] []
+
+(* a jump into a loop body from outside the region *)
+let loop_sideways =
+  mk "jump-into-loop-body" ~seg_words:0 ~inputs:0
+    [|
+      Const (0, 0);
+      Jmp 4;
+      Loop { counter = 0; limit = 4; exit = 6 };
+      Mov (1, 0);
+      Mov (2, 0);
+      Jmp 2;
+      Halt;
+    |]
+    []
+
+let bad =
+  [
+    ("store-out-of-segment", "out-of-segment-store", store_oob);
+    ("host-pointer-deref", "out-of-segment-load", host_deref);
+    ("unchecked-untrusted-index", "out-of-segment-load", unchecked_index);
+    ("unbounded-back-edge", "unbounded-back-edge", unbounded);
+    ("uninitialized-register", "uninitialized-register", uninit);
+    ("bad-relocation-immediate", "bad-relocation", bad_reloc);
+    ("bad-relocation-target", "bad-relocation", bad_reloc_instr);
+    ("loop-counter-clobbered", "loop-counter-clobbered", counter_clobber);
+    ("loop-counter-negative", "loop-counter-negative", counter_negative);
+    ("wcet-bomb", "wcet-exceeded", wcet_bomb);
+    ("division-by-zero", "division-by-zero", div_zero);
+    ("falls-off-end", "falls-off-end", falls_off);
+    ("bad-branch-target", "bad-branch-target", bad_target);
+    ("jump-into-loop", "jump-into-loop", loop_sideways);
+  ]

@@ -1,0 +1,14 @@
+(** The shipped verifier corpus: small firmware programs the
+    [cni_sim aih-verify] smoke test (and CI) runs {!Aih_verify.verify}
+    over. [good] programs exercise the proofs the verifier must be able to
+    complete — bounded loops, mask- and branch-established address bounds,
+    relocated segment addressing, nesting; [bad] programs each violate one
+    admission rule and carry the {!Aih_verify.reason_name} tag the verifier
+    must reject them with. *)
+
+(** Programs the verifier must accept, with a short description. *)
+val good : (string * Aih_ir.program) list
+
+(** Programs the verifier must reject: name, expected
+    {!Aih_verify.reason_name}, program. *)
+val bad : (string * string * Aih_ir.program) list

@@ -1,0 +1,118 @@
+(** The AIH firmware instruction set.
+
+    The paper admits Application Interrupt Handlers onto the board only as
+    "pointer-safe, relocatable object code" (section 2.3). This module is
+    that object code's shape for our simulated board: a small register
+    machine whose only memory is the handler's private segment of board
+    memory, whose only effects are [send] (emit a frame from protocol
+    context), [wake] (fill the host's episode ivar) and segment stores, and
+    whose loops must go through an explicitly bounded header.
+
+    A {!program} is what {!Aih_verify.verify} certifies and
+    {!Aih_exec.run} executes; {!encode} is the relocatable object-code
+    image whose length — plus the declared data segment — is the program's
+    honest [code_bytes], the number board-memory accounting charges at
+    install time. *)
+
+(** Register index, [0 .. nregs - 1]. *)
+type reg = int
+
+(** The machine has 16 integer registers. At activation registers
+    [0 .. inputs - 1] carry the event's arguments (untrusted: the verifier
+    assumes nothing about their values); the rest start uninitialized. *)
+val nregs : int
+
+type binop = Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+(** Word addresses are {e segment-relative}: [Load (rd, rs, off)] reads
+    word [rs + off] of the handler's own board segment. There is no
+    instruction that can name host memory or another handler's segment —
+    pointer safety is then the verifier's proof that [rs + off] stays
+    inside [0 .. seg_words - 1].
+
+    [Loop { counter; limit; exit }] is the only legal back-edge target: it
+    tests [counter >= limit] (exit to [exit]) and otherwise increments
+    [counter] and falls through, so a loop whose counter provably enters
+    non-negative executes its body at most [limit] times per entry. *)
+type instr =
+  | Const of reg * int  (** load immediate (relocatable when listed in [relocs]) *)
+  | Mov of reg * reg
+  | Bin of binop * reg * reg * reg  (** [rd <- rs op rt] *)
+  | Bini of binop * reg * reg * int  (** [rd <- rs op imm] *)
+  | Load of reg * reg * int  (** [rd <- seg.(rs + off)] *)
+  | Store of reg * reg * int  (** [seg.(rs + off) <- rsrc] *)
+  | Br of cmp * reg * reg * int  (** branch to target if [rs cmp rt] *)
+  | Bri of cmp * reg * int * int  (** branch to target if [rs cmp imm] *)
+  | Jmp of int
+  | Loop of { counter : reg; limit : int; exit : int }  (** bounded-loop header *)
+  | Send of { dst : reg; kind : reg; obj : reg; value : reg }
+      (** emit a frame from protocol context (all operands are registers) *)
+  | Wake of { seq : reg; value : reg }  (** wake the host episode [seq] with [value] *)
+  | Halt
+
+type program = {
+  name : string;
+  seg_words : int;  (** private board-memory segment, in 8-byte words *)
+  inputs : int;  (** registers initialized (with untrusted values) at entry *)
+  code : instr array;
+  relocs : int list;
+      (** relocation table: pcs of [Const] instructions whose immediate is a
+          segment-relative word address the board loader rebases; sorted *)
+}
+
+(** NIC cycles one executed instruction costs (33 MHz board clock): 1 for
+    register/branch work, 2 for a segment access, 4 for a host wakeup, 8
+    for a send. {!Aih_exec.run} charges these; {!Aih_verify} sums them into
+    the certificate's worst case. *)
+val instr_cycles : instr -> int
+
+(** The relocatable object-code image: a 20-byte header (magic, instruction
+    and relocation counts, segment size, input count), 12 bytes per
+    instruction, 4 bytes per relocation entry.
+
+    @raise Invalid_argument if an immediate, limit or target does not fit
+    its 32-bit field. *)
+val encode : program -> bytes
+
+(** What installing this program costs the board: the {!encode} image plus
+    8 bytes for every declared segment word. This is the [code_bytes] the
+    verifier certifies and [Nic.install_handler] debits. *)
+val code_bytes : program -> int
+
+(** Pretty-print one instruction (diagnostics, corpus listings). *)
+val pp_instr : Format.formatter -> instr -> unit
+
+(** A small assembler for building programs with labels: emit instructions
+    in order, [fresh]/[place] labels, and {!Asm.assemble} patches every
+    branch target. [const_addr] emits a relocated [Const] (a segment word
+    address) and records it in the relocation table. *)
+module Asm : sig
+  type t
+  type label
+
+  val create : unit -> t
+  val fresh : t -> label
+
+  (** Bind the label to the next instruction's pc.
+      @raise Invalid_argument if the label was already placed. *)
+  val place : t -> label -> unit
+
+  val const : t -> reg -> int -> unit
+  val const_addr : t -> reg -> int -> unit
+  val mov : t -> reg -> reg -> unit
+  val bin : t -> binop -> reg -> reg -> reg -> unit
+  val bini : t -> binop -> reg -> reg -> int -> unit
+  val load : t -> reg -> base:reg -> int -> unit
+  val store : t -> reg -> base:reg -> int -> unit
+  val br : t -> cmp -> reg -> reg -> label -> unit
+  val bri : t -> cmp -> reg -> int -> label -> unit
+  val jmp : t -> label -> unit
+  val loop : t -> counter:reg -> limit:int -> exit:label -> unit
+  val send : t -> dst:reg -> kind:reg -> obj:reg -> value:reg -> unit
+  val wake : t -> seq:reg -> value:reg -> unit
+  val halt : t -> unit
+
+  (** @raise Invalid_argument if any referenced label was never placed. *)
+  val assemble : t -> name:string -> seg_words:int -> inputs:int -> program
+end

@@ -444,6 +444,55 @@ let collectives () =
       ]
     (latency_rows @ app_rows)
 
+let aih_bench () =
+  let v = Microbench.verifier_throughput () in
+  let verifier_row =
+    [
+      "verifier throughput";
+      Printf.sprintf "%d-program corpus" v.Microbench.vp_programs;
+      Report.f2 v.Microbench.vp_us_per_program;
+      Printf.sprintf "%.0f" v.Microbench.vp_verifies_per_sec;
+      "-";
+      "-";
+    ]
+  in
+  let activation_rows =
+    List.concat_map
+      (fun nodes ->
+        let p = Microbench.aih_activation ~nodes () in
+        [
+          [
+            Printf.sprintf "barrier (%d nodes)" nodes;
+            "closure vs verified IR";
+            Report.f1 p.Microbench.act_closure_barrier_us;
+            Report.f1 p.Microbench.act_ir_barrier_us;
+            string_of_int p.Microbench.act_wcet_nic_cycles;
+            string_of_int p.Microbench.act_code_bytes;
+          ];
+          [
+            Printf.sprintf "allreduce (%d nodes)" nodes;
+            "closure vs verified IR";
+            Report.f1 p.Microbench.act_closure_allreduce_us;
+            Report.f1 p.Microbench.act_ir_allreduce_us;
+            string_of_int p.Microbench.act_wcet_nic_cycles;
+            string_of_int p.Microbench.act_code_bytes;
+          ];
+        ])
+      [ 2; 8; 16 ]
+  in
+  Report.make ~id:"microbench-aih"
+    ~title:"AIH admission: verifier throughput and verified-firmware activation cost"
+    ~columns:[ "benchmark"; "configuration"; "us-a"; "us-b"; "wcet-cycles"; "code-bytes" ]
+    ~notes:
+      [
+        "verifier row: us-a = wall-clock microseconds to verify one program, us-b = programs \
+         verified per second of host time (the install-time admission check, real code)";
+        "activation rows: us-a = per-op latency with the closure handler (flat dispatch \
+         charge), us-b = with verified IR firmware charged per executed instruction; the \
+         certificate columns are rank 0's";
+      ]
+    (verifier_row :: activation_rows)
+
 let all =
   [
     ("ablation-mc", message_cache);
@@ -458,4 +507,5 @@ let all =
     ("ablation-ordering", ordering);
     ("ablation-faults", faults);
     ("ablation-collectives", collectives);
+    ("microbench-aih", aih_bench);
   ]

@@ -209,6 +209,123 @@ let classifier_ops ~patterns () =
   let linear_ns = measure (fun h -> ignore (Classifier.classify_linear cls h)) in
   { cls_patterns = patterns; indexed_ns; linear_ns; cls_speedup = linear_ns /. indexed_ns }
 
+(* Static-verifier throughput over the shipped corpus plus generated
+   collectives firmware: how much wall-clock the install-time admission
+   check itself costs. This is simulator CPU time (the verifier is real
+   code), measured like [classifier_ops]. *)
+type verifier_point = {
+  vp_programs : int;  (* distinct programs in the measured mix *)
+  vp_verifies_per_sec : float;
+  vp_us_per_program : float;
+}
+
+let verifier_throughput () =
+  let module Verify = Cni_aih.Aih_verify in
+  let module Cir = Cni_mp.Collectives_ir in
+  let programs =
+    List.map snd Cni_aih.Aih_corpus.good
+    @ List.map (fun (_, _, p) -> p) Cni_aih.Aih_corpus.bad
+    @ List.concat_map
+        (fun op ->
+          List.map
+            (fun (rank, size, fanout) -> Cir.program ~op ~rank ~size ~fanout)
+            [ (0, 8, 2); (3, 8, 2); (7, 64, 4) ])
+        [ Cir.Sum; Cir.Max; Cir.Min ]
+  in
+  let programs = Array.of_list programs in
+  let n = Array.length programs in
+  let rec run batch =
+    let t0 = Sys.time () in
+    for i = 0 to batch - 1 do
+      ignore (Verify.verify programs.(i mod n))
+    done;
+    let dt = Sys.time () -. t0 in
+    if dt < 0.05 then run (batch * 4)
+    else
+      let per = dt /. float_of_int batch in
+      { vp_programs = n; vp_verifies_per_sec = 1. /. per; vp_us_per_program = per *. 1e6 }
+  in
+  run 256
+
+(* Verified-firmware vs closure handler activation cost, on the simulated
+   clock: the same barrier/allreduce episodes through [Collectives] (flat
+   per-dispatch charge) and [Collectives_ir] (per-instruction charge under
+   the interpreter), with the certificate's worst case alongside what an
+   episode actually costs. *)
+type activation_point = {
+  act_nodes : int;
+  act_closure_barrier_us : float;
+  act_ir_barrier_us : float;
+  act_closure_allreduce_us : float;
+  act_ir_allreduce_us : float;
+  act_wcet_nic_cycles : int;  (* certificate bound, rank 0's firmware *)
+  act_code_bytes : int;  (* certified object size, rank 0's firmware *)
+}
+
+let aih_activation ?(params = Params.default) ?(reps = 8) ~nodes () =
+  let module Collectives = Cni_mp.Collectives in
+  let module Cir = Cni_mp.Collectives_ir in
+  let kind = Runner.cni () in
+  let run_closure () =
+    let cluster : int Cluster.t = Cluster.create ~params ~nic_kind:kind ~nodes () in
+    let eps = Collectives.install ~inject:Fun.id ~project:Fun.id cluster in
+    let barrier_t = ref Time.zero and allreduce_t = ref Time.zero in
+    Cluster.run_app cluster (fun node ->
+        let ep = eps.(Node.id node) in
+        let eng = Cluster.engine cluster in
+        for _ = 1 to reps do
+          let t0 = Engine.now eng in
+          Collectives.barrier ep;
+          if Node.id node = 0 then barrier_t := Time.( + ) !barrier_t Time.(Engine.now eng - t0)
+        done;
+        for _ = 1 to reps do
+          let t0 = Engine.now eng in
+          ignore (Collectives.allreduce ep ~op:( + ) (Node.id node));
+          if Node.id node = 0 then
+            allreduce_t := Time.( + ) !allreduce_t Time.(Engine.now eng - t0)
+        done);
+    let per t = Time.to_us_float t /. float_of_int reps in
+    (per !barrier_t, per !allreduce_t)
+  in
+  let run_ir () =
+    let cluster : int Cluster.t = Cluster.create ~params ~nic_kind:kind ~nodes () in
+    let eps = Cir.install ~op:Cir.Sum ~inject:Fun.id ~project:Fun.id cluster in
+    let barrier_t = ref Time.zero and allreduce_t = ref Time.zero in
+    Cluster.run_app cluster (fun node ->
+        let ep = eps.(Node.id node) in
+        let eng = Cluster.engine cluster in
+        for _ = 1 to reps do
+          let t0 = Engine.now eng in
+          Cir.barrier ep;
+          if Node.id node = 0 then barrier_t := Time.( + ) !barrier_t Time.(Engine.now eng - t0)
+        done;
+        for _ = 1 to reps do
+          let t0 = Engine.now eng in
+          ignore (Cir.allreduce ep (Node.id node));
+          if Node.id node = 0 then
+            allreduce_t := Time.( + ) !allreduce_t Time.(Engine.now eng - t0)
+        done);
+    let per t = Time.to_us_float t /. float_of_int reps in
+    let cert = Cir.cert eps.(0) in
+    (per !barrier_t, per !allreduce_t, cert)
+  in
+  let closure_barrier, closure_allreduce = run_closure () in
+  let ir_barrier, ir_allreduce, cert = run_ir () in
+  let wcet, bytes =
+    match cert with
+    | Some c -> Cni_aih.Aih_verify.(c.wcet_nic_cycles, c.code_bytes)
+    | None -> (0, 0)
+  in
+  {
+    act_nodes = nodes;
+    act_closure_barrier_us = closure_barrier;
+    act_ir_barrier_us = ir_barrier;
+    act_closure_allreduce_us = closure_allreduce;
+    act_ir_allreduce_us = ir_allreduce;
+    act_wcet_nic_cycles = wcet;
+    act_code_bytes = bytes;
+  }
+
 type point = { bytes : int; cni_us : float; standard_us : float; reduction_pct : float }
 
 let sweep ?(params = Params.default) ~sizes () =

@@ -88,3 +88,37 @@ type classifier_point = {
     patterns installed, probing headers spread across the installed
     channels. *)
 val classifier_ops : patterns:int -> unit -> classifier_point
+
+(** {2 AIH static-verifier throughput (wall-clock)} *)
+
+type verifier_point = {
+  vp_programs : int;  (** distinct programs in the measured mix *)
+  vp_verifies_per_sec : float;
+  vp_us_per_program : float;
+}
+
+(** [verifier_throughput ()] times {!Cni_aih.Aih_verify.verify} (real host
+    time) over the shipped corpus — accepted and rejected programs — plus
+    generated collectives firmware: what the install-time admission check
+    itself costs per program. *)
+val verifier_throughput : unit -> verifier_point
+
+(** {2 Verified-firmware vs closure activation cost (simulated clock)} *)
+
+type activation_point = {
+  act_nodes : int;
+  act_closure_barrier_us : float;  (** per-barrier, {!Cni_mp.Collectives} *)
+  act_ir_barrier_us : float;  (** per-barrier, {!Cni_mp.Collectives_ir} *)
+  act_closure_allreduce_us : float;
+  act_ir_allreduce_us : float;
+  act_wcet_nic_cycles : int;  (** certificate bound, rank 0's firmware *)
+  act_code_bytes : int;  (** certified object size, rank 0's firmware *)
+}
+
+(** [aih_activation ~nodes ()] — the same [reps] (default 8) barriers and
+    integer-sum allreduces through the closure combining tree (flat
+    per-dispatch charge) and the verified-firmware one (per-instruction
+    charge under {!Cni_aih.Aih_exec}), on separate CNI clusters, with the
+    rank-0 certificate alongside. *)
+val aih_activation :
+  ?params:Cni_machine.Params.t -> ?reps:int -> nodes:int -> unit -> activation_point

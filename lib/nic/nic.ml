@@ -906,6 +906,7 @@ let create_osiris ?registry ?reliability eng bus fabric ~node ~host
   create ?registry ?reliability ~kind:(Osiris options) eng bus fabric ~node ~host
 
 let install_handler t ~pattern ?(code_bytes = 512) f =
+  if code_bytes <= 0 then invalid_arg "Nic.install_handler: code_bytes must be positive";
   let mc_bytes =
     match t.kind with Cni { mc_bytes; _ } -> mc_bytes | Osiris _ | Standard -> 0
   in
@@ -929,6 +930,45 @@ let uninstall_handler t h =
   Classifier.remove t.classifier h
 let set_default_handler t f = t.default_handler <- f
 let handler_code_bytes t = t.s_handler_code_bytes
+
+(* ------------------------------------------------------------------ *)
+(* Verified AIH firmware installation                                  *)
+(* ------------------------------------------------------------------ *)
+
+type 'a verified_handler = {
+  vh_handle : Classifier.handle;
+  vh_cert : Cni_aih.Aih_verify.cert;
+  vh_activate : 'a ctx -> int array -> unit;
+}
+
+let install_handler_verified ?max_wcet t ~pattern ~program ~entry ~on_send ~on_wake =
+  match Cni_aih.Aih_verify.verify ?max_wcet program with
+  | Error rj ->
+      Stats.Counter.incr (lcounter t "aih_verify_rejects");
+      Error rj
+  | Ok cert ->
+      (* the handler's persistent board segment: one allocation at install,
+         shared by every activation, like the closure handlers' mutable
+         state records *)
+      let mem = Array.make program.Cni_aih.Aih_ir.seg_words 0 in
+      let activate ctx inputs =
+        let services =
+          {
+            Cni_aih.Aih_exec.sv_send =
+              (fun ~dst ~kind ~obj ~value -> on_send ctx ~dst ~kind ~obj ~value);
+            sv_wake = on_wake;
+            sv_charge = ctx.charge;
+          }
+        in
+        ignore (Cni_aih.Aih_exec.run program ~mem ~inputs services)
+      in
+      let h =
+        install_handler t ~pattern ~code_bytes:cert.Cni_aih.Aih_verify.code_bytes
+          (fun ctx pkt -> activate ctx (entry pkt))
+      in
+      Ok { vh_handle = h; vh_cert = cert; vh_activate = activate }
+
+let aih_verify_rejects t = lvalue t "aih_verify_rejects"
 
 let stats t =
   {

@@ -206,7 +206,9 @@ val aih_enabled : 'a t -> bool
     on the host CPU behind an interrupt, after the kernel's software demux.
 
     @raise Failure if the board's free memory cannot hold [code_bytes]
-    (handlers are whole-segment resident; there is no paging on the board). *)
+    (handlers are whole-segment resident; there is no paging on the board).
+    @raise Invalid_argument if [code_bytes] is zero or negative — a handler
+    with no object code cannot occupy a board segment. *)
 val install_handler :
   'a t ->
   pattern:Cni_pathfinder.Pattern.t ->
@@ -223,6 +225,46 @@ val set_default_handler : 'a t -> ('a ctx -> 'a Cni_atm.Fabric.packet -> unit) -
 
 (** Bytes of board memory currently holding AIH object code. *)
 val handler_code_bytes : 'a t -> int
+
+(** A handler admitted through the static verifier: the classifier handle
+    (for {!uninstall_handler}), the admission certificate, and the
+    activation entry point the host side of a protocol may drive through
+    {!local_dispatch} ([vh_activate ctx inputs] runs the firmware with
+    registers [0..inputs-1] preloaded). *)
+type 'a verified_handler = {
+  vh_handle : Cni_pathfinder.Classifier.handle;
+  vh_cert : Cni_aih.Aih_verify.cert;
+  vh_activate : 'a ctx -> int array -> unit;
+}
+
+(** [install_handler_verified t ~pattern ~program ~entry ~on_send ~on_wake]
+    is the paper's full AIH admission path: the board accepts only
+    {e pointer-safe, relocatable object code}, established here by
+    {!Cni_aih.Aih_verify.verify} before anything touches the classifier. On
+    [Ok] the program's encoded image plus its declared board segment —
+    [cert.code_bytes], not a caller-supplied guess — is debited from board
+    memory and every activation interprets the firmware under
+    {!Cni_aih.Aih_exec.run}, charging the cycles it actually executes;
+    [entry] extracts the firmware's input registers from a matched packet,
+    and [on_send]/[on_wake] give the [send]/[host_wakeup] instructions their
+    wire and host meanings. On [Error] nothing is installed, the rejection
+    is counted (see {!aih_verify_rejects}), and the structured diagnostic is
+    returned.
+
+    @raise Failure if the program verifies but the board's free memory
+    cannot hold its certified [code_bytes]. *)
+val install_handler_verified :
+  ?max_wcet:int ->
+  'a t ->
+  pattern:Cni_pathfinder.Pattern.t ->
+  program:Cni_aih.Aih_ir.program ->
+  entry:('a Cni_atm.Fabric.packet -> int array) ->
+  on_send:('a ctx -> dst:int -> kind:int -> obj:int -> value:int -> unit) ->
+  on_wake:(seq:int -> value:int -> unit) ->
+  ('a verified_handler, Cni_aih.Aih_verify.reject) result
+
+(** Firmware programs this board has refused to install. *)
+val aih_verify_rejects : 'a t -> int
 
 (** [send t ~dst ~header ~body_bytes ~data ~payload] transmits from the host
     application / protocol client. Must run in a fiber; charges the host-side

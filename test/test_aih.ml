@@ -1,0 +1,340 @@
+(* Tests for the AIH firmware subsystem: the IR encoder, the install-time
+   static verifier (pointer safety, termination, cycle bounds), the charging
+   interpreter, verified installation on a live board, and the qcheck
+   parity property between the verified-IR collectives and the closure
+   implementation. *)
+
+module Ir = Cni_aih.Aih_ir
+module Verify = Cni_aih.Aih_verify
+module Exec = Cni_aih.Aih_exec
+module Corpus = Cni_aih.Aih_corpus
+module Nic = Cni_nic.Nic
+module Wire = Cni_nic.Wire
+module Cluster = Cni_cluster.Cluster
+module Node = Cni_cluster.Node
+module Collectives = Cni_mp.Collectives
+module Collectives_ir = Cni_mp.Collectives_ir
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+
+let cni = `Cni Nic.default_cni_options
+
+(* ------------------------------------------------------------------ *)
+(* Verifier over the corpus                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_good_corpus () =
+  List.iter
+    (fun (name, p) ->
+      match Verify.verify p with
+      | Ok cert ->
+          checkb (name ^ " wcet positive") true (cert.Verify.wcet_nic_cycles > 0);
+          checki (name ^ " code bytes honest") (Ir.code_bytes p) cert.Verify.code_bytes
+      | Error rj -> Alcotest.failf "%s rejected: %s" name (Verify.explain rj))
+    Corpus.good
+
+let test_bad_corpus () =
+  List.iter
+    (fun (name, expected, p) ->
+      match Verify.verify p with
+      | Ok _ -> Alcotest.failf "%s accepted (expected %s)" name expected
+      | Error rj ->
+          check Alcotest.string (name ^ " reason") expected (Verify.reason_name rj.Verify.rj_reason);
+          checkb (name ^ " pc in range") true
+            (rj.Verify.rj_pc >= 0 && rj.Verify.rj_pc <= Array.length p.Ir.code);
+          checkb (name ^ " has state render") true (String.length rj.Verify.rj_regs > 0))
+    Corpus.bad
+
+let test_collectives_programs_verify () =
+  List.iter
+    (fun op ->
+      List.iter
+        (fun (size, fanout) ->
+          List.iter
+            (fun rank ->
+              if rank < size then
+                let p = Collectives_ir.program ~op ~rank ~size ~fanout in
+                match Verify.verify p with
+                | Ok cert -> checkb "wcet positive" true (cert.Verify.wcet_nic_cycles > 0)
+                | Error rj ->
+                    Alcotest.failf "collectives rank %d/%d fanout %d rejected: %s" rank size
+                      fanout (Verify.explain rj))
+            [ 0; 1; size / 2; size - 1 ])
+        [ (2, 2); (3, 1); (8, 2); (8, 4); (256, 8) ])
+    [ Collectives_ir.Sum; Collectives_ir.Max; Collectives_ir.Min ]
+
+(* ------------------------------------------------------------------ *)
+(* Encoder                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_encode_size_law () =
+  List.iter
+    (fun (_, p) ->
+      let n = Array.length p.Ir.code and r = List.length p.Ir.relocs in
+      checki (p.Ir.name ^ " image size") (20 + (12 * n) + (4 * r)) (Bytes.length (Ir.encode p));
+      checki
+        (p.Ir.name ^ " code_bytes = image + segment")
+        (20 + (12 * n) + (4 * r) + (8 * p.Ir.seg_words))
+        (Ir.code_bytes p))
+    Corpus.good
+
+let test_encode_deterministic () =
+  let _, p = List.hd Corpus.good in
+  checkb "stable image" true (Bytes.equal (Ir.encode p) (Ir.encode p))
+
+let test_encode_rejects_wide_immediate () =
+  let p =
+    { Ir.name = "wide"; seg_words = 0; inputs = 0; code = [| Ir.Const (0, 1 lsl 40); Ir.Halt |]; relocs = [] }
+  in
+  (match Verify.verify p with
+  | Ok _ -> Alcotest.fail "wide immediate accepted"
+  | Error rj ->
+      check Alcotest.string "reason" "immediate-too-wide" (Verify.reason_name rj.Verify.rj_reason));
+  Alcotest.check_raises "encode raises"
+    (Invalid_argument (Printf.sprintf "Aih_ir.encode: %d does not fit a 32-bit field" (1 lsl 40)))
+    (fun () -> ignore (Ir.encode p))
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* store 1..8 into the segment with one loop, sum them with another, wake
+   the host with the total *)
+let sum_prog =
+  let a = Ir.Asm.create () in
+  let h1 = Ir.Asm.fresh a and d1 = Ir.Asm.fresh a in
+  let h2 = Ir.Asm.fresh a and d2 = Ir.Asm.fresh a in
+  Ir.Asm.const a 0 0;
+  Ir.Asm.place a h1;
+  Ir.Asm.loop a ~counter:0 ~limit:8 ~exit:d1;
+  Ir.Asm.bini a Ir.Sub 1 0 1;
+  Ir.Asm.store a 0 ~base:1 0;
+  Ir.Asm.jmp a h1;
+  Ir.Asm.place a d1;
+  Ir.Asm.const a 0 0;
+  Ir.Asm.const a 2 0;
+  Ir.Asm.place a h2;
+  Ir.Asm.loop a ~counter:0 ~limit:8 ~exit:d2;
+  Ir.Asm.bini a Ir.Sub 1 0 1;
+  Ir.Asm.load a 3 ~base:1 0;
+  Ir.Asm.bin a Ir.Add 2 2 3;
+  Ir.Asm.jmp a h2;
+  Ir.Asm.place a d2;
+  Ir.Asm.const a 4 0;
+  Ir.Asm.wake a ~seq:4 ~value:2;
+  Ir.Asm.halt a;
+  Ir.Asm.assemble a ~name:"sum-1-to-8" ~seg_words:8 ~inputs:0
+
+let null_services charge =
+  {
+    Exec.sv_send = (fun ~dst:_ ~kind:_ ~obj:_ ~value:_ -> ());
+    sv_wake = (fun ~seq:_ ~value:_ -> ());
+    sv_charge = charge;
+  }
+
+let test_exec_sum () =
+  let cert =
+    match Verify.verify sum_prog with
+    | Ok c -> c
+    | Error rj -> Alcotest.failf "sum_prog rejected: %s" (Verify.explain rj)
+  in
+  let woken = ref (-1) and charged = ref 0 in
+  let services =
+    {
+      (null_services (fun n -> charged := !charged + n)) with
+      Exec.sv_wake = (fun ~seq ~value -> checki "seq" 0 seq; woken := value);
+    }
+  in
+  let mem = Array.make 8 0 in
+  let cycles = Exec.run sum_prog ~mem ~inputs:[||] services in
+  checki "sum 1..8" 36 !woken;
+  checki "charge flushed" cycles !charged;
+  checkb "cycles positive" true (cycles > 0);
+  checkb "cycles within certificate" true (cycles <= cert.Verify.wcet_nic_cycles)
+
+let test_exec_faults_unverified () =
+  let p =
+    { Ir.name = "oob"; seg_words = 4; inputs = 0; code = [| Ir.Const (0, 9); Ir.Load (1, 0, 0); Ir.Halt |]; relocs = [] }
+  in
+  checkb "would be rejected" true (Result.is_error (Verify.verify p));
+  let mem = Array.make 4 0 in
+  match Exec.run p ~mem ~inputs:[||] (null_services ignore) with
+  | _ -> Alcotest.fail "out-of-segment load did not fault"
+  | exception Exec.Fault _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Verified installation on a live board                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_install_verified () =
+  let cluster : int Cluster.t = Cluster.create ~nic_kind:cni ~nodes:2 () in
+  let nic = Node.nic (Cluster.node cluster 0) in
+  let before = Nic.handler_code_bytes nic in
+  let _, good = List.hd Corpus.good in
+  let vh =
+    match
+      Nic.install_handler_verified nic
+        ~pattern:(Wire.pattern_channel ~channel:17)
+        ~program:good
+        ~entry:(fun _ -> [||])
+        ~on_send:(fun _ ~dst:_ ~kind:_ ~obj:_ ~value:_ -> ())
+        ~on_wake:(fun ~seq:_ ~value:_ -> ())
+    with
+    | Ok vh -> vh
+    | Error rj -> Alcotest.failf "good program rejected at install: %s" (Verify.explain rj)
+  in
+  checki "board debited the certified bytes" (before + Ir.code_bytes good)
+    (Nic.handler_code_bytes nic);
+  checki "certificate size" (Ir.code_bytes good) vh.Nic.vh_cert.Verify.code_bytes;
+  checki "no rejects counted" 0 (Nic.aih_verify_rejects nic);
+  Nic.uninstall_handler nic vh.Nic.vh_handle;
+  checki "uninstall reclaims" before (Nic.handler_code_bytes nic)
+
+let test_install_verified_rejects () =
+  let cluster : int Cluster.t = Cluster.create ~nic_kind:cni ~nodes:2 () in
+  let nic = Node.nic (Cluster.node cluster 0) in
+  let before = Nic.handler_code_bytes nic in
+  let _, _, bad = List.hd Corpus.bad in
+  (match
+     Nic.install_handler_verified nic
+       ~pattern:(Wire.pattern_channel ~channel:18)
+       ~program:bad
+       ~entry:(fun _ -> [||])
+       ~on_send:(fun _ ~dst:_ ~kind:_ ~obj:_ ~value:_ -> ())
+       ~on_wake:(fun ~seq:_ ~value:_ -> ())
+   with
+  | Ok _ -> Alcotest.fail "known-bad program installed"
+  | Error _ -> ());
+  checki "reject counted" 1 (Nic.aih_verify_rejects nic);
+  checki "no board memory debited" before (Nic.handler_code_bytes nic)
+
+(* ------------------------------------------------------------------ *)
+(* IR / closure collectives parity                                     *)
+(* ------------------------------------------------------------------ *)
+
+type parity_obs = {
+  o_allreduce : int array;
+  o_broadcast : int array;
+  o_reduce : int array;
+  o_tx : int array;
+}
+
+let closure_op = function
+  | Collectives_ir.Sum -> ( + )
+  | Collectives_ir.Max -> max
+  | Collectives_ir.Min -> min
+
+let contribs_of ~seed ~size = Array.init size (fun r -> ((seed * 31) + (r * 7)) mod 1000 - 500)
+
+let run_parity impl ~size ~fanout ~op ~root ~seed =
+  let contribs = contribs_of ~seed ~size in
+  let o =
+    {
+      o_allreduce = Array.make size 0;
+      o_broadcast = Array.make size 0;
+      o_reduce = Array.make size 0;
+      o_tx = Array.make size 0;
+    }
+  in
+  let cluster : int Cluster.t = Cluster.create ~nic_kind:cni ~nodes:size () in
+  (match impl with
+  | `Closure ->
+      let eps = Collectives.install ~fanout ~inject:Fun.id ~project:Fun.id cluster in
+      Cluster.run_app cluster (fun node ->
+          let r = Node.id node in
+          let ep = eps.(r) in
+          let c = contribs.(r) in
+          Collectives.barrier ep;
+          o.o_allreduce.(r) <- Collectives.allreduce ep ~op:(closure_op op) c;
+          o.o_broadcast.(r) <- Collectives.broadcast ep ~root (c * 3);
+          o.o_reduce.(r) <- Collectives.reduce ep ~root ~op:(closure_op op) (c + 1);
+          Collectives.barrier ep)
+  | `Ir ->
+      let eps = Collectives_ir.install ~fanout ~op ~inject:Fun.id ~project:Fun.id cluster in
+      Cluster.run_app cluster (fun node ->
+          let r = Node.id node in
+          let ep = eps.(r) in
+          let c = contribs.(r) in
+          Collectives_ir.barrier ep;
+          o.o_allreduce.(r) <- Collectives_ir.allreduce ep c;
+          o.o_broadcast.(r) <- Collectives_ir.broadcast ep ~root (c * 3);
+          o.o_reduce.(r) <- Collectives_ir.reduce ep ~root (c + 1);
+          Collectives_ir.barrier ep));
+  for r = 0 to size - 1 do
+    o.o_tx.(r) <- (Nic.stats (Node.nic (Cluster.node cluster r))).Nic.tx_packets
+  done;
+  o
+
+let check_parity ~size ~fanout ~op ~root ~seed =
+  let a = run_parity `Closure ~size ~fanout ~op ~root ~seed in
+  let b = run_parity `Ir ~size ~fanout ~op ~root ~seed in
+  (* reduce results are only meaningful at the root; both implementations
+     expose the same subtree partial elsewhere, so compare all ranks *)
+  a.o_allreduce = b.o_allreduce && a.o_broadcast = b.o_broadcast && a.o_reduce = b.o_reduce
+  && a.o_tx = b.o_tx
+
+let test_parity_fixed () =
+  List.iter
+    (fun (size, fanout, op, root, seed) ->
+      checkb
+        (Printf.sprintf "parity n=%d f=%d root=%d" size fanout root)
+        true
+        (check_parity ~size ~fanout ~op ~root ~seed))
+    [
+      (2, 2, Collectives_ir.Sum, 0, 1);
+      (4, 2, Collectives_ir.Sum, 3, 2);
+      (5, 1, Collectives_ir.Max, 2, 3);
+      (8, 3, Collectives_ir.Min, 5, 4);
+      (1, 2, Collectives_ir.Sum, 0, 5);
+    ]
+
+let parity_qcheck =
+  QCheck.Test.make ~count:25 ~name:"verified-IR collectives == closure collectives"
+    QCheck.(
+      make
+        ~print:(fun (size, fanout, opi, rootraw, seed) ->
+          Printf.sprintf "size=%d fanout=%d op=%d root=%d seed=%d" size fanout opi rootraw seed)
+        Gen.(tup5 (int_range 1 9) (int_range 1 4) (int_range 0 2) (int_range 0 100) (int_range 0 1000)))
+    (fun (size, fanout, opi, rootraw, seed) ->
+      let op =
+        match opi with 0 -> Collectives_ir.Sum | 1 -> Collectives_ir.Max | _ -> Collectives_ir.Min
+      in
+      check_parity ~size ~fanout ~op ~root:(rootraw mod size) ~seed)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "aih"
+    [
+      ( "verify",
+        [
+          Alcotest.test_case "good corpus accepted" `Quick test_good_corpus;
+          Alcotest.test_case "bad corpus rejected with expected reasons" `Quick test_bad_corpus;
+          Alcotest.test_case "shipped collectives programs verify" `Quick
+            test_collectives_programs_verify;
+        ] );
+      ( "encode",
+        [
+          Alcotest.test_case "size law" `Quick test_encode_size_law;
+          Alcotest.test_case "deterministic" `Quick test_encode_deterministic;
+          Alcotest.test_case "wide immediate rejected" `Quick test_encode_rejects_wide_immediate;
+        ] );
+      ( "exec",
+        [
+          Alcotest.test_case "charging interpreter" `Quick test_exec_sum;
+          Alcotest.test_case "runtime fault on unverified code" `Quick test_exec_faults_unverified;
+        ] );
+      ( "install",
+        [
+          Alcotest.test_case "verified install debits certified bytes" `Quick test_install_verified;
+          Alcotest.test_case "rejection counted, nothing installed" `Quick
+            test_install_verified_rejects;
+        ] );
+      ( "parity",
+        [
+          Alcotest.test_case "fixed configurations" `Quick test_parity_fixed;
+          QCheck_alcotest.to_alcotest parity_qcheck;
+        ] );
+    ]

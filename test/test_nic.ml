@@ -523,6 +523,71 @@ let test_nic_handler_memory_accounting () =
            true
          with Not_found -> false)
 
+let test_nic_install_validates_code_bytes () =
+  let cluster : unit Cluster.t = Cluster.create ~nic_kind:cni ~nodes:2 () in
+  let nic = Node.nic (Cluster.node cluster 0) in
+  List.iter
+    (fun bad ->
+      match
+        Nic.install_handler nic ~pattern:(Wire.pattern_channel ~channel:32) ~code_bytes:bad
+          (fun _ _ -> ())
+      with
+      | _ -> Alcotest.failf "code_bytes %d accepted" bad
+      | exception Invalid_argument _ -> ())
+    [ 0; -5 ];
+  checki "nothing was charged" 0 (Nic.handler_code_bytes nic);
+  (* the overflow diagnostic must tell the caller how much board memory is
+     actually left *)
+  ignore
+    (Nic.install_handler nic ~pattern:(Wire.pattern_channel ~channel:33) ~code_bytes:1000
+       (fun _ _ -> ()));
+  let p = Nic.params nic in
+  let mc = Params.(p.message_cache_bytes) in
+  let free = Params.(p.nic_memory_bytes) - mc - 1000 in
+  match
+    Nic.install_handler nic ~pattern:(Wire.pattern_channel ~channel:34)
+      ~code_bytes:(2 * 1024 * 1024) (fun _ _ -> ())
+  with
+  | _ -> Alcotest.fail "expected overflow failure"
+  | exception Failure msg ->
+      checkb
+        (Printf.sprintf "message %S reports the %d free bytes" msg free)
+        true
+        (try
+           ignore (Str.search_forward (Str.regexp_string (Printf.sprintf "(%d)" free)) msg 0);
+           true
+         with Not_found -> false)
+
+let test_nic_board_memory_reclamation () =
+  (* install/uninstall and channel open/close cycles must return the board's
+     memory accounting exactly to its starting point: segments are
+     whole-allocation, so any leak compounds until installs start failing *)
+  let cluster : unit Cluster.t = Cluster.create ~nic_kind:cni ~nodes:2 () in
+  let nic = Node.nic (Cluster.node cluster 0) in
+  let start = Nic.handler_code_bytes nic in
+  for round = 1 to 3 do
+    let h1 =
+      Nic.install_handler nic ~pattern:(Wire.pattern_channel ~channel:35) ~code_bytes:512
+        (fun _ _ -> ())
+    in
+    let h2 =
+      Nic.install_handler nic ~pattern:(Wire.pattern_channel ~channel:36) ~code_bytes:4096
+        (fun _ _ -> ())
+    in
+    let adc = Cni_nic.Adc.open_channel nic ~channel:37 () in
+    checkb
+      (Printf.sprintf "round %d: installs consumed memory" round)
+      true
+      (Nic.handler_code_bytes nic > start + 512 + 4096);
+    Cni_nic.Adc.close adc;
+    Nic.uninstall_handler nic h2;
+    Nic.uninstall_handler nic h1;
+    (* double uninstall must not double-free *)
+    Nic.uninstall_handler nic h1;
+    checki (Printf.sprintf "round %d: all memory reclaimed" round) start
+      (Nic.handler_code_bytes nic)
+  done
+
 let test_osiris_profile () =
   (* OSIRIS: user-level sends (no kernel), but an interrupt per packet and a
      DMA for every transfer *)
@@ -779,6 +844,9 @@ let () =
           Alcotest.test_case "receive batch coalescing" `Quick test_nic_rx_batch_coalescing;
           Alcotest.test_case "unmatched packets" `Quick test_nic_unmatched_counted;
           Alcotest.test_case "handler memory accounting" `Quick test_nic_handler_memory_accounting;
+          Alcotest.test_case "install validates code_bytes" `Quick
+            test_nic_install_validates_code_bytes;
+          Alcotest.test_case "board memory reclamation" `Quick test_nic_board_memory_reclamation;
           Alcotest.test_case "AIH reply path" `Quick test_nic_reply_path;
           Alcotest.test_case "OSIRIS profile" `Quick test_osiris_profile;
           Alcotest.test_case "OSIRIS beats standard send" `Quick test_osiris_cheaper_than_standard;
