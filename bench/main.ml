@@ -8,11 +8,14 @@
      dune exec bench/main.exe -- --only fig4,table5
      dune exec bench/main.exe -- --csv out    -- also write CSV files
      dune exec bench/main.exe -- --list
-     dune exec bench/main.exe -- --no-substrate *)
+     dune exec bench/main.exe -- --no-substrate
+     dune exec bench/main.exe -- --json BENCH_7.json   -- persist a baseline
+     dune exec bench/main.exe -- --quick --compare BENCH_6.json  -- CI gate *)
 
 module Figures = Cni_experiments.Figures
 module Ablations = Cni_experiments.Ablations
 module Report = Cni_experiments.Report
+module Baseline = Cni_experiments.Bench_baseline
 
 let experiments = Figures.all @ Ablations.all
 
@@ -20,8 +23,24 @@ let experiments = Figures.all @ Ablations.all
 (* Substrate microbenchmarks (Bechamel)                                *)
 (* ------------------------------------------------------------------ *)
 
+(* substrate benchmarks under the zero-alloc contract: --compare fails if any
+   of these ever allocates per run again, on any machine *)
+let zero_alloc_contract = [ "trace: 10k emit (disabled)" ]
+
 let substrate_tests () =
   let open Bechamel in
+  (* fixed-instruction-count integer spin: pure ALU work whose time depends
+     only on the machine's speed, used by --compare to rescale a baseline
+     recorded on a different machine (Bench_baseline.calibration_name) *)
+  let calibration =
+    Test.make ~name:Baseline.calibration_name
+      (Staged.stage (fun () ->
+           let acc = ref 0 in
+           for i = 1 to 1_000_000 do
+             acc := (!acc + i) * 0x9E3779B1 land max_int
+           done;
+           ignore (Sys.opaque_identity !acc)))
+  in
   let engine_events =
     Test.make ~name:"engine: 10k timer events"
       (Staged.stage (fun () ->
@@ -42,19 +61,20 @@ let substrate_tests () =
              ignore (Cni_engine.Heap.pop_min h)
            done))
   in
+  (* mutable state (the cache's line array, the classifier's dispatch index)
+     is created INSIDE the staged thunk: a structure built once outside would
+     warm across Bechamel iterations, so every run after the first would
+     measure pre-warmed state instead of the advertised workload *)
   let cache_access =
-    let cache = Cni_machine.Cache.create Cni_machine.Params.default in
     Test.make ~name:"cache: 10k line accesses"
       (Staged.stage (fun () ->
+           let cache = Cni_machine.Cache.create Cni_machine.Params.default in
            for i = 0 to 9_999 do
              ignore (Cni_machine.Cache.access_line cache ~addr:(i * 32 * 7) ~write:(i land 1 = 0))
            done))
   in
   let classifier =
-    let cls = Cni_pathfinder.Classifier.create () in
-    for chan = 0 to 63 do
-      ignore (Cni_pathfinder.Classifier.add cls (Cni_nic.Wire.pattern_channel ~channel:chan) chan)
-    done;
+    (* the encoded header is immutable input data, so it may stay outside *)
     let hdr =
       Cni_nic.Wire.encode
         {
@@ -69,6 +89,11 @@ let substrate_tests () =
     in
     Test.make ~name:"pathfinder: 1k classifications vs 64 patterns"
       (Staged.stage (fun () ->
+           let cls = Cni_pathfinder.Classifier.create () in
+           for chan = 0 to 63 do
+             ignore
+               (Cni_pathfinder.Classifier.add cls (Cni_nic.Wire.pattern_channel ~channel:chan) chan)
+           done;
            for _ = 1 to 1000 do
              ignore (Cni_pathfinder.Classifier.classify cls hdr)
            done))
@@ -115,8 +140,20 @@ let substrate_tests () =
            done;
            Cni_engine.Trace.disable ()))
   in
-  [ engine_events; heap_ops; cache_access; classifier; aal5; diff; trace_disabled; trace_enabled ]
+  [
+    calibration;
+    engine_events;
+    heap_ops;
+    cache_access;
+    classifier;
+    aal5;
+    diff;
+    trace_disabled;
+    trace_enabled;
+  ]
 
+(* Runs the Bechamel suite, prints the human table, and returns the per-test
+   OLS estimates for the persisted baseline. *)
 let run_substrate () =
   let open Bechamel in
   print_endline "== substrate microbenchmarks (Bechamel, wall-clock of the simulator itself) ==";
@@ -125,6 +162,7 @@ let run_substrate () =
   let alloc = Toolkit.Instance.minor_allocated in
   let instances = [ clock; alloc ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
+  let collected = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
@@ -134,15 +172,29 @@ let run_substrate () =
         (fun name result ->
           let words =
             match Option.map Analyze.OLS.estimates (Hashtbl.find_opt allocs name) with
-            | Some (Some [ w ]) -> Printf.sprintf "%14.1f mnr words/run" w
-            | _ -> "(no alloc estimate)"
+            | Some (Some [ w ]) -> Some w
+            | _ -> None
+          in
+          let words_str =
+            match words with
+            | Some w -> Printf.sprintf "%14.1f mnr words/run" w
+            | None -> "(no alloc estimate)"
           in
           match Analyze.OLS.estimates result with
-          | Some [ est ] -> Printf.printf "  %-48s %14.1f ns/run  %s\n%!" name est words
+          | Some [ est ] ->
+              Printf.printf "  %-48s %14.1f ns/run  %s\n%!" name est words_str;
+              collected :=
+                ( name,
+                  {
+                    Baseline.ns_per_run = est;
+                    minor_words_per_run = Option.value words ~default:Float.nan;
+                  } )
+                :: !collected
           | _ -> Printf.printf "  %-48s (no estimate)\n%!" name)
         times)
     (substrate_tests ());
-  print_newline ()
+  print_newline ();
+  List.rev !collected
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
@@ -153,6 +205,9 @@ let () =
   let csv_dir = ref None in
   let list_only = ref false in
   let substrate = ref true in
+  let json_out = ref None in
+  let compare_against = ref None in
+  let threshold_pct = ref 15.0 in
   let args =
     [
       ("--quick", Arg.Set Figures.quick, "scale runs down (shapes preserved)");
@@ -162,11 +217,22 @@ let () =
       ("--csv", Arg.String (fun d -> csv_dir := Some d), "also write CSV files to this directory");
       ("--list", Arg.Set list_only, "list experiment ids and exit");
       ("--no-substrate", Arg.Clear substrate, "skip the Bechamel substrate microbenchmarks");
+      ( "--json",
+        Arg.String (fun f -> json_out := Some f),
+        "write this run's results as a machine-readable baseline (BENCH_<pr>.json)" );
+      ( "--compare",
+        Arg.String (fun f -> compare_against := Some f),
+        "compare this run against a committed baseline JSON; exit 1 on regression" );
+      ( "--compare-threshold",
+        Arg.Set_float threshold_pct,
+        "relative time-regression threshold for --compare, in percent (default 15)" );
     ]
   in
   Arg.parse args (fun a -> raise (Arg.Bad ("unknown argument " ^ a))) "bench/main.exe [options]";
   if !list_only then begin
     List.iter (fun (id, _) -> print_endline id) experiments;
+    (* the substrate suite is addressable with --only like any experiment *)
+    print_endline "substrate";
     exit 0
   end;
   let selected =
@@ -182,20 +248,55 @@ let () =
           ids;
         List.filter (fun (id, _) -> List.mem id ids) experiments
   in
-  Printf.printf "CNI reproduction bench harness (%d experiment(s)%s)\n\n" (List.length selected)
+  let substrate_selected = !substrate && (!only = [] || List.mem "substrate" !only) in
+  Printf.printf "CNI reproduction bench harness (%d experiment(s)%s%s)\n\n"
+    (List.length selected + if substrate_selected then 1 else 0)
+    (if substrate_selected then ", incl. substrate" else "")
     (if !Figures.quick then ", quick mode" else "");
   let t_start = Unix.gettimeofday () in
-  List.iter
-    (fun (id, f) ->
-      let t0 = Unix.gettimeofday () in
-      let report = f () in
-      Report.print report;
-      Option.iter
-        (fun dir ->
-          Report.write_csv ~dir report;
-          Report.write_metrics_json ~dir report)
-        !csv_dir;
-      Printf.printf "  [%s finished in %.1fs]\n\n%!" id (Unix.gettimeofday () -. t0))
-    selected;
-  if !substrate && (!only = [] || List.mem "substrate" !only) then run_substrate ();
-  Printf.printf "total bench time: %.1fs\n" (Unix.gettimeofday () -. t_start)
+  let experiment_results =
+    List.map
+      (fun (id, f) ->
+        let t0 = Unix.gettimeofday () in
+        let report = f () in
+        Report.print report;
+        Option.iter
+          (fun dir ->
+            Report.write_csv ~dir report;
+            Report.write_metrics_json ~dir report)
+          !csv_dir;
+        let wall_s = Unix.gettimeofday () -. t0 in
+        Printf.printf "  [%s finished in %.1fs]\n\n%!" id wall_s;
+        (id, { Baseline.wall_s; metrics = report.Report.metrics }))
+      selected
+  in
+  let substrate_results = if substrate_selected then run_substrate () else [] in
+  Printf.printf "total bench time: %.1fs\n" (Unix.gettimeofday () -. t_start);
+  let label =
+    match !json_out with
+    | Some f -> Filename.remove_extension (Filename.basename f)
+    | None -> "bench"
+  in
+  let current =
+    Baseline.make ~label ~quick:!Figures.quick ~zero_alloc:zero_alloc_contract
+      ~substrate:substrate_results ~experiments:experiment_results ()
+  in
+  Option.iter
+    (fun file ->
+      Baseline.save ~file current;
+      Printf.printf "baseline written to %s\n" file)
+    !json_out;
+  match !compare_against with
+  | None -> ()
+  | Some file -> (
+      match Baseline.load ~file with
+      | Error msg ->
+          Printf.eprintf "cannot load baseline %s: %s\n" file msg;
+          exit 2
+      | Ok baseline ->
+          Printf.printf "\n== compare against %s (label %S) ==\n" file baseline.Baseline.label;
+          let verdict =
+            Baseline.compare ~baseline ~current ~threshold:(!threshold_pct /. 100.) ()
+          in
+          Format.printf "%a" Baseline.pp_verdict verdict;
+          if not (Baseline.ok verdict) then exit 1)

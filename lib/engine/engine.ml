@@ -1,26 +1,57 @@
+type run_stats = {
+  events_dispatched : int;
+  max_heap_depth : int;
+  past_clamps : int;
+}
+
 type t = {
   mutable now : Time.t;
   q : (unit -> unit) Heap.t;
   mutable seq : int;
+  mutable dispatched : int;
+  mutable max_depth : int;
+  mutable clamped : int;
 }
 
 exception Fiber_failure of string * exn
 
-let create () = { now = Time.zero; q = Heap.create (); seq = 0 }
+let create () =
+  { now = Time.zero; q = Heap.create (); seq = 0; dispatched = 0; max_depth = 0; clamped = 0 }
+
 let now t = t.now
 
+let run_stats t =
+  { events_dispatched = t.dispatched; max_heap_depth = t.max_depth; past_clamps = t.clamped }
+
 let at t time f =
-  let time = Time.max time t.now in
+  (* Scheduling into the past is clamped to [now] so time never runs
+     backwards, but silently losing the requested time hides protocol bugs:
+     count every clamp and leave a trace record of how far back the caller
+     aimed. *)
+  let time =
+    if time < t.now then begin
+      t.clamped <- t.clamped + 1;
+      if Trace.enabled_cat Trace.Engine then
+        Trace.emit ~t_ps:(Time.to_ps t.now) ~node:(-1) Trace.Engine ~label:"past-clamp"
+          ~payload:(Time.to_ps t.now - Time.to_ps time);
+      t.now
+    end
+    else time
+  in
   let seq = t.seq in
   t.seq <- seq + 1;
-  Heap.add t.q ~key:(Time.to_ps time) ~seq f
+  Heap.add t.q ~key:(Time.to_ps time) ~seq f;
+  let depth = Heap.length t.q in
+  if depth > t.max_depth then t.max_depth <- depth
 
 let after t d f = at t Time.(t.now + d) f
 let pending t = Heap.length t.q
 
 let step t =
-  let key, _seq, f = Heap.pop_min t.q in
+  let key = Heap.min_key t.q in
+  let f = Heap.pop_min_value t.q in
   t.now <- Time.ps key;
+  t.dispatched <- t.dispatched + 1;
   if Trace.enabled_cat Trace.Engine then
     Trace.emit ~t_ps:key ~node:(-1) Trace.Engine ~label:"event" ~payload:(Heap.length t.q);
   f ()

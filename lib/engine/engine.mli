@@ -14,7 +14,23 @@ val create : unit -> t
 (** Current simulated time. *)
 val now : t -> Time.t
 
-(** [at t time f] schedules [f] to run at absolute [time] (>= [now t]). *)
+(** Counters accumulated over the engine's lifetime (never reset). *)
+type run_stats = {
+  events_dispatched : int;  (** events popped and executed so far *)
+  max_heap_depth : int;  (** high-water mark of the pending-event queue *)
+  past_clamps : int;
+      (** [at] calls whose requested time lay in the past and was clamped to
+          [now] — nonzero values usually indicate a protocol bug in the
+          caller (see {!at}) *)
+}
+
+val run_stats : t -> run_stats
+
+(** [at t time f] schedules [f] to run at absolute [time] (>= [now t]).
+    A [time] earlier than [now t] is clamped to [now t] (time never runs
+    backwards); each clamp increments {!run_stats}[.past_clamps] and, when
+    the [Engine] trace category is enabled, emits a ["past-clamp"] record
+    whose payload is the clamped distance in picoseconds. *)
 val at : t -> Time.t -> (unit -> unit) -> unit
 
 (** [after t d f] schedules [f] to run [d] after the current time. *)

@@ -1,80 +1,120 @@
-type 'a entry = { key : int; seq : int; v : 'a }
+(* Structure-of-arrays binary min-heap: the (key, seq) ordering pair lives in
+   two plain [int array]s and the payloads in a third array. Compared to the
+   previous array-of-records layout this allocates nothing per element —
+   [add] writes three immediate/pointer stores and the int-array stores skip
+   the write barrier entirely — which matters because every simulated event
+   passes through here exactly once. *)
 
-type 'a t = { mutable arr : 'a entry array; mutable len : int }
+type 'a t = {
+  mutable keys : int array;
+  mutable seqs : int array;
+  mutable vals : 'a array;
+  mutable len : int;
+}
 
-(* Vacated and spare slots must not pin popped payloads against the GC: they
-   are overwritten with this shared sentinel. The magic is safe because the
-   sentinel is never returned — only [arr.(i)] with [i < len] is ever read —
-   and ['a entry] is a uniform (non-float) block for every ['a]. *)
-let sentinel_entry : unit entry = { key = min_int; seq = min_int; v = () }
-let sentinel () : 'a entry = Obj.magic sentinel_entry
+(* Vacated and spare payload slots must not pin popped payloads against the
+   GC: they are overwritten with this immediate dummy. The magic is safe
+   because the dummy is never returned — only [vals.(i)] with [i < len] is
+   ever read — and because [vals] is created with an immediate initial value
+   it is always a uniform (non-flat-float) block, accessed through the
+   generic polymorphic array primitives. *)
+let dummy () : 'a = Obj.magic 0
 
-let create () = { arr = [||]; len = 0 }
+let create () = { keys = [||]; seqs = [||]; vals = [||]; len = 0 }
 let length h = h.len
 let is_empty h = h.len = 0
 
-let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
-
 let grow h =
-  let cap = Array.length h.arr in
+  let cap = Array.length h.keys in
   if h.len = cap then begin
     let ncap = if cap = 0 then 64 else cap * 2 in
-    let narr = Array.make ncap (sentinel ()) in
-    Array.blit h.arr 0 narr 0 h.len;
-    h.arr <- narr
+    let nkeys = Array.make ncap 0 in
+    let nseqs = Array.make ncap 0 in
+    let nvals = Array.make ncap (dummy ()) in
+    Array.blit h.keys 0 nkeys 0 h.len;
+    Array.blit h.seqs 0 nseqs 0 h.len;
+    Array.blit h.vals 0 nvals 0 h.len;
+    h.keys <- nkeys;
+    h.seqs <- nseqs;
+    h.vals <- nvals
   end
 
 let add h ~key ~seq v =
-  let e = { key; seq; v } in
   grow h;
-  let arr = h.arr in
-  let i = ref h.len in
+  let keys = h.keys and seqs = h.seqs and vals = h.vals in
   h.len <- h.len + 1;
-  arr.(!i) <- e;
-  (* sift up *)
+  (* sift up, moving a hole: parents slide down and the new element is
+     written exactly once, at its final slot *)
+  let i = ref (h.len - 1) in
   let continue = ref true in
   while !continue && !i > 0 do
     let parent = (!i - 1) / 2 in
-    if less e arr.(parent) then begin
-      arr.(!i) <- arr.(parent);
-      arr.(parent) <- e;
+    if key < keys.(parent) || (key = keys.(parent) && seq < seqs.(parent)) then begin
+      keys.(!i) <- keys.(parent);
+      seqs.(!i) <- seqs.(parent);
+      vals.(!i) <- vals.(parent);
       i := parent
     end
     else continue := false
-  done
+  done;
+  keys.(!i) <- key;
+  seqs.(!i) <- seq;
+  vals.(!i) <- v
 
-let pop_min h =
+let pop_min_value h =
   if h.len = 0 then raise Not_found;
-  let arr = h.arr in
-  let min = arr.(0) in
-  h.len <- h.len - 1;
-  let last = arr.(h.len) in
-  arr.(h.len) <- sentinel ();
-  if h.len > 0 then begin
-    arr.(0) <- last;
-    (* sift down *)
+  let keys = h.keys and seqs = h.seqs and vals = h.vals in
+  let min_v = vals.(0) in
+  let n = h.len - 1 in
+  h.len <- n;
+  if n = 0 then vals.(0) <- dummy ()
+  else begin
+    (* the last element becomes a hole-filling candidate: smaller children
+       slide up and the candidate is written exactly once, where it lands *)
+    let k = keys.(n) and s = seqs.(n) and v = vals.(n) in
+    vals.(n) <- dummy ();
     let i = ref 0 in
     let continue = ref true in
     while !continue do
-      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-      let smallest = ref !i in
-      if l < h.len && less arr.(l) arr.(!smallest) then smallest := l;
-      if r < h.len && less arr.(r) arr.(!smallest) then smallest := r;
-      if !smallest <> !i then begin
-        let tmp = arr.(!i) in
-        arr.(!i) <- arr.(!smallest);
-        arr.(!smallest) <- tmp;
-        i := !smallest
+      let l = (2 * !i) + 1 in
+      if l >= n then continue := false
+      else begin
+        let r = l + 1 in
+        let c =
+          if r < n && (keys.(r) < keys.(l) || (keys.(r) = keys.(l) && seqs.(r) < seqs.(l)))
+          then r
+          else l
+        in
+        if keys.(c) < k || (keys.(c) = k && seqs.(c) < s) then begin
+          keys.(!i) <- keys.(c);
+          seqs.(!i) <- seqs.(c);
+          vals.(!i) <- vals.(c);
+          i := c
+        end
+        else continue := false
       end
-      else continue := false
-    done
+    done;
+    keys.(!i) <- k;
+    seqs.(!i) <- s;
+    vals.(!i) <- v
   end;
-  (min.key, min.seq, min.v)
+  min_v
 
-let min_key h = if h.len = 0 then raise Not_found else h.arr.(0).key
+let pop_min h =
+  if h.len = 0 then raise Not_found;
+  let key = h.keys.(0) and seq = h.seqs.(0) in
+  let v = pop_min_value h in
+  (key, seq, v)
 
-(* Large heaps drop their backing store outright; small ones just null the
-   live prefix (spare slots already hold the sentinel). *)
+let min_key h = if h.len = 0 then raise Not_found else h.keys.(0)
+
+(* Large heaps drop their backing stores outright; small ones just null the
+   live payload prefix (spare slots already hold the dummy). *)
 let clear h =
-  if Array.length h.arr > 64 then h.arr <- [||] else Array.fill h.arr 0 h.len (sentinel ());
+  if Array.length h.keys > 64 then begin
+    h.keys <- [||];
+    h.seqs <- [||];
+    h.vals <- [||]
+  end
+  else Array.fill h.vals 0 h.len (dummy ());
   h.len <- 0

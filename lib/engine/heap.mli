@@ -1,7 +1,11 @@
-(** Array-based binary min-heap, specialised to integer-pair keys.
+(** Structure-of-arrays binary min-heap, specialised to integer-pair keys.
 
     Elements are ordered by [(key, seq)] lexicographically; [seq] is supplied
-    by the caller to break ties deterministically (FIFO among equal keys). *)
+    by the caller to break ties deterministically (FIFO among equal keys).
+
+    The ordering pair lives in unboxed [int array]s and the payloads in a
+    parallel array, so {!add} and {!pop_min_value} allocate nothing — the
+    engine's per-event hot path stays off the minor heap entirely. *)
 
 type 'a t
 
@@ -10,9 +14,16 @@ val length : 'a t -> int
 val is_empty : 'a t -> bool
 val add : 'a t -> key:int -> seq:int -> 'a -> unit
 
-(** [pop_min h] removes and returns the minimum element.
+(** [pop_min h] removes and returns the minimum element as [(key, seq, v)].
+    Allocates the result tuple; hot paths that only need the payload should
+    use {!min_key} + {!pop_min_value} instead.
     @raise Not_found if the heap is empty. *)
 val pop_min : 'a t -> int * int * 'a
+
+(** [pop_min_value h] removes the minimum element and returns its payload
+    only, without allocating.
+    @raise Not_found if the heap is empty. *)
+val pop_min_value : 'a t -> 'a
 
 (** [min_key h] is the key of the minimum element without removing it.
     @raise Not_found if the heap is empty. *)

@@ -1,0 +1,277 @@
+(* Tests for the persisted perf-baseline subsystem: JSON round-tripping
+   through the hand-rolled parser, and the regression verdicts the CI gate
+   relies on. *)
+
+module B = Cni_experiments.Bench_baseline
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+let checks = check Alcotest.string
+
+let sub ns words = { B.ns_per_run = ns; minor_words_per_run = words }
+let exp_ wall metrics = { B.wall_s = wall; metrics }
+
+let sample () =
+  B.make ~label:"BENCH_test" ~quick:true
+    ~zero_alloc:[ "trace: 10k emit (disabled)" ]
+    ~substrate:
+      [
+        (B.calibration_name, sub 1_000_000. 0.);
+        ("engine: 10k timer events", sub 2_500_000. 400.);
+        ("trace: 10k emit (disabled)", sub 30_000. 0.);
+        ("heap: 10k push+pop", sub 2_000_000. 30_000.);
+      ]
+    ~experiments:
+      [
+        ("fig4", exp_ 1.5 [ ("speedup_32", 13.78); ("hit_ratio", 99.9) ]);
+        ("table5", exp_ 0.8 [ ("checksum", 1.25e-3) ]);
+        ("weird \"name\"\n", exp_ 0.1 []);
+      ]
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Round-trip                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_roundtrip () =
+  let t = sample () in
+  match B.of_json (B.to_json t) with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok t' ->
+      checki "schema" t.B.schema t'.B.schema;
+      checks "label" t.B.label t'.B.label;
+      checkb "quick" t.B.quick t'.B.quick;
+      check (Alcotest.list Alcotest.string) "zero_alloc" t.B.zero_alloc t'.B.zero_alloc;
+      checki "substrate count" (List.length t.B.substrate) (List.length t'.B.substrate);
+      checki "experiment count" (List.length t.B.experiments) (List.length t'.B.experiments);
+      (* %.17g round-trips doubles exactly *)
+      List.iter2
+        (fun (n1, (r1 : B.substrate_result)) (n2, (r2 : B.substrate_result)) ->
+          checks "substrate name" n1 n2;
+          checkb "ns exact" true (r1.B.ns_per_run = r2.B.ns_per_run);
+          checkb "words exact" true (r1.B.minor_words_per_run = r2.B.minor_words_per_run))
+        t.B.substrate t'.B.substrate;
+      let m = List.assoc "fig4" t'.B.experiments in
+      checkb "metric exact" true (List.assoc "speedup_32" m.B.metrics = 13.78)
+
+let test_nan_roundtrips_as_null () =
+  let t =
+    B.make ~label:"n" ~quick:false ~substrate:[ ("s", sub 1. Float.nan) ]
+      ~experiments:[ ("e", exp_ 1. [ ("m", Float.nan) ]) ]
+      ()
+  in
+  let json = B.to_json t in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "nan serialised as null" true (contains json "\"minor_words_per_run\": null");
+  match B.of_json json with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok t' ->
+      let s = List.assoc "s" t'.B.substrate in
+      checkb "nan restored" true (Float.is_nan s.B.minor_words_per_run)
+
+let test_parse_errors () =
+  let bad input =
+    match B.of_json input with Ok _ -> Alcotest.failf "accepted %S" input | Error _ -> ()
+  in
+  bad "";
+  bad "{";
+  bad "[1, 2]";
+  bad "{ \"schema\": 1 }";
+  bad "{ \"schema\": 99, \"substrate\": {}, \"experiments\": {} }";
+  bad "{ \"schema\": 1, \"substrate\": {}, \"experiments\": {} } trailing"
+
+let test_save_load () =
+  let file = Filename.temp_file "bench_baseline" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      let t = sample () in
+      B.save ~file t;
+      match B.load ~file with
+      | Error msg -> Alcotest.failf "load failed: %s" msg
+      | Ok t' -> checks "label survives disk" t.B.label t'.B.label);
+  match B.load ~file:"/nonexistent/bench.json" with
+  | Ok _ -> Alcotest.fail "loaded a nonexistent file"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Compare verdicts                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let has_regression v needle =
+  List.exists
+    (fun s ->
+      let n = String.length needle and l = String.length s in
+      let rec go i = i + n <= l && (String.sub s i n = needle || go (i + 1)) in
+      go 0)
+    v.B.regressions
+
+let test_identical_is_ok () =
+  let t = sample () in
+  let v = B.compare ~baseline:t ~current:t () in
+  checkb "identical baselines pass" true (B.ok v);
+  checki "no regressions" 0 (List.length v.B.regressions)
+
+let test_time_regression_fails () =
+  let t = sample () in
+  let current =
+    {
+      t with
+      B.substrate =
+        List.map
+          (fun (n, r) ->
+            if n = "engine: 10k timer events" then (n, sub (r.B.ns_per_run *. 1.5) 400.)
+            else (n, r))
+          t.B.substrate;
+    }
+  in
+  let v = B.compare ~baseline:t ~current () in
+  checkb "50% slower fails the 15% gate" false (B.ok v);
+  checkb "names the benchmark" true (has_regression v "engine: 10k timer events")
+
+let test_small_wobble_passes () =
+  let t = sample () in
+  let current =
+    {
+      t with
+      B.substrate = List.map (fun (n, r) -> (n, sub (r.B.ns_per_run *. 1.10) r.B.minor_words_per_run)) t.B.substrate;
+    }
+  in
+  checkb "10% wobble passes" true (B.ok (B.compare ~baseline:t ~current ()))
+
+let test_zero_alloc_contract () =
+  let t = sample () in
+  let current =
+    {
+      t with
+      B.substrate =
+        List.map
+          (fun (n, r) ->
+            if n = "trace: 10k emit (disabled)" then (n, sub r.B.ns_per_run 5_000.) else (n, r))
+          t.B.substrate;
+    }
+  in
+  let v = B.compare ~baseline:t ~current () in
+  checkb "allocating trace hot path fails" false (B.ok v);
+  checkb "verdict names the contract" true (has_regression v "zero-alloc contract")
+
+let test_alloc_growth_gate () =
+  let t = sample () in
+  let bump factor =
+    {
+      t with
+      B.substrate =
+        List.map
+          (fun (n, r) ->
+            if n = "heap: 10k push+pop" then (n, sub r.B.ns_per_run (r.B.minor_words_per_run *. factor))
+            else (n, r))
+          t.B.substrate;
+    }
+  in
+  checkb "1.3x words wobble passes (estimator noise)" true
+    (B.ok (B.compare ~baseline:t ~current:(bump 1.3) ()));
+  checkb "3x words growth fails (new per-op allocation)" false
+    (B.ok (B.compare ~baseline:t ~current:(bump 3.0) ()))
+
+let test_wall_clock_gate_is_loose () =
+  let t = sample () in
+  let bump factor =
+    {
+      t with
+      B.experiments =
+        List.map
+          (fun (n, e) -> if n = "fig4" then (n, exp_ (e.B.wall_s *. factor) e.B.metrics) else (n, e))
+          t.B.experiments;
+    }
+  in
+  (* single-shot wall-clocks breathe with machine load: even +80% must
+     pass — the gate is a backstop against catastrophic blowups only *)
+  checkb "80% wall wobble passes" true (B.ok (B.compare ~baseline:t ~current:(bump 1.8) ()));
+  let v = B.compare ~baseline:t ~current:(bump 2.5) () in
+  checkb "2.5x wall-clock fails" false (B.ok v);
+  checkb "names the experiment" true (has_regression v "fig4")
+
+let test_metric_drift_fails () =
+  let t = sample () in
+  let current =
+    {
+      t with
+      B.experiments =
+        List.map
+          (fun (n, e) ->
+            if n = "fig4" then (n, exp_ e.B.wall_s [ ("speedup_32", 13.0); ("hit_ratio", 99.9) ])
+            else (n, e))
+          t.B.experiments;
+    }
+  in
+  let v = B.compare ~baseline:t ~current () in
+  checkb "deterministic metric drift fails" false (B.ok v);
+  checkb "verdict names the metric" true (has_regression v "speedup_32")
+
+let test_calibration_rescales () =
+  let t = sample () in
+  (* the current machine is 2x slower across the board, including the
+     calibration anchor: nothing actually regressed *)
+  let current =
+    {
+      t with
+      B.substrate = List.map (fun (n, r) -> (n, sub (r.B.ns_per_run *. 2.) r.B.minor_words_per_run)) t.B.substrate;
+      B.experiments = List.map (fun (n, e) -> (n, { e with B.wall_s = e.B.wall_s *. 2. })) t.B.experiments;
+    }
+  in
+  let v = B.compare ~baseline:t ~current () in
+  checkb "uniformly slower machine passes via calibration" true (B.ok v);
+  checkb "rescale noted" true
+    (List.exists (fun s -> String.length s > 0) v.B.notes)
+
+let test_quick_mismatch_skips_experiments () =
+  let t = sample () in
+  let current =
+    {
+      t with
+      B.quick = false;
+      B.experiments = [ ("fig4", exp_ 99.0 [ ("speedup_32", 0.0) ]) ];
+    }
+  in
+  (* wildly different wall-clock and metrics, but modes differ: not compared *)
+  let v = B.compare ~baseline:t ~current () in
+  checkb "mode mismatch does not fail" true (B.ok v);
+  checkb "mode mismatch noted" true (v.B.notes <> [])
+
+let test_missing_entries_noted_not_failed () =
+  let t = sample () in
+  let current = { t with B.substrate = [ (B.calibration_name, sub 1_000_000. 0.) ]; B.experiments = [] } in
+  let v = B.compare ~baseline:t ~current () in
+  checkb "missing entries are notes, not regressions" true (B.ok v);
+  checkb "notes mention the gaps" true (List.length v.B.notes >= 3)
+
+let () =
+  Alcotest.run "bench_baseline"
+    [
+      ( "serialisation",
+        [
+          Alcotest.test_case "to_json/of_json round-trip" `Quick test_roundtrip;
+          Alcotest.test_case "nan becomes null and back" `Quick test_nan_roundtrips_as_null;
+          Alcotest.test_case "malformed input rejected" `Quick test_parse_errors;
+          Alcotest.test_case "save/load via disk" `Quick test_save_load;
+        ] );
+      ( "compare",
+        [
+          Alcotest.test_case "identical run passes" `Quick test_identical_is_ok;
+          Alcotest.test_case "time regression fails" `Quick test_time_regression_fails;
+          Alcotest.test_case "small wobble passes" `Quick test_small_wobble_passes;
+          Alcotest.test_case "zero-alloc contract enforced" `Quick test_zero_alloc_contract;
+          Alcotest.test_case "allocation growth gate" `Quick test_alloc_growth_gate;
+          Alcotest.test_case "wall-clock gate is loose" `Quick test_wall_clock_gate_is_loose;
+          Alcotest.test_case "deterministic metric drift fails" `Quick test_metric_drift_fails;
+          Alcotest.test_case "calibration rescales machine speed" `Quick test_calibration_rescales;
+          Alcotest.test_case "quick-mode mismatch skips experiments" `Quick
+            test_quick_mismatch_skips_experiments;
+          Alcotest.test_case "missing entries are notes" `Quick test_missing_entries_noted_not_failed;
+        ] );
+    ]

@@ -110,6 +110,14 @@ let test_heap_releases_on_clear () =
   Gc.full_major ();
   checkb "payload reclaimed after clear" true (Weak.get w 0 = None)
 
+let test_heap_releases_on_pop_min_value () =
+  let h = Heap.create () in
+  let w = Weak.create 1 in
+  heap_plant_payload h w;
+  ignore (Heap.pop_min_value h);
+  Gc.full_major ();
+  checkb "payload reclaimed after pop_min_value" true (Weak.get w 0 = None)
+
 let heap_sorts =
   QCheck.Test.make ~name:"heap pops any multiset in order" ~count:300
     QCheck.(list (int_bound 1000))
@@ -122,6 +130,81 @@ let heap_sorts =
             k)
       in
       out = List.sort compare keys)
+
+(* model test: arbitrary add/pop_min/clear interleavings against a
+   sorted-list reference; keys are drawn from a small range so equal-key
+   FIFO tie-breaks are exercised constantly *)
+let heap_model =
+  let open QCheck in
+  let op_gen =
+    Gen.frequency
+      [ (6, Gen.map (fun k -> `Add k) (Gen.int_bound 40)); (3, Gen.return `Pop); (1, Gen.return `Clear) ]
+  in
+  let print_ops ops =
+    String.concat ";"
+      (List.map (function `Add k -> Printf.sprintf "Add %d" k | `Pop -> "Pop" | `Clear -> "Clear") ops)
+  in
+  Test.make ~name:"heap model: add/pop_min/clear vs sorted-list reference" ~count:500
+    (make ~print:print_ops (Gen.list_size (Gen.int_bound 200) op_gen))
+    (fun ops ->
+      let h = Heap.create () in
+      (* reference: unsorted (key, seq, value) triples; the expected pop is
+         the lexicographic minimum, which encodes FIFO among equal keys *)
+      let reference = ref [] in
+      let seq = ref 0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | `Add k ->
+              Heap.add h ~key:k ~seq:!seq !seq;
+              reference := (k, !seq, !seq) :: !reference;
+              incr seq;
+              Heap.length h = List.length !reference
+              && Heap.min_key h = (let mk, _, _ = List.hd (List.sort compare !reference) in mk)
+          | `Pop -> (
+              match Heap.pop_min h with
+              | exception Not_found -> !reference = []
+              | k, s, v -> (
+                  match List.sort compare !reference with
+                  | [] -> false
+                  | m :: _ ->
+                      reference := List.filter (fun e -> e <> m) !reference;
+                      m = (k, s, v)))
+          | `Clear ->
+              Heap.clear h;
+              reference := [];
+              Heap.is_empty h)
+        ops)
+
+(* the engine hot path's allocation contract: once the backing arrays have
+   grown, add + pop_min_value touch only unboxed slots and allocate nothing *)
+let test_heap_hot_path_no_alloc () =
+  let h = Heap.create () in
+  for i = 0 to 1023 do
+    Heap.add h ~key:(i * 31 mod 257) ~seq:i i
+  done;
+  while not (Heap.is_empty h) do
+    ignore (Heap.pop_min_value h)
+  done;
+  let before = Gc.minor_words () in
+  for i = 0 to 1023 do
+    Heap.add h ~key:(i * 31 mod 257) ~seq:i i
+  done;
+  while not (Heap.is_empty h) do
+    ignore (Heap.pop_min_value h)
+  done;
+  let words = Gc.minor_words () -. before in
+  (* a per-element allocation would cost >= 4096 words here; the small
+     epsilon absorbs the Gc.minor_words float boxes themselves *)
+  if words > 256. then Alcotest.failf "steady-state add/pop allocated %.0f minor words" words
+
+let test_heap_pop_min_value () =
+  let h = Heap.create () in
+  List.iteri (fun i k -> Heap.add h ~key:k ~seq:i (k * 10)) [ 5; 1; 4 ];
+  checki "payload of the minimum" 10 (Heap.pop_min_value h);
+  checki "next payload" 40 (Heap.pop_min_value h);
+  checki "last payload" 50 (Heap.pop_min_value h);
+  Alcotest.check_raises "empty raises" Not_found (fun () -> ignore (Heap.pop_min_value h))
 
 (* ------------------------------------------------------------------ *)
 (* Rng                                                                 *)
@@ -426,6 +509,42 @@ let test_at_in_the_past_clamped () =
   Engine.run eng;
   checki "clamped to now" (Time.to_ps (Time.ns 100)) (Time.to_ps !t)
 
+let test_run_stats () =
+  let eng = Engine.create () in
+  let s0 = Engine.run_stats eng in
+  checki "fresh: dispatched" 0 s0.Engine.events_dispatched;
+  checki "fresh: max depth" 0 s0.Engine.max_heap_depth;
+  checki "fresh: clamps" 0 s0.Engine.past_clamps;
+  Engine.at eng (Time.ns 100) (fun () ->
+      (* scheduling into the past: clamped AND counted *)
+      Engine.at eng (Time.ns 10) (fun () -> ()));
+  Engine.at eng (Time.ns 200) (fun () -> ());
+  Engine.run eng;
+  let s = Engine.run_stats eng in
+  checki "dispatched" 3 s.Engine.events_dispatched;
+  checki "past clamps counted" 1 s.Engine.past_clamps;
+  checki "max heap depth" 2 s.Engine.max_heap_depth;
+  (* an on-time schedule does not count as a clamp *)
+  Engine.at eng (Time.ns 300) (fun () -> ());
+  Engine.run eng;
+  checki "no new clamps" 1 (Engine.run_stats eng).Engine.past_clamps
+
+let test_clamp_emits_trace () =
+  with_trace ~capacity:64 (fun () ->
+      Trace.disable ();
+      Trace.enable ~cats:[ Trace.Engine ] ();
+      let eng = Engine.create () in
+      Engine.at eng (Time.ns 100) (fun () -> Engine.at eng (Time.ns 60) (fun () -> ()));
+      Engine.run eng;
+      let clamps =
+        List.filter (fun r -> r.Trace.label = "past-clamp") (Trace.records ())
+      in
+      match clamps with
+      | [ r ] ->
+          checki "emitted at now" (Time.to_ps (Time.ns 100)) r.Trace.t_ps;
+          checki "payload is the clamped distance in ps" (Time.to_ps (Time.ns 40)) r.Trace.payload
+      | l -> Alcotest.failf "expected 1 past-clamp record, got %d" (List.length l))
+
 let test_run_until_boundary () =
   let eng = Engine.create () in
   let fired = ref [] in
@@ -596,7 +715,13 @@ let () =
           Alcotest.test_case "min_key/length/clear" `Quick test_heap_min_key;
           Alcotest.test_case "pop releases payload to the GC" `Quick test_heap_releases_on_pop;
           Alcotest.test_case "clear releases payloads to the GC" `Quick test_heap_releases_on_clear;
+          Alcotest.test_case "pop_min_value releases payload to the GC" `Quick
+            test_heap_releases_on_pop_min_value;
+          Alcotest.test_case "pop_min_value order and emptiness" `Quick test_heap_pop_min_value;
+          Alcotest.test_case "steady-state add/pop is allocation-free" `Quick
+            test_heap_hot_path_no_alloc;
           qc heap_sorts;
+          qc heap_model;
         ] );
       ( "rng",
         [
@@ -631,6 +756,9 @@ let () =
           Alcotest.test_case "run_until inclusive boundary" `Quick test_run_until_boundary;
           Alcotest.test_case "spawn starts at now" `Quick test_spawn_starts_at_now;
           Alcotest.test_case "past events clamp to now" `Quick test_at_in_the_past_clamped;
+          Alcotest.test_case "run_stats counters" `Quick test_run_stats;
+          Alcotest.test_case "past clamp emits an Engine trace record" `Quick
+            test_clamp_emits_trace;
           Alcotest.test_case "determinism" `Quick test_determinism;
         ] );
       ( "fibers",
