@@ -206,9 +206,82 @@ let link_down_arg =
           "Sever $(b,NODE)'s link between the two times (microseconds, end exclusive); \
            every frame entering or leaving it is discarded. Repeatable.")
 
-let make_faults ~seed ~loss ~corrupt ~link_down =
+let schedule_conv =
+  let parse file =
+    match In_channel.with_open_text file In_channel.input_all with
+    | s -> (
+        match Faults.config_of_string s with
+        | Ok c -> Ok c
+        | Error msg -> Error (`Msg (Printf.sprintf "%s: %s" file msg)))
+    | exception Sys_error e -> Error (`Msg e)
+  in
+  Arg.conv
+    (parse, fun ppf (c : Faults.config) -> Format.pp_print_string ppf (Faults.config_to_string c))
+
+let schedule_arg =
+  Arg.(
+    value
+    & opt (some schedule_conv) None
+    & info [ "schedule" ] ~docv:"FILE"
+        ~doc:
+          "Load a declarative fault schedule (seed, probabilities, link-down windows and \
+           timed node crash/restart events) from $(docv); see DESIGN.md for the format. \
+           Other fault flags add on top of it.")
+
+let crash_conv =
+  let parse s =
+    let fields = String.split_on_char ':' s in
+    let scrub, fields =
+      match List.rev fields with
+      | "scrub" :: rest -> (true, List.rev rest)
+      | _ -> (false, fields)
+    in
+    match fields with
+    | [ n; a; d ] -> (
+        try
+          let node = int_of_string (String.trim n)
+          and at_us = int_of_string (String.trim a)
+          and down_us = int_of_string (String.trim d) in
+          Ok (node, Time.us at_us, Time.us down_us, scrub)
+        with Failure _ -> Error (`Msg "expected NODE:AT_US:DOWN_US[:scrub] (integers)"))
+    | _ -> Error (`Msg "expected NODE:AT_US:DOWN_US[:scrub]")
+  in
+  let print ppf (node, at, down, scrub) =
+    Format.fprintf ppf "%d:%.0f:%.0f%s" node (Time.to_us_float at) (Time.to_us_float down)
+      (if scrub then ":scrub" else "")
+  in
+  Arg.conv (parse, print)
+
+let crash_arg =
+  Arg.(
+    value & opt_all crash_conv []
+    & info [ "crash" ] ~docv:"NODE:AT_US:DOWN_US[:scrub]"
+        ~doc:
+          "Crash $(b,NODE)'s board at $(b,AT_US) and restart it $(b,DOWN_US) later; the \
+           host freezes meanwhile and the board comes back under a new delivery epoch. \
+           With $(b,:scrub) the board memory is wiped and handlers are re-verified and \
+           re-installed at restart. Repeatable.")
+
+let crash_events crash =
+  List.concat_map
+    (fun (node, at, down, scrub) ->
+      [
+        { Faults.e_at = at; e_node = node; e_fault = Faults.Crash { scrub } };
+        { Faults.e_at = Time.(at + down); e_node = node; e_fault = Faults.Restart };
+      ])
+    crash
+
+let make_faults ~seed ~loss ~corrupt ~link_down ~schedule ~crash =
+  let base = Option.value schedule ~default:Faults.none in
   let cfg =
-    { Faults.none with Faults.seed; cell_loss = loss; cell_corrupt = corrupt; link_down }
+    {
+      base with
+      Faults.seed = (if seed <> 42 then seed else base.Faults.seed);
+      cell_loss = (if loss > 0. then loss else base.Faults.cell_loss);
+      cell_corrupt = (if corrupt > 0. then corrupt else base.Faults.cell_corrupt);
+      link_down = base.Faults.link_down @ link_down;
+      schedule = base.Faults.schedule @ crash_events crash;
+    }
   in
   if Faults.is_none cfg then None else Some cfg
 
@@ -239,11 +312,14 @@ let nic_collectives_arg =
 let run_cmd =
   let doc = "Run a benchmark application on a simulated cluster." in
   let run app nic procs page mc_kb no_aih rx_policy rx_batch cells n iterations molecules
-      matrix loss corrupt link_down fault_seed nic_collectives trace trace_out metrics_out =
+      matrix loss corrupt link_down fault_seed schedule crash nic_collectives trace trace_out
+      metrics_out =
     let params = make_params ~page ~cells in
     let kind = make_kind ~rx_policy ~rx_batch nic ~mc_kb ~no_aih in
     let barrier_impl = if nic_collectives then `Nic_collective else `Centralised in
-    let faults = make_faults ~seed:fault_seed ~loss ~corrupt ~link_down in
+    let faults =
+      make_faults ~seed:fault_seed ~loss ~corrupt ~link_down ~schedule ~crash
+    in
     setup_trace trace;
     let checksum = ref nan in
     let application cluster lrcs =
@@ -292,8 +368,8 @@ let run_cmd =
     Term.(
       const run $ app_arg $ nic_kind $ procs $ page_bytes $ mc_kb $ no_aih $ rx_policy_arg
       $ rx_batch_arg $ unrestricted $ n $ iterations $ molecules $ matrix $ loss_arg
-      $ corrupt_arg $ link_down_arg $ fault_seed_arg $ nic_collectives_arg $ trace_arg
-      $ trace_out $ metrics_out)
+      $ corrupt_arg $ link_down_arg $ fault_seed_arg $ schedule_arg $ crash_arg
+      $ nic_collectives_arg $ trace_arg $ trace_out $ metrics_out)
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                               *)
@@ -453,6 +529,149 @@ let aih_verify_cmd =
   Cmd.v (Cmd.info "aih-verify" ~doc) Term.(const run $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
+(* doctor                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Preflight: validate a configuration without running it. Each check prints
+   one ok/FAIL line; any FAIL exits non-zero. The checks mirror what the
+   simulator would reject (or silently mis-serve) at run time: fault-model
+   sanity, the fault schedule's consistency, ADC channel admission across
+   the protocol stacks, the boards' handler-memory budget, and the WCET
+   certificates of the generated collectives firmware. *)
+let doctor_cmd =
+  let doc = "Preflight checks: config sanity, channel admission, firmware certificates." in
+  let run procs page mc_kb cells loss corrupt link_down fault_seed schedule crash
+      nic_collectives =
+    let params = make_params ~page ~cells in
+    let failures = ref 0 in
+    let check name = function
+      | Ok () -> Printf.printf "ok    %s\n" name
+      | Error msg ->
+          incr failures;
+          Printf.printf "FAIL  %s: %s\n" name msg
+    in
+    let faults = make_faults ~seed:fault_seed ~loss ~corrupt ~link_down ~schedule ~crash in
+    check "fault model (probabilities, windows, schedule)"
+      (match faults with
+      | None -> Ok ()
+      | Some cfg -> (
+          match Faults.validate ~nodes:procs cfg with
+          | Ok () -> Ok ()
+          | Error errs -> Error (String.concat "; " errs)));
+    check "fault schedule spares node 0 (DSM manager)"
+      (match faults with
+      | Some cfg
+        when List.exists (fun (e : Faults.event) -> e.Faults.e_node = 0) cfg.Faults.schedule
+        ->
+          Error "node 0 manages locks and barriers; crashing it deadlocks the DSM"
+      | Some _ | None -> Ok ());
+    let channels =
+      [
+        ("dsm", Cni_dsm.Protocol.channel);
+        ("mp", Cni_mp.Mp.channel);
+        ("mp-collectives", Cni_mp.Mp.collectives_channel);
+        ("dsm-collectives", Cni_dsm.Lrc.collectives_channel);
+      ]
+    in
+    check "ADC channel admission (distinct, ack channel reserved)"
+      (let dup =
+         List.find_opt
+           (fun (_, c) ->
+             List.length (List.filter (fun (_, c') -> c' = c) channels) > 1
+             || c = Cni_nic.Reliable.ack_channel)
+           channels
+       in
+       match dup with
+       | None -> Ok ()
+       | Some (name, c) -> Error (Printf.sprintf "channel %d (%s) collides" c name));
+    check "board memory budget (handler code + Message Cache)"
+      (let mc_bytes = mc_kb * 1024 in
+       let dsm_code = 1024 * List.length Cni_dsm.Protocol.all_kinds in
+       let mp_code = 512 in
+       let coll_code = if nic_collectives then 2048 else 0 in
+       let need = dsm_code + mp_code + coll_code in
+       let have = params.Params.nic_memory_bytes - mc_bytes in
+       if need <= have then Ok ()
+       else
+         Error
+           (Printf.sprintf "handlers need %d bytes, board has %d after %d KB Message Cache"
+              need have mc_kb));
+    check "collectives firmware WCET certificates"
+      (let module Verify = Cni_aih.Aih_verify in
+       let module Cir = Cni_mp.Collectives_ir in
+       let bad = ref None in
+       List.iter
+         (fun op ->
+           List.iter
+             (fun rank ->
+               if !bad = None && rank < procs then
+                 let p = Cir.program ~op ~rank ~size:procs ~fanout:2 in
+                 match Verify.verify p with
+                 | Ok _ -> ()
+                 | Error rj ->
+                     bad := Some (Printf.sprintf "%s: %s" p.Cni_aih.Aih_ir.name (Verify.explain rj)))
+             [ 0; 1; procs - 1 ])
+         [ Cir.Sum; Cir.Max; Cir.Min ];
+       match !bad with None -> Ok () | Some msg -> Error msg);
+    Printf.printf "doctor: %d check(s) failed\n" !failures;
+    if !failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "doctor" ~doc)
+    Term.(
+      const run $ procs $ page_bytes $ mc_kb $ unrestricted $ loss_arg $ corrupt_arg
+      $ link_down_arg $ fault_seed_arg $ schedule_arg $ crash_arg $ nic_collectives_arg)
+
+(* ------------------------------------------------------------------ *)
+(* chaos                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_cmd =
+  let module Chaos = Cni_experiments.Chaos in
+  let doc = "Seeded crash/restart chaos run with recovery metrics (deterministic per seed)." in
+  let seed_arg = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Chaos schedule seed.") in
+  let crashes_arg = Arg.(value & opt int 2 & info [ "crashes" ] ~doc:"Crash/restart episodes.") in
+  let down_arg =
+    Arg.(value & opt int 200 & info [ "down-us" ] ~doc:"Time a crashed node stays down.")
+  in
+  let scrub_arg =
+    Arg.(value & flag & info [ "scrub" ] ~doc:"Crashes also wipe board memory.")
+  in
+  let chaos_app_arg =
+    Arg.(
+      value
+      & opt (Arg.enum [ ("jacobi", `Dsm); ("ring", `Ring) ]) `Dsm
+      & info [ "app" ]
+          ~doc:
+            "$(b,jacobi): closed-loop DSM run, expected to recover and reproduce the \
+             fault-free checksum. $(b,ring): open-loop message ring over recv_timeout, \
+             expected to degrade (timed-out rounds) but never hang.")
+  in
+  let run app nic procs seed crashes down_us scrub mc_kb no_aih =
+    let kind = make_kind nic ~mc_kb ~no_aih in
+    let down = Time.us down_us in
+    let m =
+      match app with
+      | `Dsm -> Chaos.run_dsm ~seed ~procs ~scrub ~kind ~crashes ~down ()
+      | `Ring -> Chaos.run_ring ~seed ~nodes:procs ~scrub ~kind ~crashes ~down ()
+    in
+    Printf.printf "outcome            %s\n" m.Chaos.outcome;
+    Printf.printf "elapsed            %.1f us\n" m.Chaos.elapsed_us;
+    Printf.printf "crashes/restarts   %d/%d\n" m.Chaos.crashes m.Chaos.restarts;
+    Printf.printf "retransmits        %d\n" m.Chaos.retransmits;
+    Printf.printf "crash drops        %d\n" m.Chaos.crash_drops;
+    Printf.printf "recoveries         %d (mean %.1f us restart-to-first-frame)\n"
+      m.Chaos.recoveries m.Chaos.mean_recovery_us;
+    Printf.printf "rx timeouts        %d\n" m.Chaos.rx_timeouts;
+    Printf.printf "checksum           %.17g\n" m.Chaos.checksum;
+    if not m.Chaos.completed then exit 2
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(
+      const run $ chaos_app_arg $ nic_kind $ procs $ seed_arg $ crashes_arg $ down_arg
+      $ scrub_arg $ mc_kb $ no_aih)
+
+(* ------------------------------------------------------------------ *)
 (* params                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -467,4 +686,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; sweep_cmd; latency_cmd; collectives_cmd; aih_verify_cmd; params_cmd ]))
+          [
+            run_cmd; sweep_cmd; latency_cmd; collectives_cmd; aih_verify_cmd; doctor_cmd;
+            chaos_cmd; params_cmd;
+          ]))

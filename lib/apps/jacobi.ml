@@ -16,14 +16,14 @@ let initial n i j =
     1.0 +. (float_of_int ((i * 31) + (j * 17) mod 97) /. 97.0)
   else 0.0
 
-let run cluster lrcs config =
+let run ?watchdog cluster lrcs config =
   let { n; iterations; cycles_per_point; warmup_iterations } = config in
   let procs = Cluster.size cluster in
   let space = Lrc.space lrcs.(0) in
   let a = Shmem.Farray.create space ~len:(n * n) in
   let b = Shmem.Farray.create space ~len:(n * n) in
   let checksum = ref 0.0 in
-  Cluster.run_app cluster (fun node ->
+  Cluster.run_app ?watchdog cluster (fun node ->
       let me = Node.id node in
       let lrc = lrcs.(me) in
       let lo, hi = Partition.range ~items:n ~procs ~me in

@@ -26,5 +26,12 @@ type result = {
 }
 
 (** [run cluster lrcs config] executes the application on every node of the
-    cluster (must be called before any other [run_app] on this cluster). *)
-val run : Cni_dsm.Protocol.msg Cni_cluster.Cluster.t -> Cni_dsm.Lrc.t array -> config -> result
+    cluster (must be called before any other [run_app] on this cluster).
+    [watchdog] is forwarded to [Cluster.run_app] (fault-injection runs bound
+    their simulated time so a stranded protocol fails instead of spinning). *)
+val run :
+  ?watchdog:Cni_engine.Time.t ->
+  Cni_dsm.Protocol.msg Cni_cluster.Cluster.t ->
+  Cni_dsm.Lrc.t array ->
+  config ->
+  result

@@ -27,6 +27,9 @@ type 'a t = {
   receivers : ('a packet -> unit) array;
   registry : Stats.Registry.t option;
   mutable faults : Faults.t option;
+  (* crashed nodes: frames to or from a down node are discarded, counted
+     apart from the link-layer fault classes *)
+  down : bool array;
   (* registered on first increment, so a fault-free run leaves the metrics
      snapshot exactly as it was before fault injection existed *)
   counters : (string, Stats.Counter.t) Hashtbl.t;
@@ -100,6 +103,7 @@ let create ?registry ?faults eng p ~nodes =
       receivers = Array.make nodes (fun _ -> ());
       registry;
       faults = Option.map Faults.create faults;
+      down = Array.make nodes false;
       counters = Hashtbl.create 16;
       s_packets = 0;
       s_cells = 0;
@@ -118,6 +122,17 @@ let set_receiver t ~node f = t.receivers.(node) <- f
 let set_faults t cfg = t.faults <- (if Faults.is_none cfg then None else Some (Faults.create cfg))
 let faults t = Option.map Faults.config t.faults
 let undeliverable t ~node = counter_value t ~node "undeliverable"
+
+let set_node_down t ~node down =
+  if node < 0 || node >= t.n then invalid_arg "Fabric.set_node_down: node out of range";
+  t.down.(node) <- down
+
+let node_down t ~node =
+  if node < 0 || node >= t.n then invalid_arg "Fabric.node_down: node out of range";
+  t.down.(node)
+
+let crash_drops t ~node = counter_value t ~node "crash_drops"
+
 let fault_drops t ~node =
   counter_value t ~node "fault_frame_drops"
   + counter_value t ~node "fault_frames_lost"
@@ -144,7 +159,12 @@ let send t pkt =
     | Some f -> Faults.link_down f ~node:pkt.src ~now:(Engine.now t.eng)
     | None -> false
   in
-  if src_down then begin
+  if t.down.(pkt.src) then begin
+    (* a crashed node's pending DMA never makes it onto the wire *)
+    Stats.Counter.incr (counter t ~node:pkt.src "crash_drops");
+    emit t ~node:pkt.src ~label:"crash-drop" ~payload:pkt.dst
+  end
+  else if src_down then begin
     Stats.Counter.incr (counter t ~node:pkt.src "link_down_drops");
     emit t ~node:pkt.src ~label:"link-down-drop" ~payload:pkt.dst
   end
@@ -164,7 +184,13 @@ let send t pkt =
           | Some f -> Faults.link_down f ~node:pkt.dst ~now:eta
           | None -> false
         in
-        if dst_down then begin
+        if t.down.(pkt.dst) then begin
+          (* checked when the last bit arrives: a node that crashed while
+             the frame was in flight loses it at its dead ingress port *)
+          Stats.Counter.incr (counter t ~node:pkt.dst "crash_drops");
+          emit t ~node:pkt.dst ~label:"crash-drop" ~payload:pkt.src
+        end
+        else if dst_down then begin
           Stats.Counter.incr (counter t ~node:pkt.dst "link_down_drops");
           emit t ~node:pkt.dst ~label:"link-down-drop" ~payload:pkt.src
         end

@@ -83,5 +83,24 @@ val stats : 'a t -> stats
 val undeliverable : 'a t -> node:int -> int
 
 (** Frames sourced at [node] that injected faults destroyed (whole-frame
-    drops + frames losing cells + link-down discards on either end). *)
+    drops + frames losing cells + link-down discards on either end). Crash
+    discards are counted separately — see {!crash_drops}. *)
 val fault_drops : 'a t -> node:int -> int
+
+(** {2 Node liveness}
+
+    A down node loses every frame it would send (at injection time) or
+    receive (when the last bit arrives at its dead ingress port). Set by
+    [Cluster] when a node crashes or restarts. The fault verdict is still
+    drawn for frames sourced at a down node, so the fault RNG stream is
+    unchanged by crashes. *)
+
+(** @raise Invalid_argument on an out-of-range node. *)
+val set_node_down : 'a t -> node:int -> bool -> unit
+
+(** @raise Invalid_argument on an out-of-range node. *)
+val node_down : 'a t -> node:int -> bool
+
+(** Frames counted at [node] that died because a crashed node was at either
+    end ([node<N>/fabric/crash_drops]); not part of {!fault_drops}. *)
+val crash_drops : 'a t -> node:int -> int

@@ -3,37 +3,74 @@ module Rng = Cni_engine.Rng
 
 type window = { w_node : int; w_from : Time.t; w_upto : Time.t }
 
+type node_fault = Crash of { scrub : bool } | Restart
+
+type event = { e_at : Time.t; e_node : int; e_fault : node_fault }
+
 type config = {
   seed : int;
   cell_loss : float;
   cell_corrupt : float;
   frame_drop : float;
   link_down : window list;
+  schedule : event list;
 }
 
-let none = { seed = 42; cell_loss = 0.; cell_corrupt = 0.; frame_drop = 0.; link_down = [] }
+let none =
+  { seed = 42; cell_loss = 0.; cell_corrupt = 0.; frame_drop = 0.; link_down = [];
+    schedule = [] }
 
 let is_none c =
   c.cell_loss = 0. && c.cell_corrupt = 0. && c.frame_drop = 0. && c.link_down = []
+  && c.schedule = []
 
 let with_loss ?(seed = 42) p = { none with seed; cell_loss = p }
 
-type t = { cfg : config; rng : Rng.t }
+(* Normalization of link-down windows: per node, sort by start and merge
+   overlapping or adjacent windows into one. Counters and down-time
+   accounting over the normalized list cannot double-count an instant that
+   two declared windows both cover. *)
+let normalize_windows windows =
+  let by_node = Hashtbl.create 8 in
+  List.iter
+    (fun w ->
+      let l = Option.value (Hashtbl.find_opt by_node w.w_node) ~default:[] in
+      Hashtbl.replace by_node w.w_node (w :: l))
+    windows;
+  let nodes = Hashtbl.fold (fun n _ acc -> n :: acc) by_node [] in
+  List.concat_map
+    (fun node ->
+      let ws =
+        List.sort
+          (fun a b -> compare (a.w_from, a.w_upto) (b.w_from, b.w_upto))
+          (Hashtbl.find by_node node)
+      in
+      let rec merge = function
+        | a :: b :: rest when b.w_from <= a.w_upto ->
+            merge ({ a with w_upto = Time.max a.w_upto b.w_upto } :: rest)
+        | a :: rest -> a :: merge rest
+        | [] -> []
+      in
+      merge ws)
+    (List.sort compare nodes)
+
+type t = { cfg : config; windows : window list; rng : Rng.t }
 
 let check_prob name p =
   if not (p >= 0. && p <= 1.) then
     invalid_arg (Printf.sprintf "Faults.create: %s must be in [0,1]" name)
 
+let check_window w =
+  if w.w_node < 0 then invalid_arg "Faults.create: window node must be >= 0";
+  if w.w_from > w.w_upto then invalid_arg "Faults.create: reversed link-down window (start > stop)";
+  if w.w_upto = w.w_from then invalid_arg "Faults.create: empty link-down window"
+
 let create cfg =
   check_prob "cell_loss" cfg.cell_loss;
   check_prob "cell_corrupt" cfg.cell_corrupt;
   check_prob "frame_drop" cfg.frame_drop;
-  List.iter
-    (fun w ->
-      if w.w_node < 0 then invalid_arg "Faults.create: window node must be >= 0";
-      if w.w_upto <= w.w_from then invalid_arg "Faults.create: empty link-down window")
-    cfg.link_down;
-  { cfg; rng = Rng.create ~seed:cfg.seed }
+  List.iter check_window cfg.link_down;
+  { cfg; windows = normalize_windows cfg.link_down; rng = Rng.create ~seed:cfg.seed }
 
 let config t = t.cfg
 
@@ -62,4 +99,156 @@ let judge t ~cells =
         | _ -> Pass)
 
 let link_down t ~node ~now =
-  List.exists (fun w -> w.w_node = node && now >= w.w_from && now < w.w_upto) t.cfg.link_down
+  List.exists (fun w -> w.w_node = node && now >= w.w_from && now < w.w_upto) t.windows
+
+(* ------------------------------------------------------------------ *)
+(* Node-fault schedule                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Declared order breaks time ties, so a stable sort keeps "crash then
+   restart at the same instant" an error the validator can report instead
+   of a silent reordering. *)
+let sorted_schedule cfg =
+  List.stable_sort (fun a b -> compare a.e_at b.e_at) cfg.schedule
+
+let validate ~nodes cfg =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let prob name p = if not (p >= 0. && p <= 1.) then err "%s %g outside [0,1]" name p in
+  prob "loss" cfg.cell_loss;
+  prob "corrupt" cfg.cell_corrupt;
+  prob "drop" cfg.frame_drop;
+  List.iter
+    (fun w ->
+      if w.w_node < 0 || w.w_node >= nodes then
+        err "link-down window names node %d (cluster has %d)" w.w_node nodes;
+      if w.w_from > w.w_upto then
+        err "link-down window for node %d is reversed (start > stop)" w.w_node
+      else if w.w_from = w.w_upto then
+        err "link-down window for node %d is empty" w.w_node)
+    cfg.link_down;
+  (* replay the schedule chronologically, tracking each node's liveness *)
+  let crashed = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      if e.e_node < 0 || e.e_node >= nodes then
+        err "schedule event at %.0f us names node %d (cluster has %d)"
+          (Time.to_us_float e.e_at) e.e_node nodes
+      else
+        match e.e_fault with
+        | Crash _ ->
+            if Hashtbl.mem crashed e.e_node then
+              err "node %d crashes at %.0f us while already crashed"
+                e.e_node (Time.to_us_float e.e_at)
+            else Hashtbl.replace crashed e.e_node e.e_at
+        | Restart -> (
+            match Hashtbl.find_opt crashed e.e_node with
+            | None ->
+                err "node %d restarts at %.0f us without a prior crash"
+                  e.e_node (Time.to_us_float e.e_at)
+            | Some at when at = e.e_at ->
+                err "node %d restarts at %.0f us, the same instant it crashes"
+                  e.e_node (Time.to_us_float e.e_at)
+            | Some _ -> Hashtbl.remove crashed e.e_node))
+    (sorted_schedule cfg);
+  match List.rev !errors with [] -> Ok () | es -> Error es
+
+(* ------------------------------------------------------------------ *)
+(* Text format                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* One directive per line; '#' starts a comment; times are integer
+   microseconds of engine time:
+
+     seed 7
+     loss 1e-4
+     corrupt 0
+     drop 0
+     down NODE FROM_US UPTO_US
+     crash NODE AT_US [scrub]
+     restart NODE AT_US *)
+
+let config_of_string text =
+  let lineno = ref 0 in
+  let strip line = match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let fields line =
+    String.split_on_char ' ' (String.trim (strip line))
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun s -> s <> "")
+  in
+  let fail fmt = Printf.ksprintf (fun s -> Error (Printf.sprintf "line %d: %s" !lineno s)) fmt in
+  let int_of s = match int_of_string_opt s with
+    | Some n -> Ok n
+    | None -> fail "expected an integer, got %S" s
+  in
+  let float_of s = match float_of_string_opt s with
+    | Some f -> Ok f
+    | None -> fail "expected a number, got %S" s
+  in
+  let ( let* ) = Result.bind in
+  let rec go cfg = function
+    | [] -> Ok { cfg with link_down = List.rev cfg.link_down; schedule = List.rev cfg.schedule }
+    | line :: rest -> (
+        incr lineno;
+        match fields line with
+        | [] -> go cfg rest
+        | [ "seed"; s ] ->
+            let* seed = int_of s in
+            go { cfg with seed } rest
+        | [ "loss"; p ] ->
+            let* cell_loss = float_of p in
+            go { cfg with cell_loss } rest
+        | [ "corrupt"; p ] ->
+            let* cell_corrupt = float_of p in
+            go { cfg with cell_corrupt } rest
+        | [ "drop"; p ] ->
+            let* frame_drop = float_of p in
+            go { cfg with frame_drop } rest
+        | [ "down"; n; a; b ] ->
+            let* node = int_of n in
+            let* from_us = int_of a in
+            let* upto_us = int_of b in
+            let w = { w_node = node; w_from = Time.us from_us; w_upto = Time.us upto_us } in
+            go { cfg with link_down = w :: cfg.link_down } rest
+        | "crash" :: n :: at :: tail when tail = [] || tail = [ "scrub" ] ->
+            let* node = int_of n in
+            let* at_us = int_of at in
+            let e =
+              { e_node = node; e_at = Time.us at_us; e_fault = Crash { scrub = tail <> [] } }
+            in
+            go { cfg with schedule = e :: cfg.schedule } rest
+        | [ "restart"; n; at ] ->
+            let* node = int_of n in
+            let* at_us = int_of at in
+            let e = { e_node = node; e_at = Time.us at_us; e_fault = Restart } in
+            go { cfg with schedule = e :: cfg.schedule } rest
+        | word :: _ ->
+            fail
+              "unknown directive %S (expected seed, loss, corrupt, drop, down, crash, restart)"
+              word)
+  in
+  go none (String.split_on_char '\n' text)
+
+let config_to_string cfg =
+  let b = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  if cfg.seed <> none.seed then line "seed %d" cfg.seed;
+  if cfg.cell_loss <> 0. then line "loss %g" cfg.cell_loss;
+  if cfg.cell_corrupt <> 0. then line "corrupt %g" cfg.cell_corrupt;
+  if cfg.frame_drop <> 0. then line "drop %g" cfg.frame_drop;
+  List.iter
+    (fun w ->
+      line "down %d %.0f %.0f" w.w_node (Time.to_us_float w.w_from) (Time.to_us_float w.w_upto))
+    cfg.link_down;
+  List.iter
+    (fun e ->
+      match e.e_fault with
+      | Crash { scrub } ->
+          line "crash %d %.0f%s" e.e_node (Time.to_us_float e.e_at)
+            (if scrub then " scrub" else "")
+      | Restart -> line "restart %d %.0f" e.e_node (Time.to_us_float e.e_at))
+    cfg.schedule;
+  Buffer.contents b

@@ -18,6 +18,33 @@ type 'a t = {
   mutable ran : bool;
 }
 
+(* Crash a node: freeze its application fiber, kill the board (scrubbing
+   its memory if asked) and sever it from the fabric. The order matters —
+   the fiber must be frozen before the board dies so no send slips into the
+   dead window at the same instant. *)
+let crash_node ?(scrub = false) t i =
+  let n = t.nodes.(i) in
+  Node.freeze n;
+  Nic.crash (Node.nic n) ~scrub;
+  Fabric.set_node_down t.fabric ~node:i true
+
+(* Restart in the reverse order: board first (new epoch, install replay),
+   then the fabric link, then the thawed application fiber. *)
+let restart_node t i =
+  let n = t.nodes.(i) in
+  Nic.restart (Node.nic n);
+  Fabric.set_node_down t.fabric ~node:i false;
+  Node.unfreeze n
+
+let node_alive t i = not (Fabric.node_down t.fabric ~node:i)
+
+let crashed_nodes t =
+  let acc = ref [] in
+  for i = Array.length t.nodes - 1 downto 0 do
+    if Fabric.node_down t.fabric ~node:i then acc := i :: !acc
+  done;
+  !acc
+
 let create ?(params = Params.default) ?faults ?reliability ~nic_kind ~nodes () =
   if nodes < 1 then invalid_arg "Cluster.create: need at least one node";
   let eng = Engine.create () in
@@ -25,6 +52,14 @@ let create ?(params = Params.default) ?faults ?reliability ~nic_kind ~nodes () =
   let faulty =
     match faults with Some f when not (Cni_atm.Faults.is_none f) -> Some f | _ -> None
   in
+  (match faulty with
+  | Some f when f.Cni_atm.Faults.schedule <> [] -> (
+      match Cni_atm.Faults.validate ~nodes f with
+      | Ok () -> ()
+      | Error errs ->
+          invalid_arg
+            ("Cluster.create: inconsistent fault schedule: " ^ String.concat "; " errs))
+  | _ -> ());
   let fabric = Fabric.create ~registry ?faults:faulty eng params ~nodes in
   (* an injected-fault fabric without reliable delivery would just lose
      protocol messages and deadlock; default the protocol on when faults are
@@ -39,7 +74,20 @@ let create ?(params = Params.default) ?faults ?reliability ~nic_kind ~nodes () =
     Array.init nodes (fun id ->
         Node.create ~registry ?reliability eng params fabric ~id ~nic_kind)
   in
-  { eng; p = params; fabric; nodes = node_arr; kind = nic_kind; registry; ran = false }
+  let t = { eng; p = params; fabric; nodes = node_arr; kind = nic_kind; registry; ran = false } in
+  (* drive the node-fault schedule off engine time *)
+  Option.iter
+    (fun f ->
+      List.iter
+        (fun e ->
+          let open Cni_atm.Faults in
+          Engine.at eng e.e_at (fun () ->
+              match e.e_fault with
+              | Crash { scrub } -> crash_node ~scrub t e.e_node
+              | Restart -> restart_node t e.e_node))
+        (Cni_atm.Faults.sorted_schedule f))
+    faulty;
+  t
 
 let engine t = t.eng
 let params t = t.p
@@ -57,7 +105,21 @@ let retransmits t =
       | None -> acc)
     0 t.nodes
 
-let run_app t f =
+exception Deadlock of { unfinished : int list; crashed : int list }
+
+let () =
+  Printexc.register_printer (function
+    | Deadlock { unfinished; crashed } ->
+        let list l = String.concat ", " (List.map string_of_int l) in
+        Some
+          (Printf.sprintf
+             "Cluster.Deadlock: application fibers of node(s) %s never finished%s"
+             (list unfinished)
+             (if crashed = [] then ""
+              else Printf.sprintf " (node(s) %s crashed without restarting)" (list crashed)))
+    | _ -> None)
+
+let run_app ?watchdog t f =
   Array.iter
     (fun n ->
       Engine.spawn t.eng ~name:(Printf.sprintf "app-%d" (Node.id n)) (fun () ->
@@ -67,17 +129,24 @@ let run_app t f =
             Trace.emit ~t_ps:(Time.to_ps (Engine.now t.eng)) ~node:(Node.id n)
               Trace.App ~label:"finish" ~payload:0))
     t.nodes;
-  Engine.run t.eng;
+  (match watchdog with
+  | None -> Engine.run t.eng
+  | Some limit -> Engine.run_watched t.eng ~limit);
   t.ran <- true;
   let stuck =
     Array.fold_left
       (fun acc n -> if Node.finished n then acc else Node.id n :: acc)
       [] t.nodes
   in
-  if stuck <> [] then
-    failwith
-      (Printf.sprintf "Cluster.run_app: deadlock — application fibers of node(s) %s never finished"
-         (String.concat ", " (List.rev_map string_of_int stuck)))
+  if stuck <> [] then begin
+    let crashed, hung =
+      List.partition (fun i -> Fabric.node_down t.fabric ~node:i) (List.rev stuck)
+    in
+    (* nodes that crashed and never restarted are expected casualties: the
+       run completes and {!crashed_nodes} reports them. Anything else still
+       unfinished with the event queue drained is a real deadlock. *)
+    if hung <> [] then raise (Deadlock { unfinished = hung; crashed })
+  end
 
 let elapsed t =
   Array.fold_left (fun acc n -> Time.max acc (Node.report n).Node.finish_time) Time.zero t.nodes

@@ -13,7 +13,12 @@ type 'a t
     reliable delivery — [reliability] defaults to
     {!Cni_nic.Reliable.default} whenever faults are active, and can be
     passed explicitly to tune it (or to enable reliability on a clean
-    fabric). *)
+    fabric). A non-empty [faults.schedule] is validated against the node
+    count and wired onto engine timers: each event calls {!crash_node} /
+    {!restart_node} at its time.
+
+    @raise Invalid_argument on an inconsistent fault schedule (see
+    {!Cni_atm.Faults.validate}). *)
 val create :
   ?params:Cni_machine.Params.t ->
   ?faults:Cni_atm.Faults.config ->
@@ -34,10 +39,41 @@ val node : 'a t -> int -> 'a Node.t
 val nodes : 'a t -> 'a Node.t array
 val is_cni : 'a t -> bool
 
+(** Raised by {!run_app} when the event queue drained but some
+    {e non-crashed} node's application fiber never finished — a protocol
+    deadlock. [crashed] lists nodes that crashed without restarting (those
+    alone do {e not} raise: they are expected casualties of the fault
+    schedule, reported by {!crashed_nodes}). A printer is registered. *)
+exception Deadlock of { unfinished : int list; crashed : int list }
+
 (** [run_app t f] spawns one application fiber per node running [f node],
     drives the simulation until every event drains, and returns. Application
-    exceptions propagate (annotated by the engine). *)
-val run_app : 'a t -> ('a Node.t -> unit) -> unit
+    exceptions propagate (annotated by the engine). [watchdog] bounds the
+    run with {!Cni_engine.Engine.run_watched}: events still pending past the
+    limit raise [Engine.Quiescence_timeout] instead of spinning forever.
+    @raise Deadlock when a live node's fiber never finished. *)
+val run_app : ?watchdog:Cni_engine.Time.t -> 'a t -> ('a Node.t -> unit) -> unit
+
+(** {2 Node faults}
+
+    Normally driven by the fault schedule given to {!create}; exposed for
+    tests and custom harnesses. *)
+
+(** Freeze the node's application fiber, crash its board ([scrub] wipes
+    board memory — default [false]) and sever it from the fabric. No-op on
+    an already-crashed node's board. *)
+val crash_node : ?scrub:bool -> 'a t -> int -> unit
+
+(** Revive the board under a new delivery epoch (replaying scrubbed
+    installations), reattach the fabric link and thaw the application
+    fiber. *)
+val restart_node : 'a t -> int -> unit
+
+(** [false] between {!crash_node} and {!restart_node}. *)
+val node_alive : 'a t -> int -> bool
+
+(** Currently-crashed nodes, ascending. *)
+val crashed_nodes : 'a t -> int list
 
 (** Wall-clock of the slowest application fiber (valid after {!run_app}). *)
 val elapsed : 'a t -> Cni_engine.Time.t

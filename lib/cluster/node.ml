@@ -16,6 +16,11 @@ type 'a t = {
   mutable nic : 'a Nic.t option;
   mutable waiting : bool;
   mutable stolen : Time.t;
+  (* crash freeze: while set, the application fiber parks at its next
+     interaction point until the node restarts *)
+  mutable frozen : bool;
+  mutable thaw : (unit -> unit) list;
+  mutable t_frozen : Time.t;
   (* batched application cost *)
   mutable pending_cycles : int;
   mutable pending_extra : Time.t;
@@ -34,6 +39,7 @@ type report = {
   synch_delay : Time.t;
   finish_time : Time.t;
   service_time : Time.t;
+  frozen_time : Time.t;
 }
 
 let create ?registry ?reliability eng p fabric ~id ~nic_kind =
@@ -50,6 +56,9 @@ let create ?registry ?reliability eng p fabric ~id ~nic_kind =
       nic = None;
       waiting = false;
       stolen = Time.zero;
+      frozen = false;
+      thaw = [];
+      t_frozen = Time.zero;
       pending_cycles = 0;
       pending_extra = Time.zero;
       t_compute = Time.zero;
@@ -87,7 +96,32 @@ let nic t = match t.nic with Some n -> n | None -> assert false
 let cache t = t.cache
 let bus t = t.bus
 
+(* Park the calling application fiber while its node is crashed. Checked at
+   every interaction point (anything that flushes batched work); the fiber's
+   program state — host memory — survives the crash, it just stops making
+   progress until the restart thaws it. The loop re-parks if the node
+   crashes again at the very instant it was thawed. *)
+let freeze_point t =
+  while t.frozen do
+    let t0 = Engine.now t.eng in
+    Engine.suspend (fun resume -> t.thaw <- resume :: t.thaw);
+    t.t_frozen <- Time.(t.t_frozen + (Engine.now t.eng - t0))
+  done
+
+let freeze t = t.frozen <- true
+
+let unfreeze t =
+  if t.frozen then begin
+    t.frozen <- false;
+    let resumes = t.thaw in
+    t.thaw <- [];
+    List.iter (fun resume -> resume ()) resumes
+  end
+
+let frozen t = t.frozen
+
 let flush_pending t =
+  freeze_point t;
   let cpu = Params.cpu_cycles t.p t.pending_cycles in
   let compute = Time.(cpu + t.pending_extra) in
   let stolen = t.stolen in
@@ -165,4 +199,5 @@ let report t =
     synch_delay = t.t_delay;
     finish_time = t.finish_time;
     service_time = t.t_service;
+    frozen_time = t.t_frozen;
   }

@@ -74,6 +74,21 @@ val finish : 'a t -> unit
 (** Whether {!finish} has run (used to detect deadlocked runs). *)
 val finished : 'a t -> bool
 
+(** {2 Crash freeze}
+
+    While a node is crashed its host makes no progress: {!freeze} parks the
+    application fiber at its next interaction point (any operation that
+    flushes batched work), and {!unfreeze} resumes it. Program state — host
+    memory — survives; only time passes. Driven by [Cluster.crash_node] /
+    [Cluster.restart_node] together with the NIC-level crash. *)
+
+val freeze : 'a t -> unit
+
+(** Resume every fiber parked by {!freeze}; no-op if not frozen. *)
+val unfreeze : 'a t -> unit
+
+val frozen : 'a t -> bool
+
 (** {2 Reporting} *)
 
 type report = {
@@ -84,6 +99,9 @@ type report = {
   service_time : Cni_engine.Time.t;
       (** host CPU time spent serving remote protocol requests (subset
           already folded into overhead when it preempted computation) *)
+  frozen_time : Cni_engine.Time.t;
+      (** time the application fiber spent parked while its node was
+          crashed (zero on a fault-free run) *)
 }
 
 val report : 'a t -> report

@@ -100,6 +100,8 @@ type t = {
   mutable peers : t array;
   mutable coll : (Vclock.t * Protocol.notice list, Protocol.msg) Collectives.t option;
       (* NIC-resident combining tree for barriers; None = centralised node-0 *)
+  mutable barrier_timeout : Time.t option;
+      (* bound on a centralised-barrier wait; None = wait forever *)
   resident : int Vec.t;  (* pages with has_copy, for the mapping-cap clock *)
   mutable resident_hand : int;
   mutable locks_held : int;
@@ -744,6 +746,44 @@ let handle_barrier_release t ex ~id ~vc ~notices =
 
 let now_ps t = Time.to_ps (Engine.now (Node.engine t.node))
 
+exception Barrier_timeout of { node : int; barrier : int; waited : Time.t }
+
+let () =
+  Printexc.register_printer (function
+    | Barrier_timeout { node; barrier; waited } ->
+        Some
+          (Printf.sprintf
+             "Lrc.Barrier_timeout: node %d gave up on barrier %d after %.3f us"
+             node barrier (Time.to_us_float waited))
+    | _ -> None)
+
+(* Race the barrier's release ivar against an engine timer. A release that
+   arrives after the timeout still fills the ivar (the reader fiber drains
+   it silently); only the decision of which side won is guarded. *)
+let wait_barrier t ~id iv =
+  match t.barrier_timeout with
+  | None -> Node.blocking t.node (fun () -> Sync.Ivar.read iv)
+  | Some limit ->
+      let eng = Node.engine t.node in
+      let start = Engine.now eng in
+      let race = Sync.Ivar.create () in
+      let settled = ref false in
+      Engine.spawn eng ~name:(Printf.sprintf "lrc-barrier-wait-%d" t.me) (fun () ->
+          Sync.Ivar.read iv;
+          if not !settled then begin
+            settled := true;
+            Sync.Ivar.fill race true
+          end);
+      Engine.after eng limit (fun () ->
+          if not !settled then begin
+            settled := true;
+            Sync.Ivar.fill race false
+          end);
+      if not (Node.blocking t.node (fun () -> Sync.Ivar.read race)) then
+        raise
+          (Barrier_timeout
+             { node = t.me; barrier = id; waited = Time.(Engine.now eng - start) })
+
 (* Centralised barrier (the original path, kept as an ablation): every node
    sends its arrival to the manager, which merges and broadcasts releases. *)
 let centralised_barrier t ~id =
@@ -758,7 +798,7 @@ let centralised_barrier t ~id =
       (Protocol.Barrier_arrive { barrier = id; node = t.me; vc = Vclock.copy t.vc; notices })
       Nic.No_data
   end;
-  ex.wait iv
+  wait_barrier t ~id iv
 
 (* NIC-resident barrier: an allreduce over the boards' combining tree. Each
    node contributes its vector clock and the intervals it created since its
@@ -860,6 +900,7 @@ let create cluster space_ costs max_resident ~id =
     barrier_accs = Hashtbl.create 8;
     peers = [||];
     coll = None;
+    barrier_timeout = None;
     resident = Vec.create ();
     resident_hand = 0;
     locks_held = 0;
@@ -881,7 +922,7 @@ let create cluster space_ costs max_resident ~id =
 let collectives_channel = 4
 
 let install cluster space_ ?(costs = default_costs) ?(max_resident_pages = max_int)
-    ?(barrier_impl = `Centralised) () =
+    ?(barrier_impl = `Centralised) ?barrier_timeout () =
   let n = Cluster.size cluster in
   let engines = Array.init n (fun id -> create cluster space_ costs max_resident_pages ~id) in
   let coll =
@@ -902,6 +943,7 @@ let install cluster space_ ?(costs = default_costs) ?(max_resident_pages = max_i
     (fun t ->
       t.peers <- engines;
       t.coll <- Option.map (fun c -> c.(t.me)) coll;
+      t.barrier_timeout <- barrier_timeout;
       let board = nic t in
       (* one Application Interrupt Handler per protocol kind: each gets its
          own PATHFINDER pattern (sharing the channel-match prefix in the DAG)

@@ -61,15 +61,27 @@ val default_costs : costs
     {!Cni_mp.Collectives} combining tree on channel 4 and runs each barrier
     as an allreduce of (vector clock, own write notices) executed by the
     boards' AIHs: on a CNI or OSIRIS interface the host is woken exactly
-    once per barrier with the merged result and takes no interrupt. *)
+    once per barrier with the merged result and takes no interrupt.
+
+    [barrier_timeout] (default: none — wait forever) bounds each
+    {e centralised}-barrier wait in simulated time; a node still waiting
+    when it expires raises {!Barrier_timeout} instead of hanging, e.g.
+    because a peer crashed before arriving. The [`Nic_collective] barrier
+    blocks inside the combining tree and is not covered — bound such runs
+    with [Cluster.run_app ~watchdog]. *)
 val install :
   Protocol.msg Cni_cluster.Cluster.t ->
   Space.t ->
   ?costs:costs ->
   ?max_resident_pages:int ->
   ?barrier_impl:[ `Centralised | `Nic_collective ] ->
+  ?barrier_timeout:Cni_engine.Time.t ->
   unit ->
   t array
+
+(** The wire channel the [`Nic_collective] barrier's combining tree claims
+    ({!Protocol.channel} carries the point-to-point DSM traffic). *)
+val collectives_channel : int
 
 val me : t -> int
 val node : t -> Protocol.msg Cni_cluster.Node.t
@@ -99,7 +111,14 @@ val acquire : t -> lock:int -> unit
 (** @raise Invalid_argument if not held. *)
 val release : t -> lock:int -> unit
 
-(** All nodes must call [barrier] with the same id per episode. *)
+(** Raised by {!barrier} on a node whose centralised-barrier wait exceeded
+    the [barrier_timeout] given to {!install}. [waited] is the time spent
+    blocked. A printer is registered. *)
+exception Barrier_timeout of { node : int; barrier : int; waited : Cni_engine.Time.t }
+
+(** All nodes must call [barrier] with the same id per episode.
+    @raise Barrier_timeout when a [barrier_timeout] is configured and
+    expires (centralised implementation only). *)
 val barrier : t -> id:int -> unit
 
 type stats = {

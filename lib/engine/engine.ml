@@ -66,6 +66,24 @@ let run_until t limit =
     step t
   done
 
+exception
+  Quiescence_timeout of { limit : Time.t; now : Time.t; pending : int }
+
+let () =
+  Printexc.register_printer (function
+    | Quiescence_timeout { limit; now; pending } ->
+        Some
+          (Printf.sprintf
+             "Engine.Quiescence_timeout: %d event(s) still pending past the \
+              %.3f us watchdog limit (last dispatched event at %.3f us)"
+             pending (Time.to_us_float limit) (Time.to_us_float now))
+    | _ -> None)
+
+let run_watched t ~limit =
+  run_until t limit;
+  if not (Heap.is_empty t.q) then
+    raise (Quiescence_timeout { limit; now = t.now; pending = Heap.length t.q })
+
 (* ------------------------------------------------------------------ *)
 (* Fibers                                                             *)
 (* ------------------------------------------------------------------ *)

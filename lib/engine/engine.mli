@@ -46,6 +46,19 @@ val run : t -> unit
     event at or beyond the limit existed, else [now] is the last event time. *)
 val run_until : t -> Time.t -> unit
 
+(** Raised by {!run_watched} when events remain past the limit: the
+    simulation is still making "progress" (self-rearming timers, a livelocked
+    retry loop) but never drains. A printer is registered. *)
+exception
+  Quiescence_timeout of { limit : Time.t; now : Time.t; pending : int }
+
+(** [run_watched t ~limit] is a quiescence watchdog around {!run_until}:
+    it runs every event up to [limit] and raises {!Quiescence_timeout} if
+    the queue is still non-empty afterwards, turning a would-be hang into a
+    diagnosable failure. (An {e empty} queue with unfinished fibers is the
+    caller's deadlock to detect — the engine cannot see suspended fibers.) *)
+val run_watched : t -> limit:Time.t -> unit
+
 (** {2 Fibers}
 
     The functions below must be called from inside a fiber spawned with

@@ -383,6 +383,69 @@ let faults () =
       ]
     rows
 
+(* Node crash/restart chaos: seeded fault schedules against a closed-loop
+   DSM application (expected to recover and finish with the fault-free
+   checksum) and an open-loop message ring (expected to degrade by timing
+   out rounds, never to hang). Every row is deterministic in the seed, so
+   the CI smoke can diff two invocations. *)
+let chaos () =
+  let fmt_ck ck = if Float.is_nan ck then "-" else Report.f2 ck in
+  let row name m =
+    [
+      name;
+      string_of_int m.Chaos.crashes;
+      m.Chaos.outcome;
+      Report.f1 m.Chaos.elapsed_us;
+      string_of_int m.Chaos.retransmits;
+      string_of_int m.Chaos.crash_drops;
+      string_of_int m.Chaos.recoveries;
+      Report.f1 m.Chaos.mean_recovery_us;
+      string_of_int m.Chaos.rx_timeouts;
+      fmt_ck m.Chaos.checksum;
+    ]
+  in
+  let sweep = [ (0, Time.us 0, "-"); (1, Time.us 150, "150us"); (2, Time.us 400, "400us") ] in
+  let dsm_rows =
+    List.map
+      (fun (crashes, down, dname) ->
+        let down = if crashes = 0 then Time.us 150 else down in
+        row
+          (Printf.sprintf "Jacobi 128 DSM, %d crash(es), down %s" crashes dname)
+          (Chaos.run_dsm ~crashes ~down ()))
+      sweep
+  in
+  let scrub_row =
+    row "Jacobi 128 DSM, 2 scrub crashes, down 400us"
+      (Chaos.run_dsm ~scrub:true ~crashes:2 ~down:(Time.us 400) ())
+  in
+  let ring_rows =
+    List.map
+      (fun (crashes, down, dname) ->
+        let down = if crashes = 0 then Time.us 150 else down in
+        row
+          (Printf.sprintf "Mp ring 8x24, %d crash(es), down %s" crashes dname)
+          (Chaos.run_ring ~crashes ~down ()))
+      sweep
+  in
+  Report.make ~id:"ablation-chaos"
+    ~title:"Crash/restart chaos: recovery (closed loop) and degradation (open loop)"
+    ~columns:
+      [
+        "workload"; "crashes"; "run"; "elapsed-us"; "retransmits"; "crash-drops";
+        "recoveries"; "mean-recovery-us"; "rx-timeouts"; "checksum";
+      ]
+    ~notes:
+      [
+        "closed loop: crashed hosts freeze and thaw, reliable delivery retries across \
+         the dead window, so the checksum must match the zero-crash row";
+        "scrub crashes additionally wipe board memory; handlers are re-verified and \
+         re-installed from the install log at restart";
+        "open loop: every ring receive is a recv_timeout, so a dead predecessor costs \
+         timed-out rounds (degradation), never a hang; the watchdog converts any \
+         residual hang into a structured failure row";
+      ]
+    (dsm_rows @ [ scrub_row ] @ ring_rows)
+
 (* NIC-resident collectives (the combining tree as AIH code) against the
    host-driven implementations: raw barrier / allreduce latency as the node
    count grows, then the three applications with the DSM barrier switched
@@ -506,6 +569,7 @@ let all =
     ("ablation-evolution", interface_evolution);
     ("ablation-ordering", ordering);
     ("ablation-faults", faults);
+    ("ablation-chaos", chaos);
     ("ablation-collectives", collectives);
     ("microbench-aih", aih_bench);
   ]

@@ -37,6 +37,12 @@ val ordering : unit -> Report.t
     relative to the zero-loss run. *)
 val faults : unit -> Report.t
 
+(** Node crash/restart chaos ({!Chaos}): seeded fault schedules against a
+    closed-loop DSM run (expected to recover and reproduce the fault-free
+    checksum) and an open-loop message ring (expected to degrade by timing
+    out rounds, never to hang). Deterministic in the seed. *)
+val chaos : unit -> Report.t
+
 (** NIC-resident collectives: barrier/allreduce latency of the boards'
     combining tree ({!Cni_mp.Collectives}) against the host-driven paths as
     the node count grows, and the three applications with the DSM barrier

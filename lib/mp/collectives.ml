@@ -46,6 +46,7 @@ type ('v, 'a) t = {
   fanout : int;
   channel : int;
   combine_cycles : int;  (* per combine/forward step, protocol clock *)
+  live : int -> bool;  (* routing oracle: dead ranks are bypassed in the tree *)
   inject : 'v -> 'a;
   project : 'a -> 'v;
   bytes_of : 'v -> int;
@@ -65,21 +66,47 @@ let episodes t = Stats.Counter.value t.s_episodes
 (* ------------------------------------------------------------------ *)
 
 (* A [fanout]-ary tree rooted at [root], laid out over virtual ranks so any
-   node can serve as the root without reprogramming the boards. *)
+   node can serve as the root without reprogramming the boards.
+
+   Dead ranks (per the [live] oracle) are routed around rather than waited
+   on: a node's parent is its first {e live} ancestor, and its children are
+   the live ranks whose first live ancestor it is — dead subtree roots are
+   transparently replaced by their live descendants. Both sides recompute
+   the routing from the same oracle, so the adopted edges agree. The oracle
+   is consulted afresh each episode; a crash {e during} an episode can still
+   strand it (the quiescence watchdog's job), but episodes that start after
+   the crash reconfigure cleanly. *)
 let vrank t ~root = (t.rank - root + t.size) mod t.size
 let unvrank t ~root v = (v + root) mod t.size
+let vparent t v = (v - 1) / t.fanout
 
 let parent t ~root =
   let v = vrank t ~root in
-  if v = 0 then None else Some (unvrank t ~root ((v - 1) / t.fanout))
+  if v = 0 then None
+  else
+    let rec first_live v =
+      let r = unvrank t ~root v in
+      if v = 0 || t.live r then r else first_live (vparent t v)
+    in
+    Some (first_live (vparent t v))
 
 let children t ~root =
   let v = vrank t ~root in
-  let rec go i acc =
-    if i > t.fanout then List.rev acc
+  (* a live virtual rank is a child; a dead one is expanded into its own
+     children, recursively — its live descendants report here instead *)
+  let rec expand c acc =
+    if c >= t.size then acc
     else
-      let c = (t.fanout * v) + i in
-      if c < t.size then go (i + 1) (unvrank t ~root c :: acc) else List.rev acc
+      let r = unvrank t ~root c in
+      if t.live r then r :: acc
+      else
+        let rec kids i acc =
+          if i > t.fanout then acc else kids (i + 1) (expand ((t.fanout * c) + i) acc)
+        in
+        kids 1 acc
+  in
+  let rec go i acc =
+    if i > t.fanout then List.rev acc else go (i + 1) (expand ((t.fanout * v) + i) acc)
   in
   go 1 []
 
@@ -277,7 +304,10 @@ let allreduce t ~op v =
 (* ------------------------------------------------------------------ *)
 
 let install ?(channel = default_channel) ?(fanout = 2) ?(code_bytes = 2048)
-    ?(bytes_of = fun _ -> 64) ~inject ~project cluster =
+    ?(bytes_of = fun _ -> 64) ?live ~inject ~project cluster =
+  let live =
+    match live with Some f -> f | None -> fun r -> Cluster.node_alive cluster r
+  in
   let n = Cluster.size cluster in
   if n > 256 then
     invalid_arg "Collectives.install: at most 256 nodes (the root rides in the header)";
@@ -297,6 +327,7 @@ let install ?(channel = default_channel) ?(fanout = 2) ?(code_bytes = 2048)
           fanout;
           channel;
           combine_cycles = p.Params.handler_dispatch_nic_cycles;
+          live;
           inject;
           project;
           bytes_of;

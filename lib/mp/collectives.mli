@@ -36,6 +36,14 @@ val default_channel : int
     [code_bytes] (default 2048: object code + tree state) of board memory
     each. [fanout] (default 2) is the combining-tree arity; [bytes_of]
     (default [fun _ -> 64]) sizes a value on the wire.
+
+    [live] (default: the cluster's [Cluster.node_alive]) is the routing
+    oracle for the combining tree: a rank it reports dead is bypassed — its
+    parent adopts its live descendants — so collectives started {e after} a
+    crash reconfigure around the casualty instead of waiting on it forever.
+    A crash in the middle of an episode can still strand that episode; bound
+    the run with [Cluster.run_app ~watchdog] to turn such hangs into a
+    structured failure.
     @raise Invalid_argument on more than 256 nodes or [fanout < 1].
     @raise Failure if a board cannot hold [code_bytes]. *)
 val install :
@@ -43,6 +51,7 @@ val install :
   ?fanout:int ->
   ?code_bytes:int ->
   ?bytes_of:('v -> int) ->
+  ?live:(int -> bool) ->
   inject:('v -> 'a) ->
   project:('a -> 'v) ->
   'a Cni_cluster.Cluster.t ->

@@ -162,6 +162,36 @@ let recv t ?src ~tag () =
   check_tag tag;
   recv_internal t ?src ~tag ()
 
+(* A receive that gives up: races the waiter against an engine timer. The
+   waiter is removed on timeout so a late-arriving message parks in the
+   mailbox (observable by a later receive) instead of resuming a dead
+   continuation; the fill-once flag arbitrates the race when message and
+   timer land on the same instant. *)
+let recv_timeout t ?src ~tag ~timeout () =
+  check_tag tag;
+  if timeout <= Cni_engine.Time.zero then invalid_arg "Mp.recv_timeout: timeout must be positive";
+  match take_from_mailbox t ~src ~tag with
+  | Some e -> Some e
+  | None ->
+      let iv = Sync.Ivar.create () in
+      let settled = ref false in
+      let w =
+        { w_src = src; w_tag = tag;
+          resume =
+            (fun e ->
+              settled := true;
+              Sync.Ivar.fill iv (Some e)) }
+      in
+      t.waiters <- w :: t.waiters;
+      let eng = Node.engine t.node in
+      Engine.after eng timeout (fun () ->
+          if not !settled then begin
+            settled := true;
+            t.waiters <- List.filter (fun w' -> w' != w) t.waiters;
+            Sync.Ivar.fill iv None
+          end);
+      Node.blocking t.node (fun () -> Sync.Ivar.read iv)
+
 let try_recv t ?src ~tag () =
   check_tag tag;
   take_from_mailbox t ~src ~tag

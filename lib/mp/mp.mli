@@ -62,6 +62,15 @@ val send : 'a t -> dst:int -> tag:int -> ?bytes:int -> ?buffer:int -> 'a -> unit
     (tag matching, not FIFO across tags). Fiber context. *)
 val recv : 'a t -> ?src:int -> tag:int -> unit -> 'a envelope
 
+(** [recv_timeout t ?src ~tag ~timeout ()] — like {!recv} but gives up after
+    [timeout] of simulated time, returning [None]. On timeout the pending
+    receive is withdrawn: a message arriving later parks in the mailbox for a
+    future receive rather than being lost. Use against a peer that may have
+    crashed (see [Cluster.crash_node]) to degrade cleanly instead of hanging.
+    @raise Invalid_argument on a non-positive timeout or reserved tag. *)
+val recv_timeout :
+  'a t -> ?src:int -> tag:int -> timeout:Cni_engine.Time.t -> unit -> 'a envelope option
+
 (** Non-blocking probe-and-take. *)
 val try_recv : 'a t -> ?src:int -> tag:int -> unit -> 'a envelope option
 

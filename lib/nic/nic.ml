@@ -94,8 +94,9 @@ type 'a handler_fn = 'a ctx -> 'a Fabric.packet -> unit
 type 'a tx_entry = {
   e_dst : int;
   e_channel : int;
-  e_seq : int;
-  e_header : Bytes.t;
+  e_seq : int;  (* bare sequence number; stable across crash re-stamping *)
+  mutable e_aux : int;  (* (epoch, seq) as stamped on the wire; the pending key *)
+  mutable e_header : Bytes.t;
   e_body_bytes : int;
   e_data : data;
   e_payload : 'a;
@@ -107,12 +108,26 @@ type 'a tx_entry = {
 type 'a rel = {
   r_cfg : Reliable.config;
   r_next_seq : (int, int ref) Hashtbl.t;  (* per-destination allocator *)
-  r_pending : (int * int, 'a tx_entry) Hashtbl.t;  (* (dst, seq) *)
+  r_pending : (int * int, 'a tx_entry) Hashtbl.t;  (* (dst, aux) *)
+  mutable r_parked : 'a tx_entry list;
+      (* un-acked entries surviving a board crash in the host-resident
+         descriptor rings, newest first; re-stamped and re-sent at restart *)
   r_windows : (int, Reliable.Window.t) Hashtbl.t;  (* per-source dedup *)
+  r_peer_epoch : (int, int) Hashtbl.t;  (* newest epoch seen per source *)
   r_retransmits : Stats.Counter.t;
   r_acks_tx : Stats.Counter.t;
   r_acks_rx : Stats.Counter.t;
   r_rx_duplicates : Stats.Counter.t;
+  r_rto_capped : Stats.Counter.t;  (* arm events clamped at max_rto *)
+}
+
+(* One replayable handler installation: a scrubbed board rebuilds its
+   classifier and code segments from this log at restart (re-verifying
+   firmware programs through the static verifier). *)
+type install_entry = {
+  mutable ie_handle : Classifier.handle;
+  mutable ie_live : bool;  (* cleared by uninstall *)
+  ie_replay : unit -> Classifier.handle option;  (* None: re-verification rejected *)
 }
 
 type 'a t = {
@@ -136,6 +151,13 @@ type 'a t = {
   handler_sizes : (Classifier.handle, int) Hashtbl.t;
   mutable default_handler : 'a handler_fn;
   mutable s_handler_code_bytes : int;
+  (* crash/restart state *)
+  mutable alive : bool;
+  mutable epoch : int;  (* restart epoch stamped into sequenced aux fields *)
+  mutable scrubbed : bool;  (* board memory wiped; restart must replay installs *)
+  mutable install_log : install_entry list;  (* newest first *)
+  mutable restarted_at : Time.t option;  (* pending recovery-latency measurement *)
+  mutable recovery_latencies : Time.t list;  (* newest first *)
   (* receive engine state (CNI, host delivery path) *)
   rx_policy : rx_policy;
   rx_batch : int;
@@ -187,6 +209,7 @@ type rel_stats = {
   acks_rx : int;
   rx_duplicates : int;
   tx_unacked : int;
+  rto_capped : int;
 }
 
 let node t = t.node
@@ -237,6 +260,7 @@ let rel_stats t =
         acks_rx = Stats.Counter.value r.r_acks_rx;
         rx_duplicates = Stats.Counter.value r.r_rx_duplicates;
         tx_unacked = Hashtbl.length r.r_pending;
+        rto_capped = Stats.Counter.value r.r_rto_capped;
       })
     t.rel
 
@@ -279,6 +303,12 @@ let host_kernel_burst t d =
    Cache on CNI), segments the frame and hands the cells to the wire. *)
 let nic_transmit t ~dst ~header ~body_bytes ~data ~payload =
   let p = t.p in
+  if not t.alive then begin
+    (* a descriptor reaching a dead board is lost with it (a sequenced
+       original stays pending and retransmits after the restart) *)
+    Stats.Counter.incr (lcounter t "crash_tx_drops")
+  end
+  else begin
   (* the board works its transmit queue one descriptor at a time: a pipelined
      resend of a buffer must observe the Message Cache binding its
      predecessor created *)
@@ -323,6 +353,7 @@ let nic_transmit t ~dst ~header ~body_bytes ~data ~payload =
       ~label:"tx" ~payload:dst;
   ignore (Ring.pop t.tx_ring : unit);
   Fabric.send t.fabric pkt
+  end
 
 (* Arm (or re-arm) the retransmission timer for one unacked entry. On the
    CNI/OSIRIS boards the timer and the resend run in board firmware; the
@@ -333,16 +364,27 @@ let rec arm_retransmit t r (e : 'a tx_entry) =
   Engine.after t.eng e.e_rto (fun () ->
       if not e.e_acked then
         if e.e_tries >= r.r_cfg.Reliable.max_tries then begin
-          Hashtbl.remove r.r_pending (e.e_dst, e.e_seq);
-          Engine.spawn t.eng ~name:"nic-delivery-failed" (fun () ->
-              raise
-                (Reliable.Delivery_failed
-                   { Reliable.node = t.node; dst = e.e_dst; channel = e.e_channel;
-                     seq = e.e_seq; tries = e.e_tries }))
+          Hashtbl.remove r.r_pending (e.e_dst, e.e_aux);
+          let f =
+            { Reliable.node = t.node; dst = e.e_dst; channel = e.e_channel;
+              seq = e.e_seq; tries = e.e_tries }
+          in
+          (* a crashed destination is a diagnosis, not a timeout: the sender
+             learns its peer is dead rather than merely unreachable *)
+          let exn =
+            if Fabric.node_down t.fabric ~node:e.e_dst then Reliable.Peer_dead f
+            else Reliable.Delivery_failed f
+          in
+          Engine.spawn t.eng ~name:"nic-delivery-failed" (fun () -> raise exn)
         end
         else begin
           e.e_tries <- e.e_tries + 1;
-          e.e_rto <- Time.(e.e_rto * r.r_cfg.Reliable.backoff);
+          let next_rto = Time.(e.e_rto * r.r_cfg.Reliable.backoff) in
+          if next_rto > r.r_cfg.Reliable.max_rto then begin
+            Stats.Counter.incr r.r_rto_capped;
+            e.e_rto <- r.r_cfg.Reliable.max_rto
+          end
+          else e.e_rto <- next_rto;
           Stats.Counter.incr r.r_retransmits;
           if Trace.enabled_cat Trace.Nic then
             Trace.emit ~t_ps:(Time.to_ps (Engine.now t.eng)) ~node:t.node Trace.Nic
@@ -365,6 +407,13 @@ let rec arm_retransmit t r (e : 'a tx_entry) =
    acknowledged; non-Wire frames (none in the current protocols) pass
    through unsequenced. *)
 let submit t ~dst ~header ~body_bytes ~data ~payload =
+  if not t.alive then
+    (* a descriptor posted into a dead board's ADC window vanishes with the
+       board — in particular no sequence number is allocated, so nothing can
+       later retransmit under a stale epoch (the host freeze makes this path
+       all but unreachable anyway) *)
+    Stats.Counter.incr (lcounter t "crash_tx_drops")
+  else
   let plain () =
     Engine.spawn t.eng ~name:"nic-tx" (fun () ->
         nic_transmit t ~dst ~header ~body_bytes ~data ~payload)
@@ -385,13 +434,15 @@ let submit t ~dst ~header ~body_bytes ~data ~payload =
           in
           incr next;
           let seq = !next in
-          let header = Wire.with_aux header seq in
+          let aux = Reliable.aux_of ~epoch:t.epoch ~seq in
+          let header = Wire.with_aux header aux in
           let e =
-            { e_dst = dst; e_channel = h.Wire.channel; e_seq = seq; e_header = header;
-              e_body_bytes = body_bytes; e_data = data; e_payload = payload;
-              e_tries = 1; e_rto = r.r_cfg.Reliable.timeout; e_acked = false }
+            { e_dst = dst; e_channel = h.Wire.channel; e_seq = seq; e_aux = aux;
+              e_header = header; e_body_bytes = body_bytes; e_data = data;
+              e_payload = payload; e_tries = 1; e_rto = r.r_cfg.Reliable.timeout;
+              e_acked = false }
           in
-          Hashtbl.replace r.r_pending (dst, seq) e;
+          Hashtbl.replace r.r_pending (dst, aux) e;
           arm_retransmit t r e;
           Engine.spawn t.eng ~name:"nic-tx" (fun () ->
               nic_transmit t ~dst ~header ~body_bytes ~data ~payload))
@@ -550,6 +601,26 @@ let rel_admit t (h : Wire.t) (pkt : 'a Fabric.packet) =
   | Some r ->
       if h.Wire.aux = 0 then true
       else begin
+        let epoch, seq = Reliable.split_aux h.Wire.aux in
+        let known = Option.value (Hashtbl.find_opt r.r_peer_epoch pkt.Fabric.src) ~default:0 in
+        if epoch < known then begin
+          (* a retransmission queued before the source's board crashed:
+             dropping it (unacked) keeps the pre-crash sequence space from
+             bleeding into the new epoch's window *)
+          Stats.Counter.incr (lcounter t "rx_stale_epoch");
+          if Trace.enabled_cat Trace.Nic then
+            Trace.emit ~t_ps:(Time.to_ps (Engine.now t.eng)) ~node:t.node Trace.Nic
+              ~label:"rx-stale-epoch" ~payload:h.Wire.aux;
+          discard_cost t;
+          false
+        end
+        else begin
+        (* the source restarted: adopt its new epoch. The duplicate window
+           is deliberately NOT reset — the sender's sequence allocator is
+           host-resident and survives its board crash, so the window stays
+           valid, and it is what suppresses the post-restart re-send of a
+           frame whose pre-crash transmission already landed *)
+        if epoch > known then Hashtbl.replace r.r_peer_epoch pkt.Fabric.src epoch;
         let w =
           match Hashtbl.find_opt r.r_windows pkt.Fabric.src with
           | Some w -> w
@@ -558,7 +629,7 @@ let rel_admit t (h : Wire.t) (pkt : 'a Fabric.packet) =
               Hashtbl.replace r.r_windows pkt.Fabric.src w;
               w
         in
-        let fresh = Reliable.Window.observe w h.Wire.aux = `Fresh in
+        let fresh = Reliable.Window.observe w seq = `Fresh in
         (* ack duplicates too: the retransmission usually means our previous
            ack was lost *)
         send_ack t r ~dst:pkt.Fabric.src ~seq:h.Wire.aux;
@@ -570,6 +641,7 @@ let rel_admit t (h : Wire.t) (pkt : 'a Fabric.packet) =
           discard_cost t
         end;
         fresh
+        end
       end
 
 (* ------------------------------------------------------------------ *)
@@ -718,6 +790,18 @@ let deliver_host t handler pkt =
 
 let receive t (pkt : 'a Fabric.packet) =
   let p = t.p in
+  if not t.alive then
+    (* the fabric drops frames for down nodes itself; this guards deliveries
+       already in flight inside a fabric fiber when the crash landed *)
+    Stats.Counter.incr (lcounter t "crash_rx_drops")
+  else begin
+  (match t.restarted_at with
+  | Some r ->
+      (* first frame the restarted board sees: the peer-visible recovery
+         latency of this crash/restart cycle *)
+      t.recovery_latencies <- Time.(Engine.now t.eng - r) :: t.recovery_latencies;
+      t.restarted_at <- None
+  | None -> ());
   Stats.Counter.incr t.s_rx_packets;
   if Trace.enabled_cat Trace.Nic then
     Trace.emit ~t_ps:(Time.to_ps (Engine.now t.eng)) ~node:t.node Trace.Nic
@@ -798,6 +882,7 @@ let receive t (pkt : 'a Fabric.packet) =
             run_on_host t
               ~base:Time.(p.Params.interrupt_latency + kernel)
               ~reply_host_cycles:p.Params.kernel_send_cycles handler pkt)
+  end
 
 let create ?registry ?reliability ~kind eng bus fabric ~node ~host =
   let p = Bus.params bus in
@@ -823,11 +908,14 @@ let create ?registry ?reliability ~kind eng bus fabric ~node ~host =
           r_cfg = cfg;
           r_next_seq = Hashtbl.create 8;
           r_pending = Hashtbl.create 32;
+          r_parked = [];
           r_windows = Hashtbl.create 8;
+          r_peer_epoch = Hashtbl.create 8;
           r_retransmits = counter "retransmits";
           r_acks_tx = counter "acks_tx";
           r_acks_rx = counter "acks_rx";
           r_rx_duplicates = counter "rx_duplicates";
+          r_rto_capped = counter "rto_capped";
         })
       reliability
   in
@@ -850,6 +938,12 @@ let create ?registry ?reliability ~kind eng bus fabric ~node ~host =
       handler_sizes = Hashtbl.create 16;
       default_handler = (fun _ _ -> ());
       s_handler_code_bytes = 0;
+      alive = true;
+      epoch = 0;
+      scrubbed = false;
+      install_log = [];
+      restarted_at = None;
+      recovery_latencies = [];
       rx_policy =
         (match kind with
         | Cni { rx_policy; _ } -> rx_policy
@@ -905,7 +999,9 @@ let create_osiris ?registry ?reliability eng bus fabric ~node ~host
     ?(options = default_osiris_options) () =
   create ?registry ?reliability ~kind:(Osiris options) eng bus fabric ~node ~host
 
-let install_handler t ~pattern ?(code_bytes = 512) f =
+(* The memory-check + classifier half of an installation, shared by the
+   public entry point and the restart replay (which must not re-log). *)
+let install_raw t ~pattern ~code_bytes f =
   if code_bytes <= 0 then invalid_arg "Nic.install_handler: code_bytes must be positive";
   let mc_bytes =
     match t.kind with Cni { mc_bytes; _ } -> mc_bytes | Osiris _ | Standard -> 0
@@ -920,6 +1016,15 @@ let install_handler t ~pattern ?(code_bytes = 512) f =
   Hashtbl.replace t.handler_sizes h code_bytes;
   h
 
+let install_handler t ~pattern ?(code_bytes = 512) f =
+  let h = install_raw t ~pattern ~code_bytes f in
+  let entry =
+    { ie_handle = h; ie_live = true;
+      ie_replay = (fun () -> Some (install_raw t ~pattern ~code_bytes f)) }
+  in
+  t.install_log <- entry :: t.install_log;
+  h
+
 (* removing a handler frees its board segment for later installations *)
 let uninstall_handler t h =
   (match Hashtbl.find_opt t.handler_sizes h with
@@ -927,9 +1032,107 @@ let uninstall_handler t h =
       Hashtbl.remove t.handler_sizes h;
       t.s_handler_code_bytes <- t.s_handler_code_bytes - bytes
   | None -> ());
+  List.iter (fun e -> if e.ie_live && e.ie_handle = h then e.ie_live <- false) t.install_log;
   Classifier.remove t.classifier h
 let set_default_handler t f = t.default_handler <- f
 let handler_code_bytes t = t.s_handler_code_bytes
+
+(* ------------------------------------------------------------------ *)
+(* Crash / restart                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let alive t = t.alive
+let epoch t = t.epoch
+let recovery_latencies t = List.rev t.recovery_latencies
+
+let crash t ~scrub =
+  if t.alive then begin
+    t.alive <- false;
+    Stats.Counter.incr (lcounter t "crashes");
+    if Trace.enabled_cat Trace.Nic then
+      Trace.emit ~t_ps:(Time.to_ps (Engine.now t.eng)) ~node:t.node Trace.Nic
+        ~label:(if scrub then "crash-scrub" else "crash") ~payload:t.epoch;
+    (* the board's retransmission timers die with it, but the descriptors
+       themselves live in the host-resident ADC rings: park every un-acked
+       entry (marking it acked kills its armed timer) for the restart to
+       re-stamp and re-send. The per-source duplicate windows, peer epochs
+       and sequence allocators are host-resident too and survive — they are
+       what keeps delivery exactly-once across the restart. *)
+    Option.iter
+      (fun r ->
+        Hashtbl.iter
+          (fun _ e ->
+            e.e_acked <- true;
+            r.r_parked <- e :: r.r_parked)
+          r.r_pending;
+        Hashtbl.reset r.r_pending)
+      t.rel;
+    (* classified-but-undelivered frames queued on the board are lost *)
+    Queue.clear t.rx_queue;
+    t.rx_wakeup_armed <- false;
+    t.restarted_at <- None;
+    if scrub then begin
+      t.scrubbed <- true;
+      Hashtbl.iter (fun h _ -> Classifier.remove t.classifier h) t.handler_sizes;
+      Hashtbl.reset t.handler_sizes;
+      t.s_handler_code_bytes <- 0;
+      Option.iter
+        (fun mc ->
+          List.iter (fun vpage -> Message_cache.unbind mc ~vpage) (Message_cache.bound_pages mc))
+        t.mc
+    end
+  end
+
+let restart t =
+  if not t.alive then begin
+    t.alive <- true;
+    (* the epoch saturates rather than wraps: a board that crashed 127 times
+       keeps epoch 127, trading stale-frame rejection for monotonicity *)
+    t.epoch <- min (t.epoch + 1) Reliable.max_epoch;
+    Stats.Counter.incr (lcounter t "restarts");
+    if Trace.enabled_cat Trace.Nic then
+      Trace.emit ~t_ps:(Time.to_ps (Engine.now t.eng)) ~node:t.node Trace.Nic
+        ~label:"restart" ~payload:t.epoch;
+    (* End-to-end recovery of in-flight sends: every entry parked at the
+       crash is re-stamped under the new epoch — with its ORIGINAL bare
+       sequence number, since the allocator is host-resident and never
+       reset — and re-sent. A pre-crash transmission of the same frame that
+       did land is suppressed by the receiver's surviving duplicate window;
+       one still in flight under the old epoch is rejected as stale. Either
+       way the frame is delivered exactly once. *)
+    Option.iter
+      (fun r ->
+        let parked = r.r_parked in
+        r.r_parked <- [];
+        List.iter
+          (fun e ->
+            let aux = Reliable.aux_of ~epoch:t.epoch ~seq:e.e_seq in
+            e.e_aux <- aux;
+            e.e_header <- Wire.with_aux e.e_header aux;
+            e.e_acked <- false;
+            e.e_tries <- 1;
+            e.e_rto <- r.r_cfg.Reliable.timeout;
+            Hashtbl.replace r.r_pending (e.e_dst, aux) e;
+            arm_retransmit t r e;
+            Engine.spawn t.eng ~name:"nic-tx" (fun () ->
+                nic_transmit t ~dst:e.e_dst ~header:e.e_header
+                  ~body_bytes:e.e_body_bytes ~data:e.e_data ~payload:e.e_payload))
+          (List.rev parked))
+      t.rel;
+    t.restarted_at <- Some (Engine.now t.eng);
+    if t.scrubbed then begin
+      t.scrubbed <- false;
+      (* replay the surviving installations in their original order; each
+         verified program goes back through the static verifier first *)
+      List.iter
+        (fun e ->
+          if e.ie_live then
+            match e.ie_replay () with
+            | Some h -> e.ie_handle <- h
+            | None -> e.ie_live <- false)
+        (List.rev t.install_log)
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Verified AIH firmware installation                                  *)
@@ -949,8 +1152,9 @@ let install_handler_verified ?max_wcet t ~pattern ~program ~entry ~on_send ~on_w
   | Ok cert ->
       (* the handler's persistent board segment: one allocation at install,
          shared by every activation, like the closure handlers' mutable
-         state records *)
-      let mem = Array.make program.Cni_aih.Aih_ir.seg_words 0 in
+         state records. A scrub wipes it; the restart replay allocates a
+         fresh zeroed segment. *)
+      let mem = ref (Array.make program.Cni_aih.Aih_ir.seg_words 0) in
       let activate ctx inputs =
         let services =
           {
@@ -960,12 +1164,27 @@ let install_handler_verified ?max_wcet t ~pattern ~program ~entry ~on_send ~on_w
             sv_charge = ctx.charge;
           }
         in
-        ignore (Cni_aih.Aih_exec.run program ~mem ~inputs services)
+        ignore (Cni_aih.Aih_exec.run program ~mem:!mem ~inputs services)
       in
-      let h =
-        install_handler t ~pattern ~code_bytes:cert.Cni_aih.Aih_verify.code_bytes
-          (fun ctx pkt -> activate ctx (entry pkt))
+      let fn ctx pkt = activate ctx (entry pkt) in
+      let code_bytes = cert.Cni_aih.Aih_verify.code_bytes in
+      let h = install_raw t ~pattern ~code_bytes fn in
+      let entry_log =
+        { ie_handle = h; ie_live = true;
+          ie_replay =
+            (fun () ->
+              (* firmware goes back through the verifier before the scrubbed
+                 board will run it again *)
+              match Cni_aih.Aih_verify.verify ?max_wcet program with
+              | Error _ ->
+                  Stats.Counter.incr (lcounter t "restart_reverify_rejects");
+                  None
+              | Ok cert' ->
+                  Stats.Counter.incr (lcounter t "restart_reverified");
+                  mem := Array.make program.Cni_aih.Aih_ir.seg_words 0;
+                  Some (install_raw t ~pattern ~code_bytes:cert'.Cni_aih.Aih_verify.code_bytes fn)) }
       in
+      t.install_log <- entry_log :: t.install_log;
       Ok { vh_handle = h; vh_cert = cert; vh_activate = activate }
 
 let aih_verify_rejects t = lvalue t "aih_verify_rejects"

@@ -337,6 +337,7 @@ type rel_stats = {
   acks_rx : int;  (** acknowledgments received *)
   rx_duplicates : int;  (** sequenced frames suppressed by the receive window *)
   tx_unacked : int;  (** frames still awaiting an ack (0 after a clean run) *)
+  rto_capped : int;  (** retransmission arms clamped at [config.max_rto] *)
 }
 
 (** [None] when the interface was built without [reliability]. *)
@@ -349,3 +350,51 @@ val rx_undecodable : 'a t -> int
 (** Frames dropped on receive because reassembly flagged an AAL5 CRC
     mismatch (fault-injected corruption); [node<N>/nic/rx_crc_errors]. *)
 val rx_crc_errors : 'a t -> int
+
+(** {2 Crash / restart}
+
+    A board can {!crash} — its timers and queued deliveries die; frames to
+    or from it are dropped (counted as [crash_tx_drops]/[crash_rx_drops]) —
+    and later {!restart} under a new delivery {e epoch}. Because the ADC
+    descriptor rings are host-resident, un-acked transmit descriptors
+    survive the crash: they are parked, and {!restart} re-stamps each one
+    under the new epoch with its original bare sequence number, re-arms its
+    retransmit timer and re-sends it, so nothing entrusted to reliable
+    delivery is lost across a crash. Sequenced frames carry [(epoch, seq)]
+    in the Wire aux field (see {!Reliable.aux_of}); receivers reject frames
+    from an older epoch of a source than the newest seen, which kills the
+    stale pre-crash transmissions of those same payloads. The per-source
+    duplicate windows, peer epochs and sequence allocators are likewise
+    host-resident and survive — a pre-crash delivery of seq [s] suppresses
+    the post-restart re-send of seq [s], keeping delivery exactly-once
+    across a restart.
+
+    A crash with [scrub = true] additionally wipes board memory: installed
+    handlers (and their firmware segments) and the Message Cache's bindings.
+    The restart then replays every surviving installation in its original
+    order, re-verifying firmware programs through
+    {!Cni_aih.Aih_verify.verify} (counted as [restart_reverified] /
+    [restart_reverify_rejects]). Classifier handles and [vh_activate]
+    closures obtained {e before} a scrubbed crash refer to the wiped
+    segments and must not be reused. *)
+
+(** [false] between a {!crash} and the matching {!restart}. *)
+val alive : 'a t -> bool
+
+(** The board's restart epoch (0 at creation; saturates at
+    {!Reliable.max_epoch}). *)
+val epoch : 'a t -> int
+
+(** Crash the board; no-op if already dead. [Cluster] pairs this with
+    marking the node down on the fabric. *)
+val crash : 'a t -> scrub:bool -> unit
+
+(** Restart a crashed board; no-op if alive. Advances the epoch, re-stamps
+    and re-sends the parked un-acked transmit descriptors under it, and
+    replays the install log if the crash scrubbed board memory. *)
+val restart : 'a t -> unit
+
+(** Per-restart recovery latencies, oldest first: the time from each
+    {!restart} to the first frame the revived board received. A restart
+    that never saw traffic again contributes nothing. *)
+val recovery_latencies : 'a t -> Cni_engine.Time.t list

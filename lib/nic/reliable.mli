@@ -21,16 +21,19 @@ type config = {
   timeout : Cni_engine.Time.t;  (** initial retransmission timeout *)
   backoff : int;  (** timeout multiplier applied on every retry *)
   max_tries : int;  (** total transmissions before giving up *)
+  max_rto : Cni_engine.Time.t;
+      (** retransmission-timeout ceiling: backoff stops doubling here, so
+          late retries against a slow peer cannot overshoot the whole run *)
 }
 
 (** 1 ms initial timeout (well above fabric round-trip plus host queueing
     under bursty traffic, so zero-loss runs rarely retransmit spuriously),
-    doubling, 12 transmissions — the budget covers transient link-down
-    windows of a second or more. *)
+    doubling, 12 transmissions, RTO capped at 100 ms — the budget covers
+    transient link-down windows of a second or more. *)
 val default : config
 
-(** @raise Invalid_argument on a non-positive timeout, backoff < 1 or
-    max_tries < 1. *)
+(** @raise Invalid_argument on a non-positive timeout, backoff < 1,
+    max_tries < 1 or max_rto < timeout. *)
 val check_config : config -> unit
 
 (** Wire [kind] / [channel] of acknowledgment frames ([obj] = acked seq).
@@ -43,7 +46,36 @@ type failure = { node : int; dst : int; channel : int; seq : int; tries : int }
 
 exception Delivery_failed of failure
 
+(** Raised instead of {!Delivery_failed} when the retry budget runs out
+    against a destination the fabric knows to be crashed: the sender learns
+    its peer is dead rather than merely unreachable. A printer is
+    registered. *)
+exception Peer_dead of failure
+
 val failure_message : failure -> string
+val peer_dead_message : failure -> string
+
+(** {2 Delivery epochs}
+
+    The Wire aux field of a sequenced frame carries
+    [(epoch lsl 24) lor seq]: the low 24 bits are the per-destination
+    sequence number (starting at 1, so aux is never 0 — 0 marks
+    unsequenced traffic), bits 24–30 are the sender board's restart epoch.
+    A receiver drops frames from an older epoch of a source than the newest
+    it has seen, so retransmissions queued before a crash cannot corrupt
+    the post-restart sequence space. Epoch 0 encodes to the bare sequence
+    number, bit-identical to the pre-epoch wire format. *)
+
+(** Epochs saturate here (127) rather than wrap, keeping the wire int32
+    positive. *)
+val max_epoch : int
+
+(** @raise Invalid_argument if [epoch] is outside [0, max_epoch] or [seq]
+    outside [1, 2^24 - 1]. *)
+val aux_of : epoch:int -> seq:int -> int
+
+(** [split_aux aux] is [(epoch, seq)]. *)
+val split_aux : int -> int * int
 
 (** Per-source receive window: duplicate suppression with a floor that
     advances over contiguously seen sequence numbers (senders allocate

@@ -1,0 +1,303 @@
+(* Node crash/restart chaos: the fault schedule drives real crashes, the
+   cluster recovers end to end, and every failure mode is structured — a
+   crashed peer yields Peer_dead, a stuck run trips the quiescence
+   watchdog, an open-loop receive times out. Never a hang. *)
+
+module Time = Cni_engine.Time
+module Engine = Cni_engine.Engine
+module Faults = Cni_atm.Faults
+module Reliable = Cni_nic.Reliable
+module Nic = Cni_nic.Nic
+module Cluster = Cni_cluster.Cluster
+module Node = Cni_cluster.Node
+module Mp = Cni_mp.Mp
+module Collectives = Cni_mp.Collectives
+module Chaos = Cni_experiments.Chaos
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+let cni = `Cni Nic.default_cni_options
+
+(* small closed-loop workload shared by the recovery tests *)
+let dsm ?(seed = 7) ~crashes ~down () =
+  Chaos.run_dsm ~seed ~procs:4 ~n:64 ~iterations:4 ~crashes ~down ()
+
+let dsm_clean_checksum = lazy (dsm ~crashes:0 ~down:(Time.us 150) ()).Chaos.checksum
+
+(* ------------------------------------------------------------------ *)
+(* Closed-loop recovery                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_dsm_recovers () =
+  let m = dsm ~crashes:2 ~down:(Time.us 300) () in
+  checkb "run completed" true m.Chaos.completed;
+  check Alcotest.string "outcome ok" "ok" m.Chaos.outcome;
+  checki "both crashes fired" 2 m.Chaos.crashes;
+  checki "both restarts fired" 2 m.Chaos.restarts;
+  checkb "revived boards saw traffic again" true (m.Chaos.recoveries >= 1);
+  check (Alcotest.float 0.0) "fault-free checksum reproduced"
+    (Lazy.force dsm_clean_checksum) m.Chaos.checksum
+
+let test_dsm_recovers_scrubbed () =
+  let m = Chaos.run_dsm ~procs:4 ~n:64 ~iterations:4 ~scrub:true ~crashes:2
+      ~down:(Time.us 300) ()
+  in
+  checkb "scrubbed run completed" true m.Chaos.completed;
+  check (Alcotest.float 0.0) "checksum survives board scrubs"
+    (Lazy.force dsm_clean_checksum) m.Chaos.checksum
+
+let test_chaos_deterministic () =
+  let run () = dsm ~seed:11 ~crashes:2 ~down:(Time.us 300) () in
+  checkb "identical metrics across two invocations" true (compare (run ()) (run ()) = 0);
+  let ring () = Chaos.run_ring ~seed:11 ~nodes:4 ~rounds:12 ~crashes:2 ~down:(Time.us 200) () in
+  checkb "ring metrics deterministic too" true (compare (ring ()) (ring ()) = 0)
+
+(* random schedule x the closed-loop app: whatever the fault timing, the
+   run either completes with the fault-free checksum (exactly-once
+   delivery across the crashes) or returns a structured failure — the
+   property call returning at all proves the watchdog bounded it *)
+let dsm_qcheck =
+  QCheck.Test.make ~count:6 ~name:"random schedule: exactly-once or clean failure"
+    QCheck.(triple (int_range 0 1000) (int_range 0 2) (int_range 60 500))
+    (fun (seed, crashes, down_us) ->
+      let m = dsm ~seed ~crashes ~down:(Time.us down_us) () in
+      if m.Chaos.completed then
+        m.Chaos.outcome = "ok" && m.Chaos.checksum = Lazy.force dsm_clean_checksum
+      else m.Chaos.outcome <> "ok")
+
+(* open loop: the ring degrades by timing rounds out; duplicate delivery
+   would inflate the checksum past the fault-free sum *)
+let ring_qcheck =
+  let clean =
+    lazy (Chaos.run_ring ~nodes:4 ~rounds:12 ~crashes:0 ~down:(Time.us 150) ()).Chaos.checksum
+  in
+  QCheck.Test.make ~count:6 ~name:"ring degrades without hanging or duplicating"
+    QCheck.(pair (int_range 0 1000) (int_range 1 3))
+    (fun (seed, crashes) ->
+      let m = Chaos.run_ring ~seed ~nodes:4 ~rounds:12 ~crashes ~down:(Time.us 200) () in
+      m.Chaos.completed && m.Chaos.checksum <= Lazy.force clean)
+
+(* ------------------------------------------------------------------ *)
+(* Board state across scrubbed crashes                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_scrub_cycles_preserve_board_memory () =
+  (* three scrub crash/restart cycles against node 1 while node 0 keeps
+     sending: the install-log replay must restore the wiped handlers and
+     the parked-descriptor re-send must keep delivery exactly-once *)
+  let cycles = 3 in
+  let schedule =
+    List.concat
+      (List.init cycles (fun k ->
+           let at = Time.(us 100 + (us 600 * k)) in
+           [
+             { Faults.e_at = at; e_node = 1; e_fault = Faults.Crash { scrub = true } };
+             { Faults.e_at = Time.(at + us 200); e_node = 1; e_fault = Faults.Restart };
+           ]))
+  in
+  let faults = { Faults.none with Faults.schedule } in
+  let cluster : int Mp.envelope Cluster.t = Cluster.create ~faults ~nic_kind:cni ~nodes:2 () in
+  let eps = Mp.install cluster in
+  let nic1 = Node.nic (Cluster.node cluster 1) in
+  let code_bytes = Nic.handler_code_bytes nic1 in
+  checkb "handlers charge board memory" true (code_bytes > 0);
+  let got = ref 0 in
+  Cluster.run_app ~watchdog:(Time.s 1) cluster (fun node ->
+      let ep = eps.(Node.id node) in
+      if Mp.rank ep = 0 then
+        for r = 0 to 5 do
+          Mp.send ep ~dst:1 ~tag:r (r * 7);
+          Engine.delay (Time.us 300)
+        done
+      else
+        for r = 0 to 5 do
+          got := !got + (Mp.recv ep ~tag:r ()).Mp.value
+        done);
+  checki "every message delivered exactly once across the crashes" 105 !got;
+  checki "board memory restored by the install-log replay" code_bytes
+    (Nic.handler_code_bytes nic1);
+  checki "one epoch per restart" cycles (Nic.epoch nic1)
+
+(* ------------------------------------------------------------------ *)
+(* Collectives around a crash                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_collective_parity_between_crashes () =
+  (* a scrub crash/restart cycle that falls between two allreduce
+     episodes: both episodes must produce the fault-free result *)
+  let run ~faulty =
+    let faults =
+      if not faulty then Faults.none
+      else
+        {
+          Faults.none with
+          Faults.schedule =
+            [
+              { Faults.e_at = Time.us 300; e_node = 2; e_fault = Faults.Crash { scrub = true } };
+              { Faults.e_at = Time.us 600; e_node = 2; e_fault = Faults.Restart };
+            ];
+        }
+    in
+    let cluster : int Cluster.t = Cluster.create ~faults ~nic_kind:cni ~nodes:4 () in
+    let eps = Collectives.install ~inject:Fun.id ~project:Fun.id cluster in
+    let sums = Array.make 4 (0, 0) in
+    Cluster.run_app ~watchdog:(Time.s 1) cluster (fun node ->
+        let r = Node.id node in
+        let ep = eps.(r) in
+        let a = Collectives.allreduce ep ~op:( + ) (r + 1) in
+        Engine.delay (Time.us 1000);
+        let b = Collectives.allreduce ep ~op:( + ) ((r + 1) * 10) in
+        sums.(r) <- (a, b));
+    sums
+  in
+  Alcotest.(check (array (pair int int)))
+    "episodes straddling the crash match the fault-free run" (run ~faulty:false)
+    (run ~faulty:true)
+
+(* ------------------------------------------------------------------ *)
+(* Structured failure, never a hang                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_watchdog_fires_on_deliberate_deadlock () =
+  (* both ranks wait on a tag nobody sends while a self-rearming timer
+     keeps the event queue busy: without the watchdog this spins forever *)
+  let cluster : int Mp.envelope Cluster.t = Cluster.create ~nic_kind:cni ~nodes:2 () in
+  let eps = Mp.install cluster in
+  let eng = Cluster.engine cluster in
+  let rec tick () = Engine.after eng (Time.us 50) tick in
+  tick ();
+  match
+    Cluster.run_app ~watchdog:(Time.ms 1) cluster (fun node ->
+        ignore (Mp.recv eps.(Node.id node) ~tag:9 ()))
+  with
+  | () -> Alcotest.fail "expected Quiescence_timeout"
+  | exception Engine.Quiescence_timeout { limit; _ } ->
+      checki "fired at the configured limit" (Time.to_ps (Time.ms 1)) (Time.to_ps limit)
+
+let test_peer_dead_mid_send () =
+  (* node 1 crashes and never restarts; node 0's send must exhaust its
+     budget and surface Peer_dead — not Delivery_failed, not a hang *)
+  let faults =
+    {
+      Faults.none with
+      Faults.schedule = [ { Faults.e_at = Time.us 50; e_node = 1; e_fault = Faults.Crash { scrub = false } } ];
+    }
+  in
+  let reliability =
+    { Reliable.default with Reliable.timeout = Time.us 50; max_tries = 4; max_rto = Time.us 400 }
+  in
+  let cluster : int Mp.envelope Cluster.t =
+    Cluster.create ~faults ~reliability ~nic_kind:cni ~nodes:2 ()
+  in
+  let eps = Mp.install cluster in
+  match
+    Cluster.run_app ~watchdog:(Time.s 1) cluster (fun node ->
+        let ep = eps.(Node.id node) in
+        if Mp.rank ep = 0 then begin
+          Engine.delay (Time.us 100);
+          Mp.send ep ~dst:1 ~tag:1 5
+        end
+        else ignore (Mp.recv ep ~tag:1 ()))
+  with
+  | () -> Alcotest.fail "expected Peer_dead"
+  | exception Engine.Fiber_failure (_, Reliable.Peer_dead f) ->
+      checki "failure names the dead peer" 1 f.Reliable.dst;
+      checki "budget was spent first" 4 f.Reliable.tries
+
+(* ------------------------------------------------------------------ *)
+(* recv_timeout                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_recv_timeout () =
+  let cluster : int Mp.envelope Cluster.t = Cluster.create ~nic_kind:cni ~nodes:2 () in
+  let eps = Mp.install cluster in
+  Cluster.run_app cluster (fun node ->
+      let ep = eps.(Node.id node) in
+      if Mp.rank ep = 0 then begin
+        Engine.delay (Time.us 200);
+        Mp.send ep ~dst:1 ~tag:3 33;
+        Mp.send ep ~dst:1 ~tag:4 44
+      end
+      else begin
+        (try
+           ignore (Mp.recv_timeout ep ~tag:3 ~timeout:Time.zero ());
+           Alcotest.fail "non-positive timeout accepted"
+         with Invalid_argument _ -> ());
+        (match Mp.recv_timeout ep ~tag:3 ~timeout:(Time.us 10) () with
+        | None -> ()
+        | Some _ -> Alcotest.fail "nothing was sent yet");
+        Engine.delay (Time.us 500);
+        (* the tag-3 message arrived after the waiter gave up: it must be
+           parked in the mailbox, not handed to the dead waiter *)
+        (match Mp.try_recv ep ~tag:3 () with
+        | Some e -> checki "late message parked in the mailbox" 33 e.Mp.value
+        | None -> Alcotest.fail "late message was lost");
+        match Mp.recv_timeout ep ~tag:4 ~timeout:(Time.ms 5) () with
+        | Some e -> checki "delivery before the deadline" 44 e.Mp.value
+        | None -> Alcotest.fail "timed out despite delivery"
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Backoff cap                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_backoff_cap_counted () =
+  (* a 3 ms outage against a 200 us RTO ceiling: the retransmission timer
+     must clamp (and count the clamps) instead of doubling past the run *)
+  let faults =
+    {
+      Faults.none with
+      Faults.link_down = [ { Faults.w_node = 1; w_from = Time.zero; w_upto = Time.ms 3 } ];
+    }
+  in
+  let reliability =
+    { Reliable.default with Reliable.timeout = Time.us 50; max_tries = 40; max_rto = Time.us 200 }
+  in
+  let cluster : int Mp.envelope Cluster.t =
+    Cluster.create ~faults ~reliability ~nic_kind:cni ~nodes:2 ()
+  in
+  let eps = Mp.install cluster in
+  let got = ref (-1) in
+  Cluster.run_app cluster (fun node ->
+      let ep = eps.(Node.id node) in
+      if Mp.rank ep = 0 then Mp.send ep ~dst:1 ~tag:1 99
+      else got := (Mp.recv ep ~tag:1 ()).Mp.value);
+  checki "delivered after the outage" 99 !got;
+  match Nic.rel_stats (Node.nic (Cluster.node cluster 0)) with
+  | None -> Alcotest.fail "reliability should be on"
+  | Some s ->
+      checkb "retransmissions carried the frame across" true (s.Nic.retransmits > 0);
+      checkb "capped arms were counted" true (s.Nic.rto_capped > 0)
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "recovery",
+        [
+          Alcotest.test_case "dsm recovers from crashes" `Quick test_dsm_recovers;
+          Alcotest.test_case "dsm recovers from scrubbed crashes" `Quick
+            test_dsm_recovers_scrubbed;
+          Alcotest.test_case "chaos metrics deterministic" `Quick test_chaos_deterministic;
+          QCheck_alcotest.to_alcotest dsm_qcheck;
+          QCheck_alcotest.to_alcotest ring_qcheck;
+        ] );
+      ( "board state",
+        [
+          Alcotest.test_case "scrub cycles preserve board memory" `Quick
+            test_scrub_cycles_preserve_board_memory;
+          Alcotest.test_case "collective parity between crashes" `Quick
+            test_collective_parity_between_crashes;
+        ] );
+      ( "structured failure",
+        [
+          Alcotest.test_case "watchdog fires on deliberate deadlock" `Quick
+            test_watchdog_fires_on_deliberate_deadlock;
+          Alcotest.test_case "peer dead mid-send" `Quick test_peer_dead_mid_send;
+        ] );
+      ( "timeouts",
+        [
+          Alcotest.test_case "recv_timeout" `Quick test_recv_timeout;
+          Alcotest.test_case "backoff cap counted" `Quick test_backoff_cap_counted;
+        ] );
+    ]

@@ -60,6 +60,88 @@ let test_config_validation () =
     Alcotest.fail "empty window accepted"
   with Invalid_argument _ -> ()
 
+let contains hay needle =
+  try
+    ignore (Str.search_forward (Str.regexp_string needle) hay 0);
+    true
+  with Not_found -> false
+
+let test_schedule_text_roundtrip () =
+  let cfg =
+    {
+      Faults.seed = 9;
+      cell_loss = 1e-4;
+      cell_corrupt = 0.;
+      frame_drop = 0.;
+      link_down = [ { Faults.w_node = 2; w_from = Time.us 10; w_upto = Time.us 30 } ];
+      schedule =
+        [
+          { Faults.e_at = Time.us 100; e_node = 1; e_fault = Faults.Crash { scrub = true } };
+          { Faults.e_at = Time.us 300; e_node = 1; e_fault = Faults.Restart };
+          { Faults.e_at = Time.us 250; e_node = 3; e_fault = Faults.Crash { scrub = false } };
+        ];
+    }
+  in
+  (match Faults.config_of_string (Faults.config_to_string cfg) with
+  | Ok cfg' -> checkb "text round-trip preserves the config" true (cfg = cfg')
+  | Error e -> Alcotest.fail e);
+  match Faults.config_of_string (Faults.config_to_string Faults.none) with
+  | Ok cfg' -> checkb "none renders to nothing and parses back" true (Faults.is_none cfg')
+  | Error e -> Alcotest.fail e
+
+let test_schedule_parse_errors () =
+  (match Faults.config_of_string "seed 7\nfrobnicate 3" with
+  | Error e -> checkb "unknown directive names its line" true (contains e "line 2")
+  | Ok _ -> Alcotest.fail "unknown directive accepted");
+  (match Faults.config_of_string "crash 1 soon" with
+  | Error e -> checkb "bad number reported" true (contains e "soon")
+  | Ok _ -> Alcotest.fail "non-numeric time accepted");
+  match Faults.config_of_string "# comment only\n\ncrash 2 100 scrub\nrestart 2 300" with
+  | Ok cfg -> checki "comments and blanks skipped" 2 (List.length cfg.Faults.schedule)
+  | Error e -> Alcotest.fail e
+
+let test_reversed_window_rejected () =
+  let w = { Faults.w_node = 1; w_from = Time.us 20; w_upto = Time.us 10 } in
+  (try
+     ignore (Faults.create { Faults.none with Faults.link_down = [ w ] });
+     Alcotest.fail "reversed window accepted"
+   with Invalid_argument _ -> ());
+  match Faults.validate ~nodes:2 { Faults.none with Faults.link_down = [ w ] } with
+  | Ok () -> Alcotest.fail "validate passed a reversed window"
+  | Error es -> checkb "validate names the reversal" true
+      (List.exists (fun e -> contains e "reversed") es)
+
+let test_overlapping_windows_merge () =
+  let w node a b = { Faults.w_node = node; w_from = Time.us a; w_upto = Time.us b } in
+  checkb "overlapping and adjacent same-node windows merge" true
+    (Faults.normalize_windows [ w 1 15 30; w 1 10 20; w 1 30 35; w 2 12 18 ]
+    = [ w 1 10 35; w 2 12 18 ]);
+  checkb "disjoint windows untouched" true
+    (Faults.normalize_windows [ w 1 10 20; w 1 25 30 ] = [ w 1 10 20; w 1 25 30 ])
+
+let test_validate_collects_errors () =
+  let cfg =
+    {
+      Faults.none with
+      Faults.cell_loss = 2.0;
+      link_down = [ { Faults.w_node = 9; w_from = Time.us 1; w_upto = Time.us 2 } ];
+      schedule =
+        [
+          { Faults.e_at = Time.us 10; e_node = 1; e_fault = Faults.Crash { scrub = false } };
+          { Faults.e_at = Time.us 20; e_node = 1; e_fault = Faults.Crash { scrub = false } };
+          { Faults.e_at = Time.us 30; e_node = 2; e_fault = Faults.Restart };
+        ];
+    }
+  in
+  match Faults.validate ~nodes:4 cfg with
+  | Ok () -> Alcotest.fail "inconsistent config validated"
+  | Error es ->
+      checki "every problem reported, not just the first" 4 (List.length es);
+      checkb "double crash caught" true
+        (List.exists (fun e -> contains e "already crashed") es);
+      checkb "orphan restart caught" true
+        (List.exists (fun e -> contains e "without a prior crash") es)
+
 let test_link_down_window () =
   let f =
     Faults.create
@@ -199,6 +281,11 @@ let () =
           Alcotest.test_case "none passes everything" `Quick test_judge_none_always_passes;
           Alcotest.test_case "config validation" `Quick test_config_validation;
           Alcotest.test_case "link-down windows" `Quick test_link_down_window;
+          Alcotest.test_case "schedule text round-trip" `Quick test_schedule_text_roundtrip;
+          Alcotest.test_case "schedule parse errors" `Quick test_schedule_parse_errors;
+          Alcotest.test_case "reversed window rejected" `Quick test_reversed_window_rejected;
+          Alcotest.test_case "overlapping windows merge" `Quick test_overlapping_windows_merge;
+          Alcotest.test_case "validate collects errors" `Quick test_validate_collects_errors;
         ] );
       ( "window",
         [ Alcotest.test_case "duplicate suppression" `Quick test_window_dedup ] );
