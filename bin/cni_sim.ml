@@ -18,6 +18,7 @@ module Sparse = Cni_apps.Sparse
 module Runner = Cni_experiments.Runner
 module Microbench = Cni_experiments.Microbench
 module Report = Cni_experiments.Report
+module Topology = Cni_atm.Topology
 open Cmdliner
 
 (* ------------------------------------------------------------------ *)
@@ -35,6 +36,20 @@ let no_aih = Arg.(value & flag & info [ "no-aih" ] ~doc:"Run protocol handlers o
 
 let unrestricted =
   Arg.(value & flag & info [ "unrestricted-cells" ] ~doc:"Mythical ATM with unlimited cell size (Table 5).")
+
+let topology_arg =
+  let topo_conv =
+    Arg.conv
+      ( (fun s -> Topology.kind_of_string s |> Result.map_error (fun m -> `Msg m)),
+        fun fmt k -> Format.pp_print_string fmt (Topology.kind_to_string k) )
+  in
+  Arg.(
+    value & opt topo_conv Topology.Single
+    & info [ "topology" ]
+        ~doc:
+          "Fabric shape: $(b,single) (the paper's central switch), $(b,fat-tree) or \
+           $(b,fat-tree:RADIX) (two-level folded Clos), $(b,torus) or $(b,torus:XxYxZ) \
+           (3D torus, dimension-order routed).")
 
 let rx_policy_arg =
   let rx_policy_conv =
@@ -311,9 +326,9 @@ let nic_collectives_arg =
 
 let run_cmd =
   let doc = "Run a benchmark application on a simulated cluster." in
-  let run app nic procs page mc_kb no_aih rx_policy rx_batch cells n iterations molecules
-      matrix loss corrupt link_down fault_seed schedule crash nic_collectives trace trace_out
-      metrics_out =
+  let run app nic procs topology page mc_kb no_aih rx_policy rx_batch cells n iterations
+      molecules matrix loss corrupt link_down fault_seed schedule crash nic_collectives trace
+      trace_out metrics_out =
     let params = make_params ~page ~cells in
     let kind = make_kind ~rx_policy ~rx_batch nic ~mc_kb ~no_aih in
     let barrier_impl = if nic_collectives then `Nic_collective else `Centralised in
@@ -341,7 +356,7 @@ let run_cmd =
           in
           checksum := (Cholesky.run cluster lrcs (Cholesky.default_config a)).Cholesky.checksum
     in
-    let r = Runner.run ~params ?faults ~barrier_impl ~kind ~procs application in
+    let r = Runner.run ~params ?faults ~topology ~barrier_impl ~kind ~procs application in
     finish_trace ~spec:trace ~out:trace_out;
     write_metrics ~out:metrics_out r.Runner.metrics;
     Printf.printf "elapsed            %s  (%.3f x 10^9 CPU cycles)\n"
@@ -351,6 +366,12 @@ let run_cmd =
     Printf.printf "synch overhead     %s\n" (Format.asprintf "%a" Time.pp r.Runner.synch_overhead);
     Printf.printf "synch delay        %s\n" (Format.asprintf "%a" Time.pp r.Runner.synch_delay);
     Printf.printf "network packets    %d (%d wire bytes)\n" r.Runner.packets r.Runner.wire_bytes;
+    if topology <> Topology.Single then begin
+      Printf.printf "topology           %s\n" (Topology.kind_to_string topology);
+      Printf.printf "fabric contention  hop-waits=%d banyan-conflicts=%d delivered=%d/%d\n"
+        r.Runner.hop_waits r.Runner.banyan_conflicts r.Runner.delivered_packets
+        r.Runner.offered_packets
+    end;
     Printf.printf "cache hit ratio    %.1f%%\n" r.Runner.hit_ratio;
     Printf.printf "host interrupts    %d\n" r.Runner.host_interrupts;
     Printf.printf "host polls         %d (%d wasted)\n" r.Runner.polls r.Runner.wasted_polls;
@@ -366,9 +387,9 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run $ app_arg $ nic_kind $ procs $ page_bytes $ mc_kb $ no_aih $ rx_policy_arg
-      $ rx_batch_arg $ unrestricted $ n $ iterations $ molecules $ matrix $ loss_arg
-      $ corrupt_arg $ link_down_arg $ fault_seed_arg $ schedule_arg $ crash_arg
+      const run $ app_arg $ nic_kind $ procs $ topology_arg $ page_bytes $ mc_kb $ no_aih
+      $ rx_policy_arg $ rx_batch_arg $ unrestricted $ n $ iterations $ molecules $ matrix
+      $ loss_arg $ corrupt_arg $ link_down_arg $ fault_seed_arg $ schedule_arg $ crash_arg
       $ nic_collectives_arg $ trace_arg $ trace_out $ metrics_out)
 
 (* ------------------------------------------------------------------ *)
@@ -456,17 +477,26 @@ let collectives_cmd =
           ~doc:"Use the host-driven collectives (dissemination/binomial) instead of the \
                 NIC combining tree.")
   in
-  let run nic nodes reps host mc_kb no_aih =
+  let fanout_arg =
+    Arg.(value & opt int 2 & info [ "fanout" ] ~doc:"Combining-tree arity (NIC tree only).")
+  in
+  let run nic nodes reps host topology fanout mc_kb no_aih =
     let kind = make_kind nic ~mc_kb ~no_aih in
-    let p = Microbench.collective_latency ~reps ~kind ~nodes ~nic:(not host) () in
+    let p =
+      Microbench.collective_latency ~reps ~topology ~fanout ~kind ~nodes ~nic:(not host) ()
+    in
     Printf.printf "impl               %s\n" (if host then "host-driven" else "nic-tree");
     Printf.printf "nodes              %d\n" nodes;
+    if topology <> Topology.Single then
+      Printf.printf "topology           %s\n" (Topology.kind_to_string topology);
     Printf.printf "barrier latency    %.1f us\n" p.Microbench.barrier_us;
     Printf.printf "allreduce latency  %.1f us\n" p.Microbench.allreduce_us;
     Printf.printf "host interrupts    %d\n" p.Microbench.interrupts
   in
   Cmd.v (Cmd.info "collectives" ~doc)
-    Term.(const run $ nic_kind $ nodes_arg $ reps_arg $ host_arg $ mc_kb $ no_aih)
+    Term.(
+      const run $ nic_kind $ nodes_arg $ reps_arg $ host_arg $ topology_arg $ fanout_arg
+      $ mc_kb $ no_aih)
 
 (* ------------------------------------------------------------------ *)
 (* aih-verify                                                          *)
@@ -540,7 +570,7 @@ let aih_verify_cmd =
    certificates of the generated collectives firmware. *)
 let doctor_cmd =
   let doc = "Preflight checks: config sanity, channel admission, firmware certificates." in
-  let run procs page mc_kb cells loss corrupt link_down fault_seed schedule crash
+  let run procs topology page mc_kb cells loss corrupt link_down fault_seed schedule crash
       nic_collectives =
     let params = make_params ~page ~cells in
     let failures = ref 0 in
@@ -550,6 +580,12 @@ let doctor_cmd =
           incr failures;
           Printf.printf "FAIL  %s: %s\n" name msg
     in
+    let topo_check = Topology.validate topology ~nodes:procs in
+    check
+      (Printf.sprintf "topology %s fits %d node(s)" (Topology.kind_to_string topology) procs)
+      topo_check;
+    if topo_check = Ok () then
+      Printf.printf "      %s\n" (Topology.describe (Topology.of_kind topology ~nodes:procs));
     let faults = make_faults ~seed:fault_seed ~loss ~corrupt ~link_down ~schedule ~crash in
     check "fault model (probabilities, windows, schedule)"
       (match faults with
@@ -619,8 +655,9 @@ let doctor_cmd =
   Cmd.v
     (Cmd.info "doctor" ~doc)
     Term.(
-      const run $ procs $ page_bytes $ mc_kb $ unrestricted $ loss_arg $ corrupt_arg
-      $ link_down_arg $ fault_seed_arg $ schedule_arg $ crash_arg $ nic_collectives_arg)
+      const run $ procs $ topology_arg $ page_bytes $ mc_kb $ unrestricted $ loss_arg
+      $ corrupt_arg $ link_down_arg $ fault_seed_arg $ schedule_arg $ crash_arg
+      $ nic_collectives_arg)
 
 (* ------------------------------------------------------------------ *)
 (* chaos                                                               *)

@@ -16,12 +16,32 @@ type 'a packet = {
   crc_ok : bool;
 }
 
-type stats = { packets : int; cells : int; wire_bytes : int; dropped : int }
+type stats = {
+  packets : int;
+  cells : int;
+  wire_bytes : int;
+  dropped : int;
+  offered_packets : int;
+  offered_cells : int;
+  offered_wire_bytes : int;
+  delivered_packets : int;
+  delivered_cells : int;
+  delivered_wire_bytes : int;
+  hop_waits : int;
+  banyan_conflicts : int;
+}
 
 type 'a t = {
   eng : Engine.t;
   p : Params.t;
   n : int;
+  topo : Topology.t;
+  (* one banyan model per switch (pow2-rounded internals), with mutable
+     occupancy state the timing walk updates synchronously: *)
+  models : Switch.t array;
+  out_free : Time.t array array;  (* per switch, per output port *)
+  wire_free : Time.t array array;  (* per switch, [stage * ports + wire] *)
+  single : bool;  (* one switch: take the literal seed timing path *)
   egress : Sync.Semaphore.t array;
   mutable ingress_free : Time.t array;
   receivers : ('a packet -> unit) array;
@@ -37,26 +57,36 @@ type 'a t = {
   mutable s_cells : int;
   mutable s_wire_bytes : int;
   mutable s_dropped : int;
+  mutable s_offered_packets : int;
+  mutable s_offered_cells : int;
+  mutable s_offered_wire_bytes : int;
+  mutable s_delivered_packets : int;
+  mutable s_delivered_cells : int;
+  mutable s_delivered_wire_bytes : int;
+  mutable s_hop_waits : int;
+  mutable s_banyan_conflicts : int;
 }
 
 let frame_bytes pkt = Bytes.length pkt.header + pkt.body_bytes
 
 let packet_cells p pkt = Params.cells_for p ~bytes:(frame_bytes pkt + 8)
 
-let wire_bytes p pkt =
-  let total = frame_bytes pkt in
-  let cells = Params.cells_for p ~bytes:(total + 8) in
-  if cells = 1 then total + 8 + p.Params.cell_header_bytes
+(* The one wire-size formula: frame + AAL5 trailer, charged as full
+   fixed-size cells — a sub-cell frame still burns a whole 53-byte cell.
+   The Table 5 unrestricted variant has elastic cells, so it charges the
+   unpadded frame plus one header per (single) cell. *)
+let frame_wire_bytes p ~bytes =
+  let total = bytes + 8 in
+  let cells = Params.cells_for p ~bytes:total in
+  if Params.unrestricted_cells p then total + (cells * p.Params.cell_header_bytes)
   else cells * (p.Params.cell_payload_bytes + p.Params.cell_header_bytes)
+
+let wire_bytes p pkt = frame_wire_bytes p ~bytes:(frame_bytes pkt)
 
 let serialize_time p ~wire = Params.wire_time p ~bytes:wire
 
 let min_latency p ~bytes =
-  let cells = Params.cells_for p ~bytes:(bytes + 8) in
-  let wire =
-    if cells = 1 then bytes + 8 + p.Params.cell_header_bytes
-    else cells * (p.Params.cell_payload_bytes + p.Params.cell_header_bytes)
-  in
+  let wire = frame_wire_bytes p ~bytes in
   Time.(serialize_time p ~wire + p.Params.switch_latency + (p.Params.link_latency * 2))
 
 let counter t ~node name =
@@ -91,13 +121,25 @@ let drop_undeliverable t pkt =
       ~label:(Printf.sprintf "undeliverable src=%d dst=%d vci=%d" pkt.src pkt.dst pkt.vci)
       ~payload:pkt.src
 
-let create ?registry ?faults eng p ~nodes =
+let create ?registry ?faults ?(topology = Topology.Single) eng p ~nodes =
   if nodes < 1 then invalid_arg "Fabric.create: need at least one node";
+  let topo = Topology.of_kind topology ~nodes in
+  let switches = Topology.switch_count topo in
+  let models = Array.init switches (Topology.switch_model topo) in
   let t =
     {
       eng;
       p;
       n = nodes;
+      topo;
+      models;
+      out_free =
+        Array.init switches (fun i -> Array.make (Topology.switch_ports topo i) Time.zero);
+      wire_free =
+        Array.init switches (fun i ->
+            let m = models.(i) in
+            Array.make (Switch.stages m * Switch.ports m) Time.zero);
+      single = switches = 1;
       egress = Array.init nodes (fun _ -> Sync.Semaphore.create 1);
       ingress_free = Array.make nodes Time.zero;
       receivers = Array.make nodes (fun _ -> ());
@@ -109,6 +151,14 @@ let create ?registry ?faults eng p ~nodes =
       s_cells = 0;
       s_wire_bytes = 0;
       s_dropped = 0;
+      s_offered_packets = 0;
+      s_offered_cells = 0;
+      s_offered_wire_bytes = 0;
+      s_delivered_packets = 0;
+      s_delivered_cells = 0;
+      s_delivered_wire_bytes = 0;
+      s_hop_waits = 0;
+      s_banyan_conflicts = 0;
     }
   in
   for i = 0 to nodes - 1 do
@@ -118,6 +168,7 @@ let create ?registry ?faults eng p ~nodes =
 
 let nodes t = t.n
 let params t = t.p
+let topology t = t.topo
 let set_receiver t ~node f = t.receivers.(node) <- f
 let set_faults t cfg = t.faults <- (if Faults.is_none cfg then None else Some (Faults.create cfg))
 let faults t = Option.map Faults.config t.faults
@@ -138,6 +189,88 @@ let fault_drops t ~node =
   + counter_value t ~node "fault_frames_lost"
   + counter_value t ~node "link_down_drops"
 
+let path_latency t ~src ~dst ~bytes =
+  let wire = frame_wire_bytes t.p ~bytes in
+  let h = Topology.hops t.topo ~src ~dst in
+  Time.(
+    serialize_time t.p ~wire
+    + (t.p.Params.switch_latency * h)
+    + (t.p.Params.link_latency * (h + 1)))
+
+(* Seed single-switch path: the frame crosses the central banyan while it
+   serialises, so its internal wires are held from switch entry
+   ([eta - ser]) until the last bit is through ([eta]). Overlap with a
+   previous occupant is the classic banyan blocking condition; it is
+   counted here, not charged — the paper's 500 ns switch latency is an
+   end-to-end figure that already prices in average blocking. *)
+let count_single_conflicts t ~eta ~ser pkt =
+  let m = t.models.(0) in
+  let ports = Switch.ports m in
+  let wires = Switch.route m ~src:pkt.src ~dst:pkt.dst in
+  let wf = t.wire_free.(0) in
+  let enter = Time.(eta - ser) in
+  let last_stage = Array.length wires - 1 in
+  let conflicted = ref false in
+  Array.iteri
+    (fun stage w ->
+      let idx = (stage * ports) + w in
+      (* the final stage's wire is the output port itself: contention there
+         is ingress-port queueing, which the seed model already charges —
+         only earlier stages are internal banyan blocking *)
+      if stage < last_stage && wf.(idx) > enter then conflicted := true;
+      wf.(idx) <- eta)
+    wires;
+  if !conflicted then t.s_banyan_conflicts <- t.s_banyan_conflicts + 1
+
+(* Multi-switch path: walk the route hop by hop with cut-through at every
+   switch. [last] tracks when the frame's last bit leaves the previous
+   point; at each hop the last bit could leave the output port at
+   [last + link + switch] were the switch idle, i.e. re-serialisation could
+   start [ser] earlier than that. Output-port occupancy and internal banyan
+   wire conflicts both push the start later (backpressure), and the delay
+   compounds into every later hop. Returns the last-bit arrival time at the
+   destination NIC. *)
+let traverse t ~now ~ser pkt =
+  let hops = Topology.route t.topo ~src:pkt.src ~dst:pkt.dst in
+  let last = ref now in
+  Array.iter
+    (fun { Topology.h_switch; h_in; h_out } ->
+      let arrive = Time.(!last + t.p.Params.link_latency + t.p.Params.switch_latency) in
+      let earliest = Time.(arrive - ser) in
+      let m = t.models.(h_switch) in
+      let ports = Switch.ports m in
+      let wires = Switch.route m ~src:h_in ~dst:h_out in
+      let wf = t.wire_free.(h_switch) in
+      let last_stage = Array.length wires - 1 in
+      (* split the gates: the final stage's wire is the output port itself,
+         so wires before it measure internal banyan blocking while the port
+         (+ its wire) measures output contention *)
+      let internal_gate = ref Time.zero in
+      let wire_gate = ref Time.zero in
+      Array.iteri
+        (fun stage w ->
+          let idx = (stage * ports) + w in
+          if wf.(idx) > !wire_gate then wire_gate := wf.(idx);
+          if stage < last_stage && wf.(idx) > !internal_gate then
+            internal_gate := wf.(idx))
+        wires;
+      let out_gate = t.out_free.(h_switch).(h_out) in
+      let start = Time.max earliest (Time.max out_gate !wire_gate) in
+      if start > earliest then begin
+        t.s_hop_waits <- t.s_hop_waits + 1;
+        emit t ~node:pkt.src
+          ~label:(Printf.sprintf "hop-wait sw=%d out=%d" h_switch h_out)
+          ~payload:(Time.to_ps Time.(start - earliest))
+      end;
+      if !internal_gate > earliest then
+        t.s_banyan_conflicts <- t.s_banyan_conflicts + 1;
+      let finish = Time.(start + ser) in
+      t.out_free.(h_switch).(h_out) <- finish;
+      Array.iteri (fun stage w -> wf.((stage * ports) + w) <- finish) wires;
+      last := finish)
+    hops;
+  Time.(!last + t.p.Params.link_latency)
+
 let send t pkt =
   if pkt.src < 0 || pkt.src >= t.n then invalid_arg "Fabric.send: src out of range";
   if pkt.dst < 0 || pkt.dst >= t.n then invalid_arg "Fabric.send: dst out of range";
@@ -145,9 +278,9 @@ let send t pkt =
   let cells = packet_cells t.p pkt in
   let wire = wire_bytes t.p pkt in
   emit t ~node:pkt.src ~label:"send" ~payload:pkt.dst;
-  t.s_packets <- t.s_packets + 1;
-  t.s_cells <- t.s_cells + cells;
-  t.s_wire_bytes <- t.s_wire_bytes + wire;
+  t.s_offered_packets <- t.s_offered_packets + 1;
+  t.s_offered_cells <- t.s_offered_cells + cells;
+  t.s_offered_wire_bytes <- t.s_offered_wire_bytes + wire;
   (* the frame's fate is drawn synchronously at injection time: the random
      stream then depends only on the (deterministic) order of send calls,
      never on fiber interleaving *)
@@ -168,17 +301,31 @@ let send t pkt =
     Stats.Counter.incr (counter t ~node:pkt.src "link_down_drops");
     emit t ~node:pkt.src ~label:"link-down-drop" ~payload:pkt.dst
   end
-  else
+  else begin
+    (* past the source-side drop gates: these bytes do go onto the wire *)
+    t.s_packets <- t.s_packets + 1;
+    t.s_cells <- t.s_cells + cells;
+    t.s_wire_bytes <- t.s_wire_bytes + wire;
     let ser = serialize_time t.p ~wire in
     Engine.spawn t.eng ~name:"fabric-send" (fun () ->
         Sync.Semaphore.acquire t.egress.(pkt.src);
         Engine.delay ser;
         Sync.Semaphore.release t.egress.(pkt.src);
-        (* last bit has left the source; it reaches the destination after the
-           switch and two links. Cut-through reception: the ingress port was
-           receiving while we were serialising, unless it was busy. *)
+        (* last bit has left the source; it reaches the destination after
+           the switch(es) and links. Cut-through reception: the ingress
+           port was receiving while we were serialising, unless it was
+           busy. *)
         let now = Engine.now t.eng in
-        let eta = Time.(now + t.p.Params.switch_latency + (t.p.Params.link_latency * 2)) in
+        let eta =
+          if t.single then begin
+            let eta =
+              Time.(now + t.p.Params.switch_latency + (t.p.Params.link_latency * 2))
+            in
+            count_single_conflicts t ~eta ~ser pkt;
+            eta
+          end
+          else traverse t ~now ~ser pkt
+        in
         let dst_down =
           match t.faults with
           | Some f -> Faults.link_down f ~node:pkt.dst ~now:eta
@@ -219,7 +366,43 @@ let send t pkt =
               let finish = Time.(start_recv + ser) in
               t.ingress_free.(pkt.dst) <- finish;
               Engine.delay Time.(finish - now);
-              t.receivers.(pkt.dst) pkt)
+              (* re-check liveness at delivery time: when the ingress port
+                 was busy, [finish > eta] and the node may have crashed (or
+                 its link gone down) while the frame queued — it must not
+                 be delivered then *)
+              let dst_down_late =
+                match t.faults with
+                | Some f -> Faults.link_down f ~node:pkt.dst ~now:finish
+                | None -> false
+              in
+              if t.down.(pkt.dst) then begin
+                Stats.Counter.incr (counter t ~node:pkt.dst "crash_drops");
+                emit t ~node:pkt.dst ~label:"crash-drop" ~payload:pkt.src
+              end
+              else if dst_down_late then begin
+                Stats.Counter.incr (counter t ~node:pkt.dst "link_down_drops");
+                emit t ~node:pkt.dst ~label:"link-down-drop" ~payload:pkt.src
+              end
+              else begin
+                t.s_delivered_packets <- t.s_delivered_packets + 1;
+                t.s_delivered_cells <- t.s_delivered_cells + cells;
+                t.s_delivered_wire_bytes <- t.s_delivered_wire_bytes + wire;
+                t.receivers.(pkt.dst) pkt
+              end)
+  end
 
 let stats t =
-  { packets = t.s_packets; cells = t.s_cells; wire_bytes = t.s_wire_bytes; dropped = t.s_dropped }
+  {
+    packets = t.s_packets;
+    cells = t.s_cells;
+    wire_bytes = t.s_wire_bytes;
+    dropped = t.s_dropped;
+    offered_packets = t.s_offered_packets;
+    offered_cells = t.s_offered_cells;
+    offered_wire_bytes = t.s_offered_wire_bytes;
+    delivered_packets = t.s_delivered_packets;
+    delivered_cells = t.s_delivered_cells;
+    delivered_wire_bytes = t.s_delivered_wire_bytes;
+    hop_waits = t.s_hop_waits;
+    banyan_conflicts = t.s_banyan_conflicts;
+  }

@@ -1,5 +1,5 @@
-(** The cluster interconnect: [nodes] hosts attached to one banyan ATM
-    switch.
+(** The cluster interconnect: [nodes] hosts attached to a graph of banyan
+    ATM switches described by a {!Topology}.
 
     A packet carries real header bytes (the part PATHFINDER classifies, i.e.
     the contents of the first cell) plus an accounted body size and an
@@ -8,10 +8,22 @@
     - the source's egress link is held for the wire serialisation time of all
       its cells (53 bytes each, or unpadded for the Table 5 unrestricted-cell
       variant);
-    - the switch adds its traversal latency, each link its propagation delay;
+    - on the seed single-switch topology, the switch adds its traversal
+      latency and each link its propagation delay — the exact seed timing
+      path, bit-identical to before topologies existed. Internal banyan
+      conflicts on the central switch are {e counted} (the route of every
+      frame is pushed through {!Switch.route} and overlapping wire
+      occupancies recorded) but {e not charged}: the paper's 500 ns switch
+      latency is an end-to-end figure that already includes average
+      blocking;
+    - on multi-switch topologies (fat-tree, 3D torus) the frame is walked
+      hop by hop with cut-through at every switch: each hop re-serialises
+      on its output port, and both output-port contention and internal
+      banyan wire conflicts push the frame's departure later (counted in
+      [hop_waits] / [banyan_conflicts] and charged in the timing);
     - the destination's ingress port receives cut-through: reception overlaps
-      serialisation unless the port is busy with another packet, in which
-      case the packet queues (in arrival order).
+      the last serialisation unless the port is busy with another packet, in
+      which case the packet queues (in arrival order).
 
     Per-cell processing cost on the NIC processors (SAR) is charged by the
     NIC models, not here.
@@ -19,8 +31,11 @@
     An optional {!Faults} model makes the fabric lossy: frames can be
     dropped whole, lose cells, arrive with [crc_ok = false] (a corrupted
     cell fails the AAL5 CRC at reassembly), or die while a link is inside a
-    down window. Every fault event is counted (registry subsystem [fabric],
-    lazily registered) and traced on the [atm] category. *)
+    down window. Destination liveness is checked both when the last bit
+    reaches the node and again at delivery time, so a node that crashes
+    while the frame queues on its busy ingress port still loses it. Every
+    fault event is counted (registry subsystem [fabric], lazily registered)
+    and traced on the [atm] category. *)
 
 type 'a packet = {
   src : int;
@@ -35,9 +50,14 @@ type 'a packet = {
 
 type 'a t
 
+(** [create ?topology eng p ~nodes] builds the interconnect. The default
+    topology is {!Topology.Single} — the seed model.
+    @raise Invalid_argument when the topology rejects the node count (see
+    {!Topology.validate}) or [nodes < 1]. *)
 val create :
   ?registry:Cni_engine.Stats.Registry.t ->
   ?faults:Faults.config ->
+  ?topology:Topology.kind ->
   Cni_engine.Engine.t ->
   Cni_machine.Params.t ->
   nodes:int ->
@@ -45,6 +65,9 @@ val create :
 
 val nodes : 'a t -> int
 val params : 'a t -> Cni_machine.Params.t
+
+(** The topology the fabric was built over. *)
+val topology : 'a t -> Topology.t
 
 (** Replace the delivery callback for a node (default: drop + count). The
     callback runs inside a fabric fiber; it may block. *)
@@ -66,14 +89,54 @@ val frame_bytes : 'a packet -> int
 (** Number of ATM cells the packet occupies (AAL5 trailer included). *)
 val packet_cells : Cni_machine.Params.t -> 'a packet -> int
 
+(** Bytes on the wire for a [bytes]-sized frame (AAL5 trailer and per-cell
+    headers included): full fixed-size cells, so a sub-cell frame still
+    charges a whole 53-byte cell — except under the Table 5 unrestricted
+    variant, where a frame travels unpadded in one elastic cell. The one
+    formula behind {!wire_bytes} and {!min_latency}. *)
+val frame_wire_bytes : Cni_machine.Params.t -> bytes:int -> int
+
 (** Bytes on the wire including per-cell headers and padding. *)
 val wire_bytes : Cni_machine.Params.t -> 'a packet -> int
 
-(** Uncontended last-bit network delay for a frame of [bytes]:
-    serialisation + switch latency + two link propagations. *)
+(** Uncontended last-bit network delay for a frame of [bytes] across the
+    seed single switch: serialisation + switch latency + two link
+    propagations. *)
 val min_latency : Cni_machine.Params.t -> bytes:int -> Cni_engine.Time.t
 
-type stats = { packets : int; cells : int; wire_bytes : int; dropped : int }
+(** Uncontended last-bit network delay for a frame of [bytes] from [src] to
+    [dst] on this fabric's topology: serialisation + (switch latency per
+    hop) + (link propagation per link, one more than hops). Equals
+    {!min_latency} on the single switch.
+    @raise Invalid_argument on out-of-range or equal endpoints. *)
+val path_latency :
+  'a t -> src:int -> dst:int -> bytes:int -> Cni_engine.Time.t
+
+(** Load accounting, split by where frames die.
+
+    [offered_*] count every {!send} call; [packets]/[cells]/[wire_bytes]
+    count what actually made it onto the wire (excluding frames a crashed or
+    link-down {e source} never transmitted, but including frames lost
+    mid-flight); [delivered_*] count what reached the destination node.
+    In a fault-free run all three agree. [dropped] counts undeliverable
+    frames (no receiver installed), as before. *)
+type stats = {
+  packets : int;  (** frames that got onto the wire *)
+  cells : int;
+  wire_bytes : int;
+  dropped : int;  (** delivered with no receiver installed *)
+  offered_packets : int;  (** every [send] call *)
+  offered_cells : int;
+  offered_wire_bytes : int;
+  delivered_packets : int;  (** frames handed to the destination node *)
+  delivered_cells : int;
+  delivered_wire_bytes : int;
+  hop_waits : int;
+      (** hops (multi-switch only) where contention delayed the frame *)
+  banyan_conflicts : int;
+      (** internal banyan wire overlaps; counted on every topology, charged
+          only on multi-switch ones *)
+}
 
 val stats : 'a t -> stats
 
@@ -90,10 +153,12 @@ val fault_drops : 'a t -> node:int -> int
 (** {2 Node liveness}
 
     A down node loses every frame it would send (at injection time) or
-    receive (when the last bit arrives at its dead ingress port). Set by
-    [Cluster] when a node crashes or restarts. The fault verdict is still
-    drawn for frames sourced at a down node, so the fault RNG stream is
-    unchanged by crashes. *)
+    receive (checked when the last bit arrives at its ingress port {e and}
+    again at delivery time, closing the window where a node crashing while
+    the frame queued on its busy ingress port would still have received
+    it). Set by [Cluster] when a node crashes or restarts. The fault
+    verdict is still drawn for frames sourced at a down node, so the fault
+    RNG stream is unchanged by crashes. *)
 
 (** @raise Invalid_argument on an out-of-range node. *)
 val set_node_down : 'a t -> node:int -> bool -> unit

@@ -45,7 +45,7 @@ let crashed_nodes t =
   done;
   !acc
 
-let create ?(params = Params.default) ?faults ?reliability ~nic_kind ~nodes () =
+let create ?(params = Params.default) ?faults ?reliability ?topology ~nic_kind ~nodes () =
   if nodes < 1 then invalid_arg "Cluster.create: need at least one node";
   let eng = Engine.create () in
   let registry = Stats.Registry.create () in
@@ -60,7 +60,7 @@ let create ?(params = Params.default) ?faults ?reliability ~nic_kind ~nodes () =
           invalid_arg
             ("Cluster.create: inconsistent fault schedule: " ^ String.concat "; " errs))
   | _ -> ());
-  let fabric = Fabric.create ~registry ?faults:faulty eng params ~nodes in
+  let fabric = Fabric.create ~registry ?faults:faulty ?topology eng params ~nodes in
   (* an injected-fault fabric without reliable delivery would just lose
      protocol messages and deadlock; default the protocol on when faults are
      requested, while still letting callers pass an explicit config *)

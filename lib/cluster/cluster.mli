@@ -1,4 +1,5 @@
-(** A workstation cluster: N nodes on one ATM switch.
+(** A workstation cluster: N nodes on an ATM fabric (a single central
+    switch by default; see {!Cni_atm.Topology} for scale-out shapes).
 
     Polymorphic in the protocol-message payload type ['a] (the DSM layer
     instantiates it with its message type; examples use their own). *)
@@ -17,12 +18,17 @@ type 'a t
     count and wired onto engine timers: each event calls {!crash_node} /
     {!restart_node} at its time.
 
+    [topology] selects the fabric's interconnect shape (default
+    {!Cni_atm.Topology.Single}, the seed central switch).
+
     @raise Invalid_argument on an inconsistent fault schedule (see
-    {!Cni_atm.Faults.validate}). *)
+    {!Cni_atm.Faults.validate}) or a topology that rejects the node count
+    (see {!Cni_atm.Topology.validate}). *)
 val create :
   ?params:Cni_machine.Params.t ->
   ?faults:Cni_atm.Faults.config ->
   ?reliability:Cni_nic.Reliable.config ->
+  ?topology:Cni_atm.Topology.kind ->
   nic_kind:nic_kind ->
   nodes:int ->
   unit ->

@@ -48,3 +48,10 @@ val chaos : unit -> Report.t
     the node count grows, and the three applications with the DSM barrier
     switched between the centralised manager and the tree. *)
 val collectives : unit -> Report.t
+
+(** Fabric topology x combining-tree fanout ({!Cni_atm.Topology}): NIC-tree
+    barrier/allreduce latency at 64 nodes under single-switch, fat-tree and
+    3D-torus fabrics for fanouts 2/4/8, then Jacobi at 256 processors per
+    topology. Identical checksums across topologies witness that the per-hop
+    contention model changes timing only. *)
+val topology : unit -> Report.t

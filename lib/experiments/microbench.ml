@@ -86,13 +86,13 @@ type collective_point = {
   interrupts : int;  (* host interrupts taken, summed over nodes *)
 }
 
-let collective_latency ?(params = Params.default) ?(reps = 8) ?(allreduce = true) ~kind ~nodes
-    ~nic () =
+let collective_latency ?(params = Params.default) ?(reps = 8) ?(allreduce = true) ?topology
+    ?fanout ~kind ~nodes ~nic () =
   let module Mp = Cni_mp.Mp in
   let cluster : int Mp.envelope Cluster.t =
-    Cluster.create ~params ~nic_kind:kind ~nodes ()
+    Cluster.create ~params ?topology ~nic_kind:kind ~nodes ()
   in
-  let eps = Mp.install ~nic_collectives:nic cluster in
+  let eps = Mp.install ~nic_collectives:nic ?fanout cluster in
   let barrier_t = ref Time.zero and allreduce_t = ref Time.zero in
   Cluster.run_app cluster (fun node ->
       let ep = eps.(Node.id node) in

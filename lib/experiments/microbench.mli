@@ -35,11 +35,15 @@ type collective_point = {
     (default 8) barriers and, unless [allreduce:false], [reps] integer
     allreduces over a fresh [nodes]-node cluster. [nic] selects the
     NIC-resident combining tree ({!Cni_mp.Collectives}) versus the
-    host-driven {!Cni_mp.Mp} collectives. *)
+    host-driven {!Cni_mp.Mp} collectives. [topology] selects the fabric
+    shape (see {!Cni_atm.Topology}); [fanout] the combining-tree arity
+    (NIC-resident collectives only). *)
 val collective_latency :
   ?params:Cni_machine.Params.t ->
   ?reps:int ->
   ?allreduce:bool ->
+  ?topology:Cni_atm.Topology.kind ->
+  ?fanout:int ->
   kind:Cni_cluster.Cluster.nic_kind ->
   nodes:int ->
   nic:bool ->

@@ -17,6 +17,10 @@ type result = {
   synch_delay : Time.t;
   packets : int;
   wire_bytes : int;
+  offered_packets : int;  (* every send attempt, incl. source-side drops *)
+  delivered_packets : int;  (* frames that reached their destination node *)
+  hop_waits : int;  (* multi-switch hops where contention delayed a frame *)
+  banyan_conflicts : int;  (* internal switch wire overlaps *)
   message_mix : (string * int) list;  (* protocol messages by kind, summed *)
   retransmits : int;  (* NIC-level re-sends, summed (0 with reliability off) *)
   fault_drops : int;  (* frames the fault model destroyed, summed over nodes *)
@@ -42,8 +46,11 @@ let cni ?mc_bytes ?mc_mode ?aih ?rx_policy ?rx_batch () =
 let standard = `Standard
 let osiris = `Osiris Nic.default_osiris_options
 
-let run ?(params = Params.default) ?faults ?reliability ?barrier_impl ~kind ~procs app =
-  let cluster = Cluster.create ~params ?faults ?reliability ~nic_kind:kind ~nodes:procs () in
+let run ?(params = Params.default) ?faults ?reliability ?topology ?barrier_impl ~kind ~procs
+    app =
+  let cluster =
+    Cluster.create ~params ?faults ?reliability ?topology ~nic_kind:kind ~nodes:procs ()
+  in
   let space = Space.create ~nprocs:procs ~page_bytes:params.Params.page_bytes in
   let lrcs = Lrc.install cluster space ?barrier_impl () in
   app cluster lrcs;
@@ -67,6 +74,10 @@ let run ?(params = Params.default) ?faults ?reliability ?barrier_impl ~kind ~pro
     synch_delay = o.Cluster.synch_delay;
     packets = f.Fabric.packets;
     wire_bytes = f.Fabric.wire_bytes;
+    offered_packets = f.Fabric.offered_packets;
+    delivered_packets = f.Fabric.delivered_packets;
+    hop_waits = f.Fabric.hop_waits;
+    banyan_conflicts = f.Fabric.banyan_conflicts;
     message_mix = List.sort compare (Hashtbl.fold (fun k n acc -> (k, n) :: acc) mix []);
     retransmits = Cluster.retransmits cluster;
     fault_drops =

@@ -12,6 +12,15 @@ type result = {
   synch_delay : Cni_engine.Time.t;
   packets : int;
   wire_bytes : int;
+  offered_packets : int;
+      (** every send attempt, including frames a crashed/link-down source
+          never transmitted *)
+  delivered_packets : int;  (** frames that reached their destination node *)
+  hop_waits : int;
+      (** multi-switch hops where port or wire contention delayed a frame *)
+  banyan_conflicts : int;
+      (** internal switch wire overlaps (counted on every topology, charged
+          only on multi-switch ones) *)
   message_mix : (string * int) list;
       (** protocol messages received, by kind, summed over nodes *)
   retransmits : int;
@@ -53,12 +62,14 @@ val osiris : Cni_cluster.Cluster.nic_kind
     completion. [params] defaults to Table 1. [faults] makes the fabric
     lossy (implying NIC reliable delivery, see {!Cni_cluster.Cluster.create});
     [reliability] tunes or force-enables the delivery protocol;
+    [topology] selects the fabric shape (see {!Cni_atm.Topology});
     [barrier_impl] selects the DSM barrier implementation (see
     {!Cni_dsm.Lrc.install}). *)
 val run :
   ?params:Cni_machine.Params.t ->
   ?faults:Cni_atm.Faults.config ->
   ?reliability:Cni_nic.Reliable.config ->
+  ?topology:Cni_atm.Topology.kind ->
   ?barrier_impl:[ `Centralised | `Nic_collective ] ->
   kind:Cni_cluster.Cluster.nic_kind ->
   procs:int ->

@@ -93,6 +93,8 @@ let wire_time p ~bytes =
 let cells_for p ~bytes =
   if bytes <= 0 then 1 else (bytes + p.cell_payload_bytes - 1) / p.cell_payload_bytes
 
+let unrestricted_cells p = p.cell_payload_bytes >= 1_000_000
+
 let pp fmt p =
   let f name value = Format.fprintf fmt "  %-28s %s@." name value in
   Format.fprintf fmt "Simulation parameters (Table 1):@.";
@@ -115,6 +117,6 @@ let pp fmt p =
   f "Message Cache Size" (Printf.sprintf "%d KB" (p.message_cache_bytes / 1024));
   f "Link Bandwidth" (Printf.sprintf "%d Mbps (STS-12)" (p.link_bandwidth_bps / 1_000_000));
   f "ATM Cell Payload"
-    (if p.cell_payload_bytes >= 1_000_000 then "unrestricted (Table 5 variant)"
+    (if unrestricted_cells p then "unrestricted (Table 5 variant)"
      else Printf.sprintf "%d bytes" p.cell_payload_bytes);
   f "Shared Page Size" (Printf.sprintf "%d bytes" p.page_bytes)

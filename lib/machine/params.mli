@@ -72,4 +72,9 @@ val wire_time : t -> bytes:int -> Cni_engine.Time.t
 (** Number of ATM cells needed for a [bytes]-sized payload. *)
 val cells_for : t -> bytes:int -> int
 
+(** The Table 5 "mythical" unlimited-cell-size variant: a payload capacity so
+    large every frame fits in one cell, so wire charging degrades to
+    payload + one header instead of fixed-size cells. *)
+val unrestricted_cells : t -> bool
+
 val pp : Format.formatter -> t -> unit

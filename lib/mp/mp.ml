@@ -47,7 +47,7 @@ let deliver t e =
 
 let collectives_channel = 3
 
-let install ?(nic_collectives = false) cluster =
+let install ?(nic_collectives = false) ?fanout cluster =
   let n = Cluster.size cluster in
   let coll =
     if nic_collectives then
@@ -55,7 +55,7 @@ let install ?(nic_collectives = false) cluster =
          inject/project are the identity; a value's wire size is the
          envelope's [bytes] field *)
       Some
-        (Collectives.install ~channel:collectives_channel
+        (Collectives.install ~channel:collectives_channel ?fanout
            ~bytes_of:(fun (e : 'a envelope) -> e.bytes)
            ~inject:(fun e -> e)
            ~project:(fun e -> e)

@@ -40,8 +40,11 @@ val collectives_channel : int
     {!barrier}, {!broadcast}, {!reduce} and {!allreduce} through it: the
     combining tree runs as AIH code on the boards and the host is woken once
     per collective, instead of driving every round from host send/recv. The
-    default keeps the host-driven paths (the ablation baseline). *)
-val install : ?nic_collectives:bool -> 'a envelope Cni_cluster.Cluster.t -> 'a t array
+    default keeps the host-driven paths (the ablation baseline). [fanout]
+    is the combining-tree arity (default 2; only meaningful with
+    [nic_collectives]). *)
+val install :
+  ?nic_collectives:bool -> ?fanout:int -> 'a envelope Cni_cluster.Cluster.t -> 'a t array
 
 (** Whether this endpoint's collectives are NIC-resident. *)
 val nic_collective : 'a t -> bool

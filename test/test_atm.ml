@@ -8,7 +8,9 @@ module Cell = Cni_atm.Cell
 module Crc32 = Cni_atm.Crc32
 module Aal5 = Cni_atm.Aal5
 module Switch = Cni_atm.Switch
+module Topology = Cni_atm.Topology
 module Fabric = Cni_atm.Fabric
+module Faults = Cni_atm.Faults
 
 let check = Alcotest.check
 let checki = check Alcotest.int
@@ -327,6 +329,161 @@ let switch_conflict_symmetric =
       let sw = Switch.create ~ports:32 in
       Switch.conflict sw (a, b) (c, d) = Switch.conflict sw (c, d) (a, b))
 
+(* Each stage of an omega route perfect-shuffles the incoming wire and then
+   exchanges (at most) the bottom bit, setting it to the routed destination
+   bit — so consecutive hops may differ only in that exchanged bit, and the
+   final hop must land on [dst]. *)
+let switch_route_exchanged_bit =
+  QCheck.Test.make ~name:"route hops differ only in the exchanged bit" ~count:500
+    QCheck.(pair (int_bound 31) (int_bound 31))
+    (fun (src, dst) ->
+      let sw = Switch.create ~ports:32 in
+      let k = Switch.stages sw in
+      let mask = Switch.ports sw - 1 in
+      let r = Switch.route sw ~src ~dst in
+      let ok = ref (Array.length r = k && r.(k - 1) = dst) in
+      let prev = ref src in
+      Array.iteri
+        (fun s w ->
+          let shuffled = ((!prev lsl 1) lor (!prev lsr (k - 1))) land mask in
+          (* differs from the shuffled wire only in bit 0... *)
+          if (w lxor shuffled) land lnot 1 <> 0 then ok := false;
+          (* ...and that bit is the routed destination bit for this stage *)
+          if w land 1 <> (dst lsr (k - 1 - s)) land 1 then ok := false;
+          prev := w)
+        r;
+      !ok)
+
+let switch_conflict_reflexive =
+  QCheck.Test.make ~name:"conflict is reflexive on shared stages" ~count:300
+    QCheck.(triple (int_bound 31) (int_bound 31) (int_bound 31))
+    (fun (s1, s2, d) ->
+      let sw = Switch.create ~ports:32 in
+      (* a route always conflicts with itself, and any two routes to the
+         same destination share at least the final-stage wire *)
+      Switch.conflict sw (s1, d) (s1, d) && Switch.conflict sw (s1, d) (s2, d))
+
+(* ------------------------------------------------------------------ *)
+(* Topology                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_topology_single () =
+  let t = Topology.single ~nodes:8 in
+  checki "one switch" 1 (Topology.switch_count t);
+  checki "ports = nodes" 8 (Topology.switch_ports t 0);
+  checki "links = host links" 8 (Topology.link_count t);
+  checki "max hops" 1 (Topology.max_hops t);
+  (match Topology.route t ~src:2 ~dst:5 with
+  | [| { Topology.h_switch = 0; h_in = 2; h_out = 5 } |] -> ()
+  | _ -> Alcotest.fail "single route should be one hop through switch 0");
+  Alcotest.check_raises "src = dst" (Invalid_argument "Topology.route: src = dst") (fun () ->
+      ignore (Topology.route t ~src:3 ~dst:3))
+
+let test_topology_fat_tree_structure () =
+  (* 64 nodes, radix 16: 8 hosts per leaf -> 8 leaves, 8 spines *)
+  let t = Topology.fat_tree ~leaf_radix:16 ~nodes:64 () in
+  checki "switches = leaves + spines" 16 (Topology.switch_count t);
+  checki "leaf ports = down + up" 16 (Topology.switch_ports t 0);
+  checki "spine ports = one per leaf" 8 (Topology.switch_ports t 8);
+  checki "links = hosts + leaf-spine mesh" (64 + (8 * 8)) (Topology.link_count t);
+  checki "max hops" 3 (Topology.max_hops t);
+  (* same-leaf traffic never leaves the leaf; cross-leaf goes up-over-down *)
+  checki "same leaf is one hop" 1 (Topology.hops t ~src:0 ~dst:7);
+  checki "cross leaf is three hops" 3 (Topology.hops t ~src:0 ~dst:63);
+  let r = Topology.route t ~src:0 ~dst:63 in
+  checki "starts at src leaf" 0 r.(0).Topology.h_switch;
+  checkb "middle hop is a spine" true (r.(1).Topology.h_switch >= 8);
+  checki "ends at dst leaf" 7 r.(2).Topology.h_switch;
+  checki "delivered on dst host port" (63 mod 8) r.(2).Topology.h_out
+
+let test_topology_fat_tree_reachability () =
+  let t = Topology.fat_tree ~leaf_radix:4 ~nodes:8 () in
+  for src = 0 to 7 do
+    for dst = 0 to 7 do
+      if src <> dst then begin
+        let r = Topology.route t ~src ~dst in
+        checkb "within diameter" true (Array.length r <= Topology.max_hops t);
+        let final = r.(Array.length r - 1) in
+        (* the last hop leaves on the destination's own leaf port *)
+        checki "lands on dst leaf" (dst / 2) final.Topology.h_switch;
+        checki "lands on dst port" (dst mod 2) final.Topology.h_out
+      end
+    done
+  done
+
+let test_topology_torus_structure () =
+  check
+    (Alcotest.triple Alcotest.int Alcotest.int Alcotest.int)
+    "auto dims 64" (4, 4, 4) (Topology.auto_dims 64);
+  check
+    (Alcotest.triple Alcotest.int Alcotest.int Alcotest.int)
+    "auto dims 12" (2, 2, 3) (Topology.auto_dims 12);
+  let t = Topology.torus ~nodes:64 () in
+  checki "router per node" 64 (Topology.switch_count t);
+  checki "host + 6 ring ports" 7 (Topology.switch_ports t 0);
+  checki "links = hosts + 3 rings" (64 + (3 * 64)) (Topology.link_count t);
+  checki "diameter hops" (1 + 2 + 2 + 2) (Topology.max_hops t)
+
+let test_topology_torus_dimension_order () =
+  let t = Topology.torus ~dims:(4, 4, 4) ~nodes:64 () in
+  (* dimension-order routing is deadlock-free because corrections never go
+     back to an earlier dimension: the port used at each hop must belong to
+     a dimension >= the previous hop's, and each route ends on the
+     destination's host port *)
+  let dim_of_port port = if port = 0 then 3 else (port - 1) / 2 in
+  for src = 0 to 63 do
+    for dst = 0 to 63 do
+      if src <> dst then begin
+        let r = Topology.route t ~src ~dst in
+        checkb "within diameter" true (Array.length r <= Topology.max_hops t);
+        let final = r.(Array.length r - 1) in
+        checki "ends at dst router" dst final.Topology.h_switch;
+        checki "delivered on host port" 0 final.Topology.h_out;
+        let last_dim = ref (-1) in
+        Array.iter
+          (fun { Topology.h_out; _ } ->
+            let d = dim_of_port h_out in
+            checkb "dimension order is monotone" true (d >= !last_dim);
+            last_dim := d)
+          r
+      end
+    done
+  done;
+  (* shorter way around the ring: 0 -> 3 in x is one -x hop, not three +x *)
+  checki "wraparound is used" 2 (Topology.hops t ~src:0 ~dst:3)
+
+let test_topology_validate () =
+  let err k ~nodes =
+    match Topology.validate k ~nodes with Ok () -> Alcotest.fail "expected error" | Error m -> m
+  in
+  checkb "odd radix rejected" true
+    (err (Topology.Fat_tree { leaf_radix = 7 }) ~nodes:8 <> "");
+  checkb "bad torus volume rejected" true
+    (err (Topology.Torus { dims = Some (4, 4, 4) }) ~nodes:60 <> "");
+  checkb "non-positive nodes rejected" true (err Topology.Single ~nodes:0 <> "");
+  (match Topology.validate (Topology.Torus { dims = None }) ~nodes:60 with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("auto dims should fit any count: " ^ m));
+  Alcotest.check_raises "of_kind raises on invalid combination"
+    (Invalid_argument "Topology: torus 4x4x4 holds 64 nodes, cluster has 60") (fun () ->
+      ignore (Topology.of_kind (Topology.Torus { dims = Some (4, 4, 4) }) ~nodes:60))
+
+let test_topology_kind_strings () =
+  let roundtrip k =
+    match Topology.kind_of_string (Topology.kind_to_string k) with
+    | Ok k' -> check (Alcotest.string) "roundtrip" (Topology.kind_to_string k) (Topology.kind_to_string k')
+    | Error m -> Alcotest.fail m
+  in
+  roundtrip Topology.Single;
+  roundtrip (Topology.Fat_tree { leaf_radix = 8 });
+  roundtrip (Topology.Torus { dims = Some (2, 4, 8) });
+  (match Topology.kind_of_string "fat-tree" with
+  | Ok (Topology.Fat_tree { leaf_radix = 16 }) -> ()
+  | _ -> Alcotest.fail "bare fat-tree should default to radix 16");
+  match Topology.kind_of_string "gibberish" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "gibberish should be rejected"
+
 (* ------------------------------------------------------------------ *)
 (* Fabric                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -418,6 +575,189 @@ let test_fabric_stats () =
   checki "wire bytes" 159 s.Fabric.wire_bytes;
   checki "dropped" 0 s.Fabric.dropped
 
+let test_fabric_subcell_wire () =
+  (* 32 + 8 trailer = 40 bytes fits one 48-byte cell: the frame still burns
+     a whole 53-byte cell on the wire, exactly like packet_cells says *)
+  let pkt = mk_packet ~src:0 ~dst:1 ~bytes:32 () in
+  checki "one cell" 1 (Fabric.packet_cells p pkt);
+  checki "sub-cell frame charges a full cell" 53 (Fabric.wire_bytes p pkt);
+  checki "helper agrees" 53 (Fabric.frame_wire_bytes p ~bytes:32);
+  (* min_latency is built from the same helper: serialising 53 wire bytes *)
+  let expected =
+    Time.(
+      Params.wire_time p ~bytes:53 + p.Params.switch_latency + (p.Params.link_latency * 2))
+  in
+  checki "min_latency uses the shared formula" (Time.to_ps expected)
+    (Time.to_ps (Fabric.min_latency p ~bytes:32))
+
+let test_fabric_stats_split () =
+  (* a clean run: offered = on-wire = delivered *)
+  let eng = Engine.create () in
+  let fab = Fabric.create eng p ~nodes:2 in
+  Fabric.set_receiver fab ~node:1 (fun _ -> ());
+  Fabric.send fab (mk_packet ~src:0 ~dst:1 ~bytes:100 ());
+  Engine.run eng;
+  let s = Fabric.stats fab in
+  checki "offered" 1 s.Fabric.offered_packets;
+  checki "on wire" 1 s.Fabric.packets;
+  checki "delivered" 1 s.Fabric.delivered_packets;
+  checki "offered wire bytes" s.Fabric.wire_bytes s.Fabric.offered_wire_bytes;
+  checki "delivered wire bytes" s.Fabric.wire_bytes s.Fabric.delivered_wire_bytes;
+  (* a crashed source offers but never transmits *)
+  let eng = Engine.create () in
+  let fab = Fabric.create eng p ~nodes:2 in
+  Fabric.set_receiver fab ~node:1 (fun _ -> ());
+  Fabric.set_node_down fab ~node:0 true;
+  Fabric.send fab (mk_packet ~src:0 ~dst:1 ~bytes:100 ());
+  Engine.run eng;
+  let s = Fabric.stats fab in
+  checki "crashed source still offers" 1 s.Fabric.offered_packets;
+  checki "nothing on the wire" 0 s.Fabric.packets;
+  checki "nothing delivered" 0 s.Fabric.delivered_packets;
+  checki "counted as crash drop" 1 (Fabric.crash_drops fab ~node:0);
+  (* a mid-flight frame drop is on the wire but not delivered *)
+  let eng = Engine.create () in
+  let fab =
+    Fabric.create eng p ~faults:{ Faults.none with Faults.frame_drop = 1.0 } ~nodes:2
+  in
+  Fabric.set_receiver fab ~node:1 (fun _ -> ());
+  Fabric.send fab (mk_packet ~src:0 ~dst:1 ~bytes:100 ());
+  Engine.run eng;
+  let s = Fabric.stats fab in
+  checki "offered" 1 s.Fabric.offered_packets;
+  checki "on the wire" 1 s.Fabric.packets;
+  checki "destroyed before delivery" 0 s.Fabric.delivered_packets
+
+(* Regression for the crash/link-down race: liveness used to be checked only
+   when the last bit arrived (eta), but a frame queued behind a busy ingress
+   port is delivered later (finish) — a node crashing in between still
+   received it. *)
+let test_fabric_crash_during_ingress_queue () =
+  let eng = Engine.create () in
+  let fab = Fabric.create eng p ~nodes:3 in
+  let got = ref [] in
+  Fabric.set_receiver fab ~node:1 (fun pkt -> got := pkt.Fabric.src :: !got);
+  (* two big frames race to node 1: the second queues behind the first *)
+  Fabric.send fab (mk_packet ~src:0 ~dst:1 ~bytes:4096 ());
+  Fabric.send fab (mk_packet ~src:2 ~dst:1 ~bytes:4096 ());
+  (* crash node 1 just after the first delivery: past the second frame's
+     eta (both etas are equal), before its queued delivery at finish *)
+  let first_finish = Fabric.min_latency p ~bytes:4096 in
+  Engine.at eng
+    Time.(first_finish + ns 1)
+    (fun () -> Fabric.set_node_down fab ~node:1 true);
+  Engine.run eng;
+  check (Alcotest.list Alcotest.int) "only the first frame arrives" [ 0 ] (List.rev !got);
+  checki "queued frame died at the crash" 1 (Fabric.crash_drops fab ~node:1);
+  let s = Fabric.stats fab in
+  checki "both were on the wire" 2 s.Fabric.packets;
+  checki "one delivered" 1 s.Fabric.delivered_packets
+
+let test_fabric_link_down_during_ingress_queue () =
+  (* same race, with a link-down window opening between eta and finish *)
+  let first_finish = Fabric.min_latency p ~bytes:4096 in
+  let window =
+    { Faults.w_node = 1; w_from = Time.(first_finish + ns 1); w_upto = Time.s 1 }
+  in
+  let eng = Engine.create () in
+  let fab =
+    Fabric.create eng p ~faults:{ Faults.none with Faults.link_down = [ window ] } ~nodes:3
+  in
+  let got = ref [] in
+  Fabric.set_receiver fab ~node:1 (fun pkt -> got := pkt.Fabric.src :: !got);
+  Fabric.send fab (mk_packet ~src:0 ~dst:1 ~bytes:4096 ());
+  Fabric.send fab (mk_packet ~src:2 ~dst:1 ~bytes:4096 ());
+  Engine.run eng;
+  check (Alcotest.list Alcotest.int) "only the first frame arrives" [ 0 ] (List.rev !got);
+  let s = Fabric.stats fab in
+  checki "one delivered" 1 s.Fabric.delivered_packets
+
+(* ------------------------------------------------------------------ *)
+(* Multi-switch fabrics                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_fabric_multihop_latency () =
+  (* an uncontended frame's arrival matches path_latency on every shape *)
+  List.iter
+    (fun (name, kind, src, dst) ->
+      let eng = Engine.create () in
+      let fab = Fabric.create ~topology:kind eng p ~nodes:8 in
+      let arrival = ref Time.zero in
+      Fabric.set_receiver fab ~node:dst (fun _ -> arrival := Engine.now eng);
+      Fabric.send fab (mk_packet ~src ~dst ~bytes:256 "x");
+      Engine.run eng;
+      let expected = Fabric.path_latency fab ~src ~dst ~bytes:256 in
+      checki (name ^ ": arrival = path_latency") (Time.to_ps expected) (Time.to_ps !arrival))
+    [
+      ("single", Topology.Single, 0, 7);
+      ("fat-tree same leaf", Topology.Fat_tree { leaf_radix = 4 }, 0, 1);
+      ("fat-tree cross leaf", Topology.Fat_tree { leaf_radix = 4 }, 0, 7);
+      ("torus", Topology.Torus { dims = Some (2, 2, 2) }, 0, 7);
+    ]
+
+let test_fabric_single_matches_seed_timing () =
+  (* the Single topology takes the literal seed timing path: path_latency
+     and min_latency agree, and so does the measured arrival *)
+  let eng = Engine.create () in
+  let fab = Fabric.create ~topology:Topology.Single eng p ~nodes:4 in
+  let arrival = ref Time.zero in
+  Fabric.set_receiver fab ~node:2 (fun _ -> arrival := Engine.now eng);
+  Fabric.send fab (mk_packet ~src:0 ~dst:2 ~bytes:64 "hello");
+  Engine.run eng;
+  checki "path_latency = min_latency"
+    (Time.to_ps (Fabric.min_latency p ~bytes:64))
+    (Time.to_ps (Fabric.path_latency fab ~src:0 ~dst:2 ~bytes:64));
+  checki "arrival = min_latency"
+    (Time.to_ps (Fabric.min_latency p ~bytes:64))
+    (Time.to_ps !arrival)
+
+let test_fabric_hop_contention () =
+  (* fat-tree, radix 4: nodes 0 and 1 share leaf 0, and both their frames
+     to node 4 must leave on the same up-port — the second waits *)
+  let eng = Engine.create () in
+  let fab = Fabric.create ~topology:(Topology.Fat_tree { leaf_radix = 4 }) eng p ~nodes:8 in
+  let arrivals = ref [] in
+  Fabric.set_receiver fab ~node:4 (fun pkt ->
+      arrivals := (pkt.Fabric.src, Engine.now eng) :: !arrivals);
+  Fabric.send fab (mk_packet ~src:0 ~dst:4 ~bytes:4096 ());
+  Fabric.send fab (mk_packet ~src:1 ~dst:4 ~bytes:4096 ());
+  Engine.run eng;
+  let s = Fabric.stats fab in
+  checkb "contention was charged" true (s.Fabric.hop_waits > 0);
+  checki "both delivered" 2 s.Fabric.delivered_packets;
+  match List.rev !arrivals with
+  | [ (_, t1); (_, t2) ] ->
+      let ser =
+        Time.to_ps (Params.wire_time p ~bytes:(Fabric.frame_wire_bytes p ~bytes:4096))
+      in
+      checkb "second serialised behind the first" true (Time.to_ps t2 - Time.to_ps t1 >= ser)
+  | _ -> Alcotest.fail "expected two arrivals"
+
+let test_fabric_single_counts_banyan_conflicts () =
+  (* routes (0 -> 3) and (4 -> 1) share the stage-0 wire of an 8-port omega
+     network: on the seed switch the overlap is counted but not charged *)
+  let sw = Switch.create ~ports:8 in
+  checkb "routes do conflict" true (Switch.conflict sw (0, 3) (4, 1));
+  let eng = Engine.create () in
+  let fab = Fabric.create eng p ~nodes:8 in
+  let arrivals = ref [] in
+  let recv dst = Fabric.set_receiver fab ~node:dst (fun _ -> arrivals := Engine.now eng :: !arrivals) in
+  recv 3;
+  recv 1;
+  Fabric.send fab (mk_packet ~src:0 ~dst:3 ~bytes:256 ());
+  Fabric.send fab (mk_packet ~src:4 ~dst:1 ~bytes:256 ());
+  Engine.run eng;
+  let s = Fabric.stats fab in
+  checkb "internal conflict counted" true (s.Fabric.banyan_conflicts > 0);
+  checki "nothing waited (seed timing preserved)" 0 s.Fabric.hop_waits;
+  (match !arrivals with
+  | [ t1; t2 ] ->
+      checki "both frames keep the seed latency" (Time.to_ps t1) (Time.to_ps t2);
+      checki "which is min_latency"
+        (Time.to_ps (Fabric.min_latency p ~bytes:256))
+        (Time.to_ps t1)
+  | _ -> Alcotest.fail "expected two arrivals")
+
 let test_fabric_unrestricted_faster () =
   let latency params =
     let eng = Engine.create () in
@@ -472,6 +812,18 @@ let () =
             test_switch_routes_reach_destination;
           Alcotest.test_case "conflicts" `Quick test_switch_conflicts;
           qc switch_conflict_symmetric;
+          qc switch_route_exchanged_bit;
+          qc switch_conflict_reflexive;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "single" `Quick test_topology_single;
+          Alcotest.test_case "fat-tree structure" `Quick test_topology_fat_tree_structure;
+          Alcotest.test_case "fat-tree reachability" `Quick test_topology_fat_tree_reachability;
+          Alcotest.test_case "torus structure" `Quick test_topology_torus_structure;
+          Alcotest.test_case "torus dimension order" `Quick test_topology_torus_dimension_order;
+          Alcotest.test_case "validate" `Quick test_topology_validate;
+          Alcotest.test_case "kind strings" `Quick test_topology_kind_strings;
         ] );
       ( "fabric",
         [
@@ -483,5 +835,20 @@ let () =
           Alcotest.test_case "min_latency monotone" `Quick test_fabric_min_latency_monotone;
           Alcotest.test_case "stats" `Quick test_fabric_stats;
           Alcotest.test_case "unrestricted cells faster" `Quick test_fabric_unrestricted_faster;
+          Alcotest.test_case "sub-cell wire charge" `Quick test_fabric_subcell_wire;
+          Alcotest.test_case "offered/wire/delivered split" `Quick test_fabric_stats_split;
+          Alcotest.test_case "crash during ingress queue" `Quick
+            test_fabric_crash_during_ingress_queue;
+          Alcotest.test_case "link down during ingress queue" `Quick
+            test_fabric_link_down_during_ingress_queue;
+        ] );
+      ( "multi-switch",
+        [
+          Alcotest.test_case "multihop latency" `Quick test_fabric_multihop_latency;
+          Alcotest.test_case "single matches seed timing" `Quick
+            test_fabric_single_matches_seed_timing;
+          Alcotest.test_case "hop contention" `Quick test_fabric_hop_contention;
+          Alcotest.test_case "single counts banyan conflicts" `Quick
+            test_fabric_single_counts_banyan_conflicts;
         ] );
     ]
