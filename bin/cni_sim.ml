@@ -709,6 +709,118 @@ let chaos_cmd =
       $ scrub_arg $ mc_kb $ no_aih)
 
 (* ------------------------------------------------------------------ *)
+(* scenario                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Named serving scenarios (see docs/SCENARIOS.md). The run subcommand's
+   report is entirely simulated metrics — no wall-clock — so two runs of
+   the same profile are byte-identical, which CI checks. *)
+let scenario_cmd =
+  let module Scenario = Cni_experiments.Scenario in
+  let module Kv = Cni_apps.Kv_serve in
+  let name_arg =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"NAME" ~doc:"Built-in profile name (see $(b,scenario list)).")
+  in
+  let file_arg =
+    Arg.(
+      value & opt (some file) None
+      & info [ "file" ]
+          ~doc:"Load the profile from a text file (docs/SCENARIOS.md has the grammar).")
+  in
+  let fail e =
+    Printf.eprintf "cni_sim scenario: %s\n" e;
+    exit 1
+  in
+  let load name file =
+    match (name, file) with
+    | None, Some f -> (
+        let ic = open_in_bin f in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        match Scenario.of_string s with
+        | Ok p -> p
+        | Error e -> fail (Printf.sprintf "%s: %s" f e))
+    | Some n, None -> (
+        match Scenario.find n with
+        | Some p -> p
+        | None -> fail (Printf.sprintf "unknown profile %S (try: cni_sim scenario list)" n))
+    | Some _, Some _ -> fail "give either NAME or --file, not both"
+    | None, None -> fail "give a profile NAME or --file FILE"
+  in
+  let preflight p =
+    let failures = ref 0 in
+    List.iter
+      (fun (label, verdict) ->
+        match verdict with
+        | Ok detail -> Printf.printf "ok    %s: %s\n" label detail
+        | Error msg ->
+            incr failures;
+            Printf.printf "FAIL  %s: %s\n" label msg)
+      (Scenario.preflight p);
+    !failures
+  in
+  let list_cmd =
+    let doc = "List the built-in scenario profiles." in
+    let run () =
+      List.iter
+        (fun p -> Printf.printf "%-20s %s\n" p.Scenario.name p.Scenario.summary)
+        Scenario.builtins
+    in
+    Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+  in
+  let describe_cmd =
+    let doc = "Print a profile's full text form plus derived figures." in
+    let run name file =
+      let p = load name file in
+      print_string (Scenario.to_string p);
+      Printf.printf "# derived: %d nodes, %.0f req/s offered, %d requests in total\n"
+        (p.Scenario.clients + p.Scenario.servers)
+        (Scenario.offered_rps p)
+        (p.Scenario.clients * p.Scenario.requests_per_client)
+    in
+    Cmd.v (Cmd.info "describe" ~doc) Term.(const run $ name_arg $ file_arg)
+  in
+  let doctor_cmd =
+    let doc = "Preflight a profile without running it (exit 1 on any failed check)." in
+    let run name file =
+      let p = load name file in
+      let failures = preflight p in
+      Printf.printf "doctor: %d check(s) failed\n" failures;
+      if failures > 0 then exit 1
+    in
+    Cmd.v (Cmd.info "doctor" ~doc) Term.(const run $ name_arg $ file_arg)
+  in
+  let run_cmd =
+    let doc = "Preflight, then run a profile and report its latency tail." in
+    let run name file =
+      let p = load name file in
+      let failures = preflight p in
+      if failures > 0 then fail "preflight failed; not running";
+      let r = Scenario.run p in
+      Printf.printf "profile            %s\n" p.Scenario.name;
+      Printf.printf "requests           %d issued, %d answered (gets %d, puts %d)\n"
+        r.Kv.requests r.Kv.responses r.Kv.gets r.Kv.puts;
+      Printf.printf "elapsed            %.1f us (%.0f req/s served)\n" r.Kv.elapsed_us
+        r.Kv.throughput_rps;
+      Printf.printf "latency mean       %.3f us\n" r.Kv.mean_us;
+      Printf.printf "latency p50        %.3f us\n" r.Kv.p50_us;
+      Printf.printf "latency p99        %.3f us\n" r.Kv.p99_us;
+      Printf.printf "latency p999       %.3f us\n" r.Kv.p999_us;
+      Printf.printf "latency max        %.3f us\n" r.Kv.max_us;
+      Printf.printf "retransmits        %d\n" r.Kv.retransmits;
+      Printf.printf "fault drops        %d\n" r.Kv.fault_drops;
+      Printf.printf "fabric hop waits   %d\n" r.Kv.hop_waits;
+      Printf.printf "host interrupts    %d\n" r.Kv.host_interrupts;
+      Printf.printf "host polls         %d (%d wasted)\n" r.Kv.polls r.Kv.wasted_polls
+    in
+    Cmd.v (Cmd.info "run" ~doc) Term.(const run $ name_arg $ file_arg)
+  in
+  let doc = "Named serving scenarios: list, describe, preflight and run profiles." in
+  Cmd.group (Cmd.info "scenario" ~doc) [ list_cmd; describe_cmd; doctor_cmd; run_cmd ]
+
+(* ------------------------------------------------------------------ *)
 (* params                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -725,5 +837,5 @@ let () =
        (Cmd.group info
           [
             run_cmd; sweep_cmd; latency_cmd; collectives_cmd; aih_verify_cmd; doctor_cmd;
-            chaos_cmd; params_cmd;
+            chaos_cmd; scenario_cmd; params_cmd;
           ]))

@@ -612,6 +612,89 @@ let topology () =
       ]
     (fanout_rows @ app_rows)
 
+(* Open-loop serving tails: offered load x receive policy x topology, on a
+   lossy fabric (the PR 2 fault model, so the reliability layer is live).
+   Message delivery runs on the host (aih off) — with the handler on the
+   board the receive policy never fires and every row would tie. The whole
+   sweep is deterministic, so every quantile is pinned as a metric. *)
+let serving () =
+  let module Topology = Cni_atm.Topology in
+  let module Faults = Cni_atm.Faults in
+  let requests = if !Figures.quick then 30 else 80 in
+  let loads = [ ("moderate", 20_000.); ("high", 60_000.) ] in
+  let topologies = [ ("single", Topology.Single); ("torus", Topology.Torus { dims = None }) ] in
+  let policies =
+    [
+      ("interrupt", Scenario.Interrupt);
+      ("poll", Scenario.Poll);
+      ("hybrid", Scenario.Hybrid);
+      ("adaptive", Scenario.Adaptive);
+    ]
+  in
+  let runs =
+    List.concat_map
+      (fun (tname, topology) ->
+        List.concat_map
+          (fun (lname, rate) ->
+            List.map
+              (fun (pname, rx_policy) ->
+                let profile =
+                  {
+                    Scenario.default with
+                    Scenario.name = "ablation-serving";
+                    requests_per_client = requests;
+                    arrival = Arrival.Poisson { rate_per_s = rate };
+                    aih = false;
+                    rx_policy;
+                    topology;
+                    faults = Faults.with_loss ~seed:11 1e-4;
+                  }
+                in
+                (tname, lname, pname, Scenario.run profile))
+              policies)
+          loads)
+      topologies
+  in
+  let rows =
+    List.map
+      (fun (tname, lname, pname, r) ->
+        [
+          tname;
+          lname;
+          pname;
+          Printf.sprintf "%.3f" r.Cni_apps.Kv_serve.p50_us;
+          Printf.sprintf "%.3f" r.Cni_apps.Kv_serve.p99_us;
+          Printf.sprintf "%.3f" r.Cni_apps.Kv_serve.p999_us;
+          Printf.sprintf "%.3f" r.Cni_apps.Kv_serve.max_us;
+          string_of_int r.Cni_apps.Kv_serve.retransmits;
+        ])
+      runs
+  in
+  let metrics =
+    List.concat_map
+      (fun (tname, lname, pname, r) ->
+        let key q = Printf.sprintf "serving-%s-%s-%s-%s" tname lname pname q in
+        [
+          (key "p50us", r.Cni_apps.Kv_serve.p50_us);
+          (key "p99us", r.Cni_apps.Kv_serve.p99_us);
+          (key "p999us", r.Cni_apps.Kv_serve.p999_us);
+        ])
+      runs
+  in
+  Report.make ~id:"ablation-serving"
+    ~title:"Open-loop serving tails: offered load x rx policy x topology (lossy fabric)"
+    ~metrics
+    ~columns:[ "topology"; "load"; "rx-policy"; "p50-us"; "p99-us"; "p999-us"; "max-us"; "retx" ]
+    ~notes:
+      [
+        "12 clients + 4 servers, Poisson arrivals, handlers on the host (aih off) so the \
+         receive policy is on the delivery path; cell loss 1e-4 keeps the reliability \
+         layer live";
+        "latency is measured from each request's scheduled generation time, so queueing \
+         delay (including coordinated-omission stalls) is charged to the tail";
+      ]
+    rows
+
 let aih_bench () =
   let v = Microbench.verifier_throughput () in
   let verifier_row =
@@ -677,5 +760,6 @@ let all =
     ("ablation-chaos", chaos);
     ("ablation-collectives", collectives);
     ("ablation-topology", topology);
+    ("ablation-serving", serving);
     ("microbench-aih", aih_bench);
   ]

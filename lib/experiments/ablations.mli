@@ -55,3 +55,10 @@ val collectives : unit -> Report.t
     topology. Identical checksums across topologies witness that the per-hop
     contention model changes timing only. *)
 val topology : unit -> Report.t
+
+(** Open-loop serving tails ({!Scenario} over {!Cni_apps.Kv_serve}):
+    offered load x receive policy x topology at 16 nodes on a lossy
+    fabric, with host-resident delivery so the receive policy is on the
+    hot path. Reports p50/p99/p999/max response latency; every quantile is
+    deterministic and pinned as a metric. *)
+val serving : unit -> Report.t

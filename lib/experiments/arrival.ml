@@ -1,0 +1,154 @@
+(* Open-loop arrival processes. All randomness comes from one explicit
+   SplitMix64 stream per generator, so a gap sequence is a pure function of
+   (seed, kind) — the scenario layer and the qcheck distribution tests both
+   depend on that. *)
+
+module Time = Cni_engine.Time
+module Rng = Cni_engine.Rng
+
+type kind =
+  | Poisson of { rate_per_s : float }
+  | Bursty of {
+      on_rate_per_s : float;
+      off_rate_per_s : float;
+      mean_on_us : float;
+      mean_off_us : float;
+    }
+
+type t = {
+  kind : kind;
+  rng : Rng.t;
+  (* bursty state machine: which period we are in and how much of it is
+     left (picoseconds). Unused for Poisson. *)
+  mutable in_on : bool;
+  mutable left_ps : int;
+}
+
+let validate_kind = function
+  | Poisson { rate_per_s } ->
+      if rate_per_s > 0. && Float.is_finite rate_per_s then Ok ()
+      else Error [ Printf.sprintf "poisson rate must be positive (got %g)" rate_per_s ]
+  | Bursty { on_rate_per_s; off_rate_per_s; mean_on_us; mean_off_us } ->
+      let errs = ref [] in
+      let bad fmt = Printf.ksprintf (fun m -> errs := m :: !errs) fmt in
+      if not (on_rate_per_s > 0. && Float.is_finite on_rate_per_s) then
+        bad "bursty ON rate must be positive (got %g)" on_rate_per_s;
+      if not (off_rate_per_s >= 0. && Float.is_finite off_rate_per_s) then
+        bad "bursty OFF rate must be >= 0 (got %g)" off_rate_per_s;
+      if not (mean_on_us > 0. && Float.is_finite mean_on_us) then
+        bad "bursty mean ON period must be positive (got %g us)" mean_on_us;
+      if not (mean_off_us > 0. && Float.is_finite mean_off_us) then
+        bad "bursty mean OFF period must be positive (got %g us)" mean_off_us;
+      if !errs = [] then Ok () else Error (List.rev !errs)
+
+(* Inverse-CDF exponential sample, in picoseconds of simulated time.
+   [Rng.float] is uniform in [0,1), so [1 - u] is in (0,1] and the log is
+   finite; the result is clamped to >= 1 ps so arrival times strictly
+   increase. *)
+let exp_ps rng ~rate_per_s =
+  let u = Rng.float rng in
+  let gap_s = -.log (1. -. u) /. rate_per_s in
+  Stdlib.max 1 (int_of_float (gap_s *. 1e12))
+
+(* Exponential period length with the given mean (mean_us > 0). *)
+let period_ps rng ~mean_us =
+  let u = Rng.float rng in
+  Stdlib.max 1 (int_of_float (-.log (1. -. u) *. mean_us *. 1e6))
+
+let create ~seed kind =
+  (match validate_kind kind with
+  | Ok () -> ()
+  | Error errs -> invalid_arg ("Arrival.create: " ^ String.concat "; " errs));
+  let rng = Rng.create ~seed in
+  let t = { kind; rng; in_on = true; left_ps = 0 } in
+  (match kind with
+  | Poisson _ -> ()
+  | Bursty { mean_on_us; _ } -> t.left_ps <- period_ps rng ~mean_us:mean_on_us);
+  t
+
+let kind t = t.kind
+
+let next_gap t =
+  match t.kind with
+  | Poisson { rate_per_s } -> Time.ps (exp_ps t.rng ~rate_per_s)
+  | Bursty { on_rate_per_s; off_rate_per_s; mean_on_us; mean_off_us } ->
+      (* accumulate simulated time across period boundaries until a draw at
+         the current period's rate lands inside it *)
+      let switch () =
+        if t.in_on then begin
+          t.in_on <- false;
+          t.left_ps <- period_ps t.rng ~mean_us:mean_off_us
+        end
+        else begin
+          t.in_on <- true;
+          t.left_ps <- period_ps t.rng ~mean_us:mean_on_us
+        end
+      in
+      let acc = ref 0 in
+      let gap = ref 0 in
+      while !gap = 0 do
+        let rate = if t.in_on then on_rate_per_s else off_rate_per_s in
+        if rate <= 0. then begin
+          (* silent period: skip it whole (an OFF period with rate 0 can
+             never produce an arrival) *)
+          acc := !acc + t.left_ps;
+          switch ()
+        end
+        else begin
+          let g = exp_ps t.rng ~rate_per_s:rate in
+          if g <= t.left_ps then begin
+            t.left_ps <- t.left_ps - g;
+            gap := !acc + g
+          end
+          else begin
+            acc := !acc + t.left_ps;
+            switch ()
+          end
+        end
+      done;
+      Time.ps !gap
+
+let mean_rate_per_s = function
+  | Poisson { rate_per_s } -> rate_per_s
+  | Bursty { on_rate_per_s; off_rate_per_s; mean_on_us; mean_off_us } ->
+      ((on_rate_per_s *. mean_on_us) +. (off_rate_per_s *. mean_off_us))
+      /. (mean_on_us +. mean_off_us)
+
+let kind_to_string = function
+  | Poisson { rate_per_s } -> Printf.sprintf "poisson %.17g" rate_per_s
+  | Bursty { on_rate_per_s; off_rate_per_s; mean_on_us; mean_off_us } ->
+      Printf.sprintf "bursty %.17g %.17g %.17g %.17g" on_rate_per_s off_rate_per_s
+        mean_on_us mean_off_us
+
+let kind_of_string s =
+  let fields =
+    String.split_on_char ' ' (String.trim s) |> List.filter (fun f -> f <> "")
+  in
+  let float_field name f =
+    match float_of_string_opt f with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "%s: expected a number, got %S" name f)
+  in
+  let check kind = match validate_kind kind with
+    | Ok () -> Ok kind
+    | Error errs -> Error (String.concat "; " errs)
+  in
+  match fields with
+  | [ "poisson"; rate ] ->
+      Result.bind (float_field "poisson rate" rate) (fun rate_per_s ->
+          check (Poisson { rate_per_s }))
+  | [ "bursty"; on_r; off_r; on_us; off_us ] ->
+      Result.bind (float_field "bursty ON rate" on_r) (fun on_rate_per_s ->
+          Result.bind (float_field "bursty OFF rate" off_r) (fun off_rate_per_s ->
+              Result.bind (float_field "bursty mean ON period" on_us)
+                (fun mean_on_us ->
+                  Result.bind (float_field "bursty mean OFF period" off_us)
+                    (fun mean_off_us ->
+                      check
+                        (Bursty
+                           { on_rate_per_s; off_rate_per_s; mean_on_us; mean_off_us })))))
+  | "poisson" :: _ -> Error "poisson takes exactly one field: RATE_PER_S"
+  | "bursty" :: _ ->
+      Error "bursty takes exactly four fields: ON_RATE OFF_RATE MEAN_ON_US MEAN_OFF_US"
+  | kind :: _ -> Error (Printf.sprintf "unknown arrival process %S (expected poisson or bursty)" kind)
+  | [] -> Error "empty arrival specification"

@@ -1,0 +1,69 @@
+(** Open-loop arrival processes: deterministic seeded inter-arrival
+    generators for the serving workload ({!Cni_apps.Kv_serve}).
+
+    A closed-loop client issues its next request only after the previous
+    one completes, so a slow server quietly throttles its own load. An
+    open-loop client draws request times from an {e arrival process} fixed
+    in advance — the offered load never bends to the server's speed, which
+    is what exposes queueing delay in the latency tail (DESIGN.md §3c).
+
+    Two processes, both driven by one explicit {!Cni_engine.Rng} stream so
+    every gap sequence is reproducible from its seed:
+
+    - {e Poisson}: independent exponentially-distributed gaps at a constant
+      rate — the memoryless baseline (inter-arrival coefficient of
+      variation 1);
+    - {e bursty ON/OFF}: a two-state modulated Poisson process. The source
+      alternates between an ON period (arrivals at [on_rate_per_s]) and an
+      OFF period (arrivals at [off_rate_per_s], possibly zero);
+      period lengths are exponential with the given means. With
+      [off_rate < on_rate] the same average load arrives in clumps, so the
+      gap distribution is over-dispersed (coefficient of variation > 1)
+      and the latency tail stretches even at moderate mean utilisation. *)
+
+(** The process shape. Rates are requests per second of simulated time;
+    period means are in simulated microseconds. *)
+type kind =
+  | Poisson of { rate_per_s : float }
+  | Bursty of {
+      on_rate_per_s : float;  (** arrival rate inside an ON period *)
+      off_rate_per_s : float;  (** arrival rate inside an OFF period (>= 0) *)
+      mean_on_us : float;  (** mean ON-period length, microseconds *)
+      mean_off_us : float;  (** mean OFF-period length, microseconds *)
+    }
+
+(** A generator: one seeded stream of inter-arrival gaps. *)
+type t
+
+(** [validate_kind k] explains every parameter problem (non-positive rate
+    or period mean, negative OFF rate) rather than raising; the scenario
+    validator aggregates these. *)
+val validate_kind : kind -> (unit, string list) result
+
+(** [create ~seed k] builds a generator. Two generators with the same seed
+    and kind produce identical gap sequences.
+    @raise Invalid_argument when {!validate_kind} rejects [k]. *)
+val create : seed:int -> kind -> t
+
+val kind : t -> kind
+
+(** The next inter-arrival gap. Always at least 1 ps (so arrival times are
+    strictly increasing). A bursty generator advances its ON/OFF state
+    machine as simulated time is consumed, crossing as many period
+    boundaries as the draw requires. *)
+val next_gap : t -> Cni_engine.Time.t
+
+(** Long-run mean arrival rate of the process, requests per second: the
+    Poisson rate, or the period-length-weighted average of the two bursty
+    rates. Used for offered-load reporting and the doctor's utilisation
+    check. *)
+val mean_rate_per_s : kind -> float
+
+(** Parse the profile-text form: [poisson RATE] or
+    [bursty ON_RATE OFF_RATE MEAN_ON_US MEAN_OFF_US] (see
+    docs/SCENARIOS.md). Accepts anything {!validate_kind} accepts. *)
+val kind_of_string : string -> (kind, string) result
+
+(** Print a kind in the form {!kind_of_string} parses; the round-trip is
+    exact (rates and means are printed with full float precision). *)
+val kind_to_string : kind -> string

@@ -1,0 +1,550 @@
+(* Scenario profiles: the (topology × workload × faults × rx policy × node
+   count) product flattened into one record with a line-oriented text form.
+   Parsing is strict about shape (first bad line wins, with its number);
+   semantics are checked by [validate], which collects every problem. *)
+
+module Time = Cni_engine.Time
+module Params = Cni_machine.Params
+module Topology = Cni_atm.Topology
+module Faults = Cni_atm.Faults
+module Nic = Cni_nic.Nic
+module Kv_serve = Cni_apps.Kv_serve
+
+type nic = Cni | Osiris | Standard
+type rx = Interrupt | Poll | Hybrid | Adaptive
+
+type profile = {
+  name : string;
+  summary : string;
+  clients : int;
+  servers : int;
+  requests_per_client : int;
+  arrival : Arrival.kind;
+  value_bytes : int;
+  put_pct : int;
+  service_cycles : int;
+  seed : int;
+  nic : nic;
+  aih : bool;
+  rx_policy : rx;
+  rx_batch : int;
+  topology : Topology.kind;
+  faults : Faults.config;
+}
+
+let default =
+  {
+    name = "";
+    summary = "";
+    clients = 12;
+    servers = 4;
+    requests_per_client = 40;
+    arrival = Arrival.Poisson { rate_per_s = 20_000. };
+    value_bytes = 256;
+    put_pct = 20;
+    service_cycles = 400;
+    seed = 42;
+    nic = Cni;
+    aih = true;
+    rx_policy = Hybrid;
+    rx_batch = 1;
+    topology = Topology.Single;
+    faults = Faults.none;
+  }
+
+let nic_to_string = function Cni -> "cni" | Osiris -> "osiris" | Standard -> "standard"
+
+let rx_to_string = function
+  | Interrupt -> "interrupt"
+  | Poll -> "poll"
+  | Hybrid -> "hybrid"
+  | Adaptive -> "adaptive"
+
+let offered_rps p = float_of_int p.clients *. Arrival.mean_rate_per_s p.arrival
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let name_ok n =
+  n <> ""
+  && String.for_all (fun c -> (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-') n
+  && n.[0] <> '-'
+
+(* every crash must be matched by a later restart — a server that stays
+   down strands its clients' blocking receives and the watchdog fires *)
+let unpaired_crashes sched =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let c, r = Option.value (Hashtbl.find_opt tbl e.Faults.e_node) ~default:(0, 0) in
+      match e.Faults.e_fault with
+      | Faults.Crash _ -> Hashtbl.replace tbl e.Faults.e_node (c + 1, r)
+      | Faults.Restart -> Hashtbl.replace tbl e.Faults.e_node (c, r + 1))
+    sched;
+  Hashtbl.fold (fun node (c, r) acc -> if c <> r then node :: acc else acc) tbl []
+  |> List.sort compare
+
+let validate p =
+  let errs = ref [] in
+  let bad fmt = Printf.ksprintf (fun m -> errs := m :: !errs) fmt in
+  if not (name_ok p.name) then
+    bad "name must be non-empty lowercase-kebab ([a-z0-9-], not starting with '-'): %S"
+      p.name;
+  (match
+     Kv_serve.validate
+       {
+         Kv_serve.clients = p.clients;
+         servers = p.servers;
+         requests_per_client = p.requests_per_client;
+         arrival = (fun _ () -> Time.ps 1);
+         value_bytes = p.value_bytes;
+         put_pct = p.put_pct;
+         seed = p.seed;
+         service_cycles = p.service_cycles;
+       }
+   with
+  | Ok () -> ()
+  | Error es -> errs := List.rev_append es !errs);
+  (match Arrival.validate_kind p.arrival with
+  | Ok () -> ()
+  | Error es -> errs := List.rev_append es !errs);
+  if p.rx_batch < 1 then bad "rx-batch must be >= 1 (got %d)" p.rx_batch;
+  let nodes = p.clients + p.servers in
+  (match Topology.validate p.topology ~nodes with
+  | Ok () -> ()
+  | Error e -> bad "topology: %s" e);
+  (match Faults.validate ~nodes p.faults with
+  | Ok () -> ()
+  | Error es -> errs := List.rev_append es !errs);
+  (match unpaired_crashes p.faults.Faults.schedule with
+  | [] -> ()
+  | ns ->
+      bad "crash without matching restart on node%s %s (the workload could never drain)"
+        (if List.length ns > 1 then "s" else "")
+        (String.concat ", " (List.map string_of_int ns)));
+  if !errs = [] then Ok () else Error (List.rev !errs)
+
+(* ------------------------------------------------------------------ *)
+(* Text format                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let us_of_time t = Time.to_ps t / 1_000_000
+
+let to_string p =
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  line "name %s" p.name;
+  if p.summary <> "" then line "summary %s" p.summary;
+  line "clients %d" p.clients;
+  line "servers %d" p.servers;
+  line "requests %d" p.requests_per_client;
+  line "arrival %s" (Arrival.kind_to_string p.arrival);
+  line "value-bytes %d" p.value_bytes;
+  line "put-pct %d" p.put_pct;
+  line "service-cycles %d" p.service_cycles;
+  line "seed %d" p.seed;
+  line "nic %s" (nic_to_string p.nic);
+  line "aih %s" (if p.aih then "on" else "off");
+  line "rx-policy %s" (rx_to_string p.rx_policy);
+  line "rx-batch %d" p.rx_batch;
+  line "topology %s" (Topology.kind_to_string p.topology);
+  if p.faults <> Faults.none then begin
+    let f = p.faults in
+    line "fault-seed %d" f.Faults.seed;
+    line "loss %.17g" f.Faults.cell_loss;
+    line "corrupt %.17g" f.Faults.cell_corrupt;
+    line "drop %.17g" f.Faults.frame_drop;
+    List.iter
+      (fun w ->
+        line "down %d %d %d" w.Faults.w_node (us_of_time w.Faults.w_from)
+          (us_of_time w.Faults.w_upto))
+      f.Faults.link_down;
+    List.iter
+      (fun e ->
+        match e.Faults.e_fault with
+        | Faults.Crash { scrub } ->
+            line "crash %d %d%s" e.Faults.e_node (us_of_time e.Faults.e_at)
+              (if scrub then " scrub" else "")
+        | Faults.Restart -> line "restart %d %d" e.Faults.e_node (us_of_time e.Faults.e_at))
+      f.Faults.schedule
+  end;
+  Buffer.contents b
+
+let of_string text =
+  let p = ref default in
+  let got_name = ref false in
+  let err = ref None in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i raw ->
+      let ln = i + 1 in
+      let fail fmt =
+        Printf.ksprintf
+          (fun m -> if !err = None then err := Some (Printf.sprintf "line %d: %s" ln m))
+          fmt
+      in
+      let line =
+        match String.index_opt raw '#' with
+        | Some j -> String.sub raw 0 j
+        | None -> raw
+      in
+      let line = String.trim line in
+      if line <> "" && !err = None then begin
+        let key, rest =
+          match String.index_opt line ' ' with
+          | Some j ->
+              ( String.sub line 0 j,
+                String.trim (String.sub line j (String.length line - j)) )
+          | None -> (line, "")
+        in
+        let fields = List.filter (fun f -> f <> "") (String.split_on_char ' ' rest) in
+        let intv what k =
+          match int_of_string_opt rest with
+          | Some v -> k v
+          | None -> fail "%s: expected an integer, got %S" what rest
+        in
+        let floatv what k =
+          match float_of_string_opt rest with
+          | Some v -> k v
+          | None -> fail "%s: expected a number, got %S" what rest
+        in
+        let int_field what s k =
+          match int_of_string_opt s with
+          | Some v -> k v
+          | None -> fail "%s: expected an integer, got %S" what s
+        in
+        let set f = p := f !p in
+        match key with
+        | "name" ->
+            if rest = "" then fail "name needs a value"
+            else begin
+              got_name := true;
+              set (fun p -> { p with name = rest })
+            end
+        | "summary" -> set (fun p -> { p with summary = rest })
+        | "clients" -> intv "clients" (fun v -> set (fun p -> { p with clients = v }))
+        | "servers" -> intv "servers" (fun v -> set (fun p -> { p with servers = v }))
+        | "requests" ->
+            intv "requests" (fun v -> set (fun p -> { p with requests_per_client = v }))
+        | "arrival" -> (
+            match Arrival.kind_of_string rest with
+            | Ok k -> set (fun p -> { p with arrival = k })
+            | Error e -> fail "arrival: %s" e)
+        | "value-bytes" ->
+            intv "value-bytes" (fun v -> set (fun p -> { p with value_bytes = v }))
+        | "put-pct" -> intv "put-pct" (fun v -> set (fun p -> { p with put_pct = v }))
+        | "service-cycles" ->
+            intv "service-cycles" (fun v -> set (fun p -> { p with service_cycles = v }))
+        | "seed" -> intv "seed" (fun v -> set (fun p -> { p with seed = v }))
+        | "nic" -> (
+            match rest with
+            | "cni" -> set (fun p -> { p with nic = Cni })
+            | "osiris" -> set (fun p -> { p with nic = Osiris })
+            | "standard" -> set (fun p -> { p with nic = Standard })
+            | s -> fail "nic: expected cni, osiris or standard, got %S" s)
+        | "aih" -> (
+            match rest with
+            | "on" -> set (fun p -> { p with aih = true })
+            | "off" -> set (fun p -> { p with aih = false })
+            | s -> fail "aih: expected on or off, got %S" s)
+        | "rx-policy" -> (
+            match rest with
+            | "interrupt" -> set (fun p -> { p with rx_policy = Interrupt })
+            | "poll" -> set (fun p -> { p with rx_policy = Poll })
+            | "hybrid" -> set (fun p -> { p with rx_policy = Hybrid })
+            | "adaptive" -> set (fun p -> { p with rx_policy = Adaptive })
+            | s -> fail "rx-policy: expected interrupt, poll, hybrid or adaptive, got %S" s)
+        | "rx-batch" -> intv "rx-batch" (fun v -> set (fun p -> { p with rx_batch = v }))
+        | "topology" -> (
+            match Topology.kind_of_string rest with
+            | Ok k -> set (fun p -> { p with topology = k })
+            | Error e -> fail "topology: %s" e)
+        | "fault-seed" ->
+            intv "fault-seed"
+              (fun v -> set (fun p -> { p with faults = { p.faults with Faults.seed = v } }))
+        | "loss" ->
+            floatv "loss"
+              (fun v ->
+                set (fun p -> { p with faults = { p.faults with Faults.cell_loss = v } }))
+        | "corrupt" ->
+            floatv "corrupt"
+              (fun v ->
+                set (fun p -> { p with faults = { p.faults with Faults.cell_corrupt = v } }))
+        | "drop" ->
+            floatv "drop"
+              (fun v ->
+                set (fun p -> { p with faults = { p.faults with Faults.frame_drop = v } }))
+        | "down" -> (
+            match fields with
+            | [ n; f; u ] ->
+                int_field "down node" n (fun n ->
+                    int_field "down start" f (fun f ->
+                        int_field "down end" u (fun u ->
+                            let w =
+                              {
+                                Faults.w_node = n;
+                                w_from = Time.us f;
+                                w_upto = Time.us u;
+                              }
+                            in
+                            set (fun p ->
+                                {
+                                  p with
+                                  faults =
+                                    {
+                                      p.faults with
+                                      Faults.link_down =
+                                        p.faults.Faults.link_down @ [ w ];
+                                    };
+                                }))))
+            | _ -> fail "down takes exactly three fields: NODE FROM_US UPTO_US")
+        | "crash" -> (
+            let add n at scrub =
+              int_field "crash node" n (fun n ->
+                  int_field "crash time" at (fun at ->
+                      let e =
+                        {
+                          Faults.e_at = Time.us at;
+                          e_node = n;
+                          e_fault = Faults.Crash { scrub };
+                        }
+                      in
+                      set (fun p ->
+                          {
+                            p with
+                            faults =
+                              {
+                                p.faults with
+                                Faults.schedule = p.faults.Faults.schedule @ [ e ];
+                              };
+                          })))
+            in
+            match fields with
+            | [ n; at ] -> add n at false
+            | [ n; at; "scrub" ] -> add n at true
+            | _ -> fail "crash takes NODE AT_US [scrub]")
+        | "restart" -> (
+            match fields with
+            | [ n; at ] ->
+                int_field "restart node" n (fun n ->
+                    int_field "restart time" at (fun at ->
+                        let e =
+                          { Faults.e_at = Time.us at; e_node = n; e_fault = Faults.Restart }
+                        in
+                        set (fun p ->
+                            {
+                              p with
+                              faults =
+                                {
+                                  p.faults with
+                                  Faults.schedule = p.faults.Faults.schedule @ [ e ];
+                                };
+                            })))
+            | _ -> fail "restart takes exactly two fields: NODE AT_US")
+        | k -> fail "unknown key %S" k
+      end)
+    lines;
+  match !err with
+  | Some e -> Error e
+  | None -> if not !got_name then Error "profile has no name line" else Ok !p
+
+(* ------------------------------------------------------------------ *)
+(* Preflight                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let utilisation p =
+  if p.service_cycles = 0 then 0.
+  else
+    offered_rps p *. float_of_int p.service_cycles
+    /. (float_of_int p.servers *. float_of_int Params.default.Params.cpu_hz)
+
+let preflight p =
+  let nodes = p.clients + p.servers in
+  let fields =
+    let errs = ref [] in
+    if not (name_ok p.name) then errs := [ Printf.sprintf "bad name %S" p.name ];
+    (match
+       Kv_serve.validate
+         {
+           Kv_serve.clients = p.clients;
+           servers = p.servers;
+           requests_per_client = p.requests_per_client;
+           arrival = (fun _ () -> Time.ps 1);
+           value_bytes = p.value_bytes;
+           put_pct = p.put_pct;
+           seed = p.seed;
+           service_cycles = p.service_cycles;
+         }
+     with
+    | Ok () -> ()
+    | Error es -> errs := !errs @ es);
+    if p.rx_batch < 1 then
+      errs := !errs @ [ Printf.sprintf "rx-batch must be >= 1 (got %d)" p.rx_batch ];
+    match !errs with
+    | [] ->
+        Ok
+          (Printf.sprintf "%d clients x %d requests against %d servers" p.clients
+             p.requests_per_client p.servers)
+    | es -> Error (String.concat "; " es)
+  in
+  let arrival =
+    match Arrival.validate_kind p.arrival with
+    | Ok () ->
+        Ok
+          (Printf.sprintf "%s (%.0f req/s offered)" (Arrival.kind_to_string p.arrival)
+             (offered_rps p))
+    | Error es -> Error (String.concat "; " es)
+  in
+  let topology =
+    match Topology.validate p.topology ~nodes with
+    | Ok () -> Ok (Topology.describe (Topology.of_kind p.topology ~nodes))
+    | Error e -> Error e
+  in
+  let faults =
+    match Faults.validate ~nodes p.faults with
+    | Error es -> Error (String.concat "; " es)
+    | Ok () -> (
+        match unpaired_crashes p.faults.Faults.schedule with
+        | [] ->
+            if Faults.is_none p.faults then Ok "fault-free"
+            else
+              Ok
+                (Printf.sprintf "loss %g, corrupt %g, drop %g, %d windows, %d events"
+                   p.faults.Faults.cell_loss p.faults.Faults.cell_corrupt
+                   p.faults.Faults.frame_drop
+                   (List.length p.faults.Faults.link_down)
+                   (List.length p.faults.Faults.schedule))
+        | ns ->
+            Error
+              (Printf.sprintf "crash without matching restart on node %s"
+                 (String.concat ", " (List.map string_of_int ns))))
+  in
+  let capacity =
+    let u = utilisation p in
+    if u >= 1. then
+      Error
+        (Printf.sprintf
+           "offered load is %.0f%% of aggregate service capacity — the queue (and the \
+            tail) grows without bound"
+           (u *. 100.))
+    else Ok (Printf.sprintf "service utilisation %.1f%%" (u *. 100.))
+  in
+  [
+    ("profile fields", fields);
+    ("arrival process", arrival);
+    ("topology", topology);
+    ("fault model", faults);
+    ("service capacity", capacity);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Running                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let to_nic_kind p =
+  match p.nic with
+  | Cni ->
+      let rx_policy =
+        match p.rx_policy with
+        | Interrupt -> Nic.Rx_interrupt
+        | Poll -> Nic.Rx_poll
+        | Hybrid -> Nic.Rx_hybrid
+        | Adaptive -> Nic.Rx_adaptive Nic.default_rx_adaptive
+      in
+      Runner.cni ~aih:p.aih ~rx_policy ~rx_batch:p.rx_batch ()
+  | Osiris -> Runner.osiris
+  | Standard -> Runner.standard
+
+let run ?watchdog p =
+  (match validate p with
+  | Ok () -> ()
+  | Error errs -> invalid_arg ("Scenario.run: " ^ String.concat "; " errs));
+  let cfg =
+    {
+      Kv_serve.clients = p.clients;
+      servers = p.servers;
+      requests_per_client = p.requests_per_client;
+      arrival =
+        (fun client ->
+          let g = Arrival.create ~seed:(p.seed + (104729 * (client + 1))) p.arrival in
+          fun () -> Arrival.next_gap g);
+      value_bytes = p.value_bytes;
+      put_pct = p.put_pct;
+      seed = p.seed;
+      service_cycles = p.service_cycles;
+    }
+  in
+  Kv_serve.run ?watchdog ~faults:p.faults ~topology:p.topology ~nic_kind:(to_nic_kind p)
+    cfg
+
+(* ------------------------------------------------------------------ *)
+(* Built-ins                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let builtins =
+  [
+    {
+      default with
+      name = "baseline-16";
+      summary = "single-switch CNI hybrid at moderate Poisson load: the reference tail";
+    };
+    {
+      default with
+      name = "baseline-64";
+      summary = "the reference workload scaled to 64 nodes on one switch";
+      clients = 48;
+      servers = 16;
+    };
+    {
+      default with
+      name = "hot-poll-16";
+      summary = "high offered load through the host receive path, pure polling";
+      arrival = Arrival.Poisson { rate_per_s = 100_000. };
+      requests_per_client = 60;
+      aih = false;
+      rx_policy = Poll;
+    };
+    {
+      default with
+      name = "hot-interrupt-16";
+      summary = "high offered load through the host receive path, an interrupt per packet";
+      arrival = Arrival.Poisson { rate_per_s = 100_000. };
+      requests_per_client = 60;
+      aih = false;
+      rx_policy = Interrupt;
+    };
+    {
+      default with
+      name = "burst-faulty-torus";
+      summary = "bursty clients on a lossy 3D torus with a server crash mid-run";
+      arrival =
+        Arrival.Bursty
+          {
+            on_rate_per_s = 100_000.;
+            off_rate_per_s = 0.;
+            mean_on_us = 200.;
+            mean_off_us = 600.;
+          };
+      topology = Topology.Torus { dims = None };
+      faults =
+        {
+          Faults.none with
+          Faults.seed = 7;
+          cell_loss = 1e-4;
+          schedule =
+            [
+              { Faults.e_at = Time.us 400; e_node = 1; e_fault = Faults.Crash { scrub = false } };
+              { Faults.e_at = Time.us 700; e_node = 1; e_fault = Faults.Restart };
+            ];
+        };
+    };
+    {
+      default with
+      name = "standard-nic-16";
+      summary = "the conventional interface under the reference load: every packet interrupts";
+      nic = Standard;
+    };
+  ]
+
+let find name = List.find_opt (fun p -> p.name = name) builtins
