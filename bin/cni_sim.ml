@@ -513,17 +513,22 @@ let aih_verify_cmd =
   let run verbose =
     let module Verify = Cni_aih.Aih_verify in
     let module Cir = Cni_mp.Collectives_ir in
-    let total = ref 0 and mismatches = ref 0 in
+    (* the shipped corpus is held to the default link rate's per-cell
+       budget, exactly as Nic.install_handler_verified would *)
+    let cell_budget = Params.line_rate_budget Params.default in
+    let total = ref 0 and mismatches = ref 0 and rejections = ref 0 in
     let expect_ok name p =
       incr total;
-      match Verify.verify p with
+      match Verify.verify ~cell_budget p with
       | Ok c ->
           if verbose then
-            Printf.printf "accept  %-40s wcet=%d cycles, code=%d bytes\n" name
-              c.Verify.wcet_nic_cycles c.Verify.code_bytes
-      | Error rj ->
+            Printf.printf "accept  %-40s wcet=%d cycles, per-byte=%d mcyc, code=%d bytes\n"
+              name c.Verify.wcet_nic_cycles c.Verify.wcet_per_byte_milli
+              c.Verify.code_bytes
+      | Error rjs ->
           incr mismatches;
-          Printf.printf "MISMATCH %-40s expected accept, got: %s\n" name (Verify.explain rj)
+          Printf.printf "MISMATCH %-40s expected accept, got: %s\n" name
+            (Verify.explain_all rjs)
     in
     List.iter (fun (name, p) -> expect_ok name p) Cni_aih.Aih_corpus.good;
     List.iter
@@ -538,22 +543,39 @@ let aih_verify_cmd =
           [ (2, 2); (8, 2); (16, 4); (256, 8) ])
       [ Cir.Sum; Cir.Max; Cir.Min ];
     List.iter
+      (fun size ->
+        expect_ok
+          (Printf.sprintf "reliable-rx/%d" size)
+          (Cni_nic.Reliable_ir.rx_program ~size);
+        expect_ok
+          (Printf.sprintf "reliable-tx-stamp/%d" size)
+          (Cni_nic.Reliable_ir.tx_program ~size))
+      [ 2; 8; 256 ];
+    List.iter
       (fun (name, expected, p) ->
         incr total;
-        match Verify.verify p with
+        match Verify.verify ~cell_budget p with
         | Ok _ ->
             incr mismatches;
             Printf.printf "MISMATCH %-40s accepted, expected %s\n" name expected
-        | Error rj ->
-            let got = Verify.reason_name rj.Verify.rj_reason in
-            if got <> expected then begin
+        | Error rjs ->
+            rejections := !rejections + List.length rjs;
+            let names =
+              List.map (fun rj -> Verify.reason_name rj.Verify.rj_reason) rjs
+            in
+            if not (List.mem expected names) then begin
               incr mismatches;
-              Printf.printf "MISMATCH %-40s expected %s, got %s\n" name expected got
+              Printf.printf "MISMATCH %-40s expected %s, got %s\n" name expected
+                (String.concat "," names)
             end
             else if verbose then
-              Printf.printf "reject  %-40s %s\n" name (Verify.explain rj))
+              Printf.printf "reject  %-40s (%d rejection%s) %s\n" name
+                (List.length rjs)
+                (if List.length rjs = 1 then "" else "s")
+                (Verify.explain_all rjs))
       Cni_aih.Aih_corpus.bad;
-    Printf.printf "aih-verify: %d programs, %d mismatches\n" !total !mismatches;
+    Printf.printf "aih-verify: %d programs, %d rejections, %d mismatches\n" !total
+      !rejections !mismatches;
     if !mismatches > 0 then exit 1
   in
   Cmd.v (Cmd.info "aih-verify" ~doc) Term.(const run $ verbose_arg)
@@ -644,10 +666,58 @@ let doctor_cmd =
                  let p = Cir.program ~op ~rank ~size:procs ~fanout:2 in
                  match Verify.verify p with
                  | Ok _ -> ()
-                 | Error rj ->
-                     bad := Some (Printf.sprintf "%s: %s" p.Cni_aih.Aih_ir.name (Verify.explain rj)))
+                 | Error rjs ->
+                     bad :=
+                       Some
+                         (Printf.sprintf "%s: %s" p.Cni_aih.Aih_ir.name
+                            (Verify.explain_all rjs)))
              [ 0; 1; procs - 1 ])
          [ Cir.Sum; Cir.Max; Cir.Min ];
+       match !bad with None -> Ok () | Some msg -> Error msg);
+    (* every firmware handler this configuration would install must hold a
+       certificate whose per-activation WCET fits the per-cell budget at the
+       configured link rate — otherwise the board falls behind the wire *)
+    check
+      (Printf.sprintf "firmware line-rate admission (budget %d cycles/cell)"
+         (Params.line_rate_budget params))
+      (let module Verify = Cni_aih.Aih_verify in
+       let module Cir = Cni_mp.Collectives_ir in
+       let budget = Params.line_rate_budget params in
+       let programs =
+         List.concat_map
+           (fun op ->
+             List.filter_map
+               (fun rank ->
+                 if rank < procs then Some (Cir.program ~op ~rank ~size:procs ~fanout:2)
+                 else None)
+               [ 0; procs - 1 ])
+           [ Cir.Sum; Cir.Max; Cir.Min ]
+         @ [
+             Cni_nic.Reliable_ir.rx_program ~size:procs;
+             Cni_nic.Reliable_ir.tx_program ~size:procs;
+           ]
+       in
+       let bad = ref None in
+       List.iter
+         (fun (p : Cni_aih.Aih_ir.program) ->
+           if !bad = None then
+             match Verify.verify ~cell_budget:budget p with
+             | Ok _ -> ()
+             | Error rjs ->
+                 let line_rate =
+                   List.exists
+                     (fun rj ->
+                       match rj.Verify.rj_reason with
+                       | Verify.Line_rate_exceeded _ -> true
+                       | _ -> false)
+                     rjs
+                 in
+                 bad :=
+                   Some
+                     (Printf.sprintf "%s %s" p.Cni_aih.Aih_ir.name
+                        (if line_rate then Verify.explain_all rjs
+                         else "rejected: " ^ Verify.explain_all rjs)))
+         programs;
        match !bad with None -> Ok () | Some msg -> Error msg);
     Printf.printf "doctor: %d check(s) failed\n" !failures;
     if !failures > 0 then exit 1

@@ -116,6 +116,49 @@ let slot_scan =
   Asm.halt a;
   Asm.assemble a ~name:"slot-scan-nonzero-narrowing" ~seg_words:8 ~inputs:0
 
+(* ------------------------------------------------------------------ *)
+(* Streaming handlers (header / payload kinds)                         *)
+(* ------------------------------------------------------------------ *)
+
+(* header handler: route on two header words through per-activation
+   scratch — nothing may persist between packets *)
+let header_route =
+  let a = Asm.create () in
+  Asm.const a 0 0;
+  Asm.ldv a 1 ~base:0 1; (* src *)
+  Asm.ldv a 2 ~base:0 3; (* obj *)
+  Asm.sts a 1 ~base:0 0;
+  Asm.sts a 2 ~base:0 1;
+  Asm.lds a 3 ~base:0 0;
+  Asm.wake a ~seq:3 ~value:2;
+  Asm.halt a;
+  Asm.assemble ~hkind:(Header { view_words = 6 }) ~scratch_words:2 a
+    ~name:"header-route-scratch" ~seg_words:0 ~inputs:0
+
+(* payload handler: per-chunk checksum folded into a persistent segment
+   accumulator; the loop is bounded by the chunk size and exits early at
+   the valid-word count streaming dispatch passes in r1 *)
+let payload_checksum =
+  let a = Asm.create () in
+  let head = Asm.fresh a and done_ = Asm.fresh a in
+  Asm.const a 2 0; (* word counter *)
+  Asm.const a 3 0; (* chunk sum *)
+  Asm.place a head;
+  Asm.loop a ~counter:2 ~limit:6 ~exit:done_;
+  Asm.bini a Sub 4 2 1; (* word index in 0..5 *)
+  Asm.br a Ge 4 1 done_; (* index >= valid words: stop *)
+  Asm.ldv a 5 ~base:4 0;
+  Asm.bin a Add 3 3 5;
+  Asm.jmp a head;
+  Asm.place a done_;
+  Asm.const a 6 0;
+  Asm.load a 7 ~base:6 0;
+  Asm.bin a Add 7 7 3;
+  Asm.store a 7 ~base:6 0;
+  Asm.halt a;
+  Asm.assemble ~hkind:(Payload { chunk_words = 6; max_chunks = 128 }) a ~name:"payload-checksum"
+    ~seg_words:1 ~inputs:2
+
 let good =
   [
     ("memset", memset);
@@ -125,13 +168,16 @@ let good =
     ("relocated-table", relocated_table);
     ("compute-and-send", compute_send);
     ("slot-scan", slot_scan);
+    ("header-route", header_route);
+    ("payload-checksum", payload_checksum);
   ]
 
 (* ------------------------------------------------------------------ *)
 (* Programs the verifier must reject                                   *)
 (* ------------------------------------------------------------------ *)
 
-let mk name ~seg_words ~inputs code relocs = { name; seg_words; inputs; code; relocs }
+let mk ?(hkind = Episode) ?(scratch_words = 0) name ~seg_words ~inputs code relocs =
+  { name; hkind; seg_words; scratch_words; inputs; code; relocs }
 
 (* a store one word past the declared segment *)
 let store_oob =
@@ -214,6 +260,47 @@ let loop_sideways =
     |]
     []
 
+(* a header handler reading one word past its declared view *)
+let view_overrun =
+  mk "view-overrun"
+    ~hkind:(Header { view_words = 6 })
+    ~seg_words:0 ~inputs:0
+    [| Const (0, 6); Ldv (1, 0, 0); Halt |]
+    []
+
+(* a scratch store past the declared per-activation segment *)
+let scratch_overrun =
+  mk "scratch-overrun"
+    ~hkind:(Header { view_words = 6 })
+    ~scratch_words:2 ~seg_words:0 ~inputs:0
+    [| Const (0, 0); Sts (0, 0, 2); Halt |]
+    []
+
+(* passes every safety proof, but one activation costs ~300 cycles: at the
+   default 622 Mb/s the per-cell budget is 88, so admission must refuse it
+   (and admit it again on a slower link) *)
+let line_rate_bomb =
+  let a = Asm.create () in
+  let outer = Asm.fresh a and outer_done = Asm.fresh a in
+  let inner = Asm.fresh a and inner_done = Asm.fresh a in
+  Asm.const a 2 0;
+  Asm.const a 3 0; (* digest *)
+  Asm.place a outer;
+  Asm.loop a ~counter:2 ~limit:6 ~exit:outer_done;
+  Asm.bini a Sub 4 2 1;
+  Asm.ldv a 5 ~base:4 0;
+  Asm.const a 6 0; (* inner counter: 16 mixing rounds per word *)
+  Asm.place a inner;
+  Asm.loop a ~counter:6 ~limit:16 ~exit:inner_done;
+  Asm.bin a Add 3 3 5;
+  Asm.jmp a inner;
+  Asm.place a inner_done;
+  Asm.jmp a outer;
+  Asm.place a outer_done;
+  Asm.halt a;
+  Asm.assemble ~hkind:(Payload { chunk_words = 6; max_chunks = 128 }) a ~name:"line-rate-bomb"
+    ~seg_words:0 ~inputs:2
+
 let bad =
   [
     ("store-out-of-segment", "out-of-segment-store", store_oob);
@@ -230,4 +317,7 @@ let bad =
     ("falls-off-end", "falls-off-end", falls_off);
     ("bad-branch-target", "bad-branch-target", bad_target);
     ("jump-into-loop", "jump-into-loop", loop_sideways);
+    ("view-overrun", "out-of-view-load", view_overrun);
+    ("scratch-overrun", "out-of-scratch", scratch_overrun);
+    ("line-rate-bomb", "line-rate-exceeded", line_rate_bomb);
   ]

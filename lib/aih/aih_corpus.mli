@@ -2,9 +2,13 @@
     [cni_sim aih-verify] smoke test (and CI) runs {!Aih_verify.verify}
     over. [good] programs exercise the proofs the verifier must be able to
     complete — bounded loops, mask- and branch-established address bounds,
-    relocated segment addressing, nesting; [bad] programs each violate one
-    admission rule and carry the {!Aih_verify.reason_name} tag the verifier
-    must reject them with. *)
+    relocated segment addressing, nesting, and the streaming header/payload
+    handler kinds (view loads, per-activation scratch, chunk loops bounded
+    by the declared payload); [bad] programs each violate one admission
+    rule and carry the {!Aih_verify.reason_name} tag the verifier must
+    reject them with. The streaming entries assume verification runs with
+    [cell_budget] set to the default-link line-rate budget: [line-rate-bomb]
+    is safety-clean but must be refused admission at 622 Mb/s. *)
 
 (** Programs the verifier must accept, with a short description. *)
 val good : (string * Aih_ir.program) list

@@ -26,12 +26,14 @@ let eval_bin pc op a b =
   | Shl -> if b < 0 || b > 62 then fault "pc=%d: shift count %d" pc b else a lsl b
   | Shr -> if b < 0 || b > 62 then fault "pc=%d: shift count %d" pc b else a asr b
 
-let run ?(fuel = 1_000_000) p ~mem ~inputs services =
+let run ?(fuel = 1_000_000) ?(view = [||]) p ~mem ~inputs services =
   if Array.length mem < p.seg_words then
     fault "segment of %d words is smaller than the program's %d" (Array.length mem) p.seg_words;
   let n = Array.length p.code in
   let regs = Array.make nregs 0 in
   Array.blit inputs 0 regs 0 (min (Array.length inputs) nregs);
+  (* per-activation scratch: fresh zeroed SRAM every run, nothing persists *)
+  let scratch = Array.make p.scratch_words 0 in
   let pending = ref 0 and total = ref 0 in
   let flush () =
     if !pending > 0 then begin
@@ -71,6 +73,24 @@ let run ?(fuel = 1_000_000) p ~mem ~inputs services =
         incr pc
     | Store (rsrc, rbase, off) ->
         mem.(addr at rbase off) <- regs.(rsrc);
+        incr pc
+    | Ldv (rd, rs, off) ->
+        let a = regs.(rs) + off in
+        if a < 0 || a >= Array.length view then
+          fault "pc=%d: view address %d outside %d words" at a (Array.length view);
+        regs.(rd) <- view.(a);
+        incr pc
+    | Lds (rd, rs, off) ->
+        let a = regs.(rs) + off in
+        if a < 0 || a >= p.scratch_words then
+          fault "pc=%d: scratch address %d outside %d words" at a p.scratch_words;
+        regs.(rd) <- scratch.(a);
+        incr pc
+    | Sts (rsrc, rbase, off) ->
+        let a = regs.(rbase) + off in
+        if a < 0 || a >= p.scratch_words then
+          fault "pc=%d: scratch address %d outside %d words" at a p.scratch_words;
+        scratch.(a) <- regs.(rsrc);
         incr pc
     | Br (c, rs, rt, tgt) -> if eval_cmp c regs.(rs) regs.(rt) then pc := tgt else incr pc
     | Bri (c, rs, imm, tgt) -> if eval_cmp c regs.(rs) imm then pc := tgt else incr pc

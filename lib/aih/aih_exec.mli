@@ -27,7 +27,12 @@ exception Fault of string
 (** [run p ~mem ~inputs services] activates the program: registers
     [0 .. inputs-1] are loaded from [inputs] (the rest start zero), [mem]
     is the handler's persistent board segment (at least [p.seg_words]
-    long), and the return value is the total cycles charged. [fuel]
-    (default 1_000_000 instructions) is a hard stop far above any
-    verifiable worst case. *)
-val run : ?fuel:int -> Aih_ir.program -> mem:int array -> inputs:int array -> services -> int
+    long), and the return value is the total cycles charged. [view] is the
+    read-only window [Ldv] reads — the header words or payload chunk
+    streaming dispatch latched for this activation (empty for episode
+    handlers). A fresh zeroed scratch segment of [p.scratch_words] words
+    backs [Lds]/[Sts] for the duration of the run. [fuel] (default
+    1_000_000 instructions) is a hard stop far above any verifiable worst
+    case. *)
+val run :
+  ?fuel:int -> ?view:int array -> Aih_ir.program -> mem:int array -> inputs:int array -> services -> int

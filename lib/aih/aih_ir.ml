@@ -12,6 +12,9 @@ type instr =
   | Bini of binop * reg * reg * int
   | Load of reg * reg * int
   | Store of reg * reg * int
+  | Ldv of reg * reg * int
+  | Lds of reg * reg * int
+  | Sts of reg * reg * int
   | Br of cmp * reg * reg * int
   | Bri of cmp * reg * int * int
   | Jmp of int
@@ -20,32 +23,53 @@ type instr =
   | Wake of { seq : reg; value : reg }
   | Halt
 
+type hkind =
+  | Episode
+  | Header of { view_words : int }
+  | Payload of { chunk_words : int; max_chunks : int }
+
 type program = {
   name : string;
+  hkind : hkind;
   seg_words : int;
+  scratch_words : int;
   inputs : int;
   code : instr array;
   relocs : int list;
 }
 
-(* 33 MHz board clock: ALU and control are single-cycle, board SRAM is two,
-   a host wakeup raises the bridge (4), a send posts a transmit descriptor
-   and hands the frame to the segmenter (8). *)
+(* 33 MHz board clock: ALU and control are single-cycle, board SRAM (segment
+   and per-activation scratch) is two, the cursor view reads straight out of
+   the reassembly buffer latches (1), a host wakeup raises the bridge (4), a
+   send posts a transmit descriptor and hands the frame to the segmenter
+   (8). *)
 let instr_cycles = function
-  | Const _ | Mov _ | Bin _ | Bini _ | Br _ | Bri _ | Jmp _ | Loop _ | Halt -> 1
-  | Load _ | Store _ -> 2
+  | Const _ | Mov _ | Bin _ | Bini _ | Br _ | Bri _ | Jmp _ | Loop _ | Halt | Ldv _ -> 1
+  | Load _ | Store _ | Lds _ | Sts _ -> 2
   | Wake _ -> 4
   | Send _ -> 8
+
 
 (* ------------------------------------------------------------------ *)
 (* Object-code image                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let magic = 0x41494831 (* "AIH1" *)
-let header_bytes = 20
+let magic = 0x41494832 (* "AIH2": streaming header/payload handler kinds *)
+let header_bytes = 36
 let instr_bytes = 12
 let reloc_bytes = 4
 let word_bytes = 8
+
+let view_words p =
+  match p.hkind with
+  | Episode -> 0
+  | Header { view_words } -> view_words
+  | Payload { chunk_words; _ } -> chunk_words
+
+(* Wire bytes one activation is responsible for: the certificate's per-byte
+   bound divides the WCET by this. Episode handlers are not per-packet, so
+   0 (no per-byte obligation). *)
+let bytes_per_activation p = word_bytes * view_words p
 
 let binop_code = function
   | Add -> 0
@@ -75,6 +99,9 @@ let opcode = function
   | Send _ -> 11
   | Wake _ -> 12
   | Halt -> 13
+  | Ldv _ -> 14
+  | Lds _ -> 15
+  | Sts _ -> 16
 
 (* every word field of the image is a little-endian i32 *)
 let put32 b off v =
@@ -91,6 +118,9 @@ let fields = function
   | Bini (op, rd, rs, imm) -> (rd, rs, binop_code op, imm, 0)
   | Load (rd, rs, off) -> (rd, rs, 0, off, 0)
   | Store (rsrc, rbase, off) -> (rsrc, rbase, 0, off, 0)
+  | Ldv (rd, rs, off) -> (rd, rs, 0, off, 0)
+  | Lds (rd, rs, off) -> (rd, rs, 0, off, 0)
+  | Sts (rsrc, rbase, off) -> (rsrc, rbase, 0, off, 0)
   | Br (c, rs, rt, tgt) -> (rs, rt, cmp_code c, tgt, 0)
   | Bri (c, rs, imm, tgt) -> (rs, 0, cmp_code c, imm, tgt)
   | Jmp tgt -> (0, 0, 0, tgt, 0)
@@ -98,6 +128,11 @@ let fields = function
   | Send { dst; kind; obj; value } -> (dst, kind, obj, value, 0)
   | Wake { seq; value } -> (seq, value, 0, 0, 0)
   | Halt -> (0, 0, 0, 0, 0)
+
+let hkind_fields = function
+  | Episode -> (0, 0, 0)
+  | Header { view_words } -> (1, view_words, 0)
+  | Payload { chunk_words; max_chunks } -> (2, chunk_words, max_chunks)
 
 let encode p =
   let n = Array.length p.code in
@@ -108,6 +143,11 @@ let encode p =
   put32 b 8 r;
   put32 b 12 p.seg_words;
   put32 b 16 p.inputs;
+  let hk_tag, hk_a, hk_b = hkind_fields p.hkind in
+  put32 b 20 hk_tag;
+  put32 b 24 hk_a;
+  put32 b 28 hk_b;
+  put32 b 32 p.scratch_words;
   Array.iteri
     (fun i ins ->
       let off = header_bytes + (instr_bytes * i) in
@@ -122,7 +162,7 @@ let encode p =
   List.iteri (fun i pc -> put32 b (header_bytes + (instr_bytes * n) + (reloc_bytes * i)) pc) p.relocs;
   b
 
-let code_bytes p = Bytes.length (encode p) + (word_bytes * p.seg_words)
+let code_bytes p = Bytes.length (encode p) + (word_bytes * (p.seg_words + p.scratch_words))
 
 (* ------------------------------------------------------------------ *)
 (* Pretty-printing                                                     *)
@@ -149,6 +189,9 @@ let pp_instr fmt = function
   | Bini (op, rd, rs, imm) -> Format.fprintf fmt "%si r%d, r%d, %d" (binop_name op) rd rs imm
   | Load (rd, rs, off) -> Format.fprintf fmt "load r%d, [r%d+%d]" rd rs off
   | Store (rsrc, rbase, off) -> Format.fprintf fmt "store [r%d+%d], r%d" rbase off rsrc
+  | Ldv (rd, rs, off) -> Format.fprintf fmt "ldv r%d, view[r%d+%d]" rd rs off
+  | Lds (rd, rs, off) -> Format.fprintf fmt "lds r%d, scratch[r%d+%d]" rd rs off
+  | Sts (rsrc, rbase, off) -> Format.fprintf fmt "sts scratch[r%d+%d], r%d" rbase off rsrc
   | Br (c, rs, rt, tgt) -> Format.fprintf fmt "br.%s r%d, r%d, %d" (cmp_name c) rs rt tgt
   | Bri (c, rs, imm, tgt) -> Format.fprintf fmt "br.%s r%d, %d, %d" (cmp_name c) rs imm tgt
   | Jmp tgt -> Format.fprintf fmt "jmp %d" tgt
@@ -212,6 +255,9 @@ module Asm = struct
   let bini t op rd rs imm = emit t (Bini (op, rd, rs, imm))
   let load t rd ~base off = emit t (Load (rd, base, off))
   let store t rsrc ~base off = emit t (Store (rsrc, base, off))
+  let ldv t rd ~base off = emit t (Ldv (rd, base, off))
+  let lds t rd ~base off = emit t (Lds (rd, base, off))
+  let sts t rsrc ~base off = emit t (Sts (rsrc, base, off))
   let br t c rs rt l = emitp t l (fun pc -> Br (c, rs, rt, pc))
   let bri t c rs imm l = emitp t l (fun pc -> Bri (c, rs, imm, pc))
   let jmp t l = emitp t l (fun pc -> Jmp pc)
@@ -220,7 +266,7 @@ module Asm = struct
   let wake t ~seq ~value = emit t (Wake { seq; value })
   let halt t = emit t Halt
 
-  let assemble t ~name ~seg_words ~inputs =
+  let assemble ?(hkind = Episode) ?(scratch_words = 0) t ~name ~seg_words ~inputs =
     let code = Array.of_list (List.rev t.code) in
     List.iter
       (fun { at; lbl; mk } ->
@@ -228,5 +274,5 @@ module Asm = struct
         if pc < 0 then invalid_arg "Aih_ir.Asm.assemble: branch to an unplaced label";
         code.(at) <- mk pc)
       t.patches;
-    { name; seg_words; inputs; code; relocs = List.sort compare t.relocs }
+    { name; hkind; seg_words; scratch_words; inputs; code; relocs = List.sort compare t.relocs }
 end

@@ -42,6 +42,16 @@ type instr =
   | Bini of binop * reg * reg * int  (** [rd <- rs op imm] *)
   | Load of reg * reg * int  (** [rd <- seg.(rs + off)] *)
   | Store of reg * reg * int  (** [seg.(rs + off) <- rsrc] *)
+  | Ldv of reg * reg * int
+      (** cursor-relative load: [rd <- view.(rs + off)], where the view is
+          the read-only window streaming dispatch exposes — the first-cell
+          header words for a {!Header} handler, the current payload chunk
+          for a {!Payload} handler. Episode handlers have no view. *)
+  | Lds of reg * reg * int  (** [rd <- scratch.(rs + off)] *)
+  | Sts of reg * reg * int
+      (** [scratch.(rsrc_base + off) <- rsrc]: the scratch segment is
+          per-activation board SRAM, zeroed at every activation — registers
+          spill space that cannot leak state between packets. *)
   | Br of cmp * reg * reg * int  (** branch to target if [rs cmp rt] *)
   | Bri of cmp * reg * int * int  (** branch to target if [rs cmp imm] *)
   | Jmp of int
@@ -51,9 +61,24 @@ type instr =
   | Wake of { seq : reg; value : reg }  (** wake the host episode [seq] with [value] *)
   | Halt
 
+(** What event activates the handler — the streaming discriminator (sPIN's
+    handler taxonomy). [Episode] is the original whole-message handler,
+    activated once per matched frame. [Header] runs once per packet with a
+    bounded read-only view of the first cell's words. [Payload] runs once
+    per cell chunk of the reassembled body: the view holds [chunk_words]
+    words and the handler is activated at most [max_chunks] times per
+    packet — the declared maximum payload, which is also what the verifier
+    uses to bound its per-packet cost. *)
+type hkind =
+  | Episode
+  | Header of { view_words : int }
+  | Payload of { chunk_words : int; max_chunks : int }
+
 type program = {
   name : string;
+  hkind : hkind;
   seg_words : int;  (** private board-memory segment, in 8-byte words *)
+  scratch_words : int;  (** per-activation scratch segment, zeroed at entry *)
   inputs : int;  (** registers initialized (with untrusted values) at entry *)
   code : instr array;
   relocs : int list;
@@ -61,23 +86,32 @@ type program = {
           segment-relative word address the board loader rebases; sorted *)
 }
 
+(** Words visible through [Ldv] for this handler kind (0 for [Episode]). *)
+val view_words : program -> int
+
+(** Wire bytes one activation is responsible for — [8 * view_words]. The
+    certificate's per-byte bound is WCET divided by this; 0 for [Episode]
+    handlers, which carry no per-packet obligation. *)
+val bytes_per_activation : program -> int
+
 (** NIC cycles one executed instruction costs (33 MHz board clock): 1 for
     register/branch work, 2 for a segment access, 4 for a host wakeup, 8
     for a send. {!Aih_exec.run} charges these; {!Aih_verify} sums them into
     the certificate's worst case. *)
 val instr_cycles : instr -> int
 
-(** The relocatable object-code image: a 20-byte header (magic, instruction
-    and relocation counts, segment size, input count), 12 bytes per
-    instruction, 4 bytes per relocation entry.
+(** The relocatable object-code image: a 36-byte header (magic "AIH2",
+    instruction and relocation counts, segment size, input count, handler
+    kind + its two parameters, scratch size), 12 bytes per instruction,
+    4 bytes per relocation entry.
 
     @raise Invalid_argument if an immediate, limit or target does not fit
     its 32-bit field. *)
 val encode : program -> bytes
 
 (** What installing this program costs the board: the {!encode} image plus
-    8 bytes for every declared segment word. This is the [code_bytes] the
-    verifier certifies and [Nic.install_handler] debits. *)
+    8 bytes for every declared segment and scratch word. This is the
+    [code_bytes] the verifier certifies and [Nic.install_handler] debits. *)
 val code_bytes : program -> int
 
 (** Pretty-print one instruction (diagnostics, corpus listings). *)
@@ -105,6 +139,9 @@ module Asm : sig
   val bini : t -> binop -> reg -> reg -> int -> unit
   val load : t -> reg -> base:reg -> int -> unit
   val store : t -> reg -> base:reg -> int -> unit
+  val ldv : t -> reg -> base:reg -> int -> unit
+  val lds : t -> reg -> base:reg -> int -> unit
+  val sts : t -> reg -> base:reg -> int -> unit
   val br : t -> cmp -> reg -> reg -> label -> unit
   val bri : t -> cmp -> reg -> int -> label -> unit
   val jmp : t -> label -> unit
@@ -113,6 +150,9 @@ module Asm : sig
   val wake : t -> seq:reg -> value:reg -> unit
   val halt : t -> unit
 
-  (** @raise Invalid_argument if any referenced label was never placed. *)
-  val assemble : t -> name:string -> seg_words:int -> inputs:int -> program
+  (** @raise Invalid_argument if any referenced label was never placed.
+      [?hkind] defaults to [Episode], [?scratch_words] to 0, so episode
+      call sites read exactly as before. *)
+  val assemble :
+    ?hkind:hkind -> ?scratch_words:int -> t -> name:string -> seg_words:int -> inputs:int -> program
 end

@@ -24,9 +24,13 @@ type reason =
   | Division_by_zero
   | Shift_out_of_range
   | Wcet_exceeded of int
+  | Bad_stream_decl of int
+  | View_out_of_bounds of interval
+  | Scratch_out_of_bounds of interval
+  | Line_rate_exceeded of { budget : int; wcet : int }
 
 type reject = { rj_pc : int; rj_reason : reason; rj_regs : string }
-type cert = { code_bytes : int; wcet_nic_cycles : int }
+type cert = { code_bytes : int; wcet_nic_cycles : int; wcet_per_byte_milli : int }
 
 let reason_name = function
   | Program_empty -> "program-empty"
@@ -50,6 +54,10 @@ let reason_name = function
   | Division_by_zero -> "division-by-zero"
   | Shift_out_of_range -> "shift-out-of-range"
   | Wcet_exceeded _ -> "wcet-exceeded"
+  | Bad_stream_decl _ -> "bad-stream-decl"
+  | View_out_of_bounds _ -> "out-of-view-load"
+  | Scratch_out_of_bounds _ -> "out-of-scratch"
+  | Line_rate_exceeded _ -> "line-rate-exceeded"
 
 let pp_reason fmt r =
   match r with
@@ -74,10 +82,19 @@ let pp_reason fmt r =
   | Division_by_zero -> Format.fprintf fmt "divisor may be zero"
   | Shift_out_of_range -> Format.fprintf fmt "shift count may leave 0..62"
   | Wcet_exceeded w -> Format.fprintf fmt "worst case of %d NIC cycles exceeds the budget" w
+  | Bad_stream_decl v -> Format.fprintf fmt "streaming declaration value %d is out of range" v
+  | View_out_of_bounds i -> Format.fprintf fmt "view load may reach [%d,%d]" i.lo i.hi
+  | Scratch_out_of_bounds i -> Format.fprintf fmt "scratch access may reach [%d,%d]" i.lo i.hi
+  | Line_rate_exceeded { budget; wcet } ->
+      Format.fprintf fmt
+        "activation worst case of %d NIC cycles misses the line-rate budget of %d by %d" wcet
+        budget (wcet - budget)
 
 let explain rj =
   Format.asprintf "pc=%d (%s): %a; regs: %s" rj.rj_pc (reason_name rj.rj_reason) pp_reason
     rj.rj_reason rj.rj_regs
+
+let explain_all rjs = String.concat "; " (List.map explain rjs)
 
 (* ------------------------------------------------------------------ *)
 (* Interval domain                                                     *)
@@ -195,8 +212,8 @@ let regs_of = function
   | Mov (rd, rs) -> [ rd; rs ]
   | Bin (_, rd, rs, rt) -> [ rd; rs; rt ]
   | Bini (_, rd, rs, _) -> [ rd; rs ]
-  | Load (rd, rs, _) -> [ rd; rs ]
-  | Store (rsrc, rbase, _) -> [ rsrc; rbase ]
+  | Load (rd, rs, _) | Ldv (rd, rs, _) | Lds (rd, rs, _) -> [ rd; rs ]
+  | Store (rsrc, rbase, _) | Sts (rsrc, rbase, _) -> [ rsrc; rbase ]
   | Br (_, rs, rt, _) -> [ rs; rt ]
   | Bri (_, rs, _, _) -> [ rs ]
   | Jmp _ -> []
@@ -208,7 +225,8 @@ let regs_of = function
 let imms_of = function
   | Const (_, v) -> [ v ]
   | Bini (_, _, _, imm) -> [ imm ]
-  | Load (_, _, off) | Store (_, _, off) -> [ off ]
+  | Load (_, _, off) | Store (_, _, off) | Ldv (_, _, off) | Lds (_, _, off) | Sts (_, _, off) ->
+      [ off ]
   | _ -> []
 
 (* targets an instruction can transfer control to, besides fall-through *)
@@ -221,7 +239,13 @@ let falls_through = function Jmp _ | Halt -> false | _ -> true
 
 (* the register an instruction writes, if any *)
 let writes = function
-  | Const (rd, _) | Mov (rd, _) | Bin (_, rd, _, _) | Bini (_, rd, _, _) | Load (rd, _, _) ->
+  | Const (rd, _)
+  | Mov (rd, _)
+  | Bin (_, rd, _, _)
+  | Bini (_, rd, _, _)
+  | Load (rd, _, _)
+  | Ldv (rd, _, _)
+  | Lds (rd, _, _) ->
       Some rd
   | Loop { counter; _ } -> Some counter
   | _ -> None
@@ -231,37 +255,57 @@ let successors pc ins =
   let t = jump_targets ins in
   if falls_through ins then (pc + 1) :: t else t
 
-let check_structure p =
+(* Structural checks collect every independent violation (the Faults /
+   Scenario validate convention) instead of stopping at the first: each
+   entry is (pc, reason), later sorted into program order. *)
+let max_view = 16
+
+let collect_structure p =
+  let errs = ref [] in
+  let bad pc reason = errs := (pc, reason) :: !errs in
   let n = Array.length p.code in
-  if n = 0 then raise (Rej (0, Program_empty));
-  if n > max_code then raise (Rej (0, Program_too_long n));
-  if p.seg_words < 0 || p.seg_words > max_seg then raise (Rej (0, Bad_segment p.seg_words));
-  if p.inputs < 0 || p.inputs > nregs then raise (Rej (0, Bad_inputs p.inputs));
+  if n = 0 then bad 0 Program_empty;
+  if n > max_code then bad 0 (Program_too_long n);
+  if p.seg_words < 0 || p.seg_words > max_seg then bad 0 (Bad_segment p.seg_words);
+  if p.inputs < 0 || p.inputs > nregs then bad 0 (Bad_inputs p.inputs);
+  if p.scratch_words < 0 || p.scratch_words > max_seg then bad 0 (Bad_stream_decl p.scratch_words);
+  (match p.hkind with
+  | Episode -> ()
+  | Header { view_words } ->
+      if view_words < 1 || view_words > max_view then bad 0 (Bad_stream_decl view_words)
+  | Payload { chunk_words; max_chunks } ->
+      if chunk_words < 1 || chunk_words > max_view then bad 0 (Bad_stream_decl chunk_words);
+      if max_chunks < 1 || max_chunks > max_limit then bad 0 (Bad_stream_decl max_chunks);
+      (* streaming dispatch always seeds r0 = chunk index, r1 = valid words *)
+      if p.inputs < 2 then bad 0 (Bad_stream_decl p.inputs));
   Array.iteri
     (fun pc ins ->
-      List.iter (fun r -> if r < 0 || r >= nregs then raise (Rej (pc, Bad_register r))) (regs_of ins);
-      List.iter (fun v -> if not (fits32 v) then raise (Rej (pc, Immediate_too_wide v))) (imms_of ins);
-      List.iter
-        (fun t -> if t < 0 || t >= n then raise (Rej (pc, Bad_branch_target t)))
-        (jump_targets ins);
+      List.iter (fun r -> if r < 0 || r >= nregs then bad pc (Bad_register r)) (regs_of ins);
+      List.iter (fun v -> if not (fits32 v) then bad pc (Immediate_too_wide v)) (imms_of ins);
+      List.iter (fun t -> if t < 0 || t >= n then bad pc (Bad_branch_target t)) (jump_targets ins);
       (match ins with
       | Loop { limit; _ } ->
-          if limit < 1 || limit > max_limit then raise (Rej (pc, Loop_bound_invalid limit))
+          if limit < 1 || limit > max_limit then bad pc (Loop_bound_invalid limit)
       | _ -> ());
-      if falls_through ins && pc + 1 >= n then raise (Rej (pc, Falls_off_end)))
-    p.code
+      if falls_through ins && pc + 1 >= n then bad pc Falls_off_end)
+    p.code;
+  List.rev !errs
 
-let check_relocs p =
+let collect_relocs p =
+  let errs = ref [] in
   let seen = Hashtbl.create 8 in
   List.iter
     (fun pc ->
-      if pc < 0 || pc >= Array.length p.code then raise (Rej (0, Bad_relocation pc));
-      if Hashtbl.mem seen pc then raise (Rej (pc, Bad_relocation pc));
-      Hashtbl.replace seen pc ();
-      match p.code.(pc) with
-      | Const (_, v) when v >= 0 && v < p.seg_words -> ()
-      | _ -> raise (Rej (pc, Bad_relocation pc)))
-    p.relocs
+      if pc < 0 || pc >= Array.length p.code then errs := (0, Bad_relocation pc) :: !errs
+      else if Hashtbl.mem seen pc then errs := (pc, Bad_relocation pc) :: !errs
+      else begin
+        Hashtbl.replace seen pc ();
+        match p.code.(pc) with
+        | Const (_, v) when v >= 0 && v < p.seg_words -> ()
+        | _ -> errs := (pc, Bad_relocation pc) :: !errs
+      end)
+    p.relocs;
+  List.rev !errs
 
 (* Back edges must target Loop headers; each header owns at most one back
    edge; regions nest; nothing jumps into a region from outside; bodies
@@ -384,6 +428,15 @@ let interpret p states =
         end
   in
   let entry = Array.init nregs (fun i -> if i < p.inputs then Iv top else Bot) in
+  (* Streaming dispatch seeds the first two registers with trusted values —
+     the payload-handler loop bound comes from the declared max payload, not
+     the widening threshold: r0 = chunk index in [0, max_chunks), r1 = valid
+     view words in [1, chunk_words]. *)
+  (match p.hkind with
+  | Payload { chunk_words; max_chunks } ->
+      entry.(0) <- iv 0 (max_chunks - 1);
+      entry.(1) <- iv 1 chunk_words
+  | Episode | Header _ -> ());
   schedule 0 entry;
   let rej pc reason = raise (Rej (pc, reason)) in
   while not (Queue.is_empty work) do
@@ -392,11 +445,12 @@ let interpret p states =
     let out = Array.copy st in
     let get r = match st.(r) with Bot -> rej pc (Uninitialized_register r) | Iv i -> i in
     let set r v = out.(r) <- v in
-    let check_addr r off mk =
+    let check_bounds r off bound mk =
       let a = get r in
       let lo = a.lo + off and hi = a.hi + off in
-      if lo < 0 || hi >= p.seg_words then rej pc (mk { lo; hi })
+      if lo < 0 || hi >= bound then rej pc (mk { lo; hi })
     in
+    let check_addr r off mk = check_bounds r off p.seg_words mk in
     let goto t st = schedule t st in
     let fall st = goto (pc + 1) st in
     (match p.code.(pc) with
@@ -420,6 +474,20 @@ let interpret p states =
     | Store (rsrc, rbase, off) ->
         ignore (get rsrc);
         check_addr rbase off (fun i -> Store_out_of_segment i);
+        fall out
+    | Ldv (rd, rs, off) ->
+        (* the view is untrusted wire data, but its extent is declared *)
+        check_bounds rs off (Aih_ir.view_words p) (fun i -> View_out_of_bounds i);
+        set rd (Iv top);
+        fall out
+    | Lds (rd, rs, off) ->
+        check_bounds rs off p.scratch_words (fun i -> Scratch_out_of_bounds i);
+        (* scratch is zeroed per activation, but stores to it are untracked *)
+        set rd (Iv top);
+        fall out
+    | Sts (rsrc, rbase, off) ->
+        ignore (get rsrc);
+        check_bounds rbase off p.scratch_words (fun i -> Scratch_out_of_bounds i);
         fall out
     | Br (c, rs, rt, tgt) ->
         let x = get rs and y = get rt in
@@ -480,19 +548,40 @@ let interpret p states =
 
 let default_max_wcet = 200_000
 
-let verify ?(max_wcet = default_max_wcet) p =
+let per_byte_milli ~wcet p =
+  let bytes = Aih_ir.bytes_per_activation p in
+  if bytes = 0 then 0 else ((1000 * wcet) + bytes - 1) / bytes
+
+let verify ?(max_wcet = default_max_wcet) ?cell_budget p =
   (* states computed so far, for rendering the diagnostic *)
   let states = ref [||] in
   let state_at pc = if pc < Array.length !states then !states.(pc) else None in
-  try
-    check_structure p;
-    check_relocs p;
-    let regions = check_loops p in
-    let wcet = compute_wcet p regions in
-    if wcet > max_wcet then raise (Rej (0, Wcet_exceeded wcet));
-    let sts = Array.make (Array.length p.code) None in
-    states := sts;
-    interpret p sts;
-    Ok { code_bytes = Aih_ir.code_bytes p; wcet_nic_cycles = wcet }
-  with Rej (pc, reason) ->
-    Error { rj_pc = pc; rj_reason = reason; rj_regs = render_state (state_at pc) }
+  let mk (pc, reason) = { rj_pc = pc; rj_reason = reason; rj_regs = render_state (state_at pc) } in
+  let structural = collect_structure p @ collect_relocs p in
+  if structural <> [] then Error (List.map mk (List.sort compare structural))
+  else
+    match check_loops p with
+    | exception Rej (pc, reason) -> Error [ mk (pc, reason) ]
+    | regions -> (
+        let wcet = compute_wcet p regions in
+        let errs = ref [] in
+        if wcet > max_wcet then errs := (0, Wcet_exceeded wcet) :: !errs;
+        (* Line-rate admission: a streaming activation must finish inside the
+           cycle budget the caller derives from the link rate. Independent of
+           the absolute WCET cap, so both can reject the same program. *)
+        (match cell_budget with
+        | Some budget when Aih_ir.bytes_per_activation p > 0 && wcet > budget ->
+            errs := (0, Line_rate_exceeded { budget; wcet }) :: !errs
+        | _ -> ());
+        let sts = Array.make (Array.length p.code) None in
+        states := sts;
+        (try interpret p sts with Rej (pc, reason) -> errs := (pc, reason) :: !errs);
+        match List.sort compare !errs with
+        | [] ->
+            Ok
+              {
+                code_bytes = Aih_ir.code_bytes p;
+                wcet_nic_cycles = wcet;
+                wcet_per_byte_milli = per_byte_milli ~wcet p;
+              }
+        | errs -> Error (List.map mk errs))

@@ -53,6 +53,15 @@ type reason =
   | Division_by_zero  (** divisor interval contains zero *)
   | Shift_out_of_range  (** shift count may leave [0 .. 62] *)
   | Wcet_exceeded of int  (** the computed bound, above [max_wcet] *)
+  | Bad_stream_decl of int
+      (** a streaming declaration is out of range: view/chunk words outside
+          [1 .. 16], max chunks outside [1 .. 65535], scratch outside
+          [0 .. 65536], or a payload handler with fewer than 2 inputs *)
+  | View_out_of_bounds of interval  (** [Ldv] may read past the declared view *)
+  | Scratch_out_of_bounds of interval  (** [Lds]/[Sts] may leave the scratch segment *)
+  | Line_rate_exceeded of { budget : int; wcet : int }
+      (** the streaming activation bound misses the per-cell cycle budget at
+          the configured link rate; the margin is [wcet - budget] *)
 
 (** The structured diagnostic: where verification failed, why, and the
     abstract register state at that pc ([rj_regs] renders each register as
@@ -60,9 +69,13 @@ type reason =
 type reject = { rj_pc : int; rj_reason : reason; rj_regs : string }
 
 (** The certificate an accepted program installs under: its honest object
-    size ({!Aih_ir.code_bytes}) and the worst-case NIC cycles any single
-    activation can cost. *)
-type cert = { code_bytes : int; wcet_nic_cycles : int }
+    size ({!Aih_ir.code_bytes}), the worst-case NIC cycles any single
+    activation can cost, and — for streaming handlers — the worst-case cost
+    per wire byte in milli-cycles ([ceil (1000 * wcet / bytes)] over
+    {!Aih_ir.bytes_per_activation}; 0 for episode handlers, which have no
+    per-packet obligation). The per-byte bound is what line-rate admission
+    compares against the link. *)
+type cert = { code_bytes : int; wcet_nic_cycles : int; wcet_per_byte_milli : int }
 
 (** Stable kebab-case tag for a rejection class (corpus tests match on
     it), e.g. ["out-of-segment-store"]. *)
@@ -73,8 +86,17 @@ val pp_reason : Format.formatter -> reason -> unit
 (** One-line rendering of a {!reject} (pc, reason, abstract state). *)
 val explain : reject -> string
 
-(** [verify ?max_wcet p] returns the certificate or the first rejection
-    found. [max_wcet] (default 200_000 NIC cycles, ~6 ms of 33 MHz board
-    time) caps how long one activation may monopolize the protocol
-    processor. *)
-val verify : ?max_wcet:int -> Aih_ir.program -> (cert, reject) result
+(** All rejections on one line, ["; "]-separated. *)
+val explain_all : reject list -> string
+
+(** [verify ?max_wcet ?cell_budget p] returns the certificate or every
+    independent rejection found (program order; structural violations are
+    all collected before the loop/interpretation phases run, which need a
+    well-formed program). [max_wcet] (default 200_000 NIC cycles, ~6 ms of
+    33 MHz board time) caps how long one activation may monopolize the
+    protocol processor. [cell_budget] — NIC cycles available per streaming
+    activation at line rate, typically [Params.line_rate_budget] — enables
+    admission control: a header/payload handler whose WCET exceeds it is
+    rejected with {!Line_rate_exceeded}. Episode handlers ignore
+    [cell_budget]. *)
+val verify : ?max_wcet:int -> ?cell_budget:int -> Aih_ir.program -> (cert, reject list) result

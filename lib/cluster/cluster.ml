@@ -45,7 +45,8 @@ let crashed_nodes t =
   done;
   !acc
 
-let create ?(params = Params.default) ?faults ?reliability ?topology ~nic_kind ~nodes () =
+let create ?(params = Params.default) ?faults ?reliability ?(reliability_off = false) ?topology
+    ~nic_kind ~nodes () =
   if nodes < 1 then invalid_arg "Cluster.create: need at least one node";
   let eng = Engine.create () in
   let registry = Stats.Registry.create () in
@@ -63,12 +64,16 @@ let create ?(params = Params.default) ?faults ?reliability ?topology ~nic_kind ~
   let fabric = Fabric.create ~registry ?faults:faulty ?topology eng params ~nodes in
   (* an injected-fault fabric without reliable delivery would just lose
      protocol messages and deadlock; default the protocol on when faults are
-     requested, while still letting callers pass an explicit config *)
+     requested, while still letting callers pass an explicit config —
+     [reliability_off] opts out entirely, for workloads that bring their own
+     recovery protocol (e.g. Reliable_ir firmware endpoints) *)
   let reliability =
-    match (reliability, faulty) with
-    | (Some _ as r), _ -> r
-    | None, Some _ -> Some Cni_nic.Reliable.default
-    | None, None -> None
+    if reliability_off then None
+    else
+      match (reliability, faulty) with
+      | (Some _ as r), _ -> r
+      | None, Some _ -> Some Cni_nic.Reliable.default
+      | None, None -> None
   in
   let node_arr =
     Array.init nodes (fun id ->

@@ -14,7 +14,11 @@ type 'a t
     reliable delivery — [reliability] defaults to
     {!Cni_nic.Reliable.default} whenever faults are active, and can be
     passed explicitly to tune it (or to enable reliability on a clean
-    fabric). A non-empty [faults.schedule] is validated against the node
+    fabric). [reliability_off] forces NIC reliability off even under
+    faults, for workloads that bring their own recovery protocol — the
+    firmware-compiled {!Cni_nic.Reliable_ir} endpoints, notably — and
+    accept raw loss everywhere else. A non-empty [faults.schedule] is
+    validated against the node
     count and wired onto engine timers: each event calls {!crash_node} /
     {!restart_node} at its time.
 
@@ -28,6 +32,7 @@ val create :
   ?params:Cni_machine.Params.t ->
   ?faults:Cni_atm.Faults.config ->
   ?reliability:Cni_nic.Reliable.config ->
+  ?reliability_off:bool ->
   ?topology:Cni_atm.Topology.kind ->
   nic_kind:nic_kind ->
   nodes:int ->

@@ -62,3 +62,10 @@ val topology : unit -> Report.t
     hot path. Reports p50/p99/p999/max response latency; every quantile is
     deterministic and pinned as a metric. *)
 val serving : unit -> Report.t
+
+(** Reliable delivery as closure handlers vs streaming firmware
+    ({!Cni_nic.Reliable_ir}) over both interfaces, clean and lossy: the
+    {!Reliable_flow} lockstep parity ring, with the firmware checksums and
+    the streaming rx certificate pinned as metrics, plus the
+    [reliable_firmware_activation] per-message cost microbench. *)
+val reliable_firmware : unit -> Report.t

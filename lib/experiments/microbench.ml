@@ -222,6 +222,7 @@ type verifier_point = {
 let verifier_throughput () =
   let module Verify = Cni_aih.Aih_verify in
   let module Cir = Cni_mp.Collectives_ir in
+  let module Rir = Cni_nic.Reliable_ir in
   let programs =
     List.map snd Cni_aih.Aih_corpus.good
     @ List.map (fun (_, _, p) -> p) Cni_aih.Aih_corpus.bad
@@ -231,6 +232,11 @@ let verifier_throughput () =
             (fun (rank, size, fanout) -> Cir.program ~op ~rank ~size ~fanout)
             [ (0, 8, 2); (3, 8, 2); (7, 64, 4) ])
         [ Cir.Sum; Cir.Max; Cir.Min ]
+    (* streaming firmware: the per-byte/line-rate analysis is the costly
+       verifier path, so the mix must exercise it *)
+    @ List.concat_map
+        (fun size -> [ Rir.rx_program ~size; Rir.tx_program ~size ])
+        [ 2; 8; 64 ]
   in
   let programs = Array.of_list programs in
   let n = Array.length programs in
@@ -324,6 +330,44 @@ let aih_activation ?(params = Params.default) ?(reps = 8) ~nodes () =
     act_ir_allreduce_us = ir_allreduce;
     act_wcet_nic_cycles = wcet;
     act_code_bytes = bytes;
+  }
+
+(* Closure reliability layer vs firmware-compiled reliable endpoints, on the
+   simulated clock: the same lockstep ring through both, reported per
+   delivered message, with the streaming rx certificate alongside — the
+   admission evidence for the firmware that produced the firmware column. *)
+type reliable_point = {
+  rel_nodes : int;
+  rel_messages : int;  (* per node *)
+  rel_closure_us : float;  (* per delivered message, closure layer *)
+  rel_firmware_us : float;  (* per delivered message, firmware endpoints *)
+  rel_wcet_nic_cycles : int;  (* streaming rx certificate, per activation *)
+  rel_wcet_per_byte_milli : int;  (* streaming rx certificate, per byte *)
+}
+
+let reliable_firmware_activation ?(nodes = 2) ?(messages = 8) ?(body_bytes = 96) () =
+  let per impl =
+    let o =
+      Reliable_flow.run impl
+        { Reliable_flow.default with Reliable_flow.nodes; messages; body_bytes }
+    in
+    float_of_int o.Reliable_flow.elapsed_ps
+    /. 1e6
+    /. float_of_int (List.length o.Reliable_flow.delivered)
+  in
+  let cert =
+    match Cni_aih.Aih_verify.verify (Cni_nic.Reliable_ir.rx_program ~size:nodes) with
+    | Ok c -> c
+    | Error rjs ->
+        failwith ("Microbench: reliable rx rejected: " ^ Cni_aih.Aih_verify.explain_all rjs)
+  in
+  {
+    rel_nodes = nodes;
+    rel_messages = messages;
+    rel_closure_us = per Reliable_flow.Closure;
+    rel_firmware_us = per Reliable_flow.Firmware;
+    rel_wcet_nic_cycles = cert.Cni_aih.Aih_verify.wcet_nic_cycles;
+    rel_wcet_per_byte_milli = cert.Cni_aih.Aih_verify.wcet_per_byte_milli;
   }
 
 type point = { bytes : int; cni_us : float; standard_us : float; reduction_pct : float }

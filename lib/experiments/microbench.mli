@@ -126,3 +126,23 @@ type activation_point = {
     rank-0 certificate alongside. *)
 val aih_activation :
   ?params:Cni_machine.Params.t -> ?reps:int -> nodes:int -> unit -> activation_point
+
+(** {2 Reliable delivery: closure layer vs streaming firmware (simulated
+    clock)} *)
+
+type reliable_point = {
+  rel_nodes : int;
+  rel_messages : int;  (** per node *)
+  rel_closure_us : float;  (** per delivered message, closure layer *)
+  rel_firmware_us : float;  (** per delivered message, firmware endpoints *)
+  rel_wcet_nic_cycles : int;  (** streaming rx certificate, per activation *)
+  rel_wcet_per_byte_milli : int;  (** streaming rx certificate, per byte *)
+}
+
+(** [reliable_firmware_activation ()] — the {!Reliable_flow} lockstep ring
+    through the closure reliability layer and the firmware-compiled
+    {!Cni_nic.Reliable_ir} endpoints on a clean fabric, per delivered
+    message, with the streaming rx certificate that admitted the firmware
+    alongside. *)
+val reliable_firmware_activation :
+  ?nodes:int -> ?messages:int -> ?body_bytes:int -> unit -> reliable_point

@@ -430,12 +430,42 @@ let preflight p =
            (u *. 100.))
     else Ok (Printf.sprintf "service utilisation %.1f%%" (u *. 100.))
   in
+  let firmware =
+    (* every firmware handler a profile of this size could install must fit
+       the cell inter-arrival budget at the default link rate — the same
+       admission Nic.install_handler_verified enforces at install time, so
+       a FAIL here is a run that would die on its first install *)
+    let module Verify = Cni_aih.Aih_verify in
+    let budget = Params.line_rate_budget Params.default in
+    let size = max 2 nodes in
+    let handlers =
+      [
+        ("reliable-rx", Cni_nic.Reliable_ir.rx_program ~size);
+        ("reliable-tx-stamp", Cni_nic.Reliable_ir.tx_program ~size);
+      ]
+    in
+    let bad =
+      List.filter_map
+        (fun (name, prog) ->
+          match Verify.verify ~cell_budget:budget prog with
+          | Ok _ -> None
+          | Error rjs -> Some (Printf.sprintf "%s: %s" name (Verify.explain_all rjs)))
+        handlers
+    in
+    match bad with
+    | [] ->
+        Ok
+          (Printf.sprintf "%d handlers fit the %d-cycle/cell budget" (List.length handlers)
+             budget)
+    | es -> Error (String.concat "; " es)
+  in
   [
     ("profile fields", fields);
     ("arrival process", arrival);
     ("topology", topology);
     ("fault model", faults);
     ("service capacity", capacity);
+    ("firmware line-rate admission", firmware);
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -77,9 +77,12 @@ val to_string : profile -> string
 (** Preflight checks for the doctor, cheap enough to run before every long
     run: each entry is a labelled verdict, [Ok detail] or [Error problem].
     Covers field validation, topology admission (with the resolved shape),
-    the fault model, crash/restart pairing, and a service-capacity check
+    the fault model, crash/restart pairing, a service-capacity check
     that flags offered load at or beyond the servers' aggregate service
-    rate (where the queue — and the tail — grows without bound). *)
+    rate (where the queue — and the tail — grows without bound), and a
+    firmware line-rate admission check: the streaming reliable-delivery
+    handlers a cluster of this size would install must fit the per-cell
+    WCET budget at the default link rate. *)
 val preflight : profile -> (string * (string, string) result) list
 
 (** Offered load of the whole profile, requests per second of simulated

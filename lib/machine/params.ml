@@ -34,6 +34,7 @@ type t = {
   pathfinder_cell_ns : int;
   sar_cell_nic_cycles : int;
   handler_dispatch_nic_cycles : int;
+  nic_hpus : int;
   page_bytes : int;
 }
 
@@ -74,6 +75,7 @@ let default =
     pathfinder_cell_ns = 300;
     sar_cell_nic_cycles = 16;
     handler_dispatch_nic_cycles = 20;
+    nic_hpus = 8;
     page_bytes = 2048;
   }
 
@@ -94,6 +96,15 @@ let cells_for p ~bytes =
   if bytes <= 0 then 1 else (bytes + p.cell_payload_bytes - 1) / p.cell_payload_bytes
 
 let unrestricted_cells p = p.cell_payload_bytes >= 1_000_000
+
+let cell_slot_nic_cycles ?link_bps p =
+  let bps = match link_bps with Some b -> b | None -> p.link_bandwidth_bps in
+  let cell_bits = (p.cell_payload_bytes + p.cell_header_bytes) * 8 in
+  (* NIC cycles that elapse while one cell serialises on the wire: the time a
+     streaming handler has before the next cell arrives at line rate. *)
+  max 1 (cell_bits * (p.nic_hz / 1_000) / (bps / 1_000))
+
+let line_rate_budget ?link_bps p = p.nic_hpus * cell_slot_nic_cycles ?link_bps p
 
 let pp fmt p =
   let f name value = Format.fprintf fmt "  %-28s %s@." name value in
@@ -119,4 +130,5 @@ let pp fmt p =
   f "ATM Cell Payload"
     (if unrestricted_cells p then "unrestricted (Table 5 variant)"
      else Printf.sprintf "%d bytes" p.cell_payload_bytes);
+  f "Handler Processing Units" (Printf.sprintf "%d (streaming AIH)" p.nic_hpus);
   f "Shared Page Size" (Printf.sprintf "%d bytes" p.page_bytes)

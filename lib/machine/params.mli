@@ -50,6 +50,9 @@ type t = {
   pathfinder_cell_ns : int;  (** PATHFINDER per-cell classification time *)
   sar_cell_nic_cycles : int;  (** NIC-processor cycles per cell (SAR work) *)
   handler_dispatch_nic_cycles : int;  (** AIH activation cost on the NIC *)
+  nic_hpus : int;  (** handler processing units: streaming AIH activations the
+                       board can sustain concurrently (sPIN-style), so the
+                       per-cell cycle budget is [nic_hpus] x one cell slot *)
   (* DSM *)
   page_bytes : int;  (** shared page size; 2 KB in Table 2 *)
 }
@@ -76,5 +79,16 @@ val cells_for : t -> bytes:int -> int
     large every frame fits in one cell, so wire charging degrades to
     payload + one header instead of fixed-size cells. *)
 val unrestricted_cells : t -> bool
+
+(** NIC-processor cycles that elapse while one ATM cell (header + payload)
+    serialises at the link rate — the inter-arrival budget a streaming
+    handler activation must fit inside. [?link_bps] overrides the configured
+    link bandwidth (e.g. to model a slower downlink). *)
+val cell_slot_nic_cycles : ?link_bps:int -> t -> int
+
+(** Per-cell admission budget for streaming firmware:
+    [nic_hpus * cell_slot_nic_cycles]. A handler whose per-activation WCET
+    exceeds this cannot sustain line rate and must be rejected. *)
+val line_rate_budget : ?link_bps:int -> t -> int
 
 val pp : Format.formatter -> t -> unit

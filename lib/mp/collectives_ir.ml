@@ -408,9 +408,9 @@ let install ?(channel = default_channel) ?(fanout = 2) ?(bytes_of = fun _ -> 64)
             ~program:prog ~entry:(entry t) ~on_send:(on_send t) ~on_wake:(on_wake t)
         with
         | Ok vh -> t.vh <- Some vh
-        | Error rj ->
+        | Error rjs ->
             failwith
               (Printf.sprintf "Collectives_ir.install: shipped firmware rejected: %s"
-                 (Verify.explain rj))
+                 (Verify.explain_all rjs))
       end;
       t)

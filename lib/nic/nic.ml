@@ -264,6 +264,10 @@ let rel_stats t =
       })
     t.rel
 
+(* frames sequenced but not yet acknowledged; 0 with reliability off —
+   lets a sender serialise on delivery without an application-level ack *)
+let rel_pending_count t = match t.rel with Some r -> Hashtbl.length r.r_pending | None -> 0
+
 (* Occupy the board's processor for a bounded burst of work. Concurrent
    transmissions, receptions and handler activations on one board serialise
    here; a handler that blocks (e.g. a server-side fault) releases the
@@ -1141,21 +1145,29 @@ let restart t =
 type 'a verified_handler = {
   vh_handle : Classifier.handle;
   vh_cert : Cni_aih.Aih_verify.cert;
-  vh_activate : 'a ctx -> int array -> unit;
+  vh_budget : int;
+  vh_activate : ?view:int array -> 'a ctx -> int array -> unit;
 }
 
-let install_handler_verified ?max_wcet t ~pattern ~program ~entry ~on_send ~on_wake =
-  match Cni_aih.Aih_verify.verify ?max_wcet program with
-  | Error rj ->
+(* The canonical first-cell view a Header handler sees: the decoded Wire
+   header words plus the frame's body size. *)
+let header_view_words = 6
+
+let install_handler_verified ?max_wcet ?link_bps t ~pattern ~program ~entry ~on_send ~on_wake =
+  (* line-rate admission: the budget one streaming activation gets before
+     the next cell arrives, at the configured (or overridden) link rate *)
+  let cell_budget = Params.line_rate_budget ?link_bps t.p in
+  match Cni_aih.Aih_verify.verify ?max_wcet ~cell_budget program with
+  | Error rjs ->
       Stats.Counter.incr (lcounter t "aih_verify_rejects");
-      Error rj
+      Error rjs
   | Ok cert ->
       (* the handler's persistent board segment: one allocation at install,
          shared by every activation, like the closure handlers' mutable
          state records. A scrub wipes it; the restart replay allocates a
          fresh zeroed segment. *)
       let mem = ref (Array.make program.Cni_aih.Aih_ir.seg_words 0) in
-      let activate ctx inputs =
+      let activate ?view ctx inputs =
         let services =
           {
             Cni_aih.Aih_exec.sv_send =
@@ -1164,9 +1176,43 @@ let install_handler_verified ?max_wcet t ~pattern ~program ~entry ~on_send ~on_w
             sv_charge = ctx.charge;
           }
         in
-        ignore (Cni_aih.Aih_exec.run program ~mem:!mem ~inputs services)
+        ignore (Cni_aih.Aih_exec.run program ?view ~mem:!mem ~inputs services)
       in
-      let fn ctx pkt = activate ctx (entry pkt) in
+      let fn ctx pkt =
+        match program.Cni_aih.Aih_ir.hkind with
+        | Cni_aih.Aih_ir.Episode -> activate ctx (entry pkt)
+        | Cni_aih.Aih_ir.Header _ ->
+            (* one activation per packet, with the first cell latched *)
+            let view =
+              match Wire.decode_opt pkt.Fabric.header with
+              | Some h ->
+                  [|
+                    h.Wire.kind; h.Wire.src; h.Wire.channel; h.Wire.obj; h.Wire.aux;
+                    pkt.Fabric.body_bytes;
+                  |]
+              | None -> [||] (* unreachable: undecodable frames never classify *)
+            in
+            activate ~view ctx (entry pkt)
+        | Cni_aih.Aih_ir.Payload { chunk_words; max_chunks } ->
+            (* one activation per payload chunk as reassembly streams it in;
+               each activation's cycles hit the board through [ctx.charge],
+               so a long frame charges per cell, not per packet *)
+            let chunk_bytes = 8 * chunk_words in
+            let body = max 0 pkt.Fabric.body_bytes in
+            let nchunks = min max_chunks (max 1 ((body + chunk_bytes - 1) / chunk_bytes)) in
+            let base = entry pkt in
+            let view = Array.make chunk_words 0 in
+            for i = 0 to nchunks - 1 do
+              let valid = max 1 (min chunk_words ((body - (i * chunk_bytes) + 7) / 8)) in
+              let inputs =
+                if Array.length base >= 2 then Array.copy base
+                else Array.append base (Array.make (2 - Array.length base) 0)
+              in
+              inputs.(0) <- i;
+              inputs.(1) <- valid;
+              activate ~view ctx inputs
+            done
+      in
       let code_bytes = cert.Cni_aih.Aih_verify.code_bytes in
       let h = install_raw t ~pattern ~code_bytes fn in
       let entry_log =
@@ -1175,7 +1221,7 @@ let install_handler_verified ?max_wcet t ~pattern ~program ~entry ~on_send ~on_w
             (fun () ->
               (* firmware goes back through the verifier before the scrubbed
                  board will run it again *)
-              match Cni_aih.Aih_verify.verify ?max_wcet program with
+              match Cni_aih.Aih_verify.verify ?max_wcet ~cell_budget program with
               | Error _ ->
                   Stats.Counter.incr (lcounter t "restart_reverify_rejects");
                   None
@@ -1185,7 +1231,7 @@ let install_handler_verified ?max_wcet t ~pattern ~program ~entry ~on_send ~on_w
                   Some (install_raw t ~pattern ~code_bytes:cert'.Cni_aih.Aih_verify.code_bytes fn)) }
       in
       t.install_log <- entry_log :: t.install_log;
-      Ok { vh_handle = h; vh_cert = cert; vh_activate = activate }
+      Ok { vh_handle = h; vh_cert = cert; vh_budget = cell_budget; vh_activate = activate }
 
 let aih_verify_rejects t = lvalue t "aih_verify_rejects"
 

@@ -227,15 +227,22 @@ val set_default_handler : 'a t -> ('a ctx -> 'a Cni_atm.Fabric.packet -> unit) -
 val handler_code_bytes : 'a t -> int
 
 (** A handler admitted through the static verifier: the classifier handle
-    (for {!uninstall_handler}), the admission certificate, and the
-    activation entry point the host side of a protocol may drive through
-    {!local_dispatch} ([vh_activate ctx inputs] runs the firmware with
-    registers [0..inputs-1] preloaded). *)
+    (for {!uninstall_handler}), the admission certificate, the per-cell
+    cycle budget it was admitted against, and the activation entry point
+    the host side of a protocol may drive through {!local_dispatch}
+    ([vh_activate ctx inputs] runs the firmware with registers
+    [0..inputs-1] preloaded; [?view] supplies the [Ldv] window for
+    streaming programs). *)
 type 'a verified_handler = {
   vh_handle : Cni_pathfinder.Classifier.handle;
   vh_cert : Cni_aih.Aih_verify.cert;
-  vh_activate : 'a ctx -> int array -> unit;
+  vh_budget : int;
+  vh_activate : ?view:int array -> 'a ctx -> int array -> unit;
 }
+
+(** Words in the canonical first-cell view a [Header]-kind handler is
+    activated with: [kind; src; channel; obj; aux; body_bytes]. *)
+val header_view_words : int
 
 (** [install_handler_verified t ~pattern ~program ~entry ~on_send ~on_wake]
     is the paper's full AIH admission path: the board accepts only
@@ -248,20 +255,30 @@ type 'a verified_handler = {
     [entry] extracts the firmware's input registers from a matched packet,
     and [on_send]/[on_wake] give the [send]/[host_wakeup] instructions their
     wire and host meanings. On [Error] nothing is installed, the rejection
-    is counted (see {!aih_verify_rejects}), and the structured diagnostic is
-    returned.
+    is counted (see {!aih_verify_rejects}), and the structured diagnostics
+    are returned (every independent violation, not just the first).
+
+    Streaming programs are additionally held to line-rate admission: the
+    per-activation WCET must fit [Params.line_rate_budget] at the board's
+    link rate ([?link_bps] overrides it, e.g. to admit a heavy handler on a
+    slower downlink), or the install fails with [Line_rate_exceeded].
+    Dispatch then activates a [Header] program once per matched packet with
+    the first-cell view, and a [Payload] program once per chunk of the
+    reassembled body — each activation charging the cycles it executes, so
+    cost scales per cell.
 
     @raise Failure if the program verifies but the board's free memory
     cannot hold its certified [code_bytes]. *)
 val install_handler_verified :
   ?max_wcet:int ->
+  ?link_bps:int ->
   'a t ->
   pattern:Cni_pathfinder.Pattern.t ->
   program:Cni_aih.Aih_ir.program ->
   entry:('a Cni_atm.Fabric.packet -> int array) ->
   on_send:('a ctx -> dst:int -> kind:int -> obj:int -> value:int -> unit) ->
   on_wake:(seq:int -> value:int -> unit) ->
-  ('a verified_handler, Cni_aih.Aih_verify.reject) result
+  ('a verified_handler, Cni_aih.Aih_verify.reject list) result
 
 (** Firmware programs this board has refused to install. *)
 val aih_verify_rejects : 'a t -> int
@@ -342,6 +359,11 @@ type rel_stats = {
 
 (** [None] when the interface was built without [reliability]. *)
 val rel_stats : 'a t -> rel_stats option
+
+(** Sequenced frames not yet acknowledged (0 with reliability off). A
+    sender can poll this to serialise on delivery without inventing an
+    application-level ack. *)
+val rel_pending_count : 'a t -> int
 
 (** Frames dropped on receive because the header failed {!Wire.decode_opt}
     (counted as [node<N>/nic/rx_undecodable] when a registry is attached). *)

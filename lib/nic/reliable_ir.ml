@@ -1,0 +1,371 @@
+(* Reliable delivery compiled onto the board: the PR-2 closure protocol
+   (per-destination sequencing, per-frame acks, a duplicate window whose
+   floor advances over contiguously seen numbers, timer-driven retransmit)
+   re-expressed as generated streaming AIH firmware, the way
+   {!Collectives_ir} compiles the tree collectives.
+
+   Two programs per endpoint:
+
+   - [rx_program] is a {!Aih_ir.Header} handler on the data channel. Its
+     board segment holds one [floor; bitmap] window slot per peer; a fresh
+     data frame sets its bit, slides the floor over the contiguous prefix
+     (a bounded [Loop], limit {!window}), acks the sender from protocol
+     context and wakes the host to deliver. Duplicates are re-acked (the
+     previous ack may have died on the fabric) and counted; frames more
+     than {!window} beyond the floor are dropped unacked and survive as a
+     later retransmission. Ack frames arriving back at a sender take an
+     early branch that just wakes the host.
+
+   - [tx_program] is an [Episode] stamp handler the host drives through
+     {!Nic.local_dispatch}: it allocates the next per-destination sequence
+     number from its segment, wakes the host (which registers the pending
+     frame and arms the retransmit timer {e before} the frame is on the
+     wire) and then sends the data frame.
+
+   The host side owns what the paper keeps off the board: payload bytes
+   (stashed per-activation and handed to [deliver]), the retransmit timers
+   (engine-driven, {!Reliable.config} backoff/cap semantics identical to
+   the closure layer) and the completion ivars senders block on. Counters
+   land in the registry under subsystem "reliable-ir" with the same names
+   as {!Nic.rel_stats} so the two implementations diff directly. *)
+
+module Engine = Cni_engine.Engine
+module Time = Cni_engine.Time
+module Stats = Cni_engine.Stats
+module Sync = Cni_engine.Sync
+module Fabric = Cni_atm.Fabric
+module Ir = Cni_aih.Aih_ir
+
+let default_channel = 9
+let k_data = 1
+let k_ack = 2
+
+(* receive window: frames this far beyond the floor are tracked in the
+   bitmap word; anything further is dropped unacked. Small enough that the
+   rx program's floor-advance loop fits the line-rate budget. *)
+let window = 8
+
+(* host-wakeup event codes, packed as [(ev lsl 16) lor peer] in the wake
+   sequence field with the sequence number as the value *)
+let ev_deliver = 1
+let ev_ack = 2
+let ev_dup = 3
+let ev_stamp = 4
+
+(* ------------------------------------------------------------------ *)
+(* Generated firmware                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Header-kind receive handler. Segment layout: slot [2*src] = floor,
+   [2*src + 1] = bitmap of seen-but-not-contiguous frames (bit [d-1] set
+   when [floor + d] has been seen, d in 1 .. window). *)
+let rx_program ~size =
+  let a = Ir.Asm.create () in
+  let open Ir.Asm in
+  let l_ack = fresh a and l_dup = fresh a and l_tail = fresh a in
+  let l_adv = fresh a and l_head = fresh a and l_out = fresh a in
+  const a 0 0;
+  ldv a 1 ~base:0 0 (* kind *);
+  ldv a 2 ~base:0 1 (* src *);
+  ldv a 3 ~base:0 3 (* obj = sequence number *);
+  (* untrusted header fields: prove the peer index before it touches the
+     segment (the verifier refines r2 through these branches) *)
+  bri a Lt 2 0 l_out;
+  bri a Ge 2 size l_out;
+  bri a Eq 1 k_ack l_ack;
+  bri a Ne 1 k_data l_out;
+  (* window slot for this peer *)
+  bini a Mul 4 2 2;
+  load a 5 ~base:4 0 (* floor *);
+  load a 6 ~base:4 1 (* bitmap *);
+  bin a Sub 7 3 5 (* d = seq - floor *);
+  bri a Le 7 0 l_dup;
+  bri a Gt 7 window l_out (* beyond the window: drop unacked *);
+  bini a Sub 8 7 1 (* bit index, proven in 0 .. window-1 *);
+  bin a Shr 9 6 8;
+  bini a And 9 9 1;
+  bri a Eq 9 1 l_dup;
+  (* fresh: record it, slide the floor over the contiguous prefix *)
+  const a 10 1;
+  bin a Shl 10 10 8;
+  bin a Or 6 6 10;
+  const a 11 0;
+  place a l_head;
+  loop a ~counter:11 ~limit:window ~exit:l_adv;
+  bini a And 12 6 1;
+  bri a Eq 12 0 l_adv;
+  bini a Shr 6 6 1;
+  bini a Add 5 5 1;
+  jmp a l_head;
+  place a l_adv;
+  store a 5 ~base:4 0;
+  store a 6 ~base:4 1;
+  const a 13 ev_deliver;
+  jmp a l_tail;
+  place a l_dup;
+  const a 13 ev_dup;
+  place a l_tail;
+  (* always ack — the duplicate means our previous ack was lost *)
+  const a 14 k_ack;
+  send a ~dst:2 ~kind:14 ~obj:3 ~value:3;
+  bini a Shl 15 13 16;
+  bin a Or 15 15 2;
+  wake a ~seq:15 ~value:3;
+  halt a;
+  place a l_ack;
+  const a 13 ev_ack;
+  bini a Shl 15 13 16;
+  bin a Or 15 15 2;
+  wake a ~seq:15 ~value:3;
+  halt a;
+  place a l_out;
+  halt a;
+  assemble
+    ~hkind:(Ir.Header { view_words = Nic.header_view_words })
+    a ~name:"reliable-rx" ~seg_words:(2 * size) ~inputs:0
+
+(* Episode-kind transmit stamp: r0 = destination (host-supplied through
+   local_dispatch, still proven in range before indexing the segment).
+   Wake first — the host must have the pending entry registered and the
+   timer armed before the frame can race it to the fabric. *)
+let tx_program ~size =
+  let a = Ir.Asm.create () in
+  let open Ir.Asm in
+  let l_out = fresh a in
+  bri a Lt 0 0 l_out;
+  bri a Ge 0 size l_out;
+  load a 1 ~base:0 0;
+  bini a Add 1 1 1;
+  store a 1 ~base:0 0;
+  const a 2 ev_stamp;
+  bini a Shl 2 2 16;
+  bin a Or 2 2 0;
+  wake a ~seq:2 ~value:1;
+  const a 3 k_data;
+  send a ~dst:0 ~kind:3 ~obj:1 ~value:1;
+  place a l_out;
+  halt a;
+  assemble a ~name:"reliable-tx-stamp" ~seg_words:size ~inputs:1
+
+(* ------------------------------------------------------------------ *)
+(* Host endpoint                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type 'a staged = {
+  g_dst : int;
+  g_body_bytes : int;
+  g_payload : 'a;
+  g_done : unit Sync.Ivar.t;
+}
+
+type 'a pending = {
+  p_dst : int;
+  p_seq : int;
+  p_header : Bytes.t;
+  p_body_bytes : int;
+  p_payload : 'a;
+  p_done : unit Sync.Ivar.t;
+  mutable p_tries : int;
+  mutable p_rto : Time.t;
+}
+
+type 'a t = {
+  nic : 'a Nic.t;
+  eng : Engine.t;
+  rank : int;
+  size : int;
+  channel : int;
+  cfg : Reliable.config;
+  deliver : src:int -> seq:int -> body_bytes:int -> payload:'a -> unit;
+  rx_vh : 'a Nic.verified_handler;
+  tx_vh : 'a Nic.verified_handler;
+  staged : 'a staged Queue.t;
+  pending : (int * int, 'a pending) Hashtbl.t;  (** keyed [(dst, seq)] *)
+  mutable cur_pkt : (int * 'a) option;
+      (** body_bytes/payload of the frame the rx firmware is streaming *)
+  s_retransmits : Stats.Counter.t;
+  s_acks_tx : Stats.Counter.t;
+  s_acks_rx : Stats.Counter.t;
+  s_rx_duplicates : Stats.Counter.t;
+}
+
+type stats = { retransmits : int; acks_tx : int; acks_rx : int; rx_duplicates : int }
+
+let stats t =
+  {
+    retransmits = Stats.Counter.value t.s_retransmits;
+    acks_tx = Stats.Counter.value t.s_acks_tx;
+    acks_rx = Stats.Counter.value t.s_acks_rx;
+    rx_duplicates = Stats.Counter.value t.s_rx_duplicates;
+  }
+
+let pending_count t = Hashtbl.length t.pending
+
+let header t ~kind ~obj =
+  Wire.encode
+    {
+      Wire.kind;
+      cacheable = false;
+      has_data = false;
+      src = t.rank;
+      channel = t.channel;
+      obj;
+      aux = 0;
+    }
+
+(* Retransmit timer, same shape as the closure layer's [arm_retransmit]:
+   doubling RTO under the cap, a structured failure when the budget runs
+   out. The resend goes back through {!Nic.send} from a fresh fiber — the
+   stamp already happened, so the frame reuses its sequence number. *)
+let rec arm t p =
+  Engine.after t.eng p.p_rto (fun () ->
+      if Hashtbl.mem t.pending (p.p_dst, p.p_seq) && Nic.alive t.nic then
+        if p.p_tries >= t.cfg.Reliable.max_tries then begin
+          Hashtbl.remove t.pending (p.p_dst, p.p_seq);
+          let f =
+            { Reliable.node = t.rank; dst = p.p_dst; channel = t.channel;
+              seq = p.p_seq; tries = p.p_tries }
+          in
+          Engine.spawn t.eng ~name:"relir-delivery-failed" (fun () ->
+              raise (Reliable.Delivery_failed f))
+        end
+        else begin
+          p.p_tries <- p.p_tries + 1;
+          let next_rto = Time.(p.p_rto * t.cfg.Reliable.backoff) in
+          p.p_rto <- Time.min next_rto t.cfg.Reliable.max_rto;
+          Stats.Counter.incr t.s_retransmits;
+          Engine.spawn t.eng ~name:"relir-retx" (fun () ->
+              Nic.send t.nic ~dst:p.p_dst ~header:p.p_header
+                ~body_bytes:p.p_body_bytes ~data:Nic.No_data ~payload:p.p_payload);
+          arm t p
+        end)
+
+let on_send t ctx ~dst ~kind ~obj ~value:_ =
+  if kind = k_ack then begin
+    Stats.Counter.incr t.s_acks_tx;
+    ctx.Nic.reply ~dst ~header:(header t ~kind:k_ack ~obj) ~body_bytes:0
+      ~data:Nic.No_data ~payload:(Obj.magic 0)
+  end
+  else
+    (* data frame: the stamp wake just registered the pending entry *)
+    match Hashtbl.find_opt t.pending (dst, obj) with
+    | Some p ->
+        ctx.Nic.reply ~dst ~header:p.p_header ~body_bytes:p.p_body_bytes
+          ~data:Nic.No_data ~payload:p.p_payload
+    | None -> ()
+
+let on_wake t ~seq ~value =
+  let ev = seq lsr 16 and peer = seq land 0xFFFF in
+  if ev = ev_deliver then (
+    match t.cur_pkt with
+    | Some (body_bytes, payload) ->
+        t.deliver ~src:peer ~seq:value ~body_bytes ~payload
+    | None -> ())
+  else if ev = ev_ack then begin
+    Stats.Counter.incr t.s_acks_rx;
+    match Hashtbl.find_opt t.pending (peer, value) with
+    | Some p ->
+        Hashtbl.remove t.pending (peer, value);
+        Sync.Ivar.fill p.p_done ()
+    | None -> () (* ack of an already-acked frame: a duplicate beat it *)
+  end
+  else if ev = ev_dup then Stats.Counter.incr t.s_rx_duplicates
+  else if ev = ev_stamp then begin
+    let g = Queue.pop t.staged in
+    let p =
+      {
+        p_dst = peer;
+        p_seq = value;
+        p_header = header t ~kind:k_data ~obj:value;
+        p_body_bytes = g.g_body_bytes;
+        p_payload = g.g_payload;
+        p_done = g.g_done;
+        p_tries = 1;
+        p_rto = t.cfg.Reliable.timeout;
+      }
+    in
+    Hashtbl.replace t.pending (peer, value) p;
+    arm t p
+  end
+
+let counter nic name =
+  match Nic.registry nic with
+  | Some reg ->
+      Stats.Registry.counter reg ~node:(Nic.node nic) ~subsystem:"reliable-ir" name
+  | None -> Stats.Counter.create name
+
+let install ?(channel = default_channel) ?(config = Reliable.default) ~engine ~size
+    ~deliver nic =
+  Reliable.check_config config;
+  let rank = Nic.node nic in
+  if size < 1 then invalid_arg "Reliable_ir.install: need at least one node";
+  if size > 0xFFFF then invalid_arg "Reliable_ir.install: peer index rides in 16 bits";
+  let rec t =
+    lazy
+      {
+        nic;
+        eng = engine;
+        rank;
+        size;
+        channel;
+        cfg = config;
+        deliver;
+        rx_vh = install_rx ();
+        tx_vh = install_tx ();
+        staged = Queue.create ();
+        pending = Hashtbl.create 16;
+        cur_pkt = None;
+        s_retransmits = counter nic "retransmits";
+        s_acks_tx = counter nic "acks_tx";
+        s_acks_rx = counter nic "acks_rx";
+        s_rx_duplicates = counter nic "rx_duplicates";
+      }
+  and install_rx () =
+    match
+      Nic.install_handler_verified nic
+        ~pattern:(Wire.pattern_channel ~channel)
+        ~program:(rx_program ~size)
+        ~entry:(fun pkt ->
+          (Lazy.force t).cur_pkt <-
+            Some (pkt.Fabric.body_bytes, pkt.Fabric.payload);
+          [||])
+        ~on_send:(fun ctx ~dst ~kind ~obj ~value ->
+          on_send (Lazy.force t) ctx ~dst ~kind ~obj ~value)
+        ~on_wake:(fun ~seq ~value -> on_wake (Lazy.force t) ~seq ~value)
+    with
+    | Ok vh -> vh
+    | Error rjs ->
+        failwith
+          (Printf.sprintf "Reliable_ir.install: rx firmware rejected: %s"
+             (Cni_aih.Aih_verify.explain_all rjs))
+  and install_tx () =
+    (* the stamp program is driven only through local_dispatch; its pattern
+       sits on channel+1, which never appears on the wire *)
+    match
+      Nic.install_handler_verified nic
+        ~pattern:(Wire.pattern_channel ~channel:(channel + 1))
+        ~program:(tx_program ~size)
+        ~entry:(fun _ -> [| 0 |])
+        ~on_send:(fun ctx ~dst ~kind ~obj ~value ->
+          on_send (Lazy.force t) ctx ~dst ~kind ~obj ~value)
+        ~on_wake:(fun ~seq ~value -> on_wake (Lazy.force t) ~seq ~value)
+    with
+    | Ok vh -> vh
+    | Error rjs ->
+        failwith
+          (Printf.sprintf "Reliable_ir.install: tx firmware rejected: %s"
+             (Cni_aih.Aih_verify.explain_all rjs))
+  in
+  Lazy.force t
+
+let send t ~dst ~body_bytes ~payload =
+  if dst < 0 || dst >= t.size then invalid_arg "Reliable_ir.send: bad destination";
+  if dst = t.rank then invalid_arg "Reliable_ir.send: no self-delivery";
+  let g_done = Sync.Ivar.create () in
+  Queue.push { g_dst = dst; g_body_bytes = body_bytes; g_payload = payload; g_done }
+    t.staged;
+  Nic.local_dispatch t.nic (fun ctx -> t.tx_vh.Nic.vh_activate ctx [| dst |]);
+  g_done
+
+let rx_cert t = t.rx_vh.Nic.vh_cert
+let tx_cert t = t.tx_vh.Nic.vh_cert

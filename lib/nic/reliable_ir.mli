@@ -1,0 +1,89 @@
+(** Reliable delivery as generated streaming AIH firmware.
+
+    The NIC-level protocol {!Reliable} specifies — per-destination
+    sequence numbers, per-frame acknowledgments, duplicate suppression
+    behind an advancing floor, timer-driven retransmission with
+    exponential backoff — compiled into two verified firmware programs
+    per endpoint instead of interpreted by board closures:
+
+    - a {!Cni_aih.Aih_ir.Header}-kind receive handler holding one
+      [floor; bitmap] window slot per peer in its board segment, which
+      acks, deduplicates and wakes the host to deliver, all from
+      protocol context and all within the line-rate admission budget;
+    - an [Episode]-kind transmit stamp the host drives through
+      {!Nic.local_dispatch}, which allocates the next sequence number
+      on the board and emits the data frame.
+
+    Both go through {!Nic.install_handler_verified}, so the protocol
+    itself is subject to pointer-safety, WCET and line-rate admission —
+    the paper's "verify whole protocols onto the NIC". Host-side state
+    is limited to payload staging, retransmit timers
+    ({!Reliable.config} semantics, {!Reliable.Delivery_failed} on an
+    exhausted budget) and completion ivars.
+
+    Intended for clusters created with [~reliability_off:true]: the
+    firmware endpoints replace the closure layer rather than stack on
+    top of it. The receive window tracks at most {!window} frames
+    beyond the floor (the closure layer's table is unbounded); frames
+    further out are dropped unacked and recovered by retransmission. *)
+
+(** Wire channel of data/ack frames (default 9); the transmit stamp
+    program occupies [channel + 1] in the classifier but never appears
+    on the wire. *)
+val default_channel : int
+
+val k_data : int
+val k_ack : int
+
+(** Receive-window width in frames beyond the floor. *)
+val window : int
+
+(** The generated receive handler for an [size]-node cluster:
+    [Header { view_words = Nic.header_view_words }], segment
+    [2 * size] words. Exposed for the corpus, benchmarks and tests. *)
+val rx_program : size:int -> Cni_aih.Aih_ir.program
+
+(** The generated transmit stamp: [Episode], segment [size] words,
+    one input register (the destination). *)
+val tx_program : size:int -> Cni_aih.Aih_ir.program
+
+type 'a t
+
+(** [install ~engine ~size ~deliver nic] verifies and installs both
+    programs on [nic] (rank is the NIC's node id) and returns the
+    endpoint. [deliver] is called once per fresh data frame, in arrival
+    order, from the receive dispatch. Counters register under
+    subsystem "reliable-ir" with the {!Nic.rel_stats} names.
+
+    @raise Failure when the generated firmware is rejected by the
+    verifier — a shipped-firmware bug, not a caller error.
+    @raise Invalid_argument on a bad [size] or [config]. *)
+val install :
+  ?channel:int ->
+  ?config:Reliable.config ->
+  engine:Cni_engine.Engine.t ->
+  size:int ->
+  deliver:(src:int -> seq:int -> body_bytes:int -> payload:'a -> unit) ->
+  'a Nic.t ->
+  'a t
+
+(** [send t ~dst ~body_bytes ~payload] stages the frame, drives the
+    stamp firmware and returns the ivar filled when the ack comes back.
+    Must run in a fiber. Retransmission is automatic;
+    {!Reliable.Delivery_failed} surfaces through an engine fiber when
+    the retry budget is exhausted. *)
+val send :
+  'a t -> dst:int -> body_bytes:int -> payload:'a -> unit Cni_engine.Sync.Ivar.t
+
+(** Frames sent but not yet acknowledged. *)
+val pending_count : 'a t -> int
+
+type stats = { retransmits : int; acks_tx : int; acks_rx : int; rx_duplicates : int }
+
+val stats : 'a t -> stats
+
+(** Admission certificates of the installed programs (the rx one is the
+    interesting one: it carries a non-zero per-byte bound). *)
+val rx_cert : 'a t -> Cni_aih.Aih_verify.cert
+
+val tx_cert : 'a t -> Cni_aih.Aih_verify.cert

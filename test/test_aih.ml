@@ -25,27 +25,63 @@ let cni = `Cni Nic.default_cni_options
 (* Verifier over the corpus                                            *)
 (* ------------------------------------------------------------------ *)
 
+let cell_budget = Cni_machine.Params.(line_rate_budget default)
+
 let test_good_corpus () =
   List.iter
     (fun (name, p) ->
-      match Verify.verify p with
+      match Verify.verify ~cell_budget p with
       | Ok cert ->
           checkb (name ^ " wcet positive") true (cert.Verify.wcet_nic_cycles > 0);
-          checki (name ^ " code bytes honest") (Ir.code_bytes p) cert.Verify.code_bytes
-      | Error rj -> Alcotest.failf "%s rejected: %s" name (Verify.explain rj))
+          checki (name ^ " code bytes honest") (Ir.code_bytes p) cert.Verify.code_bytes;
+          if Ir.bytes_per_activation p > 0 then
+            checkb (name ^ " streaming cert has a per-byte bound") true
+              (cert.Verify.wcet_per_byte_milli > 0)
+          else checki (name ^ " episode per-byte bound") 0 cert.Verify.wcet_per_byte_milli
+      | Error rjs -> Alcotest.failf "%s rejected: %s" name (Verify.explain_all rjs))
     Corpus.good
 
 let test_bad_corpus () =
   List.iter
     (fun (name, expected, p) ->
-      match Verify.verify p with
+      match Verify.verify ~cell_budget p with
       | Ok _ -> Alcotest.failf "%s accepted (expected %s)" name expected
-      | Error rj ->
-          check Alcotest.string (name ^ " reason") expected (Verify.reason_name rj.Verify.rj_reason);
-          checkb (name ^ " pc in range") true
-            (rj.Verify.rj_pc >= 0 && rj.Verify.rj_pc <= Array.length p.Ir.code);
-          checkb (name ^ " has state render") true (String.length rj.Verify.rj_regs > 0))
+      | Error rjs ->
+          checkb (name ^ " rejections non-empty") true (rjs <> []);
+          checkb
+            (name ^ " expects " ^ expected)
+            true
+            (List.exists
+               (fun rj -> Verify.reason_name rj.Verify.rj_reason = expected)
+               rjs);
+          List.iter
+            (fun rj ->
+              checkb (name ^ " pc in range") true
+                (rj.Verify.rj_pc >= 0 && rj.Verify.rj_pc <= Array.length p.Ir.code);
+              checkb (name ^ " has state render") true (String.length rj.Verify.rj_regs > 0))
+            rjs)
     Corpus.bad
+
+(* collect-all: a program with several independent violations reports each
+   of them in one pass, sorted by pc *)
+let test_rejects_collected () =
+  let p =
+    {
+      Ir.name = "multi-bad";
+      hkind = Ir.Episode;
+      seg_words = 2;
+      scratch_words = 0;
+      inputs = 0;
+      code = [| Ir.Jmp 99; Ir.Const (20, 5); Ir.Bin (Ir.Add, 3, 17, 0); Ir.Halt |];
+      relocs = [];
+    }
+  in
+  match Verify.verify p with
+  | Ok _ -> Alcotest.fail "multi-bad accepted"
+  | Error rjs ->
+      checkb "more than one rejection" true (List.length rjs > 1);
+      let pcs = List.map (fun rj -> rj.Verify.rj_pc) rjs in
+      checkb "sorted by pc" true (pcs = List.sort compare pcs)
 
 let test_collectives_programs_verify () =
   List.iter
@@ -58,9 +94,9 @@ let test_collectives_programs_verify () =
                 let p = Collectives_ir.program ~op ~rank ~size ~fanout in
                 match Verify.verify p with
                 | Ok cert -> checkb "wcet positive" true (cert.Verify.wcet_nic_cycles > 0)
-                | Error rj ->
+                | Error rjs ->
                     Alcotest.failf "collectives rank %d/%d fanout %d rejected: %s" rank size
-                      fanout (Verify.explain rj))
+                      fanout (Verify.explain_all rjs))
             [ 0; 1; size / 2; size - 1 ])
         [ (2, 2); (3, 1); (8, 2); (8, 4); (256, 8) ])
     [ Collectives_ir.Sum; Collectives_ir.Max; Collectives_ir.Min ]
@@ -73,10 +109,10 @@ let test_encode_size_law () =
   List.iter
     (fun (_, p) ->
       let n = Array.length p.Ir.code and r = List.length p.Ir.relocs in
-      checki (p.Ir.name ^ " image size") (20 + (12 * n) + (4 * r)) (Bytes.length (Ir.encode p));
+      checki (p.Ir.name ^ " image size") (36 + (12 * n) + (4 * r)) (Bytes.length (Ir.encode p));
       checki
-        (p.Ir.name ^ " code_bytes = image + segment")
-        (20 + (12 * n) + (4 * r) + (8 * p.Ir.seg_words))
+        (p.Ir.name ^ " code_bytes = image + segments")
+        (36 + (12 * n) + (4 * r) + (8 * (p.Ir.seg_words + p.Ir.scratch_words)))
         (Ir.code_bytes p))
     Corpus.good
 
@@ -86,12 +122,16 @@ let test_encode_deterministic () =
 
 let test_encode_rejects_wide_immediate () =
   let p =
-    { Ir.name = "wide"; seg_words = 0; inputs = 0; code = [| Ir.Const (0, 1 lsl 40); Ir.Halt |]; relocs = [] }
+    { Ir.name = "wide"; hkind = Ir.Episode; seg_words = 0; scratch_words = 0; inputs = 0;
+      code = [| Ir.Const (0, 1 lsl 40); Ir.Halt |]; relocs = [] }
   in
   (match Verify.verify p with
   | Ok _ -> Alcotest.fail "wide immediate accepted"
-  | Error rj ->
-      check Alcotest.string "reason" "immediate-too-wide" (Verify.reason_name rj.Verify.rj_reason));
+  | Error rjs ->
+      check
+        (Alcotest.list Alcotest.string)
+        "reason" [ "immediate-too-wide" ]
+        (List.map (fun rj -> Verify.reason_name rj.Verify.rj_reason) rjs));
   Alcotest.check_raises "encode raises"
     (Invalid_argument (Printf.sprintf "Aih_ir.encode: %d does not fit a 32-bit field" (1 lsl 40)))
     (fun () -> ignore (Ir.encode p))
@@ -138,7 +178,7 @@ let test_exec_sum () =
   let cert =
     match Verify.verify sum_prog with
     | Ok c -> c
-    | Error rj -> Alcotest.failf "sum_prog rejected: %s" (Verify.explain rj)
+    | Error rjs -> Alcotest.failf "sum_prog rejected: %s" (Verify.explain_all rjs)
   in
   let woken = ref (-1) and charged = ref 0 in
   let services =
@@ -156,13 +196,82 @@ let test_exec_sum () =
 
 let test_exec_faults_unverified () =
   let p =
-    { Ir.name = "oob"; seg_words = 4; inputs = 0; code = [| Ir.Const (0, 9); Ir.Load (1, 0, 0); Ir.Halt |]; relocs = [] }
+    { Ir.name = "oob"; hkind = Ir.Episode; seg_words = 4; scratch_words = 0; inputs = 0;
+      code = [| Ir.Const (0, 9); Ir.Load (1, 0, 0); Ir.Halt |]; relocs = [] }
   in
   checkb "would be rejected" true (Result.is_error (Verify.verify p));
   let mem = Array.make 4 0 in
   match Exec.run p ~mem ~inputs:[||] (null_services ignore) with
   | _ -> Alcotest.fail "out-of-segment load did not fault"
   | exception Exec.Fault _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Streaming handlers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* a tiny pseudo-random stream, seeded per qcheck case: deterministic and
+   cheap, with no global Random state *)
+let lcg seed =
+  let st = ref (seed land 0x3FFFFFFF) in
+  fun bound ->
+    st := ((!st * 1103515245) + 12345) land 0x3FFFFFFF;
+    !st mod bound
+
+let test_exec_streaming_view () =
+  (* header-route: copies view words 1 and 3 through scratch, wakes with
+     seq = view.(1), value = view.(3) *)
+  let p = List.assoc "header-route" Corpus.good in
+  let woken = ref None in
+  let services =
+    {
+      (null_services ignore) with
+      Exec.sv_wake = (fun ~seq ~value -> woken := Some (seq, value));
+    }
+  in
+  let view = [| 7; 42; 9; 1234; 0; 96 |] in
+  let mem = Array.make p.Ir.seg_words 0 in
+  let cycles = Exec.run p ~view ~mem ~inputs:[||] services in
+  checkb "ran" true (cycles > 0);
+  check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.int)) "routed header words"
+    (Some (42, 1234)) !woken
+
+let test_exec_view_fault () =
+  let p = List.assoc "header-route" Corpus.good in
+  (* the program was verified against a 6-word view; hand it a shorter one
+     and the interpreter must fault rather than read junk *)
+  match
+    Exec.run p ~view:[| 1; 2 |] ~mem:(Array.make p.Ir.seg_words 0) ~inputs:[||]
+      (null_services ignore)
+  with
+  | _ -> Alcotest.fail "short view did not fault"
+  | exception Exec.Fault _ -> ()
+
+(* the acceptance property for the WCET analysis: on every good program and
+   any activation input, measured cycles never exceed the certificate *)
+let wcet_qcheck =
+  QCheck.Test.make ~count:100 ~name:"measured cycles <= certified WCET (good corpus)"
+    QCheck.(pair (int_bound 1000) (int_bound 10_000))
+    (fun (pick, seed) ->
+      let name, p = List.nth Corpus.good (pick mod List.length Corpus.good) in
+      let cert =
+        match Verify.verify ~cell_budget p with
+        | Ok c -> c
+        | Error rjs -> QCheck.Test.fail_reportf "%s rejected: %s" name (Verify.explain_all rjs)
+      in
+      let rnd = lcg seed in
+      let inputs = Array.init p.Ir.inputs (fun _ -> rnd 1_000_000 - 500_000) in
+      (* payload activations are dispatched with r0 = chunk index and
+         r1 = valid words, within the declared bounds — the verifier
+         assumed exactly that, so the generator must too *)
+      (match p.Ir.hkind with
+      | Ir.Payload { chunk_words; max_chunks } ->
+          inputs.(0) <- rnd max_chunks;
+          inputs.(1) <- 1 + rnd chunk_words
+      | Ir.Episode | Ir.Header _ -> ());
+      let view = Array.init (Ir.view_words p) (fun _ -> rnd 1_000_000) in
+      let mem = Array.init p.Ir.seg_words (fun _ -> rnd 1_000_000) in
+      let cycles = Exec.run p ~view ~mem ~inputs (null_services ignore) in
+      cycles <= cert.Verify.wcet_nic_cycles)
 
 (* ------------------------------------------------------------------ *)
 (* Verified installation on a live board                               *)
@@ -183,7 +292,7 @@ let test_install_verified () =
         ~on_wake:(fun ~seq:_ ~value:_ -> ())
     with
     | Ok vh -> vh
-    | Error rj -> Alcotest.failf "good program rejected at install: %s" (Verify.explain rj)
+    | Error rjs -> Alcotest.failf "good program rejected at install: %s" (Verify.explain_all rjs)
   in
   checki "board debited the certified bytes" (before + Ir.code_bytes good)
     (Nic.handler_code_bytes nic);
@@ -209,6 +318,46 @@ let test_install_verified_rejects () =
   | Error _ -> ());
   checki "reject counted" 1 (Nic.aih_verify_rejects nic);
   checki "no board memory debited" before (Nic.handler_code_bytes nic)
+
+(* line-rate admission: a safe-but-slow streaming handler is refused at the
+   default 622 Mb/s link and admitted when the board hangs off a slower
+   155 Mb/s downlink, where cells arrive four times further apart *)
+let test_install_line_rate_admission () =
+  let cluster : int Cluster.t = Cluster.create ~nic_kind:cni ~nodes:2 () in
+  let nic = Node.nic (Cluster.node cluster 0) in
+  let bomb =
+    let _, _, p =
+      List.find (fun (name, _, _) -> name = "line-rate-bomb") Corpus.bad
+    in
+    p
+  in
+  let install ?link_bps channel =
+    Nic.install_handler_verified ?link_bps nic
+      ~pattern:(Wire.pattern_channel ~channel)
+      ~program:bomb
+      ~entry:(fun _ -> [||])
+      ~on_send:(fun _ ~dst:_ ~kind:_ ~obj:_ ~value:_ -> ())
+      ~on_wake:(fun ~seq:_ ~value:_ -> ())
+  in
+  (match install 19 with
+  | Ok _ -> Alcotest.fail "line-rate-bomb admitted at the default link rate"
+  | Error rjs ->
+      checkb "rejected for line rate" true
+        (List.exists
+           (fun rj ->
+             match rj.Verify.rj_reason with
+             | Verify.Line_rate_exceeded { budget; wcet } ->
+                 checkb "reported margin is real" true (wcet > budget);
+                 true
+             | _ -> false)
+           rjs));
+  match install ~link_bps:155_000_000 19 with
+  | Ok vh ->
+      checkb "admitted against the slower link's larger budget" true
+        (vh.Nic.vh_budget > vh.Nic.vh_cert.Verify.wcet_nic_cycles);
+      Nic.uninstall_handler nic vh.Nic.vh_handle
+  | Error rjs ->
+      Alcotest.failf "rejected at 155 Mb/s: %s" (Verify.explain_all rjs)
 
 (* ------------------------------------------------------------------ *)
 (* IR / closure collectives parity                                     *)
@@ -312,8 +461,16 @@ let () =
         [
           Alcotest.test_case "good corpus accepted" `Quick test_good_corpus;
           Alcotest.test_case "bad corpus rejected with expected reasons" `Quick test_bad_corpus;
+          Alcotest.test_case "independent rejections all collected" `Quick
+            test_rejects_collected;
           Alcotest.test_case "shipped collectives programs verify" `Quick
             test_collectives_programs_verify;
+        ] );
+      ( "streaming",
+        [
+          Alcotest.test_case "header view execution" `Quick test_exec_streaming_view;
+          Alcotest.test_case "short view faults" `Quick test_exec_view_fault;
+          QCheck_alcotest.to_alcotest wcet_qcheck;
         ] );
       ( "encode",
         [
@@ -331,6 +488,8 @@ let () =
           Alcotest.test_case "verified install debits certified bytes" `Quick test_install_verified;
           Alcotest.test_case "rejection counted, nothing installed" `Quick
             test_install_verified_rejects;
+          Alcotest.test_case "line-rate admission tracks the link rate" `Quick
+            test_install_line_rate_admission;
         ] );
       ( "parity",
         [
